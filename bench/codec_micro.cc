@@ -1,0 +1,94 @@
+// Micro-benchmarks (google-benchmark): the three codecs' compress/decompress
+// throughput and the fixed-length matchers (Boyer-Moore vs KMP, §5.2).
+#include <benchmark/benchmark.h>
+
+#include "src/capsule/capsule.h"
+#include "src/codec/codec.h"
+#include "src/common/rng.h"
+#include "src/query/fixed_matcher.h"
+#include "src/workload/datasets.h"
+#include "src/workload/loggen.h"
+
+namespace loggrep {
+namespace {
+
+const std::string& CorpusText() {
+  static const std::string* kText = new std::string(
+      LogGenerator(*FindDataset("Log G")).Generate(1 << 20));
+  return *kText;
+}
+
+const Codec& CodecByIndex(int i) {
+  switch (i) {
+    case 0:
+      return GetGzipCodec();
+    case 1:
+      return GetZstdCodec();
+    default:
+      return GetXzCodec();
+  }
+}
+
+void BM_Compress(benchmark::State& state) {
+  const Codec& codec = CodecByIndex(static_cast<int>(state.range(0)));
+  const std::string& input = CorpusText();
+  size_t out_bytes = 0;
+  for (auto _ : state) {
+    const std::string blob = codec.Compress(input);
+    out_bytes = blob.size();
+    benchmark::DoNotOptimize(blob.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(input.size()));
+  state.SetLabel(std::string(codec.name()) + " ratio=" +
+                 std::to_string(static_cast<double>(input.size()) /
+                                static_cast<double>(out_bytes)));
+}
+BENCHMARK(BM_Compress)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_Decompress(benchmark::State& state) {
+  const Codec& codec = CodecByIndex(static_cast<int>(state.range(0)));
+  const std::string& input = CorpusText();
+  const std::string blob = codec.Compress(input);
+  for (auto _ : state) {
+    auto out = codec.Decompress(blob);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(input.size()));
+  state.SetLabel(codec.name());
+}
+BENCHMARK(BM_Decompress)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+std::string PaddedColumn(uint32_t width, uint32_t rows) {
+  Rng rng(11);
+  std::vector<std::string> owned;
+  for (uint32_t i = 0; i < rows; ++i) {
+    std::string v;
+    const uint32_t len = 1 + static_cast<uint32_t>(rng.NextBelow(width));
+    for (uint32_t k = 0; k < len; ++k) {
+      v += "0123456789ABCDEF"[rng.NextBelow(16)];
+    }
+    owned.push_back(std::move(v));
+  }
+  std::vector<std::string_view> views(owned.begin(), owned.end());
+  return BuildPaddedBlob(views, width);
+}
+
+void BM_FixedLengthSearch(benchmark::State& state) {
+  const bool use_bm = state.range(0) == 1;
+  const std::string blob = PaddedColumn(16, 200000);
+  for (auto _ : state) {
+    auto rows = SearchPaddedColumn(blob, 16, FragmentMode::kSub, "5E9D", use_bm);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(blob.size()));
+  state.SetLabel(use_bm ? "boyer-moore" : "kmp");
+}
+BENCHMARK(BM_FixedLengthSearch)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace loggrep
+
+BENCHMARK_MAIN();

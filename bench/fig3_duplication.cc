@@ -1,0 +1,110 @@
+// Figure 3 reproduction: distribution of single-pattern vs multi-pattern
+// variable vectors with respect to duplication rate.
+//
+// For every variable vector of every dataset we compute the duplication rate
+// and label the vector single-pattern when one runtime pattern covers at
+// least 90% of its values (the paper's definition, §4.1). The paper reports
+// a bathtub-shaped distribution where low-duplication vectors are almost all
+// single-pattern.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/parser/block_parser.h"
+#include "src/pattern/merge_extractor.h"
+#include "src/pattern/tree_extractor.h"
+#include "src/workload/loggen.h"
+
+namespace loggrep {
+namespace {
+
+// One pattern's coverage of the vector's values (rows, not uniques).
+bool IsSinglePattern(const std::vector<std::string>& values) {
+  // Candidate 1: the tree-expanding pattern. The trivial "<*>" pattern
+  // matches anything and does not count as structure.
+  const TreeExtractor tree;
+  const RuntimePattern p = tree.Extract(values);
+  if (p.elements().size() > 1) {
+    size_t covered = 0;
+    for (const std::string& v : values) {
+      covered += p.MatchValue(v).has_value() ? 1 : 0;
+    }
+    if (covered >= values.size() * 9 / 10) {
+      return true;
+    }
+  }
+  // Candidate 2: the dominant merged pattern.
+  const MergeExtractor merge;
+  const NominalExtraction ex = merge.Extract(values);
+  std::vector<size_t> per_pattern(ex.patterns.size(), 0);
+  for (uint32_t idx : ex.index) {
+    ++per_pattern[ex.pattern_of_dict[idx]];
+  }
+  size_t best = 0;
+  for (size_t c : per_pattern) {
+    best = std::max(best, c);
+  }
+  return best >= values.size() * 9 / 10;
+}
+
+}  // namespace
+}  // namespace loggrep
+
+int main() {
+  using namespace loggrep;
+  constexpr int kBins = 10;
+  int single[kBins] = {};
+  int multi[kBins] = {};
+  int total_vectors = 0;
+
+  for (const DatasetSpec& spec : AllDatasets()) {
+    const std::string text =
+        LogGenerator(spec).Generate(bench::DatasetBytes() / 4);
+    const ParsedBlock block = BlockParser().Parse(text);
+    for (const ParsedGroup& g : block.groups) {
+      for (const auto& vv : g.var_vectors) {
+        if (vv.size() < 32) {
+          continue;  // too small to classify meaningfully
+        }
+        const double rate = DuplicationRate(vv);
+        int bin = static_cast<int>(rate * kBins);
+        if (bin >= kBins) {
+          bin = kBins - 1;
+        }
+        if (IsSinglePattern(vv)) {
+          ++single[bin];
+        } else {
+          ++multi[bin];
+        }
+        ++total_vectors;
+      }
+    }
+  }
+
+  std::printf("== Figure 3: single- vs multi-pattern variable vectors by "
+              "duplication rate ==\n");
+  std::printf("%-14s %14s %14s %10s\n", "dup-rate bin", "single-pattern",
+              "multi-pattern", "%single");
+  for (int b = 0; b < kBins; ++b) {
+    const int n = single[b] + multi[b];
+    std::printf("[%.1f, %.1f)%-3s %14d %14d %9.1f%%\n", b * 0.1, (b + 1) * 0.1,
+                "", single[b], multi[b],
+                n > 0 ? 100.0 * single[b] / n : 0.0);
+  }
+  std::printf("total vectors: %d\n", total_vectors);
+
+  // Paper shape check: vectors in the low-duplication half are predominantly
+  // single-pattern.
+  int low_single = 0;
+  int low_total = 0;
+  for (int b = 0; b < kBins / 2; ++b) {
+    low_single += single[b];
+    low_total += single[b] + multi[b];
+  }
+  std::printf("low-duplication (<0.5) single-pattern share: %.1f%% %s\n",
+              low_total > 0 ? 100.0 * low_single / low_total : 0.0,
+              low_total > 0 && low_single * 10 >= low_total * 9
+                  ? "(matches paper: >=90%)"
+                  : "");
+  return 0;
+}

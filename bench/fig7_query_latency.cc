@@ -1,0 +1,66 @@
+// Figure 7(a) + §6.2 reproduction: query latency per dataset per system.
+//
+// Prints per-dataset latencies (ms) for the five systems, then the
+// cross-dataset geometric-mean speedups of LogGrep over each comparator, for
+// the production family (Fig. 7a) and the public family (§6.2) separately.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace loggrep;
+  using bench::Measurement;
+
+  std::vector<Measurement> all;
+  std::printf("== Figure 7(a) / Section 6.2: query latency (ms per query, one CPU) ==\n");
+  std::printf("%-12s", "dataset");
+  for (const bench::System& sys : bench::AllSystems()) {
+    std::printf(" %12s", sys.name.c_str());
+  }
+  std::printf("\n");
+  for (const DatasetSpec& spec : AllDatasets()) {
+    const std::vector<Measurement> row = bench::MeasureDataset(spec);
+    std::printf("%-12s", spec.name.c_str());
+    for (const Measurement& m : row) {
+      std::printf(" %12.2f", m.query_seconds * 1000);
+    }
+    std::printf("\n");
+    all.insert(all.end(), row.begin(), row.end());
+  }
+
+  for (const bool production : {true, false}) {
+    std::map<std::string, std::vector<double>> speedups;
+    for (const DatasetSpec& spec : AllDatasets()) {
+      if (spec.production != production) {
+        continue;
+      }
+      double loggrep_latency = 0;
+      for (const Measurement& m : all) {
+        if (m.dataset == spec.name && m.system == "loggrep") {
+          loggrep_latency = m.query_seconds;
+        }
+      }
+      if (loggrep_latency <= 0) {
+        continue;
+      }
+      for (const Measurement& m : all) {
+        if (m.dataset == spec.name && m.system != "loggrep" &&
+            m.query_seconds > 0) {
+          speedups[m.system].push_back(m.query_seconds / loggrep_latency);
+        }
+      }
+    }
+    std::printf("\n-- %s logs: LogGrep speedup (geometric mean of "
+                "latency ratios; >1 = LogGrep faster) --\n",
+                production ? "production (Fig. 7a)" : "public (Sec. 6.2)");
+    for (const auto& [system, ratios] : speedups) {
+      std::printf("  vs %-12s %8.2fx\n", system.c_str(),
+                  bench::GeoMean(ratios));
+    }
+  }
+  std::printf("\npaper shapes: ~30x vs gzip+grep, ~35x vs CLP, ~0.5-3x vs ES,"
+              " ~10x vs LogGrep-SP (production)\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// §2.2 / §2.3 reproduction: how much stricter summaries get as partitioning
+// refines from whole log blocks to variable vectors to sub-variable vectors.
+//
+// The paper reports (production logs): character types per unit 5.8 -> 3.1 ->
+// 1.5 and length variance 198.5 -> 66.1 -> 32.5. This bench recomputes both
+// statistics at all three granularities over the synthetic corpus.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/charclass.h"
+#include "src/common/string_util.h"
+#include "src/parser/block_parser.h"
+#include "src/pattern/tree_extractor.h"
+#include "src/workload/loggen.h"
+
+namespace loggrep {
+namespace {
+
+struct Stats {
+  double type_sum = 0;
+  double var_sum = 0;
+  int units = 0;
+
+  void Add(const std::vector<std::string>& values) {
+    TypeMask mask = 0;
+    for (const std::string& v : values) {
+      mask |= TypeMaskOf(v);
+    }
+    type_sum += MaskTypeCount(mask);
+    var_sum += LengthVariance(values);
+    ++units;
+  }
+
+  void Print(const char* label) const {
+    std::printf("%-22s %10.2f %16.1f %10d\n", label,
+                units > 0 ? type_sum / units : 0.0,
+                units > 0 ? var_sum / units : 0.0, units);
+  }
+};
+
+}  // namespace
+}  // namespace loggrep
+
+int main() {
+  using namespace loggrep;
+  Stats block_stats;
+  Stats vector_stats;
+  Stats subvar_stats;
+
+  for (const DatasetSpec& spec : AllDatasets()) {
+    const std::string text =
+        LogGenerator(spec).Generate(bench::DatasetBytes() / 4);
+    // Block granularity: the lines themselves are the values.
+    const std::vector<std::string_view> line_views = SplitLines(text);
+    std::vector<std::string> lines(line_views.begin(), line_views.end());
+    block_stats.Add(lines);
+
+    const ParsedBlock block = BlockParser().Parse(text);
+    const TreeExtractor extractor;
+    for (const ParsedGroup& g : block.groups) {
+      for (const auto& vv : g.var_vectors) {
+        if (vv.size() < 32) {
+          continue;
+        }
+        vector_stats.Add(vv);
+        // Sub-variable granularity via runtime pattern decomposition.
+        if (ClassifyVector(vv) != VectorClass::kReal) {
+          continue;
+        }
+        const RuntimePattern p = extractor.Extract(vv);
+        const uint32_t n = p.SubVarCount();
+        if (n == 0 || p.elements().size() <= 1) {
+          continue;
+        }
+        std::vector<std::vector<std::string>> cols(n);
+        for (const std::string& v : vv) {
+          auto m = p.MatchValue(v);
+          if (!m.has_value()) {
+            continue;
+          }
+          for (uint32_t s = 0; s < n; ++s) {
+            cols[s].emplace_back((*m)[s]);
+          }
+        }
+        for (const auto& col : cols) {
+          if (!col.empty()) {
+            subvar_stats.Add(col);
+          }
+        }
+      }
+    }
+  }
+
+  std::printf("== Sections 2.2/2.3: summary strictness by granularity ==\n");
+  std::printf("%-22s %10s %16s %10s\n", "granularity", "char types",
+              "length variance", "units");
+  block_stats.Print("log block");
+  vector_stats.Print("variable vector");
+  subvar_stats.Print("sub-variable vector");
+  std::printf("\npaper (production logs): block 5.8 / 198.5, variable vector "
+              "3.1 / 66.1, sub-variable 1.5 / 32.5\n");
+  return 0;
+}

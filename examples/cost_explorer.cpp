@@ -1,0 +1,110 @@
+// Cost explorer: applies the paper's Equation 1 to measured system
+// characteristics and sweeps the query frequency to find where each system
+// is the cheapest choice for near-line logs.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/baselines/clp_like.h"
+#include "src/baselines/es_like.h"
+#include "src/baselines/gzip_grep.h"
+#include "src/baselines/loggrep_backend.h"
+#include "src/common/timer.h"
+#include "src/cost/cost_model.h"
+#include "src/workload/datasets.h"
+#include "src/workload/loggen.h"
+#include "src/workload/queries.h"
+
+namespace {
+
+struct Measured {
+  std::string name;
+  loggrep::SystemMeasurement cost_input;
+};
+
+}  // namespace
+
+int main() {
+  using namespace loggrep;
+
+  const DatasetSpec* spec = FindDataset("Log G");
+  const std::string raw = LogGenerator(*spec).Generate(512 * 1024);
+  const std::string query = QueryForDataset(spec->name);
+  constexpr double kTargetGb = 1024.0;  // reason about 1 TB of this log
+
+  const GzipGrepBackend ggrep;
+  const ClpLikeBackend clp;
+  const EsLikeBackend es;
+  const LogGrepBackend lg;
+  std::vector<Measured> systems;
+  for (const LogStoreBackend* backend :
+       std::vector<const LogStoreBackend*>{&ggrep, &clp, &es, &lg}) {
+    WallTimer timer;
+    const std::string stored = backend->Compress(raw);
+    const double compress_s = timer.ElapsedSeconds();
+    timer.Reset();
+    auto hits = backend->Query(stored, query);
+    const double query_s = timer.ElapsedSeconds();
+    if (!hits.ok()) {
+      std::printf("%s failed: %s\n", backend->name(),
+                  hits.status().ToString().c_str());
+      return 1;
+    }
+    Measured m;
+    m.name = backend->name();
+    m.cost_input.raw_gb = kTargetGb;
+    m.cost_input.compression_ratio =
+        static_cast<double>(raw.size()) / static_cast<double>(stored.size());
+    m.cost_input.compress_speed_mb_s =
+        raw.size() / 1e6 / (compress_s > 0 ? compress_s : 1e-9);
+    // Scale the measured per-block latency to the 1 TB target.
+    m.cost_input.query_latency_s =
+        query_s * (kTargetGb * 1024.0 * 1024.0 * 1024.0 /
+                   static_cast<double>(raw.size()));
+    systems.push_back(m);
+  }
+
+  std::printf("measured on %s (%zu KB), extrapolated to 1 TB:\n\n",
+              spec->name.c_str(), raw.size() / 1024);
+  std::printf("%-11s %8s %12s %14s\n", "system", "ratio", "comp MB/s",
+              "query s / TB");
+  for (const Measured& m : systems) {
+    std::printf("%-11s %8.2f %12.2f %14.0f\n", m.name.c_str(),
+                m.cost_input.compression_ratio,
+                m.cost_input.compress_speed_mb_s,
+                m.cost_input.query_latency_s);
+  }
+
+  std::printf("\noverall cost ($ per TB, 6 months) as query frequency grows:\n");
+  std::printf("%-11s", "queries:");
+  const std::vector<double> freqs = {0, 10, 100, 1000, 10000, 100000};
+  for (double f : freqs) {
+    std::printf(" %10.0f", f);
+  }
+  std::printf("\n");
+  for (const Measured& m : systems) {
+    std::printf("%-11s", m.name.c_str());
+    for (double f : freqs) {
+      CostParams p;
+      p.query_frequency = f;
+      std::printf(" %10.2f", ComputeCost(m.cost_input, p).total());
+    }
+    std::printf("\n");
+  }
+
+  // Where does the ES-like engine overtake LogGrep?
+  for (const Measured& m : systems) {
+    if (m.name == std::string("es-like")) {
+      const double f =
+          CrossoverFrequency(m.cost_input, systems.back().cost_input);
+      if (f < 0) {
+        std::printf("\nes-like never beats loggrep on this log\n");
+      } else {
+        std::printf("\nes-like becomes cheaper than loggrep beyond %.0f "
+                    "queries per 6 months\n",
+                    f);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,268 @@
+// loggrep_cli: a grep-for-compressed-logs command line tool over real files.
+//
+//   loggrep_cli compress <input.log> <output.lgc>
+//   loggrep_cli grep <block.lgc> "<query command>"
+//   loggrep_cli stat <block.lgc>
+//   loggrep_cli demo <output.lgc>          (writes a synthetic sample block)
+//   loggrep_cli archive-ingest <dir> <input.log>   (append a block)
+//   loggrep_cli archive-grep <dir> "<query>"       (query with block pruning)
+//   loggrep_cli archive-stat <dir>
+//
+// Query commands follow §3: search strings joined by AND / OR / NOT,
+// wildcards ('*', '?') within a single token, e.g.
+//   loggrep_cli grep app.lgc "error AND dst:11.8.* NOT state:503"
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <filesystem>
+
+#include "src/capsule/capsule_box.h"
+#include "src/core/engine.h"
+#include "src/store/log_archive.h"
+#include "src/workload/datasets.h"
+#include "src/workload/loggen.h"
+
+namespace {
+
+using namespace loggrep;
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  return out.good();
+}
+
+int Compress(const std::string& in_path, const std::string& out_path) {
+  std::string raw;
+  if (!ReadFile(in_path, &raw)) {
+    return 1;
+  }
+  LogGrepEngine engine;
+  const std::string box = engine.CompressBlock(raw);
+  if (!WriteFile(out_path, box)) {
+    return 1;
+  }
+  std::printf("%zu -> %zu bytes (ratio %.2fx)\n", raw.size(), box.size(),
+              box.empty() ? 0.0 : static_cast<double>(raw.size()) / box.size());
+  return 0;
+}
+
+int Grep(const std::string& archive_path, const std::string& command) {
+  std::string box;
+  if (!ReadFile(archive_path, &box)) {
+    return 1;
+  }
+  LogGrepEngine engine;
+  auto result = engine.Query(box, command);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& [line, text] : result->hits) {
+    std::printf("%u:%s\n", line + 1, text.c_str());
+  }
+  std::fprintf(stderr, "%zu matching entries (%llu capsules decompressed, "
+               "%llu filtered by stamps)\n",
+               result->hits.size(),
+               static_cast<unsigned long long>(
+                   result->locator.capsules_decompressed),
+               static_cast<unsigned long long>(
+                   result->locator.capsules_stamp_filtered));
+  return 0;
+}
+
+int Stat(const std::string& archive_path) {
+  std::string bytes;
+  if (!ReadFile(archive_path, &bytes)) {
+    return 1;
+  }
+  auto box = CapsuleBox::Open(bytes);
+  if (!box.ok()) {
+    std::fprintf(stderr, "not a capsule box: %s\n",
+                 box.status().ToString().c_str());
+    return 1;
+  }
+  const CapsuleBoxMeta& meta = box->meta();
+  std::printf("lines:      %u\n", meta.total_lines);
+  std::printf("templates:  %zu\n", meta.templates.size());
+  std::printf("capsules:   %zu\n", box->CapsuleCount());
+  std::printf("layout:     %s\n", meta.padded ? "fixed-length (padded)"
+                                              : "variable-length");
+  std::printf("outliers:   %zu lines\n", meta.outlier_line_numbers.size());
+  for (size_t g = 0; g < meta.groups.size() && g < 12; ++g) {
+    const GroupMeta& group = meta.groups[g];
+    int real = 0;
+    int nominal = 0;
+    int whole = 0;
+    for (const VarMeta& v : group.vars) {
+      if (v.is_real()) {
+        ++real;
+      } else if (v.is_nominal()) {
+        ++nominal;
+      } else {
+        ++whole;
+      }
+    }
+    std::printf("  group %-2zu rows=%-8u vars(real/nominal/whole)=%d/%d/%d  %s\n",
+                g, group.row_count, real, nominal, whole,
+                meta.templates[group.template_id].ToString().c_str());
+  }
+  if (meta.groups.size() > 12) {
+    std::printf("  ... and %zu more groups\n", meta.groups.size() - 12);
+  }
+  return 0;
+}
+
+int Demo(const std::string& out_path) {
+  const DatasetSpec* spec = FindDataset("Log G");
+  const std::string raw = LogGenerator(*spec).Generate(1 << 20);
+  const std::string raw_path = out_path + ".raw.log";
+  if (!WriteFile(raw_path, raw)) {
+    return 1;
+  }
+  std::printf("wrote sample log %s\n", raw_path.c_str());
+  const int rc = Compress(raw_path, out_path);
+  if (rc == 0) {
+    std::printf("try: loggrep_cli grep %s \"Operation:ReadChunk and "
+                "SATADiskId:7\"\n",
+                out_path.c_str());
+  }
+  return rc;
+}
+
+Result<LogArchive> OpenOrCreateArchive(const std::string& dir) {
+  if (std::filesystem::exists(dir + "/archive.manifest")) {
+    return LogArchive::Open(dir);
+  }
+  return LogArchive::Create(dir);
+}
+
+int ArchiveIngest(const std::string& dir, const std::string& in_path) {
+  std::string raw;
+  if (!ReadFile(in_path, &raw)) {
+    return 1;
+  }
+  auto archive = OpenOrCreateArchive(dir);
+  if (!archive.ok()) {
+    std::fprintf(stderr, "%s\n", archive.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = archive->AppendBlock(raw); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("block %zu ingested: %zu bytes raw, archive now %llu lines\n",
+              archive->blocks().size() - 1, raw.size(),
+              static_cast<unsigned long long>(archive->total_lines()));
+  return 0;
+}
+
+int ArchiveGrep(const std::string& dir, const std::string& command) {
+  auto archive = LogArchive::Open(dir);
+  if (!archive.ok()) {
+    std::fprintf(stderr, "%s\n", archive.status().ToString().c_str());
+    return 1;
+  }
+  auto result = archive->Query(command);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& [line, text] : result->hits) {
+    std::printf("%u:%s\n", line + 1, text.c_str());
+  }
+  std::fprintf(stderr, "%zu hits; %u blocks pruned, %u queried\n",
+               result->hits.size(), result->blocks_pruned,
+               result->blocks_queried);
+  return 0;
+}
+
+int ArchiveStat(const std::string& dir) {
+  auto archive = LogArchive::Open(dir);
+  if (!archive.ok()) {
+    std::fprintf(stderr, "%s\n", archive.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("blocks: %zu  lines: %llu  raw: %.1f MB  stored: %.1f MB "
+              "(ratio %.2fx)\n",
+              archive->blocks().size(),
+              static_cast<unsigned long long>(archive->total_lines()),
+              archive->total_raw_bytes() / 1e6,
+              archive->total_stored_bytes() / 1e6,
+              archive->total_stored_bytes() > 0
+                  ? static_cast<double>(archive->total_raw_bytes()) /
+                        static_cast<double>(archive->total_stored_bytes())
+                  : 0.0);
+  for (const BlockInfo& b : archive->blocks()) {
+    std::printf("  block %-3u lines [%llu, %llu)  %8llu -> %8llu bytes  "
+                "bloom fill %.2f\n",
+                b.seq, static_cast<unsigned long long>(b.first_line),
+                static_cast<unsigned long long>(b.first_line + b.line_count),
+                static_cast<unsigned long long>(b.raw_bytes),
+                static_cast<unsigned long long>(b.stored_bytes),
+                b.shingles.FillRatio());
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  loggrep_cli compress <input.log> <output.lgc>\n"
+               "  loggrep_cli grep <block.lgc> \"<query>\"\n"
+               "  loggrep_cli stat <block.lgc>\n"
+               "  loggrep_cli demo <output.lgc>\n"
+               "  loggrep_cli archive-ingest <dir> <input.log>\n"
+               "  loggrep_cli archive-grep <dir> \"<query>\"\n"
+               "  loggrep_cli archive-stat <dir>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "compress" && argc == 4) {
+    return Compress(argv[2], argv[3]);
+  }
+  if (cmd == "grep" && argc == 4) {
+    return Grep(argv[2], argv[3]);
+  }
+  if (cmd == "stat" && argc == 3) {
+    return Stat(argv[2]);
+  }
+  if (cmd == "demo" && argc == 3) {
+    return Demo(argv[2]);
+  }
+  if (cmd == "archive-ingest" && argc == 4) {
+    return ArchiveIngest(argv[2], argv[3]);
+  }
+  if (cmd == "archive-grep" && argc == 4) {
+    return ArchiveGrep(argv[2], argv[3]);
+  }
+  if (cmd == "archive-stat" && argc == 3) {
+    return ArchiveStat(argv[2]);
+  }
+  return Usage();
+}

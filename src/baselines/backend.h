@@ -1,0 +1,28 @@
+// Common interface for the comparison systems of §6: gzip+grep, CLP-like,
+// ES-like, plus LogGrep itself via an adapter in the benches. Compress turns
+// a raw log block into a self-contained stored representation; Query runs a
+// command with the same semantics as LogGrep (src/query/line_match.h).
+#ifndef SRC_BASELINES_BACKEND_H_
+#define SRC_BASELINES_BACKEND_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/query/query_cache.h"  // for QueryHits
+
+namespace loggrep {
+
+class LogStoreBackend {
+ public:
+  virtual ~LogStoreBackend() = default;
+
+  virtual const char* name() const = 0;
+  virtual std::string Compress(std::string_view text) const = 0;
+  virtual Result<QueryHits> Query(std::string_view stored,
+                                  std::string_view command) const = 0;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_BASELINES_BACKEND_H_

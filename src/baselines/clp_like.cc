@@ -1,0 +1,432 @@
+#include "src/baselines/clp_like.h"
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "src/capsule/stamp.h"
+#include "src/codec/codec.h"
+#include "src/common/bytes.h"
+#include "src/parser/block_parser.h"
+#include "src/query/line_match.h"
+#include "src/query/locator.h"
+#include "src/query/query_parser.h"
+#include "src/query/wildcard.h"
+
+namespace loggrep {
+namespace {
+
+constexpr uint32_t kMagic = 0x4C504C43u;  // "CLPL"
+
+struct SegmentInfo {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint32_t first_line = 0;
+  uint32_t line_count = 0;
+  // Coarse summary over the segment's non-dictionary variable values and
+  // outlier tokens: keeps index filtering sound (a keyword hiding inside an
+  // unindexed variable cannot be excluded) while staying segment-granular.
+  CapsuleStamp var_stamp;
+};
+
+void WriteSegList(ByteWriter& out, const std::vector<uint32_t>& segs) {
+  out.PutVarint(segs.size());
+  uint32_t prev = 0;
+  for (uint32_t s : segs) {
+    out.PutVarint(s - prev);
+    prev = s;
+  }
+}
+
+Result<std::vector<uint32_t>> ReadSegList(ByteReader& in) {
+  Result<uint64_t> n = in.ReadVarint();
+  if (!n.ok()) {
+    return n.status();
+  }
+  std::vector<uint32_t> segs;
+  segs.reserve(*n);
+  uint32_t prev = 0;
+  for (uint64_t i = 0; i < *n; ++i) {
+    Result<uint64_t> d = in.ReadVarint();
+    if (!d.ok()) {
+      return d.status();
+    }
+    prev += static_cast<uint32_t>(*d);
+    segs.push_back(prev);
+  }
+  return segs;
+}
+
+struct ParsedStore {
+  std::vector<StaticPattern> templates;
+  std::vector<SegmentInfo> segments;
+  // index entries: text -> segments that may contain it
+  std::vector<std::pair<std::string, std::vector<uint32_t>>> token_index;
+  std::vector<std::pair<std::string, std::vector<uint32_t>>> dict_index;
+  std::string_view payload;
+};
+
+Result<ParsedStore> OpenStore(std::string_view stored) {
+  ByteReader in(stored);
+  Result<uint32_t> magic = in.ReadU32();
+  if (!magic.ok()) {
+    return magic.status();
+  }
+  if (*magic != kMagic) {
+    return CorruptData("clp-like: bad magic");
+  }
+  Result<std::string_view> meta_bytes = in.ReadLengthPrefixed();
+  if (!meta_bytes.ok()) {
+    return meta_bytes.status();
+  }
+  ParsedStore store;
+  ByteReader mr(*meta_bytes);
+  Result<uint64_t> nt = mr.ReadVarint();
+  if (!nt.ok()) {
+    return nt.status();
+  }
+  for (uint64_t i = 0; i < *nt; ++i) {
+    Result<StaticPattern> t = StaticPattern::ReadFrom(mr);
+    if (!t.ok()) {
+      return t.status();
+    }
+    store.templates.push_back(std::move(*t));
+  }
+  Result<uint64_t> ns = mr.ReadVarint();
+  if (!ns.ok()) {
+    return ns.status();
+  }
+  for (uint64_t i = 0; i < *ns; ++i) {
+    SegmentInfo seg;
+    Result<uint64_t> v = mr.ReadVarint();
+    if (!v.ok()) {
+      return v.status();
+    }
+    seg.offset = *v;
+    v = mr.ReadVarint();
+    if (!v.ok()) {
+      return v.status();
+    }
+    seg.length = *v;
+    v = mr.ReadVarint();
+    if (!v.ok()) {
+      return v.status();
+    }
+    seg.first_line = static_cast<uint32_t>(*v);
+    v = mr.ReadVarint();
+    if (!v.ok()) {
+      return v.status();
+    }
+    seg.line_count = static_cast<uint32_t>(*v);
+    Result<CapsuleStamp> stamp = CapsuleStamp::ReadFrom(mr);
+    if (!stamp.ok()) {
+      return stamp.status();
+    }
+    seg.var_stamp = *stamp;
+    store.segments.push_back(seg);
+  }
+  for (auto* index : {&store.token_index, &store.dict_index}) {
+    Result<uint64_t> n = mr.ReadVarint();
+    if (!n.ok()) {
+      return n.status();
+    }
+    for (uint64_t i = 0; i < *n; ++i) {
+      Result<std::string_view> text = mr.ReadLengthPrefixed();
+      if (!text.ok()) {
+        return text.status();
+      }
+      Result<std::vector<uint32_t>> segs = ReadSegList(mr);
+      if (!segs.ok()) {
+        return segs.status();
+      }
+      index->emplace_back(std::string(*text), std::move(*segs));
+    }
+  }
+  Result<std::string_view> payload = in.ReadBytes(in.remaining());
+  if (!payload.ok()) {
+    return payload.status();
+  }
+  store.payload = *payload;
+  return store;
+}
+
+// Segment candidates for one keyword: segments whose indexes hit it, plus
+// segments whose variable summary admits it (the keyword may live inside an
+// unindexed variable there).
+std::set<uint32_t> SegsForKeyword(const ParsedStore& store,
+                                  std::string_view keyword) {
+  std::set<uint32_t> segs;
+  for (const auto* index : {&store.token_index, &store.dict_index}) {
+    for (const auto& [text, seg_list] : *index) {
+      if (KeywordHitsToken(keyword, text)) {
+        segs.insert(seg_list.begin(), seg_list.end());
+      }
+    }
+  }
+  for (uint32_t s = 0; s < store.segments.size(); ++s) {
+    if (StampAdmitsKeyword(store.segments[s].var_stamp, keyword)) {
+      segs.insert(s);
+    }
+  }
+  return segs;
+}
+
+std::set<uint32_t> AllSegs(const ParsedStore& store) {
+  std::set<uint32_t> all;
+  for (uint32_t s = 0; s < store.segments.size(); ++s) {
+    all.insert(s);
+  }
+  return all;
+}
+
+std::set<uint32_t> CandidatesForTerm(const ParsedStore& store,
+                                     const SearchTerm& term) {
+  std::set<uint32_t> out = AllSegs(store);
+  for (const std::string& kw : term.keywords) {
+    const std::set<uint32_t> segs = SegsForKeyword(store, kw);
+    std::set<uint32_t> merged;
+    for (uint32_t s : segs) {
+      if (out.count(s) > 0) {
+        merged.insert(s);
+      }
+    }
+    out = std::move(merged);
+  }
+  return out;
+}
+
+std::set<uint32_t> CandidatesForExpr(const ParsedStore& store,
+                                     const QueryExpr& expr) {
+  switch (expr.kind) {
+    case QueryExpr::Kind::kTerm:
+      return CandidatesForTerm(store, expr.term);
+    case QueryExpr::Kind::kAnd: {
+      const std::set<uint32_t> l = CandidatesForExpr(store, *expr.left);
+      const std::set<uint32_t> r = CandidatesForExpr(store, *expr.right);
+      std::set<uint32_t> out;
+      for (uint32_t s : l) {
+        if (r.count(s) > 0) {
+          out.insert(s);
+        }
+      }
+      return out;
+    }
+    case QueryExpr::Kind::kOr: {
+      std::set<uint32_t> out = CandidatesForExpr(store, *expr.left);
+      const std::set<uint32_t> r = CandidatesForExpr(store, *expr.right);
+      out.insert(r.begin(), r.end());
+      return out;
+    }
+    case QueryExpr::Kind::kNot:
+      // The negated side cannot narrow segments.
+      return expr.left != nullptr ? CandidatesForExpr(store, *expr.left)
+                                  : AllSegs(store);
+  }
+  return AllSegs(store);
+}
+
+}  // namespace
+
+std::string ClpLikeBackend::Compress(std::string_view text) const {
+  const std::vector<std::string_view> lines = SplitLines(text);
+  const TemplateMiner miner;
+  const std::vector<StaticPattern> templates = miner.Mine(lines);
+
+  std::unordered_map<size_t, std::vector<uint32_t>> by_shape;
+  for (uint32_t t = 0; t < templates.size(); ++t) {
+    by_shape[templates[t].TokenCount()].push_back(t);
+  }
+
+  // First pass: match every line, collect per-slot distinct counts to decide
+  // dictionary variables.
+  struct EncodedLine {
+    uint32_t template_id = UINT32_MAX;  // UINT32_MAX = outlier
+    std::vector<std::string_view> vars;
+  };
+  std::vector<EncodedLine> encoded(lines.size());
+  std::map<std::pair<uint32_t, uint32_t>, std::set<std::string_view>> slot_values;
+  for (uint32_t ln = 0; ln < lines.size(); ++ln) {
+    const TokenizedLine tokenized = TokenizeLine(lines[ln]);
+    const auto it = by_shape.find(tokenized.tokens.size());
+    if (it == by_shape.end()) {
+      continue;
+    }
+    for (uint32_t t : it->second) {
+      encoded[ln].vars.clear();
+      if (templates[t].Match(tokenized, &encoded[ln].vars)) {
+        encoded[ln].template_id = t;
+        for (uint32_t slot = 0; slot < encoded[ln].vars.size(); ++slot) {
+          auto& vals = slot_values[{t, slot}];
+          if (vals.size() <= options_.dict_var_max_distinct) {
+            vals.insert(encoded[ln].vars[slot]);
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  std::set<std::pair<uint32_t, uint32_t>> dict_slots;
+  for (const auto& [slot, vals] : slot_values) {
+    if (vals.size() <= options_.dict_var_max_distinct) {
+      dict_slots.insert(slot);
+    }
+  }
+
+  // Second pass: emit segments and build the inverted indexes.
+  // CLP uses zstd, whose ratio class our gzip-like codec matches
+  // (the byte-aligned zstd-like codec in this repo trades away the
+  // entropy stage and plays LZ4's role instead).
+  const Codec& codec = GetGzipCodec();
+  std::string payload;
+  std::vector<SegmentInfo> segments;
+  std::map<std::string, std::set<uint32_t>> token_index;
+  std::map<std::string, std::set<uint32_t>> dict_index;
+
+  ByteWriter seg;
+  size_t seg_raw = 0;
+  uint32_t seg_first_line = 0;
+  uint32_t seg_lines = 0;
+  CapsuleStamp seg_stamp;
+  auto flush_segment = [&]() {
+    if (seg_lines == 0) {
+      return;
+    }
+    const std::string compressed = codec.Compress(seg.data());
+    SegmentInfo info;
+    info.offset = payload.size();
+    info.length = compressed.size();
+    info.first_line = seg_first_line;
+    info.line_count = seg_lines;
+    info.var_stamp = seg_stamp;
+    segments.push_back(info);
+    payload += compressed;
+    seg = ByteWriter();
+    seg_raw = 0;
+    seg_lines = 0;
+    seg_stamp = CapsuleStamp{};
+  };
+
+  for (uint32_t ln = 0; ln < lines.size(); ++ln) {
+    if (seg_lines == 0) {
+      seg_first_line = ln;
+    }
+    const EncodedLine& e = encoded[ln];
+    const uint32_t seg_id = static_cast<uint32_t>(segments.size());
+    if (e.template_id == UINT32_MAX) {
+      seg.PutVarint(0);
+      seg.PutLengthPrefixed(lines[ln]);
+      for (std::string_view token : TokenizeKeywords(lines[ln])) {
+        seg_stamp.Absorb(token);
+      }
+    } else {
+      seg.PutVarint(e.template_id + 1);
+      for (uint32_t slot = 0; slot < e.vars.size(); ++slot) {
+        seg.PutLengthPrefixed(e.vars[slot]);
+        if (dict_slots.count({e.template_id, slot}) > 0) {
+          dict_index[std::string(e.vars[slot])].insert(seg_id);
+        } else {
+          seg_stamp.Absorb(e.vars[slot]);
+        }
+      }
+      for (const StaticPattern::Tok& tok : templates[e.template_id].tokens()) {
+        if (!tok.is_var) {
+          token_index[tok.text].insert(seg_id);
+        }
+      }
+    }
+    seg_raw += lines[ln].size() + 1;
+    ++seg_lines;
+    if (seg_raw >= options_.segment_raw_bytes) {
+      flush_segment();
+    }
+  }
+  flush_segment();
+
+  ByteWriter meta;
+  meta.PutVarint(templates.size());
+  for (const StaticPattern& t : templates) {
+    t.WriteTo(meta);
+  }
+  meta.PutVarint(segments.size());
+  for (const SegmentInfo& s : segments) {
+    meta.PutVarint(s.offset);
+    meta.PutVarint(s.length);
+    meta.PutVarint(s.first_line);
+    meta.PutVarint(s.line_count);
+    s.var_stamp.WriteTo(meta);
+  }
+  for (const auto* index : {&token_index, &dict_index}) {
+    meta.PutVarint(index->size());
+    for (const auto& [text, segs] : *index) {
+      meta.PutLengthPrefixed(text);
+      WriteSegList(meta, std::vector<uint32_t>(segs.begin(), segs.end()));
+    }
+  }
+
+  ByteWriter out;
+  out.PutU32(kMagic);
+  out.PutLengthPrefixed(meta.data());
+  out.PutBytes(payload);
+  return std::move(out).Take();
+}
+
+Result<QueryHits> ClpLikeBackend::Query(std::string_view stored,
+                                        std::string_view command) const {
+  Result<std::unique_ptr<QueryExpr>> expr = ParseQuery(command);
+  if (!expr.ok()) {
+    return expr.status();
+  }
+  Result<ParsedStore> store = OpenStore(stored);
+  if (!store.ok()) {
+    return store.status();
+  }
+  const std::set<uint32_t> candidates = CandidatesForExpr(*store, **expr);
+
+  QueryHits hits;
+  std::vector<std::string_view> vars;
+  for (uint32_t s : candidates) {
+    const SegmentInfo& info = store->segments[s];
+    Result<std::string> seg_bytes =
+        GetGzipCodec().Decompress(store->payload.substr(info.offset, info.length));
+    if (!seg_bytes.ok()) {
+      return seg_bytes.status();
+    }
+    ByteReader in(*seg_bytes);
+    for (uint32_t i = 0; i < info.line_count; ++i) {
+      Result<uint64_t> id = in.ReadVarint();
+      if (!id.ok()) {
+        return id.status();
+      }
+      std::string line;
+      if (*id == 0) {
+        Result<std::string_view> raw = in.ReadLengthPrefixed();
+        if (!raw.ok()) {
+          return raw.status();
+        }
+        line = std::string(*raw);
+      } else {
+        const uint32_t t = static_cast<uint32_t>(*id - 1);
+        if (t >= store->templates.size()) {
+          return CorruptData("clp-like: bad template id in segment");
+        }
+        const StaticPattern& tmpl = store->templates[t];
+        vars.clear();
+        for (int v = 0; v < tmpl.VarCount(); ++v) {
+          Result<std::string_view> value = in.ReadLengthPrefixed();
+          if (!value.ok()) {
+            return value.status();
+          }
+          vars.push_back(*value);
+        }
+        line = tmpl.Render(vars);
+      }
+      if (LineMatchesQuery(line, **expr)) {
+        hits.emplace_back(info.first_line + i, std::move(line));
+      }
+    }
+  }
+  return hits;
+}
+
+}  // namespace loggrep

@@ -1,0 +1,37 @@
+// CLP-like baseline (§2.1): templates + variables stored in log-entry order,
+// segments compressed at zstd's ratio class (the gzip-like codec here), and
+// segment-level inverted indexes over static-pattern tokens and dictionary
+// variables.
+//
+// Queries use the indexes to pick candidate segments for the first search
+// string (CLP runs "the obscurest query" and pipes the rest through grep),
+// then decompress, decode and scan those segments — the coarse-granularity
+// filtering the paper improves upon.
+#ifndef SRC_BASELINES_CLP_LIKE_H_
+#define SRC_BASELINES_CLP_LIKE_H_
+
+#include "src/baselines/backend.h"
+
+namespace loggrep {
+
+struct ClpLikeOptions {
+  size_t segment_raw_bytes = 256 * 1024;  // raw bytes per segment
+  size_t dict_var_max_distinct = 64;      // slot becomes a dictionary variable
+};
+
+class ClpLikeBackend : public LogStoreBackend {
+ public:
+  explicit ClpLikeBackend(ClpLikeOptions options = {}) : options_(options) {}
+
+  const char* name() const override { return "clp-like"; }
+  std::string Compress(std::string_view text) const override;
+  Result<QueryHits> Query(std::string_view stored,
+                          std::string_view command) const override;
+
+ private:
+  ClpLikeOptions options_;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_BASELINES_CLP_LIKE_H_

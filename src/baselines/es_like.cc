@@ -1,0 +1,273 @@
+#include "src/baselines/es_like.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "src/codec/codec.h"
+#include "src/common/bytes.h"
+#include "src/common/rowset.h"
+#include "src/parser/template_miner.h"
+#include "src/parser/tokenizer.h"
+#include "src/query/query_parser.h"
+#include "src/query/wildcard.h"
+
+namespace loggrep {
+namespace {
+
+constexpr uint32_t kMagic = 0x4B495345u;  // "ESIK"
+
+struct OpenedIndex {
+  uint32_t total_lines = 0;
+  uint32_t doc_block_lines = 0;
+  // Sorted term dictionary with postings (line ids).
+  std::vector<std::pair<std::string_view, std::vector<uint32_t>>> terms;
+  std::vector<std::pair<uint64_t, uint64_t>> doc_blocks;  // offset, length
+  std::string_view payload;
+};
+
+Result<OpenedIndex> OpenIndex(std::string_view stored) {
+  ByteReader in(stored);
+  Result<uint32_t> magic = in.ReadU32();
+  if (!magic.ok()) {
+    return magic.status();
+  }
+  if (*magic != kMagic) {
+    return CorruptData("es-like: bad magic");
+  }
+  OpenedIndex index;
+  Result<uint64_t> total = in.ReadVarint();
+  if (!total.ok()) {
+    return total.status();
+  }
+  index.total_lines = static_cast<uint32_t>(*total);
+  Result<uint64_t> block_lines = in.ReadVarint();
+  if (!block_lines.ok()) {
+    return block_lines.status();
+  }
+  index.doc_block_lines = static_cast<uint32_t>(*block_lines);
+
+  Result<uint64_t> num_terms = in.ReadVarint();
+  if (!num_terms.ok()) {
+    return num_terms.status();
+  }
+  index.terms.reserve(*num_terms);
+  for (uint64_t i = 0; i < *num_terms; ++i) {
+    Result<std::string_view> term = in.ReadLengthPrefixed();
+    if (!term.ok()) {
+      return term.status();
+    }
+    Result<uint64_t> n = in.ReadVarint();
+    if (!n.ok()) {
+      return n.status();
+    }
+    std::vector<uint32_t> postings;
+    postings.reserve(*n);
+    uint32_t prev = 0;
+    for (uint64_t p = 0; p < *n; ++p) {
+      Result<uint64_t> d = in.ReadVarint();
+      if (!d.ok()) {
+        return d.status();
+      }
+      prev += static_cast<uint32_t>(*d);
+      postings.push_back(prev);
+      // Skip the positional payload (kept on disk for ES fidelity; the
+      // keyword queries here only need doc ids).
+      Result<uint64_t> npos = in.ReadVarint();
+      if (!npos.ok()) {
+        return npos.status();
+      }
+      for (uint64_t q = 0; q < *npos; ++q) {
+        Result<uint64_t> skip = in.ReadVarint();
+        if (!skip.ok()) {
+          return skip.status();
+        }
+      }
+    }
+    index.terms.emplace_back(*term, std::move(postings));
+  }
+  Result<std::string_view> norms = in.ReadLengthPrefixed();
+  if (!norms.ok()) {
+    return norms.status();
+  }
+
+  Result<uint64_t> num_blocks = in.ReadVarint();
+  if (!num_blocks.ok()) {
+    return num_blocks.status();
+  }
+  for (uint64_t i = 0; i < *num_blocks; ++i) {
+    Result<uint64_t> offset = in.ReadVarint();
+    if (!offset.ok()) {
+      return offset.status();
+    }
+    Result<uint64_t> length = in.ReadVarint();
+    if (!length.ok()) {
+      return length.status();
+    }
+    index.doc_blocks.emplace_back(*offset, *length);
+  }
+  Result<std::string_view> payload = in.ReadBytes(in.remaining());
+  if (!payload.ok()) {
+    return payload.status();
+  }
+  index.payload = *payload;
+  return index;
+}
+
+RowSet RowsForKeyword(const OpenedIndex& index, std::string_view keyword) {
+  // ES infix semantics: scan the term dictionary for terms containing the
+  // keyword and union their postings (single sort+dedup at the end).
+  std::vector<uint32_t> rows;
+  for (const auto& [term, postings] : index.terms) {
+    if (!KeywordHitsToken(keyword, term)) {
+      continue;
+    }
+    rows.insert(rows.end(), postings.begin(), postings.end());
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return RowSet::Of(index.total_lines, std::move(rows));
+}
+
+RowSet RowsForExpr(const OpenedIndex& index, const QueryExpr& expr) {
+  switch (expr.kind) {
+    case QueryExpr::Kind::kTerm: {
+      RowSet rows = RowSet::All(index.total_lines);
+      for (const std::string& kw : expr.term.keywords) {
+        rows = rows.IntersectWith(RowsForKeyword(index, kw));
+      }
+      return rows;
+    }
+    case QueryExpr::Kind::kAnd:
+      return RowsForExpr(index, *expr.left)
+          .IntersectWith(RowsForExpr(index, *expr.right));
+    case QueryExpr::Kind::kOr:
+      return RowsForExpr(index, *expr.left)
+          .UnionWith(RowsForExpr(index, *expr.right));
+    case QueryExpr::Kind::kNot: {
+      const RowSet right = RowsForExpr(index, *expr.right).Complement();
+      if (expr.left == nullptr) {
+        return right;
+      }
+      return RowsForExpr(index, *expr.left).IntersectWith(right);
+    }
+  }
+  return RowSet::None(index.total_lines);
+}
+
+}  // namespace
+
+std::string EsLikeBackend::Compress(std::string_view text) const {
+  const std::vector<std::string_view> lines = SplitLines(text);
+
+  // Inverted index over tokens with positional postings (ES text fields
+  // index term positions by default). std::map gives the sorted term
+  // dictionary (and an ingest cost profile resembling index construction).
+  struct Posting {
+    uint32_t line;
+    std::vector<uint32_t> positions;
+  };
+  std::map<std::string_view, std::vector<Posting>> postings;
+  std::string norms;  // one byte per line (ES norms/field-length factor)
+  for (uint32_t ln = 0; ln < lines.size(); ++ln) {
+    uint32_t position = 0;
+    for (std::string_view token : TokenizeKeywords(lines[ln])) {
+      std::vector<Posting>& list = postings[token];
+      if (list.empty() || list.back().line != ln) {
+        list.push_back(Posting{ln, {}});
+      }
+      list.back().positions.push_back(position);
+      ++position;
+    }
+    norms.push_back(static_cast<char>(position < 255 ? position : 255));
+  }
+
+  // Stored source: blocks of lines, lightly compressed (ES stores _source).
+  const Codec& codec = GetZstdCodec();
+  std::string payload;
+  std::vector<std::pair<uint64_t, uint64_t>> doc_blocks;
+  for (size_t start = 0; start < lines.size(); start += options_.doc_block_lines) {
+    std::string block;
+    const size_t end = std::min(lines.size(),
+                                start + static_cast<size_t>(options_.doc_block_lines));
+    for (size_t i = start; i < end; ++i) {
+      block.append(lines[i].data(), lines[i].size());
+      block.push_back('\n');
+    }
+    const std::string compressed = codec.Compress(block);
+    doc_blocks.emplace_back(payload.size(), compressed.size());
+    payload += compressed;
+  }
+
+  ByteWriter out;
+  out.PutU32(kMagic);
+  out.PutVarint(lines.size());
+  out.PutVarint(options_.doc_block_lines);
+  out.PutVarint(postings.size());
+  for (const auto& [term, list] : postings) {
+    out.PutLengthPrefixed(term);
+    out.PutVarint(list.size());
+    uint32_t prev = 0;
+    for (const Posting& p : list) {
+      out.PutVarint(p.line - prev);
+      prev = p.line;
+      out.PutVarint(p.positions.size());
+      uint32_t prev_pos = 0;
+      for (uint32_t pos : p.positions) {
+        out.PutVarint(pos - prev_pos);
+        prev_pos = pos;
+      }
+    }
+  }
+  out.PutLengthPrefixed(norms);
+  out.PutVarint(doc_blocks.size());
+  for (const auto& [offset, length] : doc_blocks) {
+    out.PutVarint(offset);
+    out.PutVarint(length);
+  }
+  out.PutBytes(payload);
+  return std::move(out).Take();
+}
+
+Result<QueryHits> EsLikeBackend::Query(std::string_view stored,
+                                       std::string_view command) const {
+  Result<std::unique_ptr<QueryExpr>> expr = ParseQuery(command);
+  if (!expr.ok()) {
+    return expr.status();
+  }
+  Result<OpenedIndex> index = OpenIndex(stored);
+  if (!index.ok()) {
+    return index.status();
+  }
+  const RowSet rows = RowsForExpr(*index, **expr);
+
+  QueryHits hits;
+  std::string current_block;
+  std::vector<std::string_view> block_lines;
+  uint32_t current_block_id = UINT32_MAX;
+  for (uint32_t row : rows.ToRows()) {
+    const uint32_t block_id = row / index->doc_block_lines;
+    if (block_id != current_block_id) {
+      if (block_id >= index->doc_blocks.size()) {
+        return CorruptData("es-like: row beyond stored blocks");
+      }
+      const auto& [offset, length] = index->doc_blocks[block_id];
+      Result<std::string> block =
+          GetZstdCodec().Decompress(index->payload.substr(offset, length));
+      if (!block.ok()) {
+        return block.status();
+      }
+      current_block = std::move(*block);
+      block_lines = SplitLines(current_block);
+      current_block_id = block_id;
+    }
+    const uint32_t in_block = row % index->doc_block_lines;
+    if (in_block >= block_lines.size()) {
+      return CorruptData("es-like: row beyond block lines");
+    }
+    hits.emplace_back(row, std::string(block_lines[in_block]));
+  }
+  return hits;
+}
+
+}  // namespace loggrep

@@ -1,0 +1,31 @@
+// ElasticSearch-like baseline (§6): a full inverted index (term -> postings)
+// over log tokens plus stored source lines, trading storage and ingest speed
+// for query latency. Keyword containment queries scan the sorted term
+// dictionary (ES wildcard/infix behavior) and union the matching postings.
+#ifndef SRC_BASELINES_ES_LIKE_H_
+#define SRC_BASELINES_ES_LIKE_H_
+
+#include "src/baselines/backend.h"
+
+namespace loggrep {
+
+struct EsLikeOptions {
+  uint32_t doc_block_lines = 1024;  // stored-source compression granularity
+};
+
+class EsLikeBackend : public LogStoreBackend {
+ public:
+  explicit EsLikeBackend(EsLikeOptions options = {}) : options_(options) {}
+
+  const char* name() const override { return "es-like"; }
+  std::string Compress(std::string_view text) const override;
+  Result<QueryHits> Query(std::string_view stored,
+                          std::string_view command) const override;
+
+ private:
+  EsLikeOptions options_;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_BASELINES_ES_LIKE_H_

@@ -1,0 +1,34 @@
+#include "src/baselines/gzip_grep.h"
+
+#include "src/codec/codec.h"
+#include "src/parser/template_miner.h"  // SplitLines
+#include "src/query/line_match.h"
+#include "src/query/query_parser.h"
+
+namespace loggrep {
+
+std::string GzipGrepBackend::Compress(std::string_view text) const {
+  return GetGzipCodec().Compress(text);
+}
+
+Result<QueryHits> GzipGrepBackend::Query(std::string_view stored,
+                                         std::string_view command) const {
+  Result<std::unique_ptr<QueryExpr>> expr = ParseQuery(command);
+  if (!expr.ok()) {
+    return expr.status();
+  }
+  Result<std::string> text = GetGzipCodec().Decompress(stored);
+  if (!text.ok()) {
+    return text.status();
+  }
+  QueryHits hits;
+  const std::vector<std::string_view> lines = SplitLines(*text);
+  for (uint32_t ln = 0; ln < lines.size(); ++ln) {
+    if (LineMatchesQuery(lines[ln], **expr)) {
+      hits.emplace_back(ln, std::string(lines[ln]));
+    }
+  }
+  return hits;
+}
+
+}  // namespace loggrep

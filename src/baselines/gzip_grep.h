@@ -1,0 +1,21 @@
+// gzip+grep baseline (§6): the default near-line scheme in Alibaba Cloud.
+// Compression is a plain whole-block gzip; a query decompresses the entire
+// block and scans every line.
+#ifndef SRC_BASELINES_GZIP_GREP_H_
+#define SRC_BASELINES_GZIP_GREP_H_
+
+#include "src/baselines/backend.h"
+
+namespace loggrep {
+
+class GzipGrepBackend : public LogStoreBackend {
+ public:
+  const char* name() const override { return "gzip+grep"; }
+  std::string Compress(std::string_view text) const override;
+  Result<QueryHits> Query(std::string_view stored,
+                          std::string_view command) const override;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_BASELINES_GZIP_GREP_H_

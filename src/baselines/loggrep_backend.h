@@ -1,0 +1,52 @@
+// Adapter exposing LogGrepEngine through the LogStoreBackend interface, so
+// the benches and examples can sweep all five evaluated systems uniformly
+// (LogGrep, LogGrep-SP, gzip+grep, CLP-like, ES-like).
+#ifndef SRC_BASELINES_LOGGREP_BACKEND_H_
+#define SRC_BASELINES_LOGGREP_BACKEND_H_
+
+#include <memory>
+
+#include "src/baselines/backend.h"
+#include "src/core/engine.h"
+
+namespace loggrep {
+
+class LogGrepBackend : public LogStoreBackend {
+ public:
+  explicit LogGrepBackend(EngineOptions options = {}, const char* name = "loggrep")
+      : engine_(std::make_unique<LogGrepEngine>(options)), name_(name) {}
+
+  // The LogGrep-SP configuration of §2.2 / §6.
+  static LogGrepBackend StaticPatternsOnly() {
+    EngineOptions opts;
+    opts.static_only = true;
+    return LogGrepBackend(opts, "loggrep-sp");
+  }
+
+  const char* name() const override { return name_; }
+
+  std::string Compress(std::string_view text) const override {
+    return engine_->CompressBlock(text);
+  }
+
+  Result<QueryHits> Query(std::string_view stored,
+                          std::string_view command) const override {
+    Result<QueryResult> result = engine_->Query(stored, command);
+    if (!result.ok()) {
+      return result.status();
+    }
+    return std::move(result->hits);
+  }
+
+  LogGrepEngine& engine() const { return *engine_; }
+
+ private:
+  // unique_ptr keeps the backend movable and the Query override const while
+  // the engine mutates its query cache.
+  std::unique_ptr<LogGrepEngine> engine_;
+  const char* name_;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_BASELINES_LOGGREP_BACKEND_H_

@@ -1,0 +1,152 @@
+#include "src/capsule/assembler.h"
+
+#include <string_view>
+
+#include "src/capsule/capsule.h"
+
+namespace loggrep {
+namespace {
+
+std::string FixedWidthDecimal(uint32_t v, uint32_t width) {
+  std::string s = std::to_string(v);
+  if (s.size() < width) {
+    s.insert(0, width - s.size(), '0');
+  }
+  return s;
+}
+
+uint32_t DecimalWidth(uint32_t max_value) {
+  uint32_t w = 1;
+  while (max_value >= 10) {
+    max_value /= 10;
+    ++w;
+  }
+  return w;
+}
+
+}  // namespace
+
+uint32_t Assembler::AddColumn(const std::vector<std::string_view>& column,
+                              uint32_t width) const {
+  if (options_.padded) {
+    return builder_->AddCapsule(BuildPaddedBlob(column, width));
+  }
+  return builder_->AddCapsule(BuildDelimitedBlob(column));
+}
+
+VarMeta Assembler::AssembleWhole(const std::vector<std::string>& values) const {
+  WholeVarMeta wv;
+  std::vector<std::string_view> views(values.begin(), values.end());
+  wv.stamp = CapsuleStamp::Of(views);
+  wv.capsule = AddColumn(views, wv.stamp.PadWidth());
+  VarMeta var;
+  var.repr = std::move(wv);
+  return var;
+}
+
+VarMeta Assembler::AssembleReal(const std::vector<std::string>& values,
+                                RuntimePattern pattern) const {
+  const uint32_t num_subvars = pattern.SubVarCount();
+  std::vector<std::vector<std::string_view>> columns(num_subvars);
+  std::vector<std::string_view> outliers;
+  std::vector<uint32_t> outlier_rows;
+  for (uint32_t row = 0; row < values.size(); ++row) {
+    auto subvalues = pattern.MatchValue(values[row]);
+    if (!subvalues.has_value()) {
+      outlier_rows.push_back(row);
+      outliers.push_back(values[row]);
+      continue;
+    }
+    for (uint32_t sv = 0; sv < num_subvars; ++sv) {
+      columns[sv].push_back((*subvalues)[sv]);
+    }
+  }
+  if (static_cast<double>(outliers.size()) >
+      options_.max_outlier_fraction * static_cast<double>(values.size())) {
+    return AssembleWhole(values);  // the sampled pattern generalizes poorly
+  }
+
+  RealVarMeta rv;
+  rv.pattern = std::move(pattern);
+  for (uint32_t sv = 0; sv < num_subvars; ++sv) {
+    const CapsuleStamp stamp = CapsuleStamp::Of(columns[sv]);
+    rv.subvar_stamps.push_back(stamp);
+    rv.subvar_capsules.push_back(AddColumn(columns[sv], stamp.PadWidth()));
+  }
+  rv.outlier_rows = std::move(outlier_rows);
+  if (!outliers.empty()) {
+    rv.outlier_capsule = builder_->AddCapsule(BuildDelimitedBlob(outliers));
+  }
+  VarMeta var;
+  var.repr = std::move(rv);
+  return var;
+}
+
+VarMeta Assembler::AssembleNominal(const std::vector<std::string>& values) const {
+  const MergeExtractor extractor;
+  NominalExtraction ex = extractor.Extract(values);
+
+  NominalVarMeta nv;
+  // Dictionary sections: per pattern, values padded to the section width.
+  std::string dict_blob;
+  uint32_t dict_pos = 0;
+  for (uint32_t p = 0; p < ex.patterns.size(); ++p) {
+    NominalPatternMeta pm;
+    pm.pattern = std::move(ex.patterns[p]);
+    std::vector<std::string_view> section;
+    while (dict_pos < ex.dictionary.size() && ex.pattern_of_dict[dict_pos] == p) {
+      section.push_back(ex.dictionary[dict_pos]);
+      ++dict_pos;
+    }
+    pm.count = static_cast<uint32_t>(section.size());
+    pm.stamp = CapsuleStamp::Of(section);
+    if (options_.padded) {
+      dict_blob += BuildPaddedBlob(section, pm.stamp.PadWidth());
+    } else {
+      dict_blob += BuildDelimitedBlob(section);
+    }
+    nv.patterns.push_back(std::move(pm));
+  }
+  nv.dict_capsule = builder_->AddCapsule(dict_blob);
+
+  // Index vector: fixed-width decimal entries ("IdxLen" digits).
+  nv.index_width = DecimalWidth(
+      ex.dictionary.empty() ? 0
+                            : static_cast<uint32_t>(ex.dictionary.size() - 1));
+  std::vector<std::string> index_text;
+  index_text.reserve(ex.index.size());
+  for (uint32_t idx : ex.index) {
+    index_text.push_back(FixedWidthDecimal(idx, nv.index_width));
+  }
+  std::vector<std::string_view> index_views(index_text.begin(), index_text.end());
+  nv.index_capsule = AddColumn(index_views, nv.index_width);
+
+  VarMeta var;
+  var.repr = std::move(nv);
+  return var;
+}
+
+VarMeta Assembler::AssembleVariable(const std::vector<std::string>& values) const {
+  if (options_.static_only) {
+    return AssembleWhole(values);
+  }
+  const VectorClass cls = ClassifyVector(values, options_.dup_threshold);
+  if (cls == VectorClass::kReal) {
+    if (!options_.use_real) {
+      return AssembleWhole(values);
+    }
+    const TreeExtractor extractor(options_.tree);
+    RuntimePattern pattern = extractor.Extract(values);
+    if (pattern.SubVarCount() == pattern.elements().size() &&
+        pattern.SubVarCount() <= 1 && pattern.elements().size() <= 1) {
+      return AssembleWhole(values);  // trivial pattern: no runtime structure
+    }
+    return AssembleReal(values, std::move(pattern));
+  }
+  if (!options_.use_nominal) {
+    return AssembleWhole(values);
+  }
+  return AssembleNominal(values);
+}
+
+}  // namespace loggrep

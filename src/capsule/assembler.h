@@ -1,0 +1,58 @@
+// Assembler (§4.2): decomposes one variable vector into Capsules according
+// to its class and the extracted runtime pattern, stamps every Capsule, and
+// registers the payloads with a CapsuleBoxBuilder.
+//
+// Paths:
+//   * real vector  -> tree-expanding extraction -> one Capsule per
+//     sub-variable (+ an outlier Capsule for values the pattern misses);
+//   * nominal vector -> pattern merging -> dictionary + index Capsules;
+//   * whole-vector storage (LogGrep-SP mode, disabled techniques, or vectors
+//     with no usable runtime structure) -> a single stamped Capsule.
+#ifndef SRC_CAPSULE_ASSEMBLER_H_
+#define SRC_CAPSULE_ASSEMBLER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/capsule/capsule_box.h"
+#include "src/pattern/merge_extractor.h"
+#include "src/pattern/tree_extractor.h"
+
+namespace loggrep {
+
+struct AssemblerOptions {
+  bool use_real = true;        // runtime patterns in real vectors (w/o real)
+  bool use_nominal = true;     // runtime patterns in nominal vectors (w/o nomi)
+  bool static_only = false;    // LogGrep-SP: whole-vector Capsules only
+  bool padded = true;          // fixed-length padding (w/o fixed)
+  double dup_threshold = 0.5;  // real/nominal split (§4.1)
+  // A pattern missing more than this fraction of values is abandoned in
+  // favor of whole-vector storage.
+  double max_outlier_fraction = 0.5;
+  TreeExtractorOptions tree;
+};
+
+class Assembler {
+ public:
+  Assembler(const AssemblerOptions& options, CapsuleBoxBuilder* builder)
+      : options_(options), builder_(builder) {}
+
+  VarMeta AssembleVariable(const std::vector<std::string>& values) const;
+
+ private:
+  VarMeta AssembleWhole(const std::vector<std::string>& values) const;
+  VarMeta AssembleReal(const std::vector<std::string>& values,
+                       RuntimePattern pattern) const;
+  VarMeta AssembleNominal(const std::vector<std::string>& values) const;
+
+  // Padded or delimited blob per options_.padded.
+  uint32_t AddColumn(const std::vector<std::string_view>& column,
+                     uint32_t width) const;
+
+  AssemblerOptions options_;
+  CapsuleBoxBuilder* builder_;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_CAPSULE_ASSEMBLER_H_

@@ -1,0 +1,51 @@
+#include "src/capsule/capsule.h"
+
+#include <cassert>
+
+namespace loggrep {
+
+std::string BuildPaddedBlob(const std::vector<std::string_view>& values,
+                            uint32_t width) {
+  std::string blob;
+  blob.reserve(static_cast<size_t>(values.size()) * width);
+  for (std::string_view v : values) {
+    assert(v.size() <= width);
+    blob.append(v.data(), v.size());
+    blob.append(width - v.size(), kPadChar);
+  }
+  return blob;
+}
+
+std::string_view TrimCell(std::string_view cell) {
+  const size_t pad = cell.find(kPadChar);
+  return pad == std::string_view::npos ? cell : cell.substr(0, pad);
+}
+
+std::string BuildDelimitedBlob(const std::vector<std::string_view>& values) {
+  std::string blob;
+  size_t total = 0;
+  for (std::string_view v : values) {
+    total += v.size() + 1;
+  }
+  blob.reserve(total);
+  for (std::string_view v : values) {
+    assert(v.find('\n') == std::string_view::npos);
+    blob.append(v.data(), v.size());
+    blob.push_back('\n');
+  }
+  return blob;
+}
+
+std::vector<std::string_view> SplitDelimitedBlob(std::string_view blob) {
+  std::vector<std::string_view> values;
+  size_t start = 0;
+  for (size_t i = 0; i < blob.size(); ++i) {
+    if (blob[i] == '\n') {
+      values.push_back(blob.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return values;
+}
+
+}  // namespace loggrep

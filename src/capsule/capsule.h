@@ -1,0 +1,45 @@
+// Capsule payload encodings.
+//
+// A Capsule is the unit of independent compression (§4.2). Its decompressed
+// payload is one of two layouts:
+//   * padded fixed-width column: `count` cells of `width` bytes, each value
+//     left-aligned and '\0'-padded (the paper's fixed-length layout, §5.2);
+//   * delimited column: values terminated by '\n' (outlier Capsules, and all
+//     Capsules when fixed-length padding is disabled for the ablation study).
+// Helpers here build and read both layouts; interpretation metadata (widths,
+// section boundaries) lives in the CapsuleBox metadata.
+#ifndef SRC_CAPSULE_CAPSULE_H_
+#define SRC_CAPSULE_CAPSULE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace loggrep {
+
+inline constexpr uint32_t kNoCapsule = 0xFFFFFFFFu;
+inline constexpr char kPadChar = '\0';
+
+// Builds a fixed-width blob; every value must satisfy size() <= width.
+std::string BuildPaddedBlob(const std::vector<std::string_view>& values,
+                            uint32_t width);
+
+// Cell `row` of a padded blob (includes padding bytes).
+inline std::string_view PaddedCell(std::string_view blob, uint32_t width,
+                                   uint32_t row) {
+  return blob.substr(static_cast<size_t>(row) * width, width);
+}
+
+// The value inside a cell: the cell up to its first pad byte.
+std::string_view TrimCell(std::string_view cell);
+
+// '\n'-terminated concatenation.
+std::string BuildDelimitedBlob(const std::vector<std::string_view>& values);
+
+// Splits a delimited blob back into values.
+std::vector<std::string_view> SplitDelimitedBlob(std::string_view blob);
+
+}  // namespace loggrep
+
+#endif  // SRC_CAPSULE_CAPSULE_H_

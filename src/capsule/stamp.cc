@@ -1,0 +1,45 @@
+#include "src/capsule/stamp.h"
+
+#include <algorithm>
+
+namespace loggrep {
+
+CapsuleStamp CapsuleStamp::Of(const std::vector<std::string_view>& values) {
+  CapsuleStamp s;
+  for (std::string_view v : values) {
+    s.Absorb(v);
+  }
+  return s;
+}
+
+void CapsuleStamp::Absorb(std::string_view value) {
+  mask |= TypeMaskOf(value);
+  max_len = std::max(max_len, static_cast<uint32_t>(value.size()));
+}
+
+std::string CapsuleStamp::ToString() const {
+  return "typ=" + std::to_string(static_cast<int>(mask)) +
+         ",len=" + std::to_string(max_len);
+}
+
+void CapsuleStamp::WriteTo(ByteWriter& out) const {
+  out.PutU8(mask);
+  out.PutVarint(max_len);
+}
+
+Result<CapsuleStamp> CapsuleStamp::ReadFrom(ByteReader& in) {
+  Result<uint8_t> mask = in.ReadU8();
+  if (!mask.ok()) {
+    return mask.status();
+  }
+  Result<uint64_t> len = in.ReadVarint();
+  if (!len.ok()) {
+    return len.status();
+  }
+  CapsuleStamp s;
+  s.mask = *mask;
+  s.max_len = static_cast<uint32_t>(*len);
+  return s;
+}
+
+}  // namespace loggrep

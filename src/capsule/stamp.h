@@ -1,0 +1,46 @@
+// Capsule stamps (§4.3): the {six-bit type number, max length} summary
+// attached to every Capsule. A keyword fragment can only occur inside a
+// Capsule if its character classes are a subset of the stamp's mask and it is
+// no longer than the stamp's max length; otherwise the Capsule is filtered
+// without decompression (§5.1).
+#ifndef SRC_CAPSULE_STAMP_H_
+#define SRC_CAPSULE_STAMP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/charclass.h"
+#include "src/common/result.h"
+
+namespace loggrep {
+
+struct CapsuleStamp {
+  TypeMask mask = 0;
+  uint32_t max_len = 0;
+
+  static CapsuleStamp Of(const std::vector<std::string_view>& values);
+  void Absorb(std::string_view value);
+
+  // The §5.1 check: K&C == K and |fragment| <= max_len.
+  bool AdmitsFragment(std::string_view fragment) const {
+    return fragment.size() <= max_len && MaskSubsumes(mask, TypeMaskOf(fragment));
+  }
+
+  // Cell width of the padded layout. All-empty columns still get 1-byte
+  // cells so row count stays derivable from the blob size.
+  uint32_t PadWidth() const { return max_len == 0 ? 1 : max_len; }
+
+  std::string ToString() const;  // e.g. "typ=5,len=4"
+
+  void WriteTo(ByteWriter& out) const;
+  static Result<CapsuleStamp> ReadFrom(ByteReader& in);
+
+  bool operator==(const CapsuleStamp&) const = default;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_CAPSULE_STAMP_H_

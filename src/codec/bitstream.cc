@@ -1,0 +1,50 @@
+#include "src/codec/bitstream.h"
+
+namespace loggrep {
+
+void BitWriter::PutBits(uint32_t value, int nbits) {
+  acc_ |= static_cast<uint64_t>(value & ((nbits == 32) ? 0xFFFFFFFFu : ((1u << nbits) - 1)))
+          << nbits_;
+  nbits_ += nbits;
+  while (nbits_ >= 8) {
+    buf_.push_back(static_cast<char>(acc_ & 0xFF));
+    acc_ >>= 8;
+    nbits_ -= 8;
+  }
+}
+
+std::string BitWriter::Finish() {
+  if (nbits_ > 0) {
+    buf_.push_back(static_cast<char>(acc_ & 0xFF));
+    acc_ = 0;
+    nbits_ = 0;
+  }
+  return std::move(buf_);
+}
+
+int BitReader::ReadBit() {
+  if (byte_pos_ >= data_.size()) {
+    overflow_ = true;
+    return -1;
+  }
+  const int bit = (static_cast<uint8_t>(data_[byte_pos_]) >> bit_pos_) & 1;
+  if (++bit_pos_ == 8) {
+    bit_pos_ = 0;
+    ++byte_pos_;
+  }
+  return bit;
+}
+
+int64_t BitReader::ReadBits(int nbits) {
+  int64_t v = 0;
+  for (int i = 0; i < nbits; ++i) {
+    const int bit = ReadBit();
+    if (bit < 0) {
+      return -1;
+    }
+    v |= static_cast<int64_t>(bit) << i;
+  }
+  return v;
+}
+
+}  // namespace loggrep

@@ -1,0 +1,51 @@
+// Bit-level IO for the entropy-coded codecs.
+//
+// Bits are packed LSB-first within each byte (deflate convention). Huffman
+// codes are written most-significant-bit first, which means the encoder
+// pre-reverses each code so that a decoder reading single bits in stream
+// order reconstructs the canonical code value MSB-first.
+#ifndef SRC_CODEC_BITSTREAM_H_
+#define SRC_CODEC_BITSTREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace loggrep {
+
+class BitWriter {
+ public:
+  // Writes the low `nbits` bits of `value`, LSB first. nbits <= 32.
+  void PutBits(uint32_t value, int nbits);
+  // Pads to a byte boundary with zero bits and returns the buffer.
+  std::string Finish();
+
+  size_t BitCount() const { return buf_.size() * 8 + static_cast<size_t>(nbits_); }
+
+ private:
+  std::string buf_;
+  uint64_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::string_view data) : data_(data) {}
+
+  // Reads one bit; returns 0/1, or -1 past end of stream.
+  int ReadBit();
+  // Reads `nbits` bits LSB-first; returns -1 past end of stream.
+  int64_t ReadBits(int nbits);
+
+  bool Overflowed() const { return overflow_; }
+
+ private:
+  std::string_view data_;
+  size_t byte_pos_ = 0;
+  int bit_pos_ = 0;
+  bool overflow_ = false;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_CODEC_BITSTREAM_H_

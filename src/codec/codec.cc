@@ -1,0 +1,59 @@
+#include "src/codec/codec.h"
+
+#include "src/common/bytes.h"
+
+namespace loggrep {
+
+std::string Codec::Compress(std::string_view raw) const {
+  ByteWriter out;
+  out.PutU8(id());
+  out.PutVarint(raw.size());
+  out.PutBytes(CompressPayload(raw));
+  return out.Take();
+}
+
+Result<std::string> Codec::Decompress(std::string_view blob) const {
+  ByteReader in(blob);
+  Result<uint8_t> got_id = in.ReadU8();
+  if (!got_id.ok()) {
+    return got_id.status();
+  }
+  if (*got_id != id()) {
+    return CorruptData("codec: blob was produced by a different codec");
+  }
+  Result<uint64_t> raw_size = in.ReadVarint();
+  if (!raw_size.ok()) {
+    return raw_size.status();
+  }
+  Result<std::string_view> payload = in.ReadBytes(in.remaining());
+  if (!payload.ok()) {
+    return payload.status();
+  }
+  return DecompressPayload(*payload, static_cast<size_t>(*raw_size));
+}
+
+Result<const Codec*> CodecById(uint8_t id) {
+  switch (id) {
+    case 1:
+      return &GetGzipCodec();
+    case 2:
+      return &GetZstdCodec();
+    case 3:
+      return &GetXzCodec();
+    default:
+      return CorruptData("codec: unknown codec id");
+  }
+}
+
+Result<std::string> DecompressAny(std::string_view blob) {
+  if (blob.empty()) {
+    return CorruptData("codec: empty blob");
+  }
+  Result<const Codec*> codec = CodecById(static_cast<uint8_t>(blob[0]));
+  if (!codec.ok()) {
+    return codec.status();
+  }
+  return (*codec)->Decompress(blob);
+}
+
+}  // namespace loggrep

@@ -1,0 +1,51 @@
+// Compression codec interface and registry.
+//
+// Three codecs are provided, standing in for the tools the paper's systems
+// use (see DESIGN.md "Substitutions"):
+//   GzipCodec()  - LZSS 32 KiB window + canonical Huffman  (gzip stand-in)
+//   ZstdCodec()  - byte-aligned LZ, 64 KiB window, no entropy stage
+//                  (zstd stand-in: fastest, moderate ratio)
+//   XzCodec()    - LZSS 1 MiB window, lazy matching + canonical Huffman
+//                  (LZMA stand-in: slowest, best ratio)
+//
+// Compressed blobs are self-describing: a one-byte codec id and the raw size
+// precede the payload, so DecompressAny() can decode any blob.
+#ifndef SRC_CODEC_CODEC_H_
+#define SRC_CODEC_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+
+namespace loggrep {
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual const char* name() const = 0;
+  virtual uint8_t id() const = 0;
+
+  // Container format: [u8 id][varint raw_size][payload].
+  std::string Compress(std::string_view raw) const;
+  Result<std::string> Decompress(std::string_view blob) const;
+
+ protected:
+  virtual std::string CompressPayload(std::string_view raw) const = 0;
+  virtual Result<std::string> DecompressPayload(std::string_view payload,
+                                                size_t raw_size) const = 0;
+};
+
+const Codec& GetGzipCodec();
+const Codec& GetZstdCodec();
+const Codec& GetXzCodec();
+
+Result<const Codec*> CodecById(uint8_t id);
+
+// Decodes a blob produced by any registered codec.
+Result<std::string> DecompressAny(std::string_view blob);
+
+}  // namespace loggrep
+
+#endif  // SRC_CODEC_CODEC_H_

@@ -1,0 +1,19 @@
+// gzip stand-in: 32 KiB window, moderate chain depth, one-step lazy matching.
+#include "src/codec/lz_huff.h"
+
+namespace loggrep {
+
+const Codec& GetGzipCodec() {
+  static const LzHuffCodec codec("gzip-like", 1,
+                                 LzParams{
+                                     .window_size = 32 * 1024,
+                                     .max_chain = 48,
+                                     .nice_len = 128,
+                                     .max_match = 1u << 15,
+                                     .lazy = true,
+                                     .block_tokens = 1u << 16,
+                                 });
+  return codec;
+}
+
+}  // namespace loggrep

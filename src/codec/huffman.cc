@@ -1,0 +1,172 @@
+#include "src/codec/huffman.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace loggrep {
+namespace {
+
+struct PmItem {
+  uint64_t weight;
+  std::vector<int> symbols;  // original symbols covered by this package
+};
+
+void MergeSorted(const std::vector<PmItem>& a, const std::vector<PmItem>& b,
+                 std::vector<PmItem>& out) {
+  out.clear();
+  out.reserve(a.size() + b.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].weight <= b[j].weight) {
+      out.push_back(a[i++]);
+    } else {
+      out.push_back(b[j++]);
+    }
+  }
+  for (; i < a.size(); ++i) {
+    out.push_back(a[i]);
+  }
+  for (; j < b.size(); ++j) {
+    out.push_back(b[j]);
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> BuildCodeLengths(const std::vector<uint64_t>& freqs,
+                                      int max_bits) {
+  std::vector<uint8_t> lengths(freqs.size(), 0);
+  std::vector<PmItem> items;
+  for (size_t s = 0; s < freqs.size(); ++s) {
+    if (freqs[s] > 0) {
+      items.push_back(PmItem{freqs[s], {static_cast<int>(s)}});
+    }
+  }
+  if (items.empty()) {
+    return lengths;
+  }
+  if (items.size() == 1) {
+    lengths[static_cast<size_t>(items[0].symbols[0])] = 1;
+    return lengths;
+  }
+  assert(items.size() <= (1u << max_bits) && "alphabet too large for max_bits");
+  std::sort(items.begin(), items.end(),
+            [](const PmItem& a, const PmItem& b) { return a.weight < b.weight; });
+
+  // Package-merge: L_1 = items; L_k = merge(items, package(L_{k-1})).
+  std::vector<PmItem> level = items;
+  std::vector<PmItem> packaged;
+  std::vector<PmItem> next;
+  for (int k = 1; k < max_bits; ++k) {
+    packaged.clear();
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      PmItem pkg;
+      pkg.weight = level[i].weight + level[i + 1].weight;
+      pkg.symbols = level[i].symbols;
+      pkg.symbols.insert(pkg.symbols.end(), level[i + 1].symbols.begin(),
+                         level[i + 1].symbols.end());
+      packaged.push_back(std::move(pkg));
+    }
+    MergeSorted(items, packaged, next);
+    level.swap(next);
+  }
+
+  const size_t take = 2 * items.size() - 2;
+  assert(take <= level.size());
+  for (size_t i = 0; i < take; ++i) {
+    for (int s : level[i].symbols) {
+      ++lengths[static_cast<size_t>(s)];
+    }
+  }
+  return lengths;
+}
+
+HuffmanEncoder::HuffmanEncoder(const std::vector<uint8_t>& lengths)
+    : lengths_(lengths), reversed_codes_(lengths.size(), 0) {
+  uint32_t bl_count[kMaxHuffmanBits + 2] = {};
+  for (uint8_t len : lengths_) {
+    assert(len <= kMaxHuffmanBits);
+    ++bl_count[len];
+  }
+  bl_count[0] = 0;
+  uint32_t next_code[kMaxHuffmanBits + 2] = {};
+  uint32_t code = 0;
+  for (int len = 1; len <= kMaxHuffmanBits; ++len) {
+    code = (code + bl_count[len - 1]) << 1;
+    next_code[len] = code;
+  }
+  for (size_t s = 0; s < lengths_.size(); ++s) {
+    const uint8_t len = lengths_[s];
+    if (len == 0) {
+      continue;
+    }
+    uint32_t c = next_code[len]++;
+    // Reverse the code so PutBits (LSB-first) emits it MSB-first on the wire.
+    uint32_t rev = 0;
+    for (int b = 0; b < len; ++b) {
+      rev = (rev << 1) | ((c >> b) & 1);
+    }
+    reversed_codes_[s] = rev;
+  }
+}
+
+void HuffmanEncoder::Encode(BitWriter& out, int symbol) const {
+  assert(symbol >= 0 && static_cast<size_t>(symbol) < lengths_.size());
+  assert(lengths_[static_cast<size_t>(symbol)] > 0 && "encoding symbol with no code");
+  out.PutBits(reversed_codes_[static_cast<size_t>(symbol)],
+              lengths_[static_cast<size_t>(symbol)]);
+}
+
+Result<HuffmanDecoder> HuffmanDecoder::Build(const std::vector<uint8_t>& lengths) {
+  HuffmanDecoder dec;
+  for (uint8_t len : lengths) {
+    if (len > kMaxHuffmanBits) {
+      return CorruptData("huffman: code length exceeds limit");
+    }
+    ++dec.count_[len];
+  }
+  dec.count_[0] = 0;
+  // Kraft inequality check: the code must not be over-subscribed.
+  uint64_t kraft = 0;
+  for (int len = 1; len <= kMaxHuffmanBits; ++len) {
+    kraft += static_cast<uint64_t>(dec.count_[len]) << (kMaxHuffmanBits - len);
+  }
+  if (kraft > (1ull << kMaxHuffmanBits)) {
+    return CorruptData("huffman: over-subscribed code length table");
+  }
+  uint32_t code = 0;
+  uint32_t index = 0;
+  for (int len = 1; len <= kMaxHuffmanBits; ++len) {
+    code = (code + dec.count_[len - 1]) << 1;
+    dec.first_code_[len] = code;
+    dec.first_index_[len] = index;
+    index += dec.count_[len];
+  }
+  dec.symbols_.resize(index);
+  std::vector<uint32_t> fill(kMaxHuffmanBits + 2, 0);
+  for (size_t s = 0; s < lengths.size(); ++s) {
+    const uint8_t len = lengths[s];
+    if (len > 0) {
+      dec.symbols_[dec.first_index_[len] + fill[len]++] = static_cast<int>(s);
+    }
+  }
+  return dec;
+}
+
+int HuffmanDecoder::Decode(BitReader& in) const {
+  uint32_t code = 0;
+  for (int len = 1; len <= kMaxHuffmanBits; ++len) {
+    const int bit = in.ReadBit();
+    if (bit < 0) {
+      return -1;
+    }
+    code = (code << 1) | static_cast<uint32_t>(bit);
+    if (code >= first_code_[len] && code - first_code_[len] < count_[len]) {
+      return symbols_[first_index_[len] + (code - first_code_[len])];
+    }
+  }
+  return -1;
+}
+
+}  // namespace loggrep

@@ -1,0 +1,59 @@
+// Canonical, length-limited Huffman coding.
+//
+// Code lengths are computed with the package-merge algorithm, which yields
+// optimal codes under a maximum-length constraint (15 bits here, as in
+// deflate). Codes are assigned canonically from the lengths, so only the
+// length table needs to be serialized with each compressed block.
+#ifndef SRC_CODEC_HUFFMAN_H_
+#define SRC_CODEC_HUFFMAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/codec/bitstream.h"
+#include "src/common/result.h"
+
+namespace loggrep {
+
+inline constexpr int kMaxHuffmanBits = 15;
+
+// Optimal length-limited code lengths for the given symbol frequencies.
+// Symbols with zero frequency get length 0 (no code). If only one symbol has
+// nonzero frequency it is assigned length 1.
+std::vector<uint8_t> BuildCodeLengths(const std::vector<uint64_t>& freqs,
+                                      int max_bits = kMaxHuffmanBits);
+
+class HuffmanEncoder {
+ public:
+  // `lengths[i]` is the code length of symbol i (0 = unused).
+  explicit HuffmanEncoder(const std::vector<uint8_t>& lengths);
+
+  void Encode(BitWriter& out, int symbol) const;
+  uint8_t LengthOf(int symbol) const { return lengths_[symbol]; }
+
+ private:
+  std::vector<uint8_t> lengths_;
+  std::vector<uint32_t> reversed_codes_;  // bit-reversed for LSB-first packing
+};
+
+class HuffmanDecoder {
+ public:
+  // Builds the canonical decoding tables. Fails on an over-subscribed code.
+  static Result<HuffmanDecoder> Build(const std::vector<uint8_t>& lengths);
+
+  // Decodes one symbol; returns -1 on malformed input / stream end.
+  int Decode(BitReader& in) const;
+
+ private:
+  HuffmanDecoder() = default;
+
+  // first_code_[len], first_index_[len]: canonical decode by walking lengths.
+  uint32_t first_code_[kMaxHuffmanBits + 2] = {};
+  uint32_t first_index_[kMaxHuffmanBits + 2] = {};
+  uint32_t count_[kMaxHuffmanBits + 2] = {};
+  std::vector<int> symbols_;  // symbols ordered by (length, symbol id)
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_CODEC_HUFFMAN_H_

@@ -1,0 +1,353 @@
+#include "src/codec/lz_huff.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/codec/huffman.h"
+#include "src/common/bytes.h"
+
+namespace loggrep {
+namespace {
+
+// Alphabet layout for the literal/length code: 0-255 literals, 256 EOB,
+// 257+ length buckets of (match_len - kMinMatch).
+constexpr int kEob = 256;
+constexpr int kLenCodeBase = 257;
+constexpr int kNumLenCodes = 64;
+constexpr int kLitLenAlphabet = kLenCodeBase + kNumLenCodes;
+// Distance symbol 0 repeats the previous match's distance (LZMA's rep0 idea:
+// structured logs re-reference the same stride constantly); symbols >= 1 are
+// bucket codes shifted by one.
+constexpr int kRepDist = 0;
+constexpr int kDistCodeBase = 1;
+constexpr int kNumDistCodes = 85;  // covers distances beyond a 1 MiB window
+
+constexpr uint8_t kBlockStored = 0;
+constexpr uint8_t kBlockHuffman = 1;
+
+// One LZ token: dist == 0 encodes a literal (len_or_lit is the byte value).
+struct Tok {
+  uint32_t len_or_lit;
+  uint32_t dist;
+};
+
+void WriteNibbleTable(ByteWriter& out, const std::vector<uint8_t>& lengths) {
+  size_t n = lengths.size();
+  while (n > 0 && lengths[n - 1] == 0) {
+    --n;
+  }
+  out.PutVarint(n);
+  for (size_t i = 0; i < n; i += 2) {
+    const uint8_t lo = lengths[i];
+    const uint8_t hi = (i + 1 < n) ? lengths[i + 1] : 0;
+    out.PutU8(static_cast<uint8_t>(lo | (hi << 4)));
+  }
+}
+
+Result<std::vector<uint8_t>> ReadNibbleTable(ByteReader& in, size_t alphabet) {
+  Result<uint64_t> n = in.ReadVarint();
+  if (!n.ok()) {
+    return n.status();
+  }
+  if (*n > alphabet) {
+    return CorruptData("lz_huff: length table larger than alphabet");
+  }
+  std::vector<uint8_t> lengths(alphabet, 0);
+  for (size_t i = 0; i < *n; i += 2) {
+    Result<uint8_t> b = in.ReadU8();
+    if (!b.ok()) {
+      return b.status();
+    }
+    lengths[i] = *b & 0x0F;
+    if (i + 1 < *n) {
+      lengths[i + 1] = *b >> 4;
+    }
+  }
+  return lengths;
+}
+
+// Emits one entropy block covering raw bytes [block_start, block_end).
+void EmitBlock(ByteWriter& out, std::string_view raw, size_t block_start,
+               size_t block_end, const std::vector<Tok>& tokens) {
+  const size_t raw_len = block_end - block_start;
+  std::vector<uint64_t> litlen_freq(kLitLenAlphabet, 0);
+  std::vector<uint64_t> dist_freq(kNumDistCodes, 0);
+  uint64_t extra_bits = 0;
+  uint32_t prev_dist = 0;
+  for (const Tok& t : tokens) {
+    if (t.dist == 0) {
+      ++litlen_freq[t.len_or_lit];
+    } else {
+      const Bucket lb = BucketizeValue(t.len_or_lit - kMinMatch);
+      ++litlen_freq[kLenCodeBase + lb.code];
+      extra_bits += lb.extra_bits;
+      if (t.dist == prev_dist) {
+        ++dist_freq[kRepDist];
+      } else {
+        const Bucket db = BucketizeValue(t.dist - 1);
+        ++dist_freq[kDistCodeBase + db.code];
+        extra_bits += db.extra_bits;
+      }
+      prev_dist = t.dist;
+    }
+  }
+  ++litlen_freq[kEob];
+
+  const std::vector<uint8_t> ll_lengths = BuildCodeLengths(litlen_freq);
+  const std::vector<uint8_t> d_lengths = BuildCodeLengths(dist_freq);
+
+  uint64_t payload_bits = extra_bits;
+  for (int s = 0; s < kLitLenAlphabet; ++s) {
+    payload_bits += litlen_freq[s] * ll_lengths[s];
+  }
+  for (int s = 0; s < kNumDistCodes; ++s) {
+    payload_bits += dist_freq[s] * d_lengths[s];
+  }
+  // Table overhead: ~ (alphabet sizes)/2 bytes. Fall back to a stored block
+  // when entropy coding cannot beat the raw bytes.
+  const uint64_t est_bytes =
+      payload_bits / 8 + (kLitLenAlphabet + kNumDistCodes) / 2 + 16;
+  if (est_bytes >= raw_len) {
+    out.PutU8(kBlockStored);
+    out.PutVarint(raw_len);
+    out.PutBytes(raw.substr(block_start, raw_len));
+    return;
+  }
+
+  out.PutU8(kBlockHuffman);
+  out.PutVarint(raw_len);
+  WriteNibbleTable(out, ll_lengths);
+  WriteNibbleTable(out, d_lengths);
+
+  const HuffmanEncoder ll_enc(ll_lengths);
+  const HuffmanEncoder d_enc(d_lengths);
+  BitWriter bw;
+  prev_dist = 0;
+  for (const Tok& t : tokens) {
+    if (t.dist == 0) {
+      ll_enc.Encode(bw, static_cast<int>(t.len_or_lit));
+    } else {
+      const Bucket lb = BucketizeValue(t.len_or_lit - kMinMatch);
+      ll_enc.Encode(bw, kLenCodeBase + static_cast<int>(lb.code));
+      if (lb.extra_bits > 0) {
+        bw.PutBits(lb.extra_value, static_cast<int>(lb.extra_bits));
+      }
+      if (t.dist == prev_dist) {
+        d_enc.Encode(bw, kRepDist);
+      } else {
+        const Bucket db = BucketizeValue(t.dist - 1);
+        d_enc.Encode(bw, kDistCodeBase + static_cast<int>(db.code));
+        if (db.extra_bits > 0) {
+          bw.PutBits(db.extra_value, static_cast<int>(db.extra_bits));
+        }
+      }
+      prev_dist = t.dist;
+    }
+  }
+  ll_enc.Encode(bw, kEob);
+  const std::string bits = bw.Finish();
+  out.PutLengthPrefixed(bits);
+}
+
+}  // namespace
+
+Bucket BucketizeValue(uint32_t v) {
+  if (v < 4) {
+    return Bucket{v, 0, 0};
+  }
+  uint32_t eb = 1;
+  while (4u * ((1u << (eb + 1)) - 1) <= v) {
+    ++eb;
+  }
+  const uint32_t within = v - 4u * ((1u << eb) - 1);
+  return Bucket{4 + 4 * (eb - 1) + (within >> eb), eb, within & ((1u << eb) - 1)};
+}
+
+void BucketRange(uint32_t code, uint32_t* base, uint32_t* extra_bits) {
+  if (code < 4) {
+    *base = code;
+    *extra_bits = 0;
+    return;
+  }
+  const uint32_t eb = (code - 4) / 4 + 1;
+  const uint32_t idx = (code - 4) % 4;
+  *base = 4u * ((1u << eb) - 1) + (idx << eb);
+  *extra_bits = eb;
+}
+
+std::string LzHuffCodec::CompressPayload(std::string_view raw) const {
+  ByteWriter out;
+  if (raw.empty()) {
+    return out.Take();
+  }
+  HashChainMatcher matcher(raw, params_);
+  std::vector<Tok> tokens;
+  tokens.reserve(params_.block_tokens);
+  size_t block_start = 0;
+  size_t pos = 0;
+  uint32_t rep_dist = 0;  // previous emitted match distance
+  while (pos < raw.size()) {
+    HashChainMatcher::Match best = matcher.FindBest(pos, &rep_dist, 1);
+    bool inserted_pos = false;
+    if (best.len >= kMinMatch && params_.lazy && best.len < params_.nice_len &&
+        pos + 1 < raw.size()) {
+      matcher.Insert(pos);
+      inserted_pos = true;
+      const HashChainMatcher::Match next = matcher.FindBest(pos + 1, &rep_dist, 1);
+      if (next.score > best.score) {
+        tokens.push_back(Tok{static_cast<uint8_t>(raw[pos]), 0});
+        ++pos;
+        if (tokens.size() >= params_.block_tokens) {
+          EmitBlock(out, raw, block_start, pos, tokens);
+          tokens.clear();
+          block_start = pos;
+        }
+        continue;
+      }
+    }
+    if (best.len >= kMinMatch) {
+      tokens.push_back(Tok{best.len, best.dist});
+      rep_dist = best.dist;
+      // Register match-covered positions as future sources. For very long
+      // matches only a prefix is inserted (zlib-style fast path).
+      const size_t insert_end =
+          pos + std::min<size_t>(best.len, best.len > 4096 ? 32 : best.len);
+      for (size_t p = pos + (inserted_pos ? 1 : 0); p < insert_end; ++p) {
+        matcher.Insert(p);
+      }
+      pos += best.len;
+    } else {
+      if (!inserted_pos) {
+        matcher.Insert(pos);
+      }
+      tokens.push_back(Tok{static_cast<uint8_t>(raw[pos]), 0});
+      ++pos;
+    }
+    if (tokens.size() >= params_.block_tokens) {
+      EmitBlock(out, raw, block_start, pos, tokens);
+      tokens.clear();
+      block_start = pos;
+    }
+  }
+  if (!tokens.empty() || block_start < raw.size()) {
+    EmitBlock(out, raw, block_start, raw.size(), tokens);
+  }
+  return out.Take();
+}
+
+Result<std::string> LzHuffCodec::DecompressPayload(std::string_view payload,
+                                                   size_t raw_size) const {
+  std::string out;
+  out.reserve(raw_size);
+  ByteReader in(payload);
+  while (!in.AtEnd()) {
+    Result<uint8_t> type = in.ReadU8();
+    if (!type.ok()) {
+      return type.status();
+    }
+    Result<uint64_t> raw_len = in.ReadVarint();
+    if (!raw_len.ok()) {
+      return raw_len.status();
+    }
+    if (out.size() + *raw_len > raw_size) {
+      return CorruptData("lz_huff: block overflows declared raw size");
+    }
+    if (*type == kBlockStored) {
+      Result<std::string_view> bytes = in.ReadBytes(static_cast<size_t>(*raw_len));
+      if (!bytes.ok()) {
+        return bytes.status();
+      }
+      out.append(bytes->data(), bytes->size());
+      continue;
+    }
+    if (*type != kBlockHuffman) {
+      return CorruptData("lz_huff: unknown block type");
+    }
+    Result<std::vector<uint8_t>> ll_lengths = ReadNibbleTable(in, kLitLenAlphabet);
+    if (!ll_lengths.ok()) {
+      return ll_lengths.status();
+    }
+    Result<std::vector<uint8_t>> d_lengths = ReadNibbleTable(in, kNumDistCodes);
+    if (!d_lengths.ok()) {
+      return d_lengths.status();
+    }
+    Result<HuffmanDecoder> ll_dec = HuffmanDecoder::Build(*ll_lengths);
+    if (!ll_dec.ok()) {
+      return ll_dec.status();
+    }
+    Result<HuffmanDecoder> d_dec = HuffmanDecoder::Build(*d_lengths);
+    if (!d_dec.ok()) {
+      return d_dec.status();
+    }
+    Result<std::string_view> bits = in.ReadLengthPrefixed();
+    if (!bits.ok()) {
+      return bits.status();
+    }
+    BitReader br(*bits);
+    const size_t block_end = out.size() + static_cast<size_t>(*raw_len);
+    uint32_t prev_dist = 0;
+    while (true) {
+      const int sym = ll_dec->Decode(br);
+      if (sym < 0) {
+        return CorruptData("lz_huff: truncated bitstream");
+      }
+      if (sym == kEob) {
+        break;
+      }
+      if (sym < 256) {
+        if (out.size() >= block_end) {
+          return CorruptData("lz_huff: literal overflows block");
+        }
+        out.push_back(static_cast<char>(sym));
+        continue;
+      }
+      uint32_t base = 0;
+      uint32_t eb = 0;
+      BucketRange(static_cast<uint32_t>(sym - kLenCodeBase), &base, &eb);
+      int64_t extra = eb > 0 ? br.ReadBits(static_cast<int>(eb)) : 0;
+      if (extra < 0) {
+        return CorruptData("lz_huff: truncated length extra bits");
+      }
+      const uint32_t len = kMinMatch + base + static_cast<uint32_t>(extra);
+      const int dsym = d_dec->Decode(br);
+      if (dsym < 0) {
+        return CorruptData("lz_huff: truncated distance symbol");
+      }
+      uint32_t dist;
+      if (dsym == kRepDist) {
+        if (prev_dist == 0) {
+          return CorruptData("lz_huff: rep distance with no prior match");
+        }
+        dist = prev_dist;
+      } else {
+        BucketRange(static_cast<uint32_t>(dsym - kDistCodeBase), &base, &eb);
+        extra = eb > 0 ? br.ReadBits(static_cast<int>(eb)) : 0;
+        if (extra < 0) {
+          return CorruptData("lz_huff: truncated distance extra bits");
+        }
+        dist = 1 + base + static_cast<uint32_t>(extra);
+      }
+      prev_dist = dist;
+      if (dist > out.size()) {
+        return CorruptData("lz_huff: match distance before stream start");
+      }
+      if (out.size() + len > block_end) {
+        return CorruptData("lz_huff: match overflows block");
+      }
+      // Byte-wise copy: overlapping matches (dist < len) are well defined.
+      size_t src = out.size() - dist;
+      for (uint32_t i = 0; i < len; ++i) {
+        out.push_back(out[src + i]);
+      }
+    }
+    if (out.size() != block_end) {
+      return CorruptData("lz_huff: block shorter than declared");
+    }
+  }
+  if (out.size() != raw_size) {
+    return CorruptData("lz_huff: payload does not reproduce declared raw size");
+  }
+  return out;
+}
+
+}  // namespace loggrep

@@ -1,0 +1,55 @@
+// Shared LZSS + canonical-Huffman codec implementation.
+//
+// GzipCodec and XzCodec are both instances of LzHuffCodec with different
+// match-finder parameters (window size, chain depth, laziness), mirroring how
+// gzip and LZMA occupy different points on the same speed/ratio curve.
+//
+// Payload format: a sequence of blocks, each
+//   [u8 type: 0 = stored, 1 = huffman][varint raw_len]
+//   stored:  raw_len raw bytes
+//   huffman: [nibble-packed litlen length table][nibble-packed dist table]
+//            [varint bitstream byte count][bitstream]
+// Matches may reference data from earlier blocks (the LZ window is
+// continuous); only the entropy tables reset at block boundaries.
+#ifndef SRC_CODEC_LZ_HUFF_H_
+#define SRC_CODEC_LZ_HUFF_H_
+
+#include "src/codec/codec.h"
+#include "src/codec/lz_matcher.h"
+
+namespace loggrep {
+
+// Bucketization of unbounded non-negative integers into (code, extra bits),
+// deflate-style: codes 0-3 cover v = 0..3 directly; thereafter each group of
+// 4 codes shares an extra-bit width eb, covering 4 * 2^eb values.
+struct Bucket {
+  uint32_t code;
+  uint32_t extra_bits;
+  uint32_t extra_value;
+};
+Bucket BucketizeValue(uint32_t v);
+// Inverse: start value and extra-bit width of a code.
+void BucketRange(uint32_t code, uint32_t* base, uint32_t* extra_bits);
+
+class LzHuffCodec : public Codec {
+ public:
+  LzHuffCodec(const char* name, uint8_t id, const LzParams& params)
+      : name_(name), id_(id), params_(params) {}
+
+  const char* name() const override { return name_; }
+  uint8_t id() const override { return id_; }
+
+ protected:
+  std::string CompressPayload(std::string_view raw) const override;
+  Result<std::string> DecompressPayload(std::string_view payload,
+                                        size_t raw_size) const override;
+
+ private:
+  const char* name_;
+  uint8_t id_;
+  LzParams params_;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_CODEC_LZ_HUFF_H_

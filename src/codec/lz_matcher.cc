@@ -1,0 +1,109 @@
+#include "src/codec/lz_matcher.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace loggrep {
+namespace {
+
+constexpr int kHashBits = 16;
+constexpr uint32_t kHashMul = 2654435761u;
+
+// Approximate bit benefit of a (len, dist) match over emitting literals:
+// each matched byte saves roughly 4 bits of literal entropy; the match costs
+// a length code + distance code (~10 bits) plus distance extra bits
+// (~bit_width(dist) - 3). Only positive-gain matches are worth emitting —
+// this is what keeps a large window from hurting ratio with far references.
+int64_t MatchScore(uint32_t len, uint32_t dist) {
+  const int extra = std::max(0, static_cast<int>(std::bit_width(dist)) - 3);
+  return static_cast<int64_t>(len) * 4 - 10 - extra;
+}
+
+}  // namespace
+
+HashChainMatcher::HashChainMatcher(std::string_view data, const LzParams& params)
+    : data_(data),
+      params_(params),
+      head_(size_t{1} << kHashBits, -1),
+      prev_(data.size(), -1) {}
+
+uint32_t HashChainMatcher::HashAt(size_t pos) const {
+  uint32_t v = 0;
+  std::memcpy(&v, data_.data() + pos, 4);
+  return (v * kHashMul) >> (32 - kHashBits);
+}
+
+HashChainMatcher::Match HashChainMatcher::FindBest(size_t pos,
+                                                   const uint32_t* reps,
+                                                   int nreps) const {
+  Match best;
+  if (pos + kMinMatch > data_.size()) {
+    return best;
+  }
+  const size_t max_len =
+      std::min<size_t>(data_.size() - pos, params_.max_match);
+  const size_t window_floor =
+      pos > params_.window_size ? pos - params_.window_size : 0;
+  const char* base = data_.data();
+  // Repeat-distance candidates: encoded as a short symbol with no extra
+  // bits, so they get a flat cost instead of a distance penalty.
+  for (int r = 0; r < nreps; ++r) {
+    const uint32_t rep_dist = reps[r];
+    if (rep_dist == 0 || pos < rep_dist) {
+      continue;
+    }
+    const size_t c = pos - rep_dist;
+    size_t len = 0;
+    while (len < max_len && base[c + len] == base[pos + len]) {
+      ++len;
+    }
+    const int64_t score = static_cast<int64_t>(len) * 4 - 8 - r;
+    if (len >= kMinMatch && score > best.score) {
+      best.len = static_cast<uint32_t>(len);
+      best.dist = rep_dist;
+      best.score = score;
+    }
+  }
+  int64_t cand = head_[HashAt(pos)];
+  uint32_t chain = params_.max_chain;
+  while (cand >= 0 && static_cast<size_t>(cand) >= window_floor && chain-- > 0) {
+    const size_t c = static_cast<size_t>(cand);
+    // Quick reject: a candidate can only improve the score if it at least
+    // matches one byte past the current best length.
+    if (best.len == 0 || (best.len < max_len && base[c + best.len] == base[pos + best.len])) {
+      size_t len = 0;
+      while (len < max_len && base[c + len] == base[pos + len]) {
+        ++len;
+      }
+      if (len >= kMinMatch) {
+        const uint32_t dist = static_cast<uint32_t>(pos - c);
+        const int64_t score = MatchScore(static_cast<uint32_t>(len), dist);
+        if (score > best.score) {
+          best.len = static_cast<uint32_t>(len);
+          best.dist = dist;
+          best.score = score;
+          if (len >= params_.nice_len) {
+            break;
+          }
+        }
+      }
+    }
+    cand = prev_[c];
+  }
+  if (best.score <= 0) {
+    return Match{};
+  }
+  return best;
+}
+
+void HashChainMatcher::Insert(size_t pos) {
+  if (pos + 4 > data_.size()) {
+    return;
+  }
+  const uint32_t h = HashAt(pos);
+  prev_[pos] = head_[h];
+  head_[h] = static_cast<int64_t>(pos);
+}
+
+}  // namespace loggrep

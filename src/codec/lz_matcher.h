@@ -1,0 +1,57 @@
+// Hash-chain LZ77 match finder shared by the Huffman-entropy codecs.
+//
+// A classic zlib-style structure: a hash of the next 4 bytes selects a chain
+// of earlier positions with the same hash; the finder walks at most
+// `max_chain` links looking for the longest match within `window_size`.
+#ifndef SRC_CODEC_LZ_MATCHER_H_
+#define SRC_CODEC_LZ_MATCHER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace loggrep {
+
+struct LzParams {
+  uint32_t window_size = 32 * 1024;  // how far back matches may reach
+  uint32_t max_chain = 64;           // chain links walked per position
+  uint32_t nice_len = 128;           // stop searching once a match this long is found
+  uint32_t max_match = 1 << 16;      // hard cap on emitted match length
+  bool lazy = true;                  // one-step lazy matching
+  uint32_t block_tokens = 1u << 17;  // tokens per entropy block
+};
+
+inline constexpr uint32_t kMinMatch = 4;
+
+class HashChainMatcher {
+ public:
+  HashChainMatcher(std::string_view data, const LzParams& params);
+
+  struct Match {
+    uint32_t len = 0;  // 0 = no match found
+    uint32_t dist = 0;
+    int64_t score = 0;  // estimated bit gain over emitting literals
+  };
+
+  // Best-scoring match starting at `pos` against earlier inserted positions.
+  // `reps` (up to `nreps` recent match distances, 0 entries ignored) are
+  // tried first and scored favorably: repeating a recent distance costs only
+  // a few bits to encode.
+  Match FindBest(size_t pos, const uint32_t* reps = nullptr, int nreps = 0) const;
+
+  // Registers `pos` as a future match source. Positions must be inserted in
+  // increasing order; every position the cursor passes should be inserted.
+  void Insert(size_t pos);
+
+ private:
+  uint32_t HashAt(size_t pos) const;
+
+  std::string_view data_;
+  LzParams params_;
+  std::vector<int64_t> head_;  // hash -> most recent position (-1 = none)
+  std::vector<int64_t> prev_;  // position -> previous position on its chain
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_CODEC_LZ_MATCHER_H_

@@ -1,0 +1,130 @@
+#include "src/codec/range_coder.h"
+
+namespace loggrep {
+namespace {
+
+constexpr uint32_t kTopValue = 1u << 24;
+constexpr int kProbBits = 11;
+constexpr int kMoveBits = 5;
+
+}  // namespace
+
+void RangeEncoder::ShiftLow() {
+  if (low_ < 0xFF000000ull || low_ > 0xFFFFFFFFull) {
+    const uint8_t carry = static_cast<uint8_t>(low_ >> 32);
+    do {
+      out_.push_back(static_cast<char>(cache_ + carry));
+      cache_ = 0xFF;
+    } while (--cache_size_ != 0);
+    cache_ = static_cast<uint8_t>((low_ >> 24) & 0xFF);
+  }
+  ++cache_size_;
+  low_ = (low_ << 8) & 0xFFFFFFFFull;
+}
+
+void RangeEncoder::EncodeBit(BitProb& prob, int bit) {
+  const uint32_t bound = (range_ >> kProbBits) * prob;
+  if (bit == 0) {
+    range_ = bound;
+    prob += static_cast<BitProb>(((1u << kProbBits) - prob) >> kMoveBits);
+  } else {
+    low_ += bound;
+    range_ -= bound;
+    prob -= static_cast<BitProb>(prob >> kMoveBits);
+  }
+  while (range_ < kTopValue) {
+    range_ <<= 8;
+    ShiftLow();
+  }
+}
+
+void RangeEncoder::EncodeDirectBits(uint32_t value, int nbits) {
+  for (int i = nbits - 1; i >= 0; --i) {
+    range_ >>= 1;
+    if ((value >> i) & 1u) {
+      low_ += range_;
+    }
+    while (range_ < kTopValue) {
+      range_ <<= 8;
+      ShiftLow();
+    }
+  }
+}
+
+std::string RangeEncoder::Finish() {
+  for (int i = 0; i < 5; ++i) {
+    ShiftLow();
+  }
+  return std::move(out_);
+}
+
+RangeDecoder::RangeDecoder(std::string_view in) : in_(in) {
+  NextByte();  // the encoder's initial zero cache byte
+  for (int i = 0; i < 4; ++i) {
+    code_ = (code_ << 8) | NextByte();
+  }
+}
+
+uint8_t RangeDecoder::NextByte() {
+  if (pos_ >= in_.size()) {
+    overran_ = true;
+    return 0;
+  }
+  return static_cast<uint8_t>(in_[pos_++]);
+}
+
+void RangeDecoder::Normalize() {
+  while (range_ < kTopValue) {
+    range_ <<= 8;
+    code_ = (code_ << 8) | NextByte();
+  }
+}
+
+int RangeDecoder::DecodeBit(BitProb& prob) {
+  const uint32_t bound = (range_ >> kProbBits) * prob;
+  int bit;
+  if (code_ < bound) {
+    range_ = bound;
+    prob += static_cast<BitProb>(((1u << kProbBits) - prob) >> kMoveBits);
+    bit = 0;
+  } else {
+    code_ -= bound;
+    range_ -= bound;
+    prob -= static_cast<BitProb>(prob >> kMoveBits);
+    bit = 1;
+  }
+  Normalize();
+  return bit;
+}
+
+uint32_t RangeDecoder::DecodeDirectBits(int nbits) {
+  uint32_t result = 0;
+  for (int i = 0; i < nbits; ++i) {
+    range_ >>= 1;
+    code_ -= range_;
+    const uint32_t t = 0u - (code_ >> 31);  // all-ones when code_ underflowed
+    code_ += range_ & t;
+    result = (result << 1) + (t + 1);
+    Normalize();
+  }
+  return result;
+}
+
+void EncodeBitTree(RangeEncoder& rc, BitProb* probs, int nbits, uint32_t symbol) {
+  uint32_t m = 1;
+  for (int i = nbits - 1; i >= 0; --i) {
+    const int bit = static_cast<int>((symbol >> i) & 1u);
+    rc.EncodeBit(probs[m], bit);
+    m = (m << 1) | static_cast<uint32_t>(bit);
+  }
+}
+
+uint32_t DecodeBitTree(RangeDecoder& rc, BitProb* probs, int nbits) {
+  uint32_t m = 1;
+  for (int i = 0; i < nbits; ++i) {
+    m = (m << 1) | static_cast<uint32_t>(rc.DecodeBit(probs[m]));
+  }
+  return m - (1u << nbits);
+}
+
+}  // namespace loggrep

@@ -1,0 +1,64 @@
+// Binary range coder with adaptive probability models (LZMA-style).
+//
+// Probabilities are 11-bit adaptive counters updated with shift-by-5 decay.
+// The encoder uses the classic carry-propagating low/cache scheme; the
+// decoder mirrors it with a 32-bit code register. Bit-tree helpers code
+// fixed-width symbols MSB-first through a tree of bit models.
+#ifndef SRC_CODEC_RANGE_CODER_H_
+#define SRC_CODEC_RANGE_CODER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace loggrep {
+
+using BitProb = uint16_t;
+inline constexpr BitProb kProbInit = 1024;  // p(bit=0) = 0.5 in 11-bit scale
+
+class RangeEncoder {
+ public:
+  void EncodeBit(BitProb& prob, int bit);
+  // `nbits` uniform bits, MSB first.
+  void EncodeDirectBits(uint32_t value, int nbits);
+  std::string Finish();
+
+ private:
+  void ShiftLow();
+
+  std::string out_;
+  uint64_t low_ = 0;
+  uint32_t range_ = 0xFFFFFFFFu;
+  uint8_t cache_ = 0;
+  uint64_t cache_size_ = 1;
+};
+
+class RangeDecoder {
+ public:
+  explicit RangeDecoder(std::string_view in);
+
+  int DecodeBit(BitProb& prob);
+  uint32_t DecodeDirectBits(int nbits);
+
+  // True when the decoder has consumed bytes past the input (corrupt data).
+  bool Overran() const { return overran_; }
+
+ private:
+  uint8_t NextByte();
+  void Normalize();
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  uint32_t range_ = 0xFFFFFFFFu;
+  uint32_t code_ = 0;
+  bool overran_ = false;
+};
+
+// Bit-tree coding of `nbits`-wide symbols; `probs` must hold 1 << nbits
+// entries initialized to kProbInit.
+void EncodeBitTree(RangeEncoder& rc, BitProb* probs, int nbits, uint32_t symbol);
+uint32_t DecodeBitTree(RangeDecoder& rc, BitProb* probs, int nbits);
+
+}  // namespace loggrep
+
+#endif  // SRC_CODEC_RANGE_CODER_H_

@@ -1,0 +1,180 @@
+// zstd stand-in: byte-aligned LZ with a 64 KiB window and no entropy stage
+// (LZ4-style sequence format). Fastest codec in the repository, used by the
+// CLP-like baseline as its second-stage compressor.
+//
+// Payload format (sequence stream):
+//   token byte = (literal_len << 4) | match_len_code
+//   literal_len == 15  -> 255-continuation extension bytes follow
+//   literal bytes
+//   [u16 LE offset][match extension bytes if match_len_code == 15]
+// The final sequence carries literals only: its offset is absent and its
+// match nibble is 0; it is recognized by the input ending after the literals.
+#include <cstring>
+#include <vector>
+
+#include "src/codec/codec.h"
+
+namespace loggrep {
+namespace {
+
+constexpr uint32_t kMinMatchLz4 = 4;
+constexpr uint32_t kWindow = 65535;
+constexpr int kHashBits = 16;
+
+uint32_t Hash4(const char* p) {
+  uint32_t v = 0;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void PutExtension(std::string& out, uint32_t v) {
+  while (v >= 255) {
+    out.push_back(static_cast<char>(0xFF));
+    v -= 255;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+// Appends one sequence. A zero `match_len` marks the terminal literals-only
+// sequence (no offset is written).
+void PutSequence(std::string& out, std::string_view literals, uint32_t match_len,
+                 uint32_t offset) {
+  const uint32_t lit_len = static_cast<uint32_t>(literals.size());
+  const uint32_t lit_nib = lit_len < 15 ? lit_len : 15;
+  uint32_t match_nib = 0;
+  if (match_len > 0) {
+    const uint32_t mcode = match_len - kMinMatchLz4;
+    match_nib = mcode < 15 ? mcode : 15;
+  }
+  out.push_back(static_cast<char>((lit_nib << 4) | match_nib));
+  if (lit_nib == 15) {
+    PutExtension(out, lit_len - 15);
+  }
+  out.append(literals.data(), literals.size());
+  if (match_len > 0) {
+    out.push_back(static_cast<char>(offset & 0xFF));
+    out.push_back(static_cast<char>((offset >> 8) & 0xFF));
+    if (match_nib == 15) {
+      PutExtension(out, match_len - kMinMatchLz4 - 15);
+    }
+  }
+}
+
+class Lz4LikeCodec : public Codec {
+ public:
+  const char* name() const override { return "zstd-like"; }
+  uint8_t id() const override { return 2; }
+
+ protected:
+  std::string CompressPayload(std::string_view raw) const override {
+    std::string out;
+    out.reserve(raw.size() / 2 + 16);
+    if (raw.empty()) {
+      return out;
+    }
+    std::vector<int64_t> table(size_t{1} << kHashBits, -1);
+    const char* base = raw.data();
+    size_t anchor = 0;  // start of pending literals
+    size_t pos = 0;
+    const size_t limit = raw.size() >= kMinMatchLz4 ? raw.size() - kMinMatchLz4 : 0;
+    while (pos < limit) {
+      const uint32_t h = Hash4(base + pos);
+      const int64_t cand = table[h];
+      table[h] = static_cast<int64_t>(pos);
+      if (cand >= 0 && pos - static_cast<size_t>(cand) <= kWindow &&
+          std::memcmp(base + cand, base + pos, kMinMatchLz4) == 0) {
+        size_t len = kMinMatchLz4;
+        const size_t max_len = raw.size() - pos;
+        while (len < max_len && base[cand + len] == base[pos + len]) {
+          ++len;
+        }
+        PutSequence(out, raw.substr(anchor, pos - anchor),
+                    static_cast<uint32_t>(len),
+                    static_cast<uint32_t>(pos - static_cast<size_t>(cand)));
+        // Seed the table inside the match so runs keep finding sources.
+        const size_t step = len > 64 ? 13 : 3;
+        for (size_t p = pos + 1; p + kMinMatchLz4 <= raw.size() && p < pos + len;
+             p += step) {
+          table[Hash4(base + p)] = static_cast<int64_t>(p);
+        }
+        pos += len;
+        anchor = pos;
+      } else {
+        ++pos;
+      }
+    }
+    PutSequence(out, raw.substr(anchor), 0, 0);
+    return out;
+  }
+
+  Result<std::string> DecompressPayload(std::string_view payload,
+                                        size_t raw_size) const override {
+    std::string out;
+    out.reserve(raw_size);
+    size_t pos = 0;
+    auto read_extension = [&](uint32_t& v) -> bool {
+      while (true) {
+        if (pos >= payload.size()) {
+          return false;
+        }
+        const uint8_t b = static_cast<uint8_t>(payload[pos++]);
+        v += b;
+        if (b != 0xFF) {
+          return true;
+        }
+      }
+    };
+    while (pos < payload.size()) {
+      const uint8_t token = static_cast<uint8_t>(payload[pos++]);
+      uint32_t lit_len = token >> 4;
+      if (lit_len == 15 && !read_extension(lit_len)) {
+        return CorruptData("zstd-like: truncated literal length");
+      }
+      if (pos + lit_len > payload.size()) {
+        return CorruptData("zstd-like: truncated literals");
+      }
+      if (out.size() + lit_len > raw_size) {
+        return CorruptData("zstd-like: literals overflow raw size");
+      }
+      out.append(payload.data() + pos, lit_len);
+      pos += lit_len;
+      if (pos >= payload.size()) {
+        break;  // terminal literals-only sequence
+      }
+      if (pos + 2 > payload.size()) {
+        return CorruptData("zstd-like: truncated offset");
+      }
+      const uint32_t offset = static_cast<uint8_t>(payload[pos]) |
+                              (static_cast<uint32_t>(static_cast<uint8_t>(payload[pos + 1])) << 8);
+      pos += 2;
+      uint32_t match_len = (token & 0x0F);
+      if (match_len == 15 && !read_extension(match_len)) {
+        return CorruptData("zstd-like: truncated match length");
+      }
+      match_len += kMinMatchLz4;
+      if (offset == 0 || offset > out.size()) {
+        return CorruptData("zstd-like: bad match offset");
+      }
+      if (out.size() + match_len > raw_size) {
+        return CorruptData("zstd-like: match overflows raw size");
+      }
+      size_t src = out.size() - offset;
+      for (uint32_t i = 0; i < match_len; ++i) {
+        out.push_back(out[src + i]);
+      }
+    }
+    if (out.size() != raw_size) {
+      return CorruptData("zstd-like: payload does not reproduce declared raw size");
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+const Codec& GetZstdCodec() {
+  static const Lz4LikeCodec codec;
+  return codec;
+}
+
+}  // namespace loggrep

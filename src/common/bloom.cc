@@ -1,0 +1,73 @@
+#include "src/common/bloom.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/common/hash.h"
+
+namespace loggrep {
+
+BloomFilter::BloomFilter(uint64_t expected_items, uint32_t bits_per_item) {
+  const uint64_t bits = std::max<uint64_t>(64, expected_items * bits_per_item);
+  bits_.assign((bits + 7) / 8, '\0');
+  num_hashes_ = std::max<uint32_t>(1, static_cast<uint32_t>(bits_per_item * 0.69));
+}
+
+void BloomFilter::Add(std::string_view item) {
+  const uint64_t h1 = Fnv1a64(item);
+  const uint64_t h2 = Fnv1a64(item, 0x9E3779B97F4A7C15ULL) | 1;
+  const uint64_t nbits = bits_.size() * 8;
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    const uint64_t bit = (h1 + i * h2) % nbits;
+    bits_[bit / 8] |= static_cast<char>(1u << (bit % 8));
+  }
+}
+
+bool BloomFilter::MayContain(std::string_view item) const {
+  if (bits_.empty()) {
+    return true;  // an unsized filter filters nothing
+  }
+  const uint64_t h1 = Fnv1a64(item);
+  const uint64_t h2 = Fnv1a64(item, 0x9E3779B97F4A7C15ULL) | 1;
+  const uint64_t nbits = bits_.size() * 8;
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    const uint64_t bit = (h1 + i * h2) % nbits;
+    if ((bits_[bit / 8] & static_cast<char>(1u << (bit % 8))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double BloomFilter::FillRatio() const {
+  if (bits_.empty()) {
+    return 0.0;
+  }
+  uint64_t set = 0;
+  for (char c : bits_) {
+    set += std::popcount(static_cast<unsigned>(static_cast<uint8_t>(c)));
+  }
+  return static_cast<double>(set) / static_cast<double>(bits_.size() * 8);
+}
+
+void BloomFilter::WriteTo(ByteWriter& out) const {
+  out.PutVarint(num_hashes_);
+  out.PutLengthPrefixed(bits_);
+}
+
+Result<BloomFilter> BloomFilter::ReadFrom(ByteReader& in) {
+  Result<uint64_t> k = in.ReadVarint();
+  if (!k.ok()) {
+    return k.status();
+  }
+  Result<std::string_view> bits = in.ReadLengthPrefixed();
+  if (!bits.ok()) {
+    return bits.status();
+  }
+  BloomFilter f;
+  f.num_hashes_ = static_cast<uint32_t>(*k);
+  f.bits_ = std::string(*bits);
+  return f;
+}
+
+}  // namespace loggrep

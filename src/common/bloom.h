@@ -1,0 +1,43 @@
+// Serializable Bloom filter (double hashing over FNV-1a), used by the
+// archive layer to prune whole blocks per keyword before any CapsuleBox is
+// opened.
+#ifndef SRC_COMMON_BLOOM_H_
+#define SRC_COMMON_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+
+namespace loggrep {
+
+class BloomFilter {
+ public:
+  BloomFilter() = default;
+  // `expected_items` sized at `bits_per_item` bits each; hash count derived
+  // from the classic optimum k = ln2 * bits_per_item.
+  BloomFilter(uint64_t expected_items, uint32_t bits_per_item);
+
+  void Add(std::string_view item);
+  // False when the item is definitely absent.
+  bool MayContain(std::string_view item) const;
+
+  bool empty() const { return bits_.empty(); }
+  size_t SizeBytes() const { return bits_.size(); }
+  // Fraction of set bits (diagnostic; ~0.5 means saturated).
+  double FillRatio() const;
+
+  void WriteTo(ByteWriter& out) const;
+  static Result<BloomFilter> ReadFrom(ByteReader& in);
+
+ private:
+  uint32_t num_hashes_ = 0;
+  std::string bits_;  // bit array, 8 bits per char
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_COMMON_BLOOM_H_

@@ -1,0 +1,100 @@
+#include "src/common/bytes.h"
+
+namespace loggrep {
+
+void ByteWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void ByteWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<char>(v));
+}
+
+void ByteWriter::PutLengthPrefixed(std::string_view s) {
+  PutVarint(s.size());
+  PutBytes(s);
+}
+
+Result<uint8_t> ByteReader::ReadU8() {
+  if (remaining() < 1) {
+    return CorruptData("ByteReader: truncated u8");
+  }
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint32_t> ByteReader::ReadU32() {
+  if (remaining() < 4) {
+    return CorruptData("ByteReader: truncated u32");
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::ReadU64() {
+  if (remaining() < 8) {
+    return CorruptData("ByteReader: truncated u64");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<uint64_t> ByteReader::ReadVarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= data_.size()) {
+      return CorruptData("ByteReader: truncated varint");
+    }
+    const uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    if (shift >= 63 && byte > 1) {
+      return CorruptData("ByteReader: varint overflow");
+    }
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      return v;
+    }
+    shift += 7;
+  }
+}
+
+Result<std::string_view> ByteReader::ReadBytes(size_t n) {
+  if (remaining() < n) {
+    return CorruptData("ByteReader: truncated byte run");
+  }
+  std::string_view out = data_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Result<std::string_view> ByteReader::ReadLengthPrefixed() {
+  Result<uint64_t> len = ReadVarint();
+  if (!len.ok()) {
+    return len.status();
+  }
+  if (*len > remaining()) {
+    return CorruptData("ByteReader: length prefix exceeds buffer");
+  }
+  return ReadBytes(static_cast<size_t>(*len));
+}
+
+}  // namespace loggrep

@@ -1,0 +1,58 @@
+// Byte-buffer writer/reader with LEB128 varints, used by every serialized
+// format in the repository (CapsuleBox, codec containers, baseline stores).
+#ifndef SRC_COMMON_BYTES_H_
+#define SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+
+namespace loggrep {
+
+// Appends primitives to an owned std::string. Writes cannot fail.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);            // fixed-width little endian
+  void PutU64(uint64_t v);            // fixed-width little endian
+  void PutVarint(uint64_t v);         // LEB128
+  void PutBytes(std::string_view s) { buf_.append(s.data(), s.size()); }
+  // Varint length prefix followed by raw bytes.
+  void PutLengthPrefixed(std::string_view s);
+
+  size_t size() const { return buf_.size(); }
+  const std::string& data() const& { return buf_; }
+  std::string&& Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+// Bounds-checked sequential reader over a borrowed byte span.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<uint64_t> ReadVarint();
+  // Returns a view into the underlying buffer (no copy).
+  Result<std::string_view> ReadBytes(size_t n);
+  Result<std::string_view> ReadLengthPrefixed();
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t position() const { return pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_COMMON_BYTES_H_

@@ -1,0 +1,63 @@
+#include "src/common/charclass.h"
+
+#include <array>
+#include <bit>
+
+namespace loggrep {
+namespace {
+
+constexpr std::array<TypeMask, 256> BuildTable() {
+  std::array<TypeMask, 256> table{};
+  for (int i = 0; i < 256; ++i) {
+    const char c = static_cast<char>(i);
+    if (c >= '0' && c <= '9') {
+      table[i] = kMaskDigit;
+    } else if (c >= 'a' && c <= 'f') {
+      table[i] = kMaskHexLower;
+    } else if (c >= 'A' && c <= 'F') {
+      table[i] = kMaskHexUpper;
+    } else if (c >= 'g' && c <= 'z') {
+      table[i] = kMaskAlphaLower;
+    } else if (c >= 'G' && c <= 'Z') {
+      table[i] = kMaskAlphaUpper;
+    } else {
+      table[i] = kMaskOther;
+    }
+  }
+  return table;
+}
+
+constexpr std::array<TypeMask, 256> kTable = BuildTable();
+
+}  // namespace
+
+TypeMask CharClassOf(char c) { return kTable[static_cast<unsigned char>(c)]; }
+
+TypeMask TypeMaskOf(std::string_view s) {
+  TypeMask mask = 0;
+  for (char c : s) {
+    mask |= kTable[static_cast<unsigned char>(c)];
+    if (mask == kMaskAll) {
+      break;
+    }
+  }
+  return mask;
+}
+
+int MaskTypeCount(TypeMask mask) { return std::popcount(static_cast<unsigned>(mask)); }
+
+std::string MaskToString(TypeMask mask) {
+  static constexpr const char* kNames[6] = {"0-9", "a-f", "A-F", "g-z", "G-Z", "other"};
+  std::string out;
+  for (int i = 0; i < 6; ++i) {
+    if (mask & (1u << i)) {
+      if (!out.empty()) {
+        out += '|';
+      }
+      out += kNames[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace loggrep

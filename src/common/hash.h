@@ -1,0 +1,21 @@
+// FNV-1a hashing for dictionary/dedup maps and the query cache.
+#ifndef SRC_COMMON_HASH_H_
+#define SRC_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace loggrep {
+
+inline uint64_t Fnv1a64(std::string_view data, uint64_t seed = 0xCBF29CE484222325ULL) {
+  uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace loggrep
+
+#endif  // SRC_COMMON_HASH_H_

@@ -1,0 +1,117 @@
+// Lightweight Status / Result types for error propagation without exceptions.
+//
+// The library is built exception-free (Google style): fallible operations
+// return Status or Result<T>. Both carry a StatusCode and a human-readable
+// message suitable for surfacing to a CLI user.
+#ifndef SRC_COMMON_RESULT_H_
+#define SRC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace loggrep {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed (e.g. bad query syntax)
+  kCorruptData,       // serialized CapsuleBox / compressed stream failed validation
+  kNotFound,          // requested entity (group, capsule, file) absent
+  kInternal,          // invariant violation inside the library
+  kUnimplemented,
+};
+
+// Short stable name for a code ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "use OkStatus() for success");
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "CORRUPT_DATA: truncated capsule directory".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status CorruptData(std::string msg) {
+  return Status(StatusCode::kCorruptData, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status Unimplemented(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+
+// Result<T>: either a value or an error Status. Accessors assert on misuse.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok() && "Result from OK status has no value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  Status status() const {
+    if (ok()) {
+      return OkStatus();
+    }
+    return std::get<Status>(data_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+// Propagates a non-OK status out of the enclosing function.
+#define LOGGREP_RETURN_IF_ERROR(expr)          \
+  do {                                         \
+    ::loggrep::Status _st = (expr);            \
+    if (!_st.ok()) {                           \
+      return _st;                              \
+    }                                          \
+  } while (0)
+
+}  // namespace loggrep
+
+#endif  // SRC_COMMON_RESULT_H_

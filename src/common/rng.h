@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation (SplitMix64).
+//
+// Every stochastic choice in the library — sampling 5% of a block, picking
+// values for delimiter probing, generating synthetic workloads — goes through
+// an explicitly seeded Rng so runs are reproducible.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace loggrep {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t NextU64() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound); bound must be nonzero.
+  uint64_t NextBelow(uint64_t bound) { return NextU64() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,95 @@
+#include "src/common/rowset.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace loggrep {
+
+RowSet RowSet::Of(uint32_t universe, std::vector<uint32_t> rows) {
+  RowSet s(universe, false);
+  assert(std::is_sorted(rows.begin(), rows.end()));
+  assert(rows.empty() || rows.back() < universe);
+  if (rows.size() == universe) {
+    s.all_ = true;
+  } else {
+    s.rows_ = std::move(rows);
+  }
+  return s;
+}
+
+std::vector<uint32_t> RowSet::ToRows() const {
+  if (!all_) {
+    return rows_;
+  }
+  std::vector<uint32_t> out(universe_);
+  for (uint32_t i = 0; i < universe_; ++i) {
+    out[i] = i;
+  }
+  return out;
+}
+
+bool RowSet::Contains(uint32_t row) const {
+  if (row >= universe_) {
+    return false;
+  }
+  if (all_) {
+    return true;
+  }
+  return std::binary_search(rows_.begin(), rows_.end(), row);
+}
+
+RowSet RowSet::IntersectWith(const RowSet& other) const {
+  assert(universe_ == other.universe_);
+  if (all_) {
+    return other;
+  }
+  if (other.all_) {
+    return *this;
+  }
+  std::vector<uint32_t> out;
+  out.reserve(std::min(rows_.size(), other.rows_.size()));
+  std::set_intersection(rows_.begin(), rows_.end(), other.rows_.begin(),
+                        other.rows_.end(), std::back_inserter(out));
+  return Of(universe_, std::move(out));
+}
+
+RowSet RowSet::UnionWith(const RowSet& other) const {
+  assert(universe_ == other.universe_);
+  if (all_ || other.all_) {
+    return All(universe_);
+  }
+  std::vector<uint32_t> out;
+  out.reserve(rows_.size() + other.rows_.size());
+  std::set_union(rows_.begin(), rows_.end(), other.rows_.begin(),
+                 other.rows_.end(), std::back_inserter(out));
+  return Of(universe_, std::move(out));
+}
+
+RowSet RowSet::Complement() const {
+  if (all_) {
+    return None(universe_);
+  }
+  std::vector<uint32_t> out;
+  out.reserve(universe_ - rows_.size());
+  size_t next = 0;
+  for (uint32_t i = 0; i < universe_; ++i) {
+    if (next < rows_.size() && rows_[next] == i) {
+      ++next;
+    } else {
+      out.push_back(i);
+    }
+  }
+  return Of(universe_, std::move(out));
+}
+
+bool RowSet::operator==(const RowSet& other) const {
+  if (universe_ != other.universe_) {
+    return false;
+  }
+  if (all_ != other.all_) {
+    return false;
+  }
+  return all_ || rows_ == other.rows_;
+}
+
+}  // namespace loggrep

@@ -1,0 +1,52 @@
+// RowSet: the result of matching a keyword against one group of a log block —
+// the set of row indices (entry positions within the group) that match.
+//
+// Keyword matching on runtime patterns produces several "possible matches";
+// each possible match intersects the row sets of the Capsules it constrains,
+// and the overall result is the union over possible matches (§5.1). RowSet
+// supports those two operations plus an "all rows" fast path for the case
+// where a keyword is satisfied by the constant part of a pattern alone.
+#ifndef SRC_COMMON_ROWSET_H_
+#define SRC_COMMON_ROWSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace loggrep {
+
+class RowSet {
+ public:
+  // Empty set over a universe of `universe` rows.
+  static RowSet None(uint32_t universe) { return RowSet(universe, false); }
+  // Full set: every row in the universe matches.
+  static RowSet All(uint32_t universe) { return RowSet(universe, true); }
+  // Explicit rows; must be strictly increasing and < universe.
+  static RowSet Of(uint32_t universe, std::vector<uint32_t> rows);
+
+  uint32_t universe() const { return universe_; }
+  bool IsAll() const { return all_; }
+  bool IsEmpty() const { return !all_ && rows_.empty(); }
+  // Materialized row list (expands the All representation on demand).
+  std::vector<uint32_t> ToRows() const;
+  size_t Count() const { return all_ ? universe_ : rows_.size(); }
+  bool Contains(uint32_t row) const;
+
+  RowSet IntersectWith(const RowSet& other) const;
+  RowSet UnionWith(const RowSet& other) const;
+  // Rows in the universe that are NOT in this set (for NOT search strings).
+  RowSet Complement() const;
+
+  bool operator==(const RowSet& other) const;
+
+ private:
+  RowSet(uint32_t universe, bool all) : universe_(universe), all_(all) {}
+
+  uint32_t universe_ = 0;
+  bool all_ = false;
+  std::vector<uint32_t> rows_;  // sorted, unique; empty when all_ is true
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_COMMON_ROWSET_H_

@@ -1,0 +1,26 @@
+// Wall-clock timer for benchmark harnesses.
+#ifndef SRC_COMMON_TIMER_H_
+#define SRC_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace loggrep {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_COMMON_TIMER_H_

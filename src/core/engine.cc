@@ -1,0 +1,198 @@
+#include "src/core/engine.h"
+
+#include <algorithm>
+
+#include "src/common/hash.h"
+#include "src/query/query_parser.h"
+#include "src/query/reconstructor.h"
+
+namespace loggrep {
+namespace {
+
+// Boolean evaluation state: one RowSet per group plus one for raw outliers.
+struct Evaluation {
+  std::vector<RowSet> groups;
+  RowSet outliers = RowSet::None(0);
+};
+
+Evaluation EvaluateTerm(BoxQuerier& querier, const SearchTerm& term) {
+  const CapsuleBoxMeta& meta = querier.box().meta();
+  Evaluation ev;
+  ev.groups.reserve(meta.groups.size());
+  for (uint32_t g = 0; g < meta.groups.size(); ++g) {
+    RowSet rows = RowSet::All(meta.groups[g].row_count);
+    for (const std::string& kw : term.keywords) {
+      if (rows.IsEmpty()) {
+        break;
+      }
+      rows = rows.IntersectWith(querier.MatchKeywordInGroup(g, kw));
+    }
+    ev.groups.push_back(std::move(rows));
+  }
+  const uint32_t outlier_universe =
+      static_cast<uint32_t>(meta.outlier_line_numbers.size());
+  ev.outliers = RowSet::All(outlier_universe);
+  for (const std::string& kw : term.keywords) {
+    if (ev.outliers.IsEmpty()) {
+      break;
+    }
+    ev.outliers = ev.outliers.IntersectWith(querier.MatchKeywordInOutliers(kw));
+  }
+  return ev;
+}
+
+Evaluation EvaluateAll(BoxQuerier& querier) {
+  const CapsuleBoxMeta& meta = querier.box().meta();
+  Evaluation ev;
+  for (const GroupMeta& g : meta.groups) {
+    ev.groups.push_back(RowSet::All(g.row_count));
+  }
+  ev.outliers =
+      RowSet::All(static_cast<uint32_t>(meta.outlier_line_numbers.size()));
+  return ev;
+}
+
+Evaluation EvaluateExpr(BoxQuerier& querier, const QueryExpr& expr) {
+  switch (expr.kind) {
+    case QueryExpr::Kind::kTerm:
+      return EvaluateTerm(querier, expr.term);
+    case QueryExpr::Kind::kAnd: {
+      Evaluation l = EvaluateExpr(querier, *expr.left);
+      const Evaluation r = EvaluateExpr(querier, *expr.right);
+      for (size_t g = 0; g < l.groups.size(); ++g) {
+        l.groups[g] = l.groups[g].IntersectWith(r.groups[g]);
+      }
+      l.outliers = l.outliers.IntersectWith(r.outliers);
+      return l;
+    }
+    case QueryExpr::Kind::kOr: {
+      Evaluation l = EvaluateExpr(querier, *expr.left);
+      const Evaluation r = EvaluateExpr(querier, *expr.right);
+      for (size_t g = 0; g < l.groups.size(); ++g) {
+        l.groups[g] = l.groups[g].UnionWith(r.groups[g]);
+      }
+      l.outliers = l.outliers.UnionWith(r.outliers);
+      return l;
+    }
+    case QueryExpr::Kind::kNot: {
+      Evaluation l = expr.left != nullptr ? EvaluateExpr(querier, *expr.left)
+                                          : EvaluateAll(querier);
+      const Evaluation r = EvaluateExpr(querier, *expr.right);
+      for (size_t g = 0; g < l.groups.size(); ++g) {
+        l.groups[g] = l.groups[g].IntersectWith(r.groups[g].Complement());
+      }
+      l.outliers = l.outliers.IntersectWith(r.outliers.Complement());
+      return l;
+    }
+  }
+  return Evaluation{};
+}
+
+}  // namespace
+
+LogGrepEngine::LogGrepEngine(EngineOptions options) : options_(options) {
+  if (options_.codec == nullptr) {
+    options_.codec = &GetXzCodec();
+  }
+}
+
+std::string LogGrepEngine::CompressBlock(std::string_view text) const {
+  const BlockParser parser(options_.miner);
+  const ParsedBlock parsed = parser.Parse(text);
+
+  CapsuleBoxBuilder builder(*options_.codec);
+  AssemblerOptions aopts;
+  aopts.use_real = options_.use_real;
+  aopts.use_nominal = options_.use_nominal;
+  aopts.static_only = options_.static_only;
+  aopts.padded = options_.use_fixed;
+  aopts.tree = options_.tree;
+  const Assembler assembler(aopts, &builder);
+
+  CapsuleBoxMeta meta;
+  meta.codec_id = options_.codec->id();
+  meta.padded = options_.use_fixed;
+  meta.total_lines = parsed.total_lines;
+  meta.templates = parsed.templates;
+  for (const ParsedGroup& pg : parsed.groups) {
+    GroupMeta gm;
+    gm.template_id = pg.template_id;
+    gm.row_count = static_cast<uint32_t>(pg.line_numbers.size());
+    gm.line_numbers = pg.line_numbers;
+    for (const std::vector<std::string>& vv : pg.var_vectors) {
+      gm.vars.push_back(assembler.AssembleVariable(vv));
+    }
+    meta.groups.push_back(std::move(gm));
+  }
+  if (!parsed.outlier_lines.empty()) {
+    std::vector<std::string_view> views(parsed.outlier_lines.begin(),
+                                        parsed.outlier_lines.end());
+    meta.outlier_capsule = builder.AddCapsule(BuildDelimitedBlob(views));
+    meta.outlier_line_numbers = parsed.outlier_line_numbers;
+  }
+  return std::move(builder).Finish(meta);
+}
+
+Result<QueryResult> LogGrepEngine::Query(std::string_view box_bytes,
+                                         std::string_view command) {
+  // Cache entries are per (box, command): the same command against another
+  // block must not serve stale hits.
+  std::string command_key = std::to_string(Fnv1a64(box_bytes));
+  command_key += '|';
+  command_key += command;
+  if (options_.use_cache) {
+    if (auto cached = cache_.Lookup(command_key); cached.has_value()) {
+      QueryResult result;
+      result.hits = std::move(*cached);
+      result.from_cache = true;
+      return result;
+    }
+  }
+
+  Result<std::unique_ptr<QueryExpr>> expr = ParseQuery(command);
+  if (!expr.ok()) {
+    return expr.status();
+  }
+  Result<CapsuleBox> box = CapsuleBox::Open(box_bytes);
+  if (!box.ok()) {
+    return box.status();
+  }
+
+  LocatorOptions lopts;
+  lopts.use_stamps = options_.use_stamps;
+  lopts.use_bm = options_.use_fixed;
+  BoxQuerier querier(*box, lopts);
+  const Evaluation ev = EvaluateExpr(querier, **expr);
+  if (!querier.status().ok()) {
+    return querier.status();
+  }
+
+  Reconstructor reconstructor(&querier);
+  QueryResult result;
+  const CapsuleBoxMeta& meta = box->meta();
+  for (uint32_t g = 0; g < ev.groups.size(); ++g) {
+    for (uint32_t row : ev.groups[g].ToRows()) {
+      result.hits.emplace_back(meta.groups[g].line_numbers[row],
+                               reconstructor.RenderRow(g, row));
+    }
+  }
+  for (uint32_t i : ev.outliers.ToRows()) {
+    result.hits.emplace_back(meta.outlier_line_numbers[i],
+                             reconstructor.RenderOutlier(i));
+  }
+  if (!querier.status().ok()) {
+    return querier.status();
+  }
+  // Restore global block order (entries within one group are already
+  // ordered; this is the cross-group merge of §3).
+  std::sort(result.hits.begin(), result.hits.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  result.locator = querier.stats();
+
+  if (options_.use_cache) {
+    cache_.Insert(command_key, result.hits);
+  }
+  return result;
+}
+
+}  // namespace loggrep

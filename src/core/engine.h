@@ -1,0 +1,65 @@
+// LogGrepEngine: the library's public API (the whole pipeline of Fig. 2).
+//
+// Compression: Parser (static patterns) -> Extractor (runtime patterns) ->
+// Assembler (Capsules + stamps) -> Packer (CapsuleBox). Query: Locator
+// (pattern + stamp filtering, fixed-length matching) -> Reconstructor, with a
+// Query Cache in front.
+//
+// EngineOptions exposes one switch per technique so the §6.3 ablation
+// versions ("w/o real", "w/o nomi", "w/o stamp", "w/o fixed", "w/o cache")
+// and LogGrep-SP (§2.2) are configurations of the same engine.
+#ifndef SRC_CORE_ENGINE_H_
+#define SRC_CORE_ENGINE_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/capsule/assembler.h"
+#include "src/codec/codec.h"
+#include "src/parser/block_parser.h"
+#include "src/query/locator.h"
+#include "src/query/query_cache.h"
+
+namespace loggrep {
+
+struct EngineOptions {
+  bool use_real = true;     // runtime patterns in real variable vectors
+  bool use_nominal = true;  // runtime patterns in nominal variable vectors
+  bool use_stamps = true;   // Capsule-stamp filtering during queries
+  bool use_fixed = true;    // fixed-length padding + Boyer-Moore matching
+  bool use_cache = true;    // query cache
+  bool static_only = false; // LogGrep-SP: static patterns only
+
+  const Codec* codec = nullptr;  // defaults to the LZMA stand-in (XzCodec)
+  TemplateMinerOptions miner;
+  TreeExtractorOptions tree;
+};
+
+struct QueryResult {
+  QueryHits hits;        // (line number, original text), in block order
+  LocatorStats locator;  // zeroed for cache hits
+  bool from_cache = false;
+};
+
+class LogGrepEngine {
+ public:
+  explicit LogGrepEngine(EngineOptions options = {});
+
+  // Compresses one log block into serialized CapsuleBox bytes.
+  std::string CompressBlock(std::string_view text) const;
+
+  // Runs a grep-like query command against a CapsuleBox.
+  Result<QueryResult> Query(std::string_view box_bytes, std::string_view command);
+
+  const EngineOptions& options() const { return options_; }
+  const QueryCache& cache() const { return cache_; }
+  void ClearCache() { cache_.Clear(); }
+
+ private:
+  EngineOptions options_;
+  QueryCache cache_;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_CORE_ENGINE_H_

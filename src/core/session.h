@@ -1,0 +1,55 @@
+// QuerySession: the paper's *refining mode* (§3, §6.3).
+//
+// An engineer debugging an incident grows a command incrementally:
+//   "ERROR"  ->  "ERROR and aborted"  ->  "ERROR and aborted and code:20012"
+// Beyond the engine's query cache (which only replays identical commands), a
+// session recognizes when a new command strictly refines the previous one by
+// appending "AND <term>" clauses, and then filters the previous hit list
+// directly instead of re-running the whole locate pipeline: with entry-level
+// containment semantics, appending a conjunct can only shrink the result set.
+#ifndef SRC_CORE_SESSION_H_
+#define SRC_CORE_SESSION_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/core/engine.h"
+
+namespace loggrep {
+
+struct SessionQueryResult {
+  QueryHits hits;
+  // True when the result was narrowed from the previous command's hits
+  // without touching the CapsuleBox.
+  bool refined_incrementally = false;
+  bool from_cache = false;
+};
+
+class QuerySession {
+ public:
+  // Borrows both; they must outlive the session.
+  QuerySession(LogGrepEngine* engine, std::string_view box_bytes)
+      : engine_(engine), box_(box_bytes) {}
+
+  Result<SessionQueryResult> Query(std::string_view command);
+
+  // Forget the refinement state and memoized results (e.g. the engineer
+  // starts a new hypothesis).
+  void Reset();
+
+ private:
+  LogGrepEngine* engine_;
+  std::string_view box_;
+  std::string last_command_;
+  QueryHits last_hits_;
+  bool has_last_ = false;
+  // Session-local result memo: revisiting any earlier command is free even
+  // when that command was answered by incremental refinement (which the
+  // engine's own cache never sees).
+  std::unordered_map<std::string, QueryHits> memo_;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_CORE_SESSION_H_

@@ -1,0 +1,35 @@
+#include "src/cost/cost_model.h"
+
+namespace loggrep {
+
+CostBreakdown ComputeCost(const SystemMeasurement& m, const CostParams& p) {
+  CostBreakdown c;
+  c.storage = p.storage_price_gb_month * p.storage_months * m.raw_gb /
+              m.compression_ratio;
+  const double compress_hours =
+      (m.raw_gb * 1024.0 / m.compress_speed_mb_s) / 3600.0;
+  c.compress = p.cpu_price_hour * compress_hours;
+  c.query = p.cpu_price_hour * (m.query_latency_s / 3600.0) * p.query_frequency;
+  return c;
+}
+
+double CrossoverFrequency(const SystemMeasurement& fast,
+                          const SystemMeasurement& cheap, const CostParams& p) {
+  if (fast.query_latency_s >= cheap.query_latency_s) {
+    return -1.0;
+  }
+  CostParams base = p;
+  base.query_frequency = 0.0;
+  const double fixed_fast = ComputeCost(fast, base).total();
+  const double fixed_cheap = ComputeCost(cheap, base).total();
+  if (fixed_fast <= fixed_cheap) {
+    return 0.0;
+  }
+  const double per_query_fast =
+      p.cpu_price_hour * fast.query_latency_s / 3600.0;
+  const double per_query_cheap =
+      p.cpu_price_hour * cheap.query_latency_s / 3600.0;
+  return (fixed_fast - fixed_cheap) / (per_query_cheap - per_query_fast);
+}
+
+}  // namespace loggrep

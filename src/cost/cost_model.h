@@ -1,0 +1,48 @@
+// Overall-cost model: Equation 1 of §6 with the paper's Alibaba constants.
+//
+//   C_total = C_storage * Duration * Size / CompressionRatio
+//           + C_CPU * Size / CompressionSpeed
+//           + C_CPU * QueryLatency * QueryFrequency
+#ifndef SRC_COST_COST_MODEL_H_
+#define SRC_COST_COST_MODEL_H_
+
+#include <string>
+
+namespace loggrep {
+
+struct CostParams {
+  double storage_price_gb_month = 0.017;  // $ per GB-month (incl. erasure coding)
+  double storage_months = 6.0;            // near-line retention
+  double cpu_price_hour = 0.016;          // $ per CPU-hour
+  double query_frequency = 100.0;         // queries over the retention period
+};
+
+// Measured characteristics of one system on one dataset, normalized to one
+// CPU. `query_latency_s` is the latency of one query over `raw_gb` of raw log.
+struct SystemMeasurement {
+  double raw_gb = 1.0;
+  double compression_ratio = 1.0;
+  double compress_speed_mb_s = 1.0;
+  double query_latency_s = 0.0;
+};
+
+struct CostBreakdown {
+  double storage = 0.0;   // $ for storing compressed data
+  double compress = 0.0;  // $ of CPU to compress
+  double query = 0.0;     // $ of CPU to query
+
+  double total() const { return storage + compress + query; }
+};
+
+CostBreakdown ComputeCost(const SystemMeasurement& m, const CostParams& p = {});
+
+// Minimum query frequency at which `fast` (lower latency, higher fixed cost)
+// becomes cheaper than `cheap`. Returns a negative value when `fast` never
+// wins (its latency is not lower) and 0 when it always wins.
+double CrossoverFrequency(const SystemMeasurement& fast,
+                          const SystemMeasurement& cheap,
+                          const CostParams& p = {});
+
+}  // namespace loggrep
+
+#endif  // SRC_COST_COST_MODEL_H_

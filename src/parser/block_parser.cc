@@ -1,0 +1,62 @@
+#include "src/parser/block_parser.h"
+
+#include <string>
+#include <unordered_map>
+
+#include "src/common/string_util.h"
+
+namespace loggrep {
+namespace {
+
+// Shape key for template lookup: token count only. Separator and constant
+// checks inside StaticPattern::Match do the precise filtering; the key just
+// keeps the candidate list short.
+size_t ShapeKey(const TokenizedLine& line) { return line.tokens.size(); }
+
+}  // namespace
+
+ParsedBlock BlockParser::Parse(std::string_view text) const {
+  ParsedBlock block;
+  const std::vector<std::string_view> lines = SplitLines(text);
+  block.total_lines = static_cast<uint32_t>(lines.size());
+
+  const TemplateMiner miner(miner_options_);
+  block.templates = miner.Mine(lines);
+
+  block.groups.resize(block.templates.size());
+  std::unordered_map<size_t, std::vector<uint32_t>> by_shape;
+  for (uint32_t t = 0; t < block.templates.size(); ++t) {
+    block.groups[t].template_id = t;
+    block.groups[t].var_vectors.resize(
+        static_cast<size_t>(block.templates[t].VarCount()));
+    by_shape[block.templates[t].TokenCount()].push_back(t);
+  }
+
+  std::vector<std::string_view> vars;
+  for (uint32_t ln = 0; ln < lines.size(); ++ln) {
+    const TokenizedLine tokenized = TokenizeLine(lines[ln]);
+    bool matched = false;
+    const auto it = by_shape.find(ShapeKey(tokenized));
+    if (it != by_shape.end()) {
+      for (uint32_t t : it->second) {
+        vars.clear();
+        if (block.templates[t].Match(tokenized, &vars)) {
+          ParsedGroup& group = block.groups[t];
+          group.line_numbers.push_back(ln);
+          for (size_t slot = 0; slot < vars.size(); ++slot) {
+            group.var_vectors[slot].emplace_back(vars[slot]);
+          }
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) {
+      block.outlier_line_numbers.push_back(ln);
+      block.outlier_lines.emplace_back(lines[ln]);
+    }
+  }
+  return block;
+}
+
+}  // namespace loggrep

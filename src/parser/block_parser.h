@@ -1,0 +1,52 @@
+// BlockParser: structurizes a whole log block against mined templates.
+//
+// Every line is matched against the templates of its shape cluster; matched
+// lines contribute their variable tokens to per-slot variable vectors inside
+// a group (one group per template, §2.2). Lines matching no template go to
+// the outlier list and are stored raw — parsing accuracy therefore affects
+// performance only, never correctness (§4.1).
+#ifndef SRC_PARSER_BLOCK_PARSER_H_
+#define SRC_PARSER_BLOCK_PARSER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/parser/static_pattern.h"
+#include "src/parser/template_miner.h"
+
+namespace loggrep {
+
+struct ParsedGroup {
+  uint32_t template_id = 0;
+  // Global line numbers of this group's rows, in block order (these double as
+  // the logical timestamps used to merge results across groups, §3).
+  std::vector<uint32_t> line_numbers;
+  // var_vectors[slot][row]: value of variable `slot` in the group's row-th entry.
+  std::vector<std::vector<std::string>> var_vectors;
+};
+
+struct ParsedBlock {
+  std::vector<StaticPattern> templates;
+  std::vector<ParsedGroup> groups;  // one per template, same index
+  std::vector<uint32_t> outlier_line_numbers;
+  std::vector<std::string> outlier_lines;
+  uint32_t total_lines = 0;
+};
+
+class BlockParser {
+ public:
+  explicit BlockParser(TemplateMinerOptions miner_options = {})
+      : miner_options_(miner_options) {}
+
+  // Mines templates on a sample of `text` and parses all of it.
+  ParsedBlock Parse(std::string_view text) const;
+
+ private:
+  TemplateMinerOptions miner_options_;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_PARSER_BLOCK_PARSER_H_

@@ -1,0 +1,174 @@
+#include "src/parser/static_pattern.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/string_util.h"
+
+namespace loggrep {
+namespace {
+
+bool ContainsDigit(std::string_view s) {
+  return std::any_of(s.begin(), s.end(), [](char c) { return IsAsciiDigit(c); });
+}
+
+}  // namespace
+
+StaticPattern StaticPattern::FromLine(const TokenizedLine& line) {
+  std::vector<std::string> seps;
+  seps.reserve(line.seps.size());
+  for (std::string_view s : line.seps) {
+    seps.emplace_back(s);
+  }
+  std::vector<Tok> tokens;
+  tokens.reserve(line.tokens.size());
+  for (std::string_view t : line.tokens) {
+    if (ContainsDigit(t)) {
+      tokens.push_back(Tok{true, {}});
+    } else {
+      tokens.push_back(Tok{false, std::string(t)});
+    }
+  }
+  return StaticPattern(std::move(seps), std::move(tokens));
+}
+
+int StaticPattern::VarCount() const {
+  int n = 0;
+  for (const Tok& t : tokens_) {
+    n += t.is_var ? 1 : 0;
+  }
+  return n;
+}
+
+void StaticPattern::MergeLine(const TokenizedLine& line) {
+  assert(line.tokens.size() == tokens_.size());
+  for (size_t i = 0; i < tokens_.size(); ++i) {
+    if (!tokens_[i].is_var && tokens_[i].text != line.tokens[i]) {
+      tokens_[i].is_var = true;
+      tokens_[i].text.clear();
+    }
+  }
+}
+
+double StaticPattern::Similarity(const TokenizedLine& line) const {
+  if (line.tokens.size() != tokens_.size()) {
+    return -1.0;
+  }
+  for (size_t i = 0; i < seps_.size(); ++i) {
+    if (seps_[i] != line.seps[i]) {
+      return -1.0;
+    }
+  }
+  if (tokens_.empty()) {
+    return 1.0;
+  }
+  size_t same = 0;
+  for (size_t i = 0; i < tokens_.size(); ++i) {
+    if (tokens_[i].is_var || tokens_[i].text == line.tokens[i]) {
+      ++same;
+    }
+  }
+  return static_cast<double>(same) / static_cast<double>(tokens_.size());
+}
+
+bool StaticPattern::Match(const TokenizedLine& line,
+                          std::vector<std::string_view>* vars) const {
+  if (line.tokens.size() != tokens_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < seps_.size(); ++i) {
+    if (seps_[i] != line.seps[i]) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < tokens_.size(); ++i) {
+    if (!tokens_[i].is_var && tokens_[i].text != line.tokens[i]) {
+      return false;
+    }
+  }
+  if (vars != nullptr) {
+    for (size_t i = 0; i < tokens_.size(); ++i) {
+      if (tokens_[i].is_var) {
+        vars->push_back(line.tokens[i]);
+      }
+    }
+  }
+  return true;
+}
+
+std::string StaticPattern::Render(const std::vector<std::string_view>& vars) const {
+  std::string out;
+  size_t slot = 0;
+  for (size_t i = 0; i < tokens_.size(); ++i) {
+    out += seps_[i];
+    if (tokens_[i].is_var) {
+      assert(slot < vars.size());
+      out += vars[slot++];
+    } else {
+      out += tokens_[i].text;
+    }
+  }
+  out += seps_.back();
+  return out;
+}
+
+std::string StaticPattern::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < tokens_.size(); ++i) {
+    out += seps_[i];
+    out += tokens_[i].is_var ? "<*>" : tokens_[i].text;
+  }
+  out += seps_.back();
+  return out;
+}
+
+void StaticPattern::WriteTo(ByteWriter& out) const {
+  out.PutVarint(tokens_.size());
+  for (size_t i = 0; i < tokens_.size(); ++i) {
+    out.PutLengthPrefixed(seps_[i]);
+    out.PutU8(tokens_[i].is_var ? 1 : 0);
+    if (!tokens_[i].is_var) {
+      out.PutLengthPrefixed(tokens_[i].text);
+    }
+  }
+  out.PutLengthPrefixed(seps_.back());
+}
+
+Result<StaticPattern> StaticPattern::ReadFrom(ByteReader& in) {
+  Result<uint64_t> n = in.ReadVarint();
+  if (!n.ok()) {
+    return n.status();
+  }
+  std::vector<std::string> seps;
+  std::vector<Tok> tokens;
+  seps.reserve(*n + 1);
+  tokens.reserve(*n);
+  for (uint64_t i = 0; i < *n; ++i) {
+    Result<std::string_view> sep = in.ReadLengthPrefixed();
+    if (!sep.ok()) {
+      return sep.status();
+    }
+    seps.emplace_back(*sep);
+    Result<uint8_t> is_var = in.ReadU8();
+    if (!is_var.ok()) {
+      return is_var.status();
+    }
+    if (*is_var != 0) {
+      tokens.push_back(Tok{true, {}});
+    } else {
+      Result<std::string_view> text = in.ReadLengthPrefixed();
+      if (!text.ok()) {
+        return text.status();
+      }
+      tokens.push_back(Tok{false, std::string(*text)});
+    }
+  }
+  Result<std::string_view> trailing = in.ReadLengthPrefixed();
+  if (!trailing.ok()) {
+    return trailing.status();
+  }
+  seps.emplace_back(*trailing);
+  return StaticPattern(std::move(seps), std::move(tokens));
+}
+
+}  // namespace loggrep

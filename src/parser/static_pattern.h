@@ -1,0 +1,69 @@
+// StaticPattern: a mined log template ("static pattern" in the paper).
+//
+// A pattern is a tokenized skeleton: exact separator runs plus a sequence of
+// tokens, each either constant text or a variable slot. Variable slots are
+// numbered left to right; parsing a line against a pattern yields one value
+// per slot, and rendering is the exact inverse (byte-for-byte lossless).
+#ifndef SRC_PARSER_STATIC_PATTERN_H_
+#define SRC_PARSER_STATIC_PATTERN_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/parser/tokenizer.h"
+
+namespace loggrep {
+
+class StaticPattern {
+ public:
+  struct Tok {
+    bool is_var = false;
+    std::string text;  // constant text; empty for variable slots
+  };
+
+  StaticPattern() = default;
+  StaticPattern(std::vector<std::string> seps, std::vector<Tok> tokens)
+      : seps_(std::move(seps)), tokens_(std::move(tokens)) {}
+
+  // Builds an all-constant pattern from a tokenized line, pre-marking tokens
+  // that contain a digit as variables (classic parser preprocessing).
+  static StaticPattern FromLine(const TokenizedLine& line);
+
+  const std::vector<std::string>& seps() const { return seps_; }
+  const std::vector<Tok>& tokens() const { return tokens_; }
+  size_t TokenCount() const { return tokens_.size(); }
+  int VarCount() const;
+
+  // Merges another same-shape line into this template, turning mismatching
+  // token positions into variables. Caller has verified shape compatibility.
+  void MergeLine(const TokenizedLine& line);
+
+  // Fraction of token positions where `line`'s token equals this template's
+  // constant token (variables count as matches). Returns -1 when shapes
+  // (token count or separators) differ.
+  double Similarity(const TokenizedLine& line) const;
+
+  // Exact match: all separators and constant tokens must be equal. On success
+  // appends the variable token views (slot order) to `vars`.
+  bool Match(const TokenizedLine& line, std::vector<std::string_view>* vars) const;
+
+  // Inverse of Match: substitutes `vars` into the slots.
+  std::string Render(const std::vector<std::string_view>& vars) const;
+
+  // Human-readable form, e.g. "write to file:<*>".
+  std::string ToString() const;
+
+  void WriteTo(ByteWriter& out) const;
+  static Result<StaticPattern> ReadFrom(ByteReader& in);
+
+ private:
+  std::vector<std::string> seps_;  // seps_.size() == tokens_.size() + 1
+  std::vector<Tok> tokens_;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_PARSER_STATIC_PATTERN_H_

@@ -1,0 +1,88 @@
+#include "src/parser/template_miner.h"
+
+#include <string>
+#include <unordered_map>
+
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+
+namespace loggrep {
+
+std::vector<std::string_view> SplitLines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      lines.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (start < text.size()) {
+    lines.push_back(text.substr(start));
+  }
+  return lines;
+}
+
+namespace {
+
+// Cluster key: token count plus the first token (masked to "#" when it looks
+// variable, i.e. contains a digit).
+std::string ClusterKey(const TokenizedLine& line) {
+  std::string key = std::to_string(line.tokens.size());
+  key += '|';
+  if (!line.tokens.empty()) {
+    std::string_view first = line.tokens[0];
+    bool has_digit = false;
+    for (char c : first) {
+      if (IsAsciiDigit(c)) {
+        has_digit = true;
+        break;
+      }
+    }
+    if (has_digit) {
+      key += '#';
+    } else {
+      key.append(first.data(), first.size());
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+std::vector<StaticPattern> TemplateMiner::Mine(
+    const std::vector<std::string_view>& lines) const {
+  Rng rng(options_.seed);
+  const bool sample_all = lines.size() < options_.min_sample_lines;
+
+  // Cluster key -> indices into `templates`.
+  std::unordered_map<std::string, std::vector<size_t>> clusters;
+  std::vector<StaticPattern> templates;
+
+  for (std::string_view raw : lines) {
+    if (!sample_all && !rng.NextBool(options_.sample_rate)) {
+      continue;
+    }
+    const TokenizedLine line = TokenizeLine(raw);
+    const std::string key = ClusterKey(line);
+    std::vector<size_t>& bucket = clusters[key];
+    double best_sim = -1.0;
+    size_t best_idx = 0;
+    for (size_t idx : bucket) {
+      const double sim = templates[idx].Similarity(line);
+      if (sim > best_sim) {
+        best_sim = sim;
+        best_idx = idx;
+      }
+    }
+    if (best_sim >= options_.merge_similarity) {
+      templates[best_idx].MergeLine(line);
+    } else {
+      bucket.push_back(templates.size());
+      templates.push_back(StaticPattern::FromLine(line));
+    }
+  }
+  return templates;
+}
+
+}  // namespace loggrep

@@ -1,0 +1,44 @@
+// TemplateMiner: mines static patterns from a sample of a log block.
+//
+// Stand-in for the LogReducer parser the paper adopts (§3): LogGrep samples
+// 5% of a block's entries and identifies static patterns on the sample. The
+// miner clusters sampled lines by shape (token count + leading token class)
+// and merges a line into an existing template when at least
+// `kMergeSimilarity` of token positions agree; disagreeing positions become
+// variable slots.
+#ifndef SRC_PARSER_TEMPLATE_MINER_H_
+#define SRC_PARSER_TEMPLATE_MINER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/parser/static_pattern.h"
+
+namespace loggrep {
+
+struct TemplateMinerOptions {
+  double sample_rate = 0.05;
+  // Below this many lines the whole block is used as the sample.
+  size_t min_sample_lines = 200;
+  double merge_similarity = 0.7;
+  uint64_t seed = 0x106702;
+};
+
+class TemplateMiner {
+ public:
+  explicit TemplateMiner(TemplateMinerOptions options = {}) : options_(options) {}
+
+  // Mines templates from `lines` (views into the caller's block text).
+  std::vector<StaticPattern> Mine(const std::vector<std::string_view>& lines) const;
+
+ private:
+  TemplateMinerOptions options_;
+};
+
+// Splits block text into lines (without trailing '\n'); a final line without
+// a newline terminator is included.
+std::vector<std::string_view> SplitLines(std::string_view text);
+
+}  // namespace loggrep
+
+#endif  // SRC_PARSER_TEMPLATE_MINER_H_

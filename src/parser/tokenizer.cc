@@ -1,0 +1,54 @@
+#include "src/parser/tokenizer.h"
+
+#include <array>
+
+namespace loggrep {
+namespace {
+
+constexpr std::array<bool, 256> BuildSeparatorTable() {
+  std::array<bool, 256> t{};
+  for (char c : {' ', '\t', ',', '"', '\'', '(', ')', '[', ']', '{', '}'}) {
+    t[static_cast<unsigned char>(c)] = true;
+  }
+  return t;
+}
+
+constexpr std::array<bool, 256> kIsSep = BuildSeparatorTable();
+
+}  // namespace
+
+bool IsSeparatorChar(char c) { return kIsSep[static_cast<unsigned char>(c)]; }
+
+TokenizedLine TokenizeLine(std::string_view line) {
+  TokenizedLine out;
+  size_t i = 0;
+  while (true) {
+    // Separator run (possibly empty).
+    const size_t sep_start = i;
+    while (i < line.size() && kIsSep[static_cast<unsigned char>(line[i])]) {
+      ++i;
+    }
+    out.seps.push_back(line.substr(sep_start, i - sep_start));
+    if (i >= line.size()) {
+      break;
+    }
+    // Token run, additionally terminated after an interior ':' or '='.
+    const size_t tok_start = i;
+    while (i < line.size() && !kIsSep[static_cast<unsigned char>(line[i])]) {
+      const char c = line[i];
+      ++i;
+      if ((c == ':' || c == '=') && i > tok_start + 1 && i < line.size() &&
+          !kIsSep[static_cast<unsigned char>(line[i])]) {
+        break;  // split "key=value": ':'/'=' stays with the key
+      }
+    }
+    out.tokens.push_back(line.substr(tok_start, i - tok_start));
+  }
+  return out;
+}
+
+std::vector<std::string_view> TokenizeKeywords(std::string_view text) {
+  return TokenizeLine(text).tokens;
+}
+
+}  // namespace loggrep

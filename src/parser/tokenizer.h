@@ -1,0 +1,38 @@
+// Log-line tokenizer shared by the template miner, the block parser, every
+// baseline, and query-string tokenization (§2.1: CLP and LogGrep tokenize
+// search strings "using the same delimiters" as log entries).
+//
+// Rules:
+//   * Whitespace and a small set of punctuation characters are separators.
+//     Separator runs are preserved verbatim so that parsed lines can be
+//     reconstructed byte-for-byte.
+//   * A ':' or '=' inside a token additionally ends the token (the
+//     punctuation stays with the left part), so "time=1622009998" splits into
+//     "time=" and "1622009998" — mirroring printf("time=%d", t) where only
+//     the value is variable.
+#ifndef SRC_PARSER_TOKENIZER_H_
+#define SRC_PARSER_TOKENIZER_H_
+
+#include <string_view>
+#include <vector>
+
+namespace loggrep {
+
+struct TokenizedLine {
+  // seps.size() == tokens.size() + 1; seps[i] precedes tokens[i], and
+  // seps.back() is the trailing separator run (often empty). Views borrow
+  // from the tokenized line.
+  std::vector<std::string_view> seps;
+  std::vector<std::string_view> tokens;
+};
+
+bool IsSeparatorChar(char c);
+
+TokenizedLine TokenizeLine(std::string_view line);
+
+// Tokens only (separators dropped): used for query keywords.
+std::vector<std::string_view> TokenizeKeywords(std::string_view text);
+
+}  // namespace loggrep
+
+#endif  // SRC_PARSER_TOKENIZER_H_

@@ -1,0 +1,169 @@
+#include "src/pattern/cluster_extractor.h"
+
+#include <algorithm>
+#include <map>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/common/string_util.h"
+#include "src/pattern/merge_extractor.h"
+
+namespace loggrep {
+namespace {
+
+// Normalized similarity: |LCS| relative to the longer value.
+double Similarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) {
+    return 1.0;
+  }
+  const size_t lcs = LongestCommonSubstring(a, b).size();
+  return static_cast<double>(lcs) /
+         static_cast<double>(std::max(a.size(), b.size()));
+}
+
+// Derives one pattern for a cluster: the dominant sketch form's collapsed
+// pattern (via MergeExtractor on the members), or the trivial pattern when
+// no form dominates.
+RuntimePattern ClusterPattern(const std::vector<std::string>& members) {
+  const MergeExtractor merge;
+  const NominalExtraction ex = merge.Extract(members);
+  if (ex.patterns.empty()) {
+    return RuntimePattern::SingleSubVar();
+  }
+  std::vector<size_t> per_pattern(ex.patterns.size(), 0);
+  for (uint32_t idx : ex.index) {
+    ++per_pattern[ex.pattern_of_dict[idx]];
+  }
+  const size_t best = static_cast<size_t>(
+      std::max_element(per_pattern.begin(), per_pattern.end()) -
+      per_pattern.begin());
+  if (per_pattern[best] * 2 < members.size()) {
+    return RuntimePattern::SingleSubVar();
+  }
+  return ex.patterns[best];
+}
+
+}  // namespace
+
+ClusterExtraction ClusterExtractor::Extract(
+    const std::vector<std::string>& values) const {
+  ClusterExtraction out;
+  out.assignment.assign(values.size(), 0);
+  if (values.empty()) {
+    return out;
+  }
+
+  // Dedup (clustering cost depends on unique values), capped.
+  std::vector<std::string_view> uniques;
+  std::unordered_map<std::string_view, uint32_t> unique_id;
+  std::vector<uint32_t> value_to_unique(values.size(), UINT32_MAX);
+  for (size_t i = 0; i < values.size(); ++i) {
+    const auto it = unique_id.find(values[i]);
+    if (it != unique_id.end()) {
+      value_to_unique[i] = it->second;
+      continue;
+    }
+    if (uniques.size() >= options_.max_values) {
+      continue;  // overflow values keep UINT32_MAX -> trivial pattern
+    }
+    const uint32_t id = static_cast<uint32_t>(uniques.size());
+    unique_id.emplace(values[i], id);
+    uniques.push_back(values[i]);
+    value_to_unique[i] = id;
+  }
+  const size_t n = uniques.size();
+
+  // Average-linkage agglomerative clustering with a full similarity matrix.
+  std::vector<std::vector<double>> sim(n, std::vector<double>(n, 0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      sim[i][j] = sim[j][i] = Similarity(uniques[i], uniques[j]);
+    }
+  }
+  std::vector<int> cluster_of(n);
+  std::vector<std::vector<uint32_t>> clusters(n);
+  for (size_t i = 0; i < n; ++i) {
+    cluster_of[i] = static_cast<int>(i);
+    clusters[i] = {static_cast<uint32_t>(i)};
+  }
+  std::vector<bool> alive(n, true);
+
+  auto linkage = [&](size_t a, size_t b) {
+    double total = 0;
+    for (uint32_t x : clusters[a]) {
+      for (uint32_t y : clusters[b]) {
+        total += sim[x][y];
+      }
+    }
+    return total / static_cast<double>(clusters[a].size() * clusters[b].size());
+  };
+
+  while (true) {
+    double best_sim = -1;
+    size_t best_a = 0;
+    size_t best_b = 0;
+    for (size_t a = 0; a < n; ++a) {
+      if (!alive[a]) {
+        continue;
+      }
+      for (size_t b = a + 1; b < n; ++b) {
+        if (!alive[b]) {
+          continue;
+        }
+        const double s = linkage(a, b);
+        if (s > best_sim) {
+          best_sim = s;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best_sim < options_.merge_threshold) {
+      break;
+    }
+    clusters[best_a].insert(clusters[best_a].end(), clusters[best_b].begin(),
+                            clusters[best_b].end());
+    clusters[best_b].clear();
+    alive[best_b] = false;
+    if (std::count(alive.begin(), alive.end(), true) <= 1) {
+      break;
+    }
+  }
+
+  // One pattern per surviving cluster.
+  std::vector<uint32_t> unique_to_pattern(n, 0);
+  for (size_t c = 0; c < n; ++c) {
+    if (!alive[c] || clusters[c].empty()) {
+      continue;
+    }
+    std::vector<std::string> members;
+    members.reserve(clusters[c].size());
+    for (uint32_t u : clusters[c]) {
+      members.emplace_back(uniques[u]);
+    }
+    const uint32_t pattern_idx = static_cast<uint32_t>(out.patterns.size());
+    out.patterns.push_back(ClusterPattern(members));
+    for (uint32_t u : clusters[c]) {
+      unique_to_pattern[u] = pattern_idx;
+    }
+  }
+  if (out.patterns.empty()) {
+    out.patterns.push_back(RuntimePattern::SingleSubVar());
+  }
+  // Values beyond the cap get the trivial pattern (appended if needed).
+  uint32_t trivial_idx = UINT32_MAX;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (value_to_unique[i] != UINT32_MAX) {
+      out.assignment[i] = unique_to_pattern[value_to_unique[i]];
+      continue;
+    }
+    if (trivial_idx == UINT32_MAX) {
+      trivial_idx = static_cast<uint32_t>(out.patterns.size());
+      out.patterns.push_back(RuntimePattern::SingleSubVar());
+    }
+    out.assignment[i] = trivial_idx;
+  }
+  return out;
+}
+
+}  // namespace loggrep

@@ -1,0 +1,44 @@
+// General-purpose pattern extraction via hierarchical agglomerative
+// clustering — the class of methods the paper rejects as "too slow given the
+// scale of production logs" (§4.1, refs [50] [53]).
+//
+// Values are clustered bottom-up under average-linkage similarity (normalized
+// longest-common-substring length); each final cluster yields one runtime
+// pattern by sketch merging. The implementation is deliberately the textbook
+// O(n^2) algorithm (with O(L^2) pairwise similarity) so the extractor
+// comparison bench can reproduce the paper's motivation: tree expanding and
+// pattern merging achieve comparable patterns orders of magnitude faster.
+#ifndef SRC_PATTERN_CLUSTER_EXTRACTOR_H_
+#define SRC_PATTERN_CLUSTER_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/pattern/runtime_pattern.h"
+
+namespace loggrep {
+
+struct ClusterExtractorOptions {
+  double merge_threshold = 0.5;  // stop merging below this similarity
+  size_t max_values = 512;       // hard cap: the method is quadratic
+};
+
+struct ClusterExtraction {
+  std::vector<RuntimePattern> patterns;  // one per final cluster
+  std::vector<uint32_t> assignment;      // value index -> pattern index
+};
+
+class ClusterExtractor {
+ public:
+  explicit ClusterExtractor(ClusterExtractorOptions options = {})
+      : options_(options) {}
+
+  ClusterExtraction Extract(const std::vector<std::string>& values) const;
+
+ private:
+  ClusterExtractorOptions options_;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_PATTERN_CLUSTER_EXTRACTOR_H_

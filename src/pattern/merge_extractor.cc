@@ -1,0 +1,130 @@
+#include "src/pattern/merge_extractor.h"
+
+#include <algorithm>
+#include <map>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/common/string_util.h"
+
+namespace loggrep {
+namespace {
+
+// A sketch splits a value into alternating constant (non-alphanumeric) and
+// candidate-sub-variable (alphanumeric run) pieces.
+struct SketchPiece {
+  bool is_run = false;  // alphanumeric run (candidate sub-variable)
+  std::string_view text;
+};
+
+std::vector<SketchPiece> SketchOf(std::string_view value) {
+  std::vector<SketchPiece> pieces;
+  size_t i = 0;
+  while (i < value.size()) {
+    const bool run = IsAsciiAlnum(value[i]);
+    const size_t start = i;
+    while (i < value.size() && IsAsciiAlnum(value[i]) == run) {
+      ++i;
+    }
+    pieces.push_back(SketchPiece{run, value.substr(start, i - start)});
+  }
+  return pieces;
+}
+
+// Form key: the delimiter skeleton, e.g. "ERR#404" -> "*#*". Two values merge
+// only when their skeletons are identical.
+std::string FormKeyOf(const std::vector<SketchPiece>& pieces) {
+  std::string key;
+  for (const SketchPiece& p : pieces) {
+    if (p.is_run) {
+      key += '\x01';  // placeholder that cannot occur in log text
+    } else {
+      key.append(p.text.data(), p.text.size());
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+NominalExtraction MergeExtractor::Extract(
+    const std::vector<std::string>& values) const {
+  NominalExtraction out;
+  out.index.reserve(values.size());
+
+  // Dedup, keeping first-seen order of unique values.
+  std::vector<std::string_view> uniques;
+  std::unordered_map<std::string_view, uint32_t> unique_id;
+  std::vector<uint32_t> row_to_unique;
+  row_to_unique.reserve(values.size());
+  for (const std::string& v : values) {
+    const auto [it, inserted] =
+        unique_id.try_emplace(v, static_cast<uint32_t>(uniques.size()));
+    if (inserted) {
+      uniques.push_back(v);
+    }
+    row_to_unique.push_back(it->second);
+  }
+
+  // Group unique values by sketch form. std::map keeps deterministic order
+  // and provides the O(n log n) sort the paper describes.
+  std::map<std::string, std::vector<uint32_t>> forms;
+  std::vector<std::vector<SketchPiece>> sketches(uniques.size());
+  for (uint32_t u = 0; u < uniques.size(); ++u) {
+    sketches[u] = SketchOf(uniques[u]);
+    forms[FormKeyOf(sketches[u])].push_back(u);
+  }
+
+  // Build one pattern per form; constant-collapse sub-variable slots whose
+  // text is identical across the form's values.
+  std::vector<uint32_t> unique_to_dict(uniques.size(), 0);
+  for (const auto& [key, members] : forms) {
+    (void)key;
+    const std::vector<SketchPiece>& first = sketches[members[0]];
+    const size_t num_pieces = first.size();
+    std::vector<bool> slot_constant(num_pieces, true);
+    for (size_t piece = 0; piece < num_pieces; ++piece) {
+      if (!first[piece].is_run) {
+        continue;
+      }
+      for (uint32_t u : members) {
+        if (sketches[u][piece].text != first[piece].text) {
+          slot_constant[piece] = false;
+          break;
+        }
+      }
+    }
+    std::vector<PatternElement> elems;
+    uint32_t next_subvar = 0;
+    for (size_t piece = 0; piece < num_pieces; ++piece) {
+      if (!first[piece].is_run || slot_constant[piece]) {
+        if (!elems.empty() && !elems.back().is_subvar) {
+          elems.back().constant += first[piece].text;
+        } else {
+          PatternElement e;
+          e.constant = std::string(first[piece].text);
+          elems.push_back(std::move(e));
+        }
+      } else {
+        PatternElement e;
+        e.is_subvar = true;
+        e.subvar = next_subvar++;
+        elems.push_back(e);
+      }
+    }
+    const uint32_t pattern_idx = static_cast<uint32_t>(out.patterns.size());
+    out.patterns.push_back(RuntimePattern(std::move(elems)));
+    for (uint32_t u : members) {
+      unique_to_dict[u] = static_cast<uint32_t>(out.dictionary.size());
+      out.dictionary.emplace_back(uniques[u]);
+      out.pattern_of_dict.push_back(pattern_idx);
+    }
+  }
+
+  for (uint32_t u : row_to_unique) {
+    out.index.push_back(unique_to_dict[u]);
+  }
+  return out;
+}
+
+}  // namespace loggrep

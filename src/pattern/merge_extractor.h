@@ -1,0 +1,42 @@
+// Pattern-merging runtime pattern extraction for *nominal* variable vectors
+// (§4.1): vectors with duplication rate >= 0.5, whose few unique values may
+// follow multiple patterns.
+//
+// Each unique value is split into a "pattern sketch" (alphanumeric runs
+// become sub-variables, everything else stays constant); sketches of the same
+// form merge, and a sub-variable that holds the same text in all values of a
+// sketch collapses back into a constant. The unique values are reordered so
+// that values of the same pattern are stored sequentially (the dictionary
+// vector), and the original vector is re-expressed as indices into the
+// dictionary (the index vector). O(n log n) in the number of unique values.
+#ifndef SRC_PATTERN_MERGE_EXTRACTOR_H_
+#define SRC_PATTERN_MERGE_EXTRACTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/pattern/runtime_pattern.h"
+
+namespace loggrep {
+
+struct NominalExtraction {
+  // One runtime pattern per dictionary section, in dictionary order.
+  std::vector<RuntimePattern> patterns;
+  // Unique values grouped by pattern; values of patterns[p] occupy a
+  // contiguous range of `dictionary`.
+  std::vector<std::string> dictionary;
+  // dictionary index -> pattern index (non-decreasing).
+  std::vector<uint32_t> pattern_of_dict;
+  // row -> dictionary index (same length as the original vector).
+  std::vector<uint32_t> index;
+};
+
+class MergeExtractor {
+ public:
+  NominalExtraction Extract(const std::vector<std::string>& values) const;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_PATTERN_MERGE_EXTRACTOR_H_

@@ -1,0 +1,143 @@
+#include "src/pattern/runtime_pattern.h"
+
+#include <cassert>
+
+namespace loggrep {
+
+RuntimePattern RuntimePattern::SingleSubVar() {
+  std::vector<PatternElement> elems(1);
+  elems[0].is_subvar = true;
+  elems[0].subvar = 0;
+  return RuntimePattern(std::move(elems));
+}
+
+uint32_t RuntimePattern::SubVarCount() const {
+  uint32_t n = 0;
+  for (const PatternElement& e : elements_) {
+    n += e.is_subvar ? 1 : 0;
+  }
+  return n;
+}
+
+std::optional<std::vector<std::string_view>> RuntimePattern::MatchValue(
+    std::string_view value) const {
+  std::vector<std::string_view> out(SubVarCount());
+  size_t pos = 0;
+  for (size_t i = 0; i < elements_.size(); ++i) {
+    const PatternElement& e = elements_[i];
+    if (!e.is_subvar) {
+      if (value.compare(pos, e.constant.size(), e.constant) != 0) {
+        return std::nullopt;
+      }
+      pos += e.constant.size();
+      continue;
+    }
+    // Sub-variable: absorbs up to the next constant (leftmost occurrence), or
+    // the rest of the value if it is the final element. Extractor invariant:
+    // the next element, if any, is a constant.
+    if (i + 1 == elements_.size()) {
+      out[e.subvar] = value.substr(pos);
+      pos = value.size();
+      continue;
+    }
+    const PatternElement& next = elements_[i + 1];
+    assert(!next.is_subvar && "adjacent sub-variables are not producible");
+    const size_t found = value.find(next.constant, pos);
+    if (found == std::string_view::npos) {
+      return std::nullopt;
+    }
+    out[e.subvar] = value.substr(pos, found - pos);
+    pos = found;
+  }
+  if (pos != value.size()) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+std::string RuntimePattern::Render(
+    const std::vector<std::string_view>& subvalues) const {
+  std::string out;
+  for (const PatternElement& e : elements_) {
+    if (e.is_subvar) {
+      assert(e.subvar < subvalues.size());
+      out += subvalues[e.subvar];
+    } else {
+      out += e.constant;
+    }
+  }
+  return out;
+}
+
+std::string RuntimePattern::ToString() const {
+  std::string out;
+  for (const PatternElement& e : elements_) {
+    if (e.is_subvar) {
+      out += "<*>";
+    } else {
+      out += e.constant;
+    }
+  }
+  return out;
+}
+
+void RuntimePattern::WriteTo(ByteWriter& out) const {
+  out.PutVarint(elements_.size());
+  for (const PatternElement& e : elements_) {
+    out.PutU8(e.is_subvar ? 1 : 0);
+    if (e.is_subvar) {
+      out.PutVarint(e.subvar);
+    } else {
+      out.PutLengthPrefixed(e.constant);
+    }
+  }
+}
+
+Result<RuntimePattern> RuntimePattern::ReadFrom(ByteReader& in) {
+  Result<uint64_t> n = in.ReadVarint();
+  if (!n.ok()) {
+    return n.status();
+  }
+  std::vector<PatternElement> elems;
+  elems.reserve(*n);
+  for (uint64_t i = 0; i < *n; ++i) {
+    Result<uint8_t> is_subvar = in.ReadU8();
+    if (!is_subvar.ok()) {
+      return is_subvar.status();
+    }
+    PatternElement e;
+    e.is_subvar = (*is_subvar != 0);
+    if (e.is_subvar) {
+      Result<uint64_t> sv = in.ReadVarint();
+      if (!sv.ok()) {
+        return sv.status();
+      }
+      e.subvar = static_cast<uint32_t>(*sv);
+    } else {
+      Result<std::string_view> text = in.ReadLengthPrefixed();
+      if (!text.ok()) {
+        return text.status();
+      }
+      e.constant = std::string(*text);
+    }
+    elems.push_back(std::move(e));
+  }
+  return RuntimePattern(std::move(elems));
+}
+
+bool RuntimePattern::operator==(const RuntimePattern& other) const {
+  if (elements_.size() != other.elements_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < elements_.size(); ++i) {
+    const PatternElement& a = elements_[i];
+    const PatternElement& b = other.elements_[i];
+    if (a.is_subvar != b.is_subvar || a.constant != b.constant ||
+        (a.is_subvar && a.subvar != b.subvar)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace loggrep

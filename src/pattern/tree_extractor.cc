@@ -1,0 +1,203 @@
+#include "src/pattern/tree_extractor.h"
+
+#include <algorithm>
+#include <string_view>
+#include <unordered_set>
+
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+
+namespace loggrep {
+
+double DuplicationRate(const std::vector<std::string>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::unordered_set<std::string_view> unique(values.begin(), values.end());
+  return static_cast<double>(values.size() - unique.size()) /
+         static_cast<double>(values.size());
+}
+
+VectorClass ClassifyVector(const std::vector<std::string>& values,
+                           double threshold) {
+  return DuplicationRate(values) < threshold ? VectorClass::kReal
+                                             : VectorClass::kNominal;
+}
+
+namespace {
+
+struct Leaf {
+  enum class State { kOpen, kConstant, kSubVar };
+  State state = State::kOpen;
+  std::vector<std::string> col;
+  std::string constant;
+};
+
+bool AllEqual(const std::vector<std::string>& col) {
+  for (size_t i = 1; i < col.size(); ++i) {
+    if (col[i] != col[0]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Fraction of values containing `delim`.
+double Coverage(const std::vector<std::string>& col, std::string_view delim) {
+  size_t hit = 0;
+  for (const std::string& v : col) {
+    if (v.find(delim) != std::string::npos) {
+      ++hit;
+    }
+  }
+  return static_cast<double>(hit) / static_cast<double>(col.size());
+}
+
+// Splits `col` at the first occurrence of `delim`; values lacking the
+// delimiter (at most 5%) are dropped here — they will land in the outlier
+// Capsule when the final pattern is applied to the full vector.
+void SplitAt(const std::vector<std::string>& col, std::string_view delim,
+             std::vector<std::string>* left, std::vector<std::string>* right) {
+  for (const std::string& v : col) {
+    const size_t pos = v.find(delim);
+    if (pos == std::string::npos) {
+      continue;
+    }
+    left->push_back(v.substr(0, pos));
+    right->push_back(v.substr(pos + delim.size()));
+  }
+}
+
+}  // namespace
+
+RuntimePattern TreeExtractor::Extract(const std::vector<std::string>& values) const {
+  if (values.empty()) {
+    return RuntimePattern::SingleSubVar();
+  }
+  Rng rng(options_.seed);
+
+  // Sample, then dedup: the root node holds unique sampled values.
+  std::unordered_set<std::string_view> seen;
+  std::vector<std::string> root;
+  const bool sample_all = values.size() <= options_.min_sample;
+  for (const std::string& v : values) {
+    if (!sample_all && !rng.NextBool(options_.sample_rate)) {
+      continue;
+    }
+    if (seen.insert(v).second) {
+      root.push_back(v);
+    }
+  }
+  if (root.empty()) {
+    root.push_back(values[0]);
+  }
+
+  std::vector<Leaf> leaves(1);
+  leaves[0].col = std::move(root);
+
+  bool progressed = true;
+  while (progressed && leaves.size() < options_.max_elements) {
+    progressed = false;
+    std::vector<Leaf> next;
+    next.reserve(leaves.size() + 2);
+    for (Leaf& leaf : leaves) {
+      if (leaf.state != Leaf::State::kOpen) {
+        next.push_back(std::move(leaf));
+        continue;
+      }
+      if (AllEqual(leaf.col)) {
+        leaf.state = Leaf::State::kConstant;
+        leaf.constant = leaf.col[0];
+        next.push_back(std::move(leaf));
+        continue;
+      }
+      // Try to find a splitting delimiter.
+      std::string delim;
+      for (int attempt = 0; attempt < options_.attempts_per_leaf && delim.empty();
+           ++attempt) {
+        const std::string& probe =
+            leaf.col[rng.NextBelow(leaf.col.size())];
+        // Candidate 1: a non-alphanumeric character of a random value.
+        for (char c : DistinctNonAlnumChars(probe)) {
+          const std::string_view cand(&c, 1);
+          if (Coverage(leaf.col, cand) >= options_.split_threshold) {
+            delim = std::string(cand);
+            break;
+          }
+        }
+        if (!delim.empty()) {
+          break;
+        }
+        // Candidate 2: the LCS of two random values (length >= 2).
+        const std::string& other =
+            leaf.col[rng.NextBelow(leaf.col.size())];
+        if (&other != &probe) {
+          const std::string_view lcs = LongestCommonSubstring(probe, other);
+          if (lcs.size() >= 2 &&
+              Coverage(leaf.col, lcs) >= options_.split_threshold) {
+            delim = std::string(lcs);
+          }
+        }
+      }
+      if (delim.empty()) {
+        leaf.state = Leaf::State::kSubVar;
+        next.push_back(std::move(leaf));
+        continue;
+      }
+      Leaf left;
+      Leaf right;
+      SplitAt(leaf.col, delim, &left.col, &right.col);
+      Leaf mid;
+      mid.state = Leaf::State::kConstant;
+      mid.constant = delim;
+      next.push_back(std::move(left));
+      next.push_back(std::move(mid));
+      next.push_back(std::move(right));
+      progressed = true;
+    }
+    leaves = std::move(next);
+  }
+
+  // Assemble the pattern: merge adjacent constants, drop empty ones, number
+  // sub-variables left to right. Leaves still open (iteration guard) become
+  // sub-variables.
+  std::vector<PatternElement> elems;
+  uint32_t next_subvar = 0;
+  for (Leaf& leaf : leaves) {
+    if (leaf.state == Leaf::State::kConstant) {
+      if (leaf.constant.empty()) {
+        continue;
+      }
+      if (!elems.empty() && !elems.back().is_subvar) {
+        elems.back().constant += leaf.constant;
+      } else {
+        PatternElement e;
+        e.constant = std::move(leaf.constant);
+        elems.push_back(std::move(e));
+      }
+      continue;
+    }
+    // Sub-variable (or still-open) leaf. An all-empty column contributes
+    // nothing: drop it rather than emit a vacuous sub-variable.
+    bool all_empty = true;
+    for (const std::string& v : leaf.col) {
+      if (!v.empty()) {
+        all_empty = false;
+        break;
+      }
+    }
+    if (all_empty) {
+      continue;
+    }
+    PatternElement e;
+    e.is_subvar = true;
+    e.subvar = next_subvar++;
+    elems.push_back(e);
+  }
+  if (elems.empty()) {
+    return RuntimePattern::SingleSubVar();
+  }
+  return RuntimePattern(std::move(elems));
+}
+
+}  // namespace loggrep

@@ -1,0 +1,56 @@
+// Tree-expanding runtime pattern extraction for *real* variable vectors
+// (§4.1): vectors whose duplication rate is below 0.5 and which are assumed
+// to be dominated by a single pattern.
+//
+// The extractor builds a pattern tree over a sample of unique values: each
+// iteration tries to split every open leaf with a delimiter taken from a
+// randomly picked value (a non-alphanumeric character, or the longest common
+// substring of two random values). A delimiter splits a leaf if at least 95%
+// of its values contain it; after three failed attempts the leaf is marked
+// unsplittable and becomes a sub-variable. Leaves whose values are all equal
+// become constants. O(n) in the number of sampled values.
+#ifndef SRC_PATTERN_TREE_EXTRACTOR_H_
+#define SRC_PATTERN_TREE_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/pattern/runtime_pattern.h"
+
+namespace loggrep {
+
+// (total - unique) / total; 0 for an empty vector.
+double DuplicationRate(const std::vector<std::string>& values);
+
+enum class VectorClass {
+  kReal,     // duplication rate < threshold: tree expanding
+  kNominal,  // duplication rate >= threshold: pattern merging
+};
+
+VectorClass ClassifyVector(const std::vector<std::string>& values,
+                           double threshold = 0.5);
+
+struct TreeExtractorOptions {
+  double sample_rate = 0.05;
+  size_t min_sample = 64;       // sample everything below this many values
+  double split_threshold = 0.95;
+  int attempts_per_leaf = 3;
+  size_t max_elements = 48;     // guard against pathological explosion
+  uint64_t seed = 0x7EE5;
+};
+
+class TreeExtractor {
+ public:
+  explicit TreeExtractor(TreeExtractorOptions options = {}) : options_(options) {}
+
+  // Extracts the dominating runtime pattern of `values`. Returns the trivial
+  // single-sub-variable pattern when no structure is found.
+  RuntimePattern Extract(const std::vector<std::string>& values) const;
+
+ private:
+  TreeExtractorOptions options_;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_PATTERN_TREE_EXTRACTOR_H_

@@ -1,0 +1,174 @@
+#include "src/query/fixed_matcher.h"
+
+#include <array>
+
+#include "src/capsule/capsule.h"
+
+namespace loggrep {
+
+std::vector<size_t> BoyerMooreSearch(std::string_view haystack,
+                                     std::string_view needle) {
+  std::vector<size_t> hits;
+  if (needle.empty() || needle.size() > haystack.size()) {
+    return hits;
+  }
+  // Horspool bad-character shift table.
+  std::array<size_t, 256> shift;
+  shift.fill(needle.size());
+  for (size_t i = 0; i + 1 < needle.size(); ++i) {
+    shift[static_cast<unsigned char>(needle[i])] = needle.size() - 1 - i;
+  }
+  size_t pos = 0;
+  const size_t last = needle.size() - 1;
+  while (pos + needle.size() <= haystack.size()) {
+    const unsigned char tail = static_cast<unsigned char>(haystack[pos + last]);
+    if (haystack[pos + last] == needle[last] &&
+        haystack.compare(pos, needle.size(), needle) == 0) {
+      hits.push_back(pos);
+      ++pos;
+    } else {
+      pos += shift[tail];
+    }
+  }
+  return hits;
+}
+
+std::vector<size_t> KmpSearch(std::string_view haystack, std::string_view needle) {
+  std::vector<size_t> hits;
+  if (needle.empty() || needle.size() > haystack.size()) {
+    return hits;
+  }
+  std::vector<size_t> fail(needle.size(), 0);
+  for (size_t i = 1; i < needle.size(); ++i) {
+    size_t k = fail[i - 1];
+    while (k > 0 && needle[i] != needle[k]) {
+      k = fail[k - 1];
+    }
+    if (needle[i] == needle[k]) {
+      ++k;
+    }
+    fail[i] = k;
+  }
+  size_t k = 0;
+  for (size_t i = 0; i < haystack.size(); ++i) {
+    while (k > 0 && haystack[i] != needle[k]) {
+      k = fail[k - 1];
+    }
+    if (haystack[i] == needle[k]) {
+      ++k;
+    }
+    if (k == needle.size()) {
+      hits.push_back(i + 1 - needle.size());
+      k = fail[k - 1];
+    }
+  }
+  return hits;
+}
+
+bool ValueMatchesFragment(std::string_view value, FragmentMode mode,
+                          std::string_view fragment) {
+  switch (mode) {
+    case FragmentMode::kExact:
+      return value == fragment;
+    case FragmentMode::kPrefix:
+      return value.substr(0, fragment.size()) == fragment;
+    case FragmentMode::kSuffix:
+      return value.size() >= fragment.size() &&
+             value.substr(value.size() - fragment.size()) == fragment;
+    case FragmentMode::kSub:
+      return value.find(fragment) != std::string_view::npos;
+  }
+  return false;
+}
+
+std::vector<uint32_t> SearchPaddedColumn(std::string_view blob, uint32_t width,
+                                         FragmentMode mode,
+                                         std::string_view fragment, bool use_bm) {
+  std::vector<uint32_t> rows;
+  if (width == 0) {
+    // Zero-width column: every value is empty.
+    if (fragment.empty() && mode != FragmentMode::kExact) {
+      return rows;  // caller treats empty fragments before reaching here
+    }
+    return rows;
+  }
+  const uint32_t count = static_cast<uint32_t>(blob.size() / width);
+  if (fragment.size() > width) {
+    return rows;
+  }
+  if (mode == FragmentMode::kSub && fragment.size() > 1) {
+    // Whole-blob scan; a hit is valid when it lies inside a single cell
+    // (fragments never contain the pad byte, so padding cannot match).
+    const std::vector<size_t> hits = use_bm ? BoyerMooreSearch(blob, fragment)
+                                            : KmpSearch(blob, fragment);
+    uint32_t prev_row = UINT32_MAX;
+    for (size_t hit : hits) {
+      const uint32_t row = static_cast<uint32_t>(hit / width);
+      if (row == prev_row) {
+        continue;
+      }
+      if ((hit + fragment.size() - 1) / width == row) {
+        rows.push_back(row);
+        prev_row = row;
+      }
+    }
+    return rows;
+  }
+  // Per-cell check path (prefix/suffix/exact, and single-char substrings where
+  // a full scan buys nothing).
+  for (uint32_t row = 0; row < count; ++row) {
+    const std::string_view value = TrimCell(PaddedCell(blob, width, row));
+    if (ValueMatchesFragment(value, mode, fragment)) {
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+std::vector<uint32_t> CheckPaddedRows(std::string_view blob, uint32_t width,
+                                      FragmentMode mode, std::string_view fragment,
+                                      const std::vector<uint32_t>& candidates) {
+  std::vector<uint32_t> rows;
+  if (width == 0) {
+    return rows;
+  }
+  const uint32_t count = static_cast<uint32_t>(blob.size() / width);
+  for (uint32_t row : candidates) {
+    if (row >= count) {
+      continue;
+    }
+    const std::string_view value = TrimCell(PaddedCell(blob, width, row));
+    if (ValueMatchesFragment(value, mode, fragment)) {
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+std::vector<uint32_t> SearchDelimitedColumn(std::string_view blob,
+                                            FragmentMode mode,
+                                            std::string_view fragment) {
+  std::vector<uint32_t> rows;
+  uint32_t row = 0;
+  size_t start = 0;
+  for (size_t i = 0; i < blob.size(); ++i) {
+    if (blob[i] != '\n') {
+      continue;
+    }
+    const std::string_view value = blob.substr(start, i - start);
+    bool match = false;
+    if (mode == FragmentMode::kSub && fragment.size() > 1) {
+      match = !KmpSearch(value, fragment).empty();
+    } else {
+      match = ValueMatchesFragment(value, mode, fragment);
+    }
+    if (match) {
+      rows.push_back(row);
+    }
+    ++row;
+    start = i + 1;
+  }
+  return rows;
+}
+
+}  // namespace loggrep

@@ -1,0 +1,55 @@
+// Fixed-length matching inside decompressed Capsules (§5.2).
+//
+// Padded columns are scanned with Boyer-Moore(-Horspool): because every cell
+// has the same width, a hit position divides by the width to give the row.
+// The delimited layout (the "w/o fixed" ablation) falls back to per-value
+// KMP scanning, exactly as the paper describes.
+#ifndef SRC_QUERY_FIXED_MATCHER_H_
+#define SRC_QUERY_FIXED_MATCHER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace loggrep {
+
+enum class FragmentMode : uint8_t {
+  kExact,   // fragment equals the whole value
+  kPrefix,  // fragment is a prefix of the value
+  kSuffix,  // fragment is a suffix of the value
+  kSub,     // fragment occurs anywhere in the value
+};
+
+// Raw Boyer-Moore-Horspool substring scan; returns all match positions.
+std::vector<size_t> BoyerMooreSearch(std::string_view haystack,
+                                     std::string_view needle);
+
+// Raw KMP substring scan; same contract as BoyerMooreSearch.
+std::vector<size_t> KmpSearch(std::string_view haystack, std::string_view needle);
+
+// True when `value` satisfies (mode, fragment); fragment must be literal
+// (wildcard keywords are handled at a higher level).
+bool ValueMatchesFragment(std::string_view value, FragmentMode mode,
+                          std::string_view fragment);
+
+// All rows of a padded column whose value satisfies (mode, fragment).
+// `use_bm` selects Boyer-Moore (true) or KMP (false) for the kSub scan.
+std::vector<uint32_t> SearchPaddedColumn(std::string_view blob, uint32_t width,
+                                         FragmentMode mode,
+                                         std::string_view fragment,
+                                         bool use_bm = true);
+
+// Direct row checking (§5.2): filters `candidates` to rows whose padded cell
+// satisfies (mode, fragment), without scanning the whole column.
+std::vector<uint32_t> CheckPaddedRows(std::string_view blob, uint32_t width,
+                                      FragmentMode mode, std::string_view fragment,
+                                      const std::vector<uint32_t>& candidates);
+
+// Sequential scan of a '\n'-delimited column with KMP (variable-length path).
+std::vector<uint32_t> SearchDelimitedColumn(std::string_view blob,
+                                            FragmentMode mode,
+                                            std::string_view fragment);
+
+}  // namespace loggrep
+
+#endif  // SRC_QUERY_FIXED_MATCHER_H_

@@ -1,0 +1,42 @@
+#include "src/query/line_match.h"
+
+#include "src/parser/tokenizer.h"
+#include "src/query/wildcard.h"
+
+namespace loggrep {
+
+bool LineMatchesTerm(std::string_view line, const SearchTerm& term) {
+  const std::vector<std::string_view> tokens = TokenizeKeywords(line);
+  for (const std::string& keyword : term.keywords) {
+    bool hit = false;
+    for (std::string_view token : tokens) {
+      if (KeywordHitsToken(keyword, token)) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LineMatchesQuery(std::string_view line, const QueryExpr& expr) {
+  switch (expr.kind) {
+    case QueryExpr::Kind::kTerm:
+      return LineMatchesTerm(line, expr.term);
+    case QueryExpr::Kind::kAnd:
+      return LineMatchesQuery(line, *expr.left) &&
+             LineMatchesQuery(line, *expr.right);
+    case QueryExpr::Kind::kOr:
+      return LineMatchesQuery(line, *expr.left) ||
+             LineMatchesQuery(line, *expr.right);
+    case QueryExpr::Kind::kNot:
+      return (expr.left == nullptr || LineMatchesQuery(line, *expr.left)) &&
+             !LineMatchesQuery(line, *expr.right);
+  }
+  return false;
+}
+
+}  // namespace loggrep

@@ -1,0 +1,25 @@
+// Reference query semantics over raw log lines.
+//
+// A search term hits an entry when EVERY keyword of the term is contained in
+// some token of the entry (wildcards stay within one token, §3). This helper
+// defines those semantics once; the decompress-and-scan baselines use it
+// directly, and LogGrep's index-level matching is expected to agree with it
+// exactly (property-tested in tests/).
+#ifndef SRC_QUERY_LINE_MATCH_H_
+#define SRC_QUERY_LINE_MATCH_H_
+
+#include <string_view>
+
+#include "src/query/query_parser.h"
+
+namespace loggrep {
+
+// True when every keyword of `term` hits some token of `line`.
+bool LineMatchesTerm(std::string_view line, const SearchTerm& term);
+
+// Full boolean evaluation of a parsed query over one line.
+bool LineMatchesQuery(std::string_view line, const QueryExpr& expr);
+
+}  // namespace loggrep
+
+#endif  // SRC_QUERY_LINE_MATCH_H_

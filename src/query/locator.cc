@@ -1,0 +1,380 @@
+#include "src/query/locator.h"
+
+#include <algorithm>
+
+#include "src/capsule/capsule.h"
+#include "src/query/wildcard.h"
+
+namespace loggrep {
+
+bool StampAdmitsKeyword(const CapsuleStamp& stamp, std::string_view keyword) {
+  if (!HasWildcards(keyword)) {
+    return stamp.AdmitsFragment(keyword);
+  }
+  TypeMask literal_mask = 0;
+  uint32_t min_len = 0;
+  for (char c : keyword) {
+    if (c == '*') {
+      continue;
+    }
+    ++min_len;  // '?' consumes one character of unknown class
+    if (c != '?') {
+      literal_mask |= CharClassOf(c);
+    }
+  }
+  return min_len <= stamp.max_len && MaskSubsumes(stamp.mask, literal_mask);
+}
+
+std::string_view BoxQuerier::CapsuleBlob(uint32_t id) {
+  const auto it = blob_cache_.find(id);
+  if (it != blob_cache_.end()) {
+    return it->second;
+  }
+  Result<std::string> blob = box_.ReadCapsule(id);
+  if (!blob.ok()) {
+    LatchError(blob.status());
+    return {};
+  }
+  ++stats_.capsules_decompressed;
+  stats_.bytes_decompressed += blob->size();
+  return blob_cache_.emplace(id, std::move(*blob)).first->second;
+}
+
+const std::vector<std::string_view>& BoxQuerier::DelimitedValues(uint32_t id) {
+  const auto it = split_cache_.find(id);
+  if (it != split_cache_.end()) {
+    return it->second;
+  }
+  const std::string_view blob = CapsuleBlob(id);
+  return split_cache_.emplace(id, SplitDelimitedBlob(blob)).first->second;
+}
+
+const std::vector<uint32_t>& BoxQuerier::PresentRows(uint32_t group_idx,
+                                                     uint32_t slot) {
+  const uint64_t key = (static_cast<uint64_t>(group_idx) << 32) | slot;
+  const auto it = present_rows_cache_.find(key);
+  if (it != present_rows_cache_.end()) {
+    return it->second;
+  }
+  const GroupMeta& group = box_.meta().groups[group_idx];
+  const RealVarMeta& rv = group.vars[slot].real();
+  std::vector<uint32_t> present;
+  present.reserve(group.row_count - rv.outlier_rows.size());
+  size_t next_outlier = 0;
+  for (uint32_t row = 0; row < group.row_count; ++row) {
+    if (next_outlier < rv.outlier_rows.size() &&
+        rv.outlier_rows[next_outlier] == row) {
+      ++next_outlier;
+    } else {
+      present.push_back(row);
+    }
+  }
+  return present_rows_cache_.emplace(key, std::move(present)).first->second;
+}
+
+RowSet BoxQuerier::MatchKeywordInGroup(uint32_t group_idx,
+                                       std::string_view keyword) {
+  const GroupMeta& group = box_.meta().groups[group_idx];
+  const StaticPattern& tmpl = box_.meta().templates[group.template_id];
+  // Static pattern hit: the keyword is contained in a constant token, so
+  // every entry of the group matches.
+  for (const StaticPattern::Tok& tok : tmpl.tokens()) {
+    if (!tok.is_var && KeywordHitsToken(keyword, tok.text)) {
+      return RowSet::All(group.row_count);
+    }
+  }
+  RowSet rows = RowSet::None(group.row_count);
+  for (uint32_t slot = 0; slot < group.vars.size(); ++slot) {
+    if (rows.IsAll()) {
+      break;
+    }
+    RowSet var_rows = RowSet::None(group.row_count);
+    const VarMeta& var = group.vars[slot];
+    if (var.is_whole()) {
+      var_rows = MatchInWhole(group, var.whole(), keyword);
+    } else if (var.is_real()) {
+      var_rows = MatchInReal(group, group_idx, slot, var.real(), keyword);
+    } else {
+      var_rows = MatchInNominal(group, var.nominal(), keyword);
+    }
+    rows = rows.UnionWith(var_rows);
+  }
+  return rows;
+}
+
+RowSet BoxQuerier::MatchKeywordInOutliers(std::string_view keyword) {
+  const CapsuleBoxMeta& meta = box_.meta();
+  const uint32_t universe =
+      static_cast<uint32_t>(meta.outlier_line_numbers.size());
+  if (meta.outlier_capsule == kNoCapsule || universe == 0) {
+    return RowSet::None(universe);
+  }
+  const std::vector<std::string_view>& lines =
+      DelimitedValues(meta.outlier_capsule);
+  std::vector<uint32_t> hits;
+  for (uint32_t i = 0; i < lines.size(); ++i) {
+    // Raw lines: the keyword hits if it is contained in any token.
+    for (std::string_view token : TokenizeKeywords(lines[i])) {
+      if (KeywordHitsToken(keyword, token)) {
+        hits.push_back(i);
+        break;
+      }
+    }
+  }
+  return RowSet::Of(universe, std::move(hits));
+}
+
+RowSet BoxQuerier::MatchInWhole(const GroupMeta& group, const WholeVarMeta& wv,
+                                std::string_view keyword) {
+  if (options_.use_stamps && !StampAdmitsKeyword(wv.stamp, keyword)) {
+    ++stats_.capsules_stamp_filtered;
+    return RowSet::None(group.row_count);
+  }
+  const bool wild = HasWildcards(keyword);
+  std::vector<uint32_t> hits;
+  if (box_.meta().padded) {
+    const std::string_view blob = CapsuleBlob(wv.capsule);
+    const uint32_t width = wv.stamp.PadWidth();
+    if (wild) {
+      const uint32_t count = static_cast<uint32_t>(blob.size() / width);
+      for (uint32_t row = 0; row < count; ++row) {
+        if (KeywordHitsToken(keyword, TrimCell(PaddedCell(blob, width, row)))) {
+          hits.push_back(row);
+        }
+      }
+    } else {
+      hits = SearchPaddedColumn(blob, width, FragmentMode::kSub, keyword,
+                                options_.use_bm);
+    }
+  } else {
+    const std::vector<std::string_view>& values = DelimitedValues(wv.capsule);
+    for (uint32_t row = 0; row < values.size(); ++row) {
+      const bool hit = wild ? KeywordHitsToken(keyword, values[row])
+                            : !KmpSearch(values[row], keyword).empty();
+      if (hit) {
+        hits.push_back(row);
+      }
+    }
+  }
+  return RowSet::Of(group.row_count, std::move(hits));
+}
+
+std::vector<uint32_t> BoxQuerier::EvaluateConstraints(const RealVarMeta& rv,
+                                                      const PossibleMatch& match) {
+  std::vector<uint32_t> candidate_rows;  // present-row indices
+  bool first = true;
+  for (const SubVarConstraint& c : match.constraints) {
+    const CapsuleStamp& stamp = rv.subvar_stamps[c.subvar];
+    if (options_.use_stamps && !stamp.AdmitsFragment(c.fragment)) {
+      ++stats_.capsules_stamp_filtered;
+      return {};
+    }
+    const uint32_t capsule = rv.subvar_capsules[c.subvar];
+    if (box_.meta().padded) {
+      const std::string_view blob = CapsuleBlob(capsule);
+      const uint32_t width = rv.subvar_stamps[c.subvar].PadWidth();
+      if (first) {
+        candidate_rows = SearchPaddedColumn(blob, width, c.mode, c.fragment,
+                                            options_.use_bm);
+        first = false;
+      } else {
+        // Direct row checking (§5.2): only revisit surviving candidates.
+        candidate_rows =
+            CheckPaddedRows(blob, width, c.mode, c.fragment, candidate_rows);
+      }
+    } else {
+      const std::string_view blob = CapsuleBlob(capsule);
+      std::vector<uint32_t> rows =
+          SearchDelimitedColumn(blob, c.mode, c.fragment);
+      if (first) {
+        candidate_rows = std::move(rows);
+        first = false;
+      } else {
+        std::vector<uint32_t> merged;
+        std::set_intersection(candidate_rows.begin(), candidate_rows.end(),
+                              rows.begin(), rows.end(),
+                              std::back_inserter(merged));
+        candidate_rows = std::move(merged);
+      }
+    }
+    if (candidate_rows.empty()) {
+      return {};
+    }
+  }
+  return candidate_rows;
+}
+
+RowSet BoxQuerier::MatchInReal(const GroupMeta& group, uint32_t group_idx,
+                               uint32_t slot, const RealVarMeta& rv,
+                               std::string_view keyword) {
+  RowSet rows = RowSet::None(group.row_count);
+
+  // Outlier values never follow the pattern; scan them directly.
+  if (rv.outlier_capsule != kNoCapsule) {
+    const std::vector<std::string_view>& outliers =
+        DelimitedValues(rv.outlier_capsule);
+    std::vector<uint32_t> hits;
+    for (uint32_t i = 0; i < outliers.size(); ++i) {
+      if (KeywordHitsToken(keyword, outliers[i])) {
+        hits.push_back(rv.outlier_rows[i]);
+      }
+    }
+    rows = rows.UnionWith(RowSet::Of(group.row_count, std::move(hits)));
+  }
+
+  const std::vector<uint32_t>& present = PresentRows(group_idx, slot);
+  if (present.empty()) {
+    return rows;
+  }
+
+  if (HasWildcards(keyword)) {
+    // Wildcard fallback: materialize full values of present rows.
+    const uint32_t num_subvars = rv.pattern.SubVarCount();
+    std::vector<std::string_view> blobs(num_subvars);
+    std::vector<const std::vector<std::string_view>*> cols(num_subvars, nullptr);
+    for (uint32_t sv = 0; sv < num_subvars; ++sv) {
+      if (box_.meta().padded) {
+        blobs[sv] = CapsuleBlob(rv.subvar_capsules[sv]);
+      } else {
+        cols[sv] = &DelimitedValues(rv.subvar_capsules[sv]);
+      }
+    }
+    std::vector<uint32_t> hits;
+    std::vector<std::string_view> subvalues(num_subvars);
+    for (uint32_t p = 0; p < present.size(); ++p) {
+      for (uint32_t sv = 0; sv < num_subvars; ++sv) {
+        if (box_.meta().padded) {
+          subvalues[sv] =
+              TrimCell(PaddedCell(blobs[sv], rv.subvar_stamps[sv].PadWidth(), p));
+        } else {
+          subvalues[sv] = (*cols[sv])[p];
+        }
+      }
+      if (KeywordHitsToken(keyword, rv.pattern.Render(subvalues))) {
+        hits.push_back(present[p]);
+      }
+    }
+    return rows.UnionWith(RowSet::Of(group.row_count, std::move(hits)));
+  }
+
+  const std::vector<PossibleMatch> matches =
+      MatchKeywordOnPattern(rv.pattern, keyword);
+  stats_.possible_matches += matches.size();
+  for (const PossibleMatch& match : matches) {
+    if (match.trivial()) {
+      ++stats_.pattern_trivial_hits;
+      rows = rows.UnionWith(RowSet::Of(group.row_count, present));
+      break;
+    }
+    std::vector<uint32_t> present_hits = EvaluateConstraints(rv, match);
+    if (present_hits.empty()) {
+      continue;
+    }
+    std::vector<uint32_t> group_rows;
+    group_rows.reserve(present_hits.size());
+    for (uint32_t p : present_hits) {
+      group_rows.push_back(present[p]);
+    }
+    rows = rows.UnionWith(RowSet::Of(group.row_count, std::move(group_rows)));
+  }
+  return rows;
+}
+
+RowSet BoxQuerier::MatchInNominal(const GroupMeta& group,
+                                  const NominalVarMeta& nv,
+                                  std::string_view keyword) {
+  const bool wild = HasWildcards(keyword);
+
+  // Phase 1: find matching dictionary ids, section by section. A section is
+  // only scanned when the keyword can match its runtime pattern and passes
+  // its stamp (§5.1 "differences for nominal variable vectors").
+  std::vector<uint32_t> dict_ids;
+  uint32_t first_id = 0;
+  uint64_t byte_offset = 0;
+  const std::vector<std::string_view>* dict_values = nullptr;
+  std::string_view dict_blob;
+  bool dict_fetched = false;  // decompress lazily: stamps may filter it all
+  for (const NominalPatternMeta& pm : nv.patterns) {
+    const uint32_t width = pm.stamp.PadWidth();
+    bool candidate = true;
+    if (!wild) {
+      if (MatchKeywordOnPattern(pm.pattern, keyword).empty()) {
+        candidate = false;
+      } else if (options_.use_stamps && !pm.stamp.AdmitsFragment(keyword)) {
+        ++stats_.capsules_stamp_filtered;
+        candidate = false;
+      }
+    } else if (options_.use_stamps && !StampAdmitsKeyword(pm.stamp, keyword)) {
+      ++stats_.capsules_stamp_filtered;
+      candidate = false;
+    }
+    if (candidate) {
+      // Jump straight to this section (sum of count*len of prior patterns).
+      for (uint32_t i = 0; i < pm.count; ++i) {
+        std::string_view value;
+        if (box_.meta().padded) {
+          if (!dict_fetched) {
+            dict_blob = CapsuleBlob(nv.dict_capsule);
+            dict_fetched = true;
+          }
+          value = TrimCell(
+              dict_blob.substr(byte_offset + static_cast<uint64_t>(i) * width, width));
+        } else {
+          if (dict_values == nullptr) {
+            dict_values = &DelimitedValues(nv.dict_capsule);
+          }
+          value = (*dict_values)[first_id + i];
+        }
+        const bool hit = wild ? KeywordHitsToken(keyword, value)
+                              : value.find(keyword) != std::string_view::npos;
+        if (hit) {
+          dict_ids.push_back(first_id + i);
+        }
+      }
+    }
+    first_id += pm.count;
+    byte_offset += static_cast<uint64_t>(pm.count) * width;
+  }
+  if (dict_ids.empty()) {
+    return RowSet::None(group.row_count);
+  }
+
+  // Phase 2: map dictionary ids to rows via the index Capsule.
+  std::vector<bool> wanted(first_id, false);
+  for (uint32_t id : dict_ids) {
+    wanted[id] = true;
+  }
+  std::vector<uint32_t> hits;
+  auto parse_id = [](std::string_view cell) -> uint32_t {
+    uint32_t v = 0;
+    for (char c : cell) {
+      if (c < '0' || c > '9') {
+        break;
+      }
+      v = v * 10 + static_cast<uint32_t>(c - '0');
+    }
+    return v;
+  };
+  if (box_.meta().padded) {
+    const std::string_view index_blob = CapsuleBlob(nv.index_capsule);
+    const uint32_t width = nv.index_width == 0 ? 1 : nv.index_width;
+    const uint32_t count = static_cast<uint32_t>(index_blob.size() / width);
+    for (uint32_t row = 0; row < count; ++row) {
+      const uint32_t id = parse_id(PaddedCell(index_blob, width, row));
+      if (id < wanted.size() && wanted[id]) {
+        hits.push_back(row);
+      }
+    }
+  } else {
+    const std::vector<std::string_view>& cells = DelimitedValues(nv.index_capsule);
+    for (uint32_t row = 0; row < cells.size(); ++row) {
+      const uint32_t id = parse_id(cells[row]);
+      if (id < wanted.size() && wanted[id]) {
+        hits.push_back(row);
+      }
+    }
+  }
+  return RowSet::Of(group.row_count, std::move(hits));
+}
+
+}  // namespace loggrep

@@ -1,0 +1,98 @@
+// BoxQuerier: per-CapsuleBox query session (the paper's Locator, §5).
+//
+// Matches single keywords against one group at a time, using — in order —
+// static pattern constants, runtime patterns (possible-match enumeration),
+// Capsule stamps, and finally fixed-length matching inside the few Capsules
+// that survive filtering. Decompressed Capsules are cached for the lifetime
+// of the querier, so multi-keyword queries and reconstruction reuse them.
+#ifndef SRC_QUERY_LOCATOR_H_
+#define SRC_QUERY_LOCATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/capsule/capsule_box.h"
+#include "src/common/rowset.h"
+#include "src/query/pattern_match.h"
+
+namespace loggrep {
+
+struct LocatorOptions {
+  bool use_stamps = true;  // Capsule-stamp filtering (w/o stamp ablation)
+  bool use_bm = true;      // Boyer-Moore on padded columns (vs KMP)
+};
+
+struct LocatorStats {
+  uint64_t capsules_decompressed = 0;
+  uint64_t capsules_stamp_filtered = 0;
+  uint64_t bytes_decompressed = 0;
+  uint64_t pattern_trivial_hits = 0;
+  uint64_t possible_matches = 0;
+};
+
+// Stamp check extended to wildcard keywords: literal characters only, with
+// the minimum possible expansion length.
+bool StampAdmitsKeyword(const CapsuleStamp& stamp, std::string_view keyword);
+
+class BoxQuerier {
+ public:
+  BoxQuerier(const CapsuleBox& box, LocatorOptions options)
+      : box_(box), options_(options) {}
+
+  // Rows of group `group_idx` whose entry contains `keyword` in a token.
+  RowSet MatchKeywordInGroup(uint32_t group_idx, std::string_view keyword);
+
+  // Positions (within the outlier list) of raw outlier lines hit by `keyword`.
+  RowSet MatchKeywordInOutliers(std::string_view keyword);
+
+  // Decompressed capsule bytes (cached). Returns empty view and latches an
+  // error status on failure.
+  std::string_view CapsuleBlob(uint32_t id);
+
+  // Values of a delimited capsule (cached; views into the cached blob).
+  const std::vector<std::string_view>& DelimitedValues(uint32_t id);
+
+  // Row translation for real variables: present index -> group row.
+  const std::vector<uint32_t>& PresentRows(uint32_t group_idx, uint32_t slot);
+
+  const CapsuleBox& box() const { return box_; }
+  const LocatorStats& stats() const { return stats_; }
+  Status status() const { return status_; }
+
+ private:
+  RowSet MatchInWhole(const GroupMeta& group, const WholeVarMeta& wv,
+                      std::string_view keyword);
+  RowSet MatchInReal(const GroupMeta& group, uint32_t group_idx, uint32_t slot,
+                     const RealVarMeta& rv, std::string_view keyword);
+  RowSet MatchInNominal(const GroupMeta& group, const NominalVarMeta& nv,
+                        std::string_view keyword);
+
+  // Evaluates one possible match's constraint conjunction over the present
+  // rows of a real variable; returns present-row indices.
+  std::vector<uint32_t> EvaluateConstraints(const RealVarMeta& rv,
+                                            const PossibleMatch& match);
+
+  void LatchError(const Status& status) {
+    if (status_.ok()) {
+      status_ = status;
+    }
+  }
+
+  const CapsuleBox& box_;
+  LocatorOptions options_;
+  LocatorStats stats_;
+  Status status_;
+
+  std::unordered_map<uint32_t, std::string> blob_cache_;
+  std::unordered_map<uint32_t, std::vector<std::string_view>> split_cache_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> present_rows_cache_;
+  std::vector<std::string_view> empty_values_;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_QUERY_LOCATOR_H_

@@ -1,0 +1,19 @@
+#include "src/query/query_cache.h"
+
+namespace loggrep {
+
+std::optional<QueryHits> QueryCache::Lookup(const std::string& command) const {
+  const auto it = cache_.find(command);
+  if (it == cache_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void QueryCache::Insert(const std::string& command, const QueryHits& hits) {
+  cache_.emplace(command, hits);
+}
+
+}  // namespace loggrep

@@ -1,0 +1,37 @@
+// Query Cache (§3): memoizes past query results keyed by the command text.
+// Especially effective in refining mode, where an engineer grows a command
+// incrementally in one session (§6.3, "w/o cache").
+#ifndef SRC_QUERY_QUERY_CACHE_H_
+#define SRC_QUERY_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace loggrep {
+
+// One query hit: (global line number, reconstructed line text).
+using QueryHits = std::vector<std::pair<uint32_t, std::string>>;
+
+class QueryCache {
+ public:
+  std::optional<QueryHits> Lookup(const std::string& command) const;
+  void Insert(const std::string& command, const QueryHits& hits);
+  void Clear() { cache_.clear(); }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t size() const { return cache_.size(); }
+
+ private:
+  std::unordered_map<std::string, QueryHits> cache_;
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_QUERY_QUERY_CACHE_H_

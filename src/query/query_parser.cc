@@ -1,0 +1,147 @@
+#include "src/query/query_parser.h"
+
+#include <string_view>
+
+#include "src/parser/tokenizer.h"
+
+namespace loggrep {
+namespace {
+
+enum class OpWord { kNone, kAnd, kOr, kNot };
+
+OpWord OpOf(std::string_view word) {
+  auto equals_ci = [](std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < a.size(); ++i) {
+      const char ca = a[i] >= 'A' && a[i] <= 'Z' ? a[i] - 'A' + 'a' : a[i];
+      if (ca != b[i]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (equals_ci(word, "and")) {
+    return OpWord::kAnd;
+  }
+  if (equals_ci(word, "or")) {
+    return OpWord::kOr;
+  }
+  if (equals_ci(word, "not")) {
+    return OpWord::kNot;
+  }
+  return OpWord::kNone;
+}
+
+std::vector<std::string_view> SplitWords(std::string_view command) {
+  std::vector<std::string_view> words;
+  size_t start = 0;
+  for (size_t i = 0; i <= command.size(); ++i) {
+    if (i == command.size() || command[i] == ' ' || command[i] == '\t') {
+      if (i > start) {
+        words.push_back(command.substr(start, i - start));
+      }
+      start = i + 1;
+    }
+  }
+  return words;
+}
+
+SearchTerm MakeTerm(const std::vector<std::string_view>& words, size_t begin,
+                    size_t end) {
+  SearchTerm term;
+  for (size_t i = begin; i < end; ++i) {
+    if (i > begin) {
+      term.text += ' ';
+    }
+    term.text.append(words[i].data(), words[i].size());
+  }
+  for (std::string_view kw : TokenizeKeywords(term.text)) {
+    // Under containment semantics a leading or trailing '*' is a no-op
+    // ("5E9D*" hits exactly the tokens containing "5E9D"), and stripping it
+    // lets purely-literal keywords use the fast pattern-matching path.
+    while (!kw.empty() && kw.front() == '*') {
+      kw.remove_prefix(1);
+    }
+    while (!kw.empty() && kw.back() == '*') {
+      kw.remove_suffix(1);
+    }
+    if (!kw.empty()) {
+      term.keywords.emplace_back(kw);
+    }
+  }
+  return term;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<QueryExpr>> ParseQuery(std::string_view command) {
+  const std::vector<std::string_view> words = SplitWords(command);
+  if (words.empty()) {
+    return InvalidArgument("query: empty command");
+  }
+
+  std::unique_ptr<QueryExpr> root;
+  OpWord pending = OpWord::kNone;
+  bool leading = true;
+  size_t i = 0;
+  while (i < words.size()) {
+    const OpWord op = OpOf(words[i]);
+    if (op != OpWord::kNone) {
+      if (pending != OpWord::kNone) {
+        return InvalidArgument("query: consecutive operators");
+      }
+      if (leading && op != OpWord::kNot) {
+        return InvalidArgument("query: command starts with an operator");
+      }
+      pending = op;
+      ++i;
+      continue;
+    }
+    // Gather the run of non-operator words into one search string.
+    const size_t begin = i;
+    while (i < words.size() && OpOf(words[i]) == OpWord::kNone) {
+      ++i;
+    }
+    auto node = std::make_unique<QueryExpr>();
+    node->kind = QueryExpr::Kind::kTerm;
+    node->term = MakeTerm(words, begin, i);
+    if (node->term.keywords.empty()) {
+      return InvalidArgument("query: search string has no keywords");
+    }
+
+    if (leading && pending == OpWord::kNone) {
+      root = std::move(node);
+    } else {
+      auto parent = std::make_unique<QueryExpr>();
+      switch (pending) {
+        case OpWord::kNone:
+          return InvalidArgument("query: adjacent search strings without operator");
+        case OpWord::kAnd:
+          parent->kind = QueryExpr::Kind::kAnd;
+          break;
+        case OpWord::kOr:
+          parent->kind = QueryExpr::Kind::kOr;
+          break;
+        case OpWord::kNot:
+          parent->kind = QueryExpr::Kind::kNot;
+          break;
+      }
+      parent->left = std::move(root);  // null for a leading NOT
+      parent->right = std::move(node);
+      root = std::move(parent);
+    }
+    pending = OpWord::kNone;
+    leading = false;
+  }
+  if (pending != OpWord::kNone) {
+    return InvalidArgument("query: trailing operator");
+  }
+  if (root == nullptr) {
+    return InvalidArgument("query: no search strings");
+  }
+  return root;
+}
+
+}  // namespace loggrep

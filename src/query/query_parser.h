@@ -1,0 +1,45 @@
+// Query command parsing (§3, §5).
+//
+// A query command is a sequence of search strings joined by the logical
+// operators AND / OR / NOT (case-insensitive). Consecutive non-operator words
+// form one multi-word search string, e.g.
+//   "ERROR and part_id:510 and request id REQ_11.*"
+// has three search strings, the last two being "part_id:510" and
+// "request id REQ_11.*". Operators associate left to right; NOT binds like
+// "AND NOT" (a leading NOT negates against all entries).
+#ifndef SRC_QUERY_QUERY_PARSER_H_
+#define SRC_QUERY_QUERY_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace loggrep {
+
+struct SearchTerm {
+  std::string text;                   // the raw search string
+  std::vector<std::string> keywords;  // tokenized (same delimiters as logs)
+};
+
+struct QueryExpr {
+  enum class Kind {
+    kTerm,
+    kAnd,  // left AND right
+    kOr,   // left OR right
+    kNot,  // left AND NOT right (left may be null for a leading NOT)
+  };
+
+  Kind kind = Kind::kTerm;
+  SearchTerm term;                   // kTerm only
+  std::unique_ptr<QueryExpr> left;   // binary ops
+  std::unique_ptr<QueryExpr> right;  // binary ops
+};
+
+// Parses a command; fails on empty commands or dangling operators.
+Result<std::unique_ptr<QueryExpr>> ParseQuery(std::string_view command);
+
+}  // namespace loggrep
+
+#endif  // SRC_QUERY_QUERY_PARSER_H_

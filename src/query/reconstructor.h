@@ -1,0 +1,37 @@
+// Reconstructor (§3): rebuilds original log entries from Capsules.
+//
+// Fetching the i-th value of a padded Capsule is O(1); values are substituted
+// into the runtime pattern and then into the static pattern, reproducing the
+// original line byte-for-byte. Results from different groups merge by line
+// number (the logical timestamp this implementation assigns at compression
+// time).
+#ifndef SRC_QUERY_RECONSTRUCTOR_H_
+#define SRC_QUERY_RECONSTRUCTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/query/locator.h"
+
+namespace loggrep {
+
+class Reconstructor {
+ public:
+  explicit Reconstructor(BoxQuerier* querier) : querier_(querier) {}
+
+  // Original text of row `row` of group `group_idx`.
+  std::string RenderRow(uint32_t group_idx, uint32_t row);
+
+  // Original text of the i-th outlier line.
+  std::string RenderOutlier(uint32_t outlier_idx);
+
+ private:
+  std::string VariableValue(uint32_t group_idx, uint32_t slot, uint32_t row);
+
+  BoxQuerier* querier_;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_QUERY_RECONSTRUCTOR_H_

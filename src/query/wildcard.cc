@@ -1,0 +1,51 @@
+#include "src/query/wildcard.h"
+
+#include <string>
+
+namespace loggrep {
+
+bool WildcardMatch(std::string_view pattern, std::string_view text) {
+  // Iterative two-pointer matcher with single-level backtracking to the most
+  // recent '*' (classic glob algorithm, O(|pattern| * |text|) worst case).
+  size_t p = 0;
+  size_t t = 0;
+  size_t star_p = std::string_view::npos;
+  size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') {
+    ++p;
+  }
+  return p == pattern.size();
+}
+
+bool KeywordHitsToken(std::string_view keyword, std::string_view token) {
+  if (keyword.empty()) {
+    return true;
+  }
+  if (!HasWildcards(keyword)) {
+    return token.find(keyword) != std::string_view::npos;
+  }
+  // Containment = whole-token match against "*<keyword>*".
+  std::string pattern;
+  pattern.reserve(keyword.size() + 2);
+  pattern += '*';
+  pattern += keyword;
+  pattern += '*';
+  return WildcardMatch(pattern, token);
+}
+
+}  // namespace loggrep

@@ -1,0 +1,25 @@
+// Wildcard keyword matching. LogGrep permits wildcards inside a single token
+// (§3): '*' matches any run of characters (including empty), '?' matches
+// exactly one character.
+#ifndef SRC_QUERY_WILDCARD_H_
+#define SRC_QUERY_WILDCARD_H_
+
+#include <string_view>
+
+namespace loggrep {
+
+inline bool HasWildcards(std::string_view keyword) {
+  return keyword.find_first_of("*?") != std::string_view::npos;
+}
+
+// Whole-text match of `text` against `pattern` with '*' / '?' wildcards.
+bool WildcardMatch(std::string_view pattern, std::string_view text);
+
+// True when some substring of `token` matches `keyword` — the keyword
+// semantics used throughout: a keyword hits a token it is contained in.
+// Equivalent to WildcardMatch("*" + keyword + "*", token).
+bool KeywordHitsToken(std::string_view keyword, std::string_view token);
+
+}  // namespace loggrep
+
+#endif  // SRC_QUERY_WILDCARD_H_

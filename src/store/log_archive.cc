@@ -1,0 +1,372 @@
+#include "src/store/log_archive.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "src/common/thread_pool.h"
+#include "src/parser/template_miner.h"  // SplitLines
+#include "src/parser/tokenizer.h"
+#include "src/query/query_parser.h"
+#include "src/query/wildcard.h"
+
+namespace loggrep {
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x4D41474Cu;  // "LGAM"
+constexpr size_t kShingleLen = 4;
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFound("archive: cannot open " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Status WriteFileBytes(const std::string& path, std::string_view data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Internal("archive: cannot write " + path);
+  }
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out.good()) {
+    return Internal("archive: short write to " + path);
+  }
+  return OkStatus();
+}
+
+void AddTokenShingles(const std::string_view token, BloomFilter& bloom) {
+  if (token.size() < kShingleLen) {
+    return;  // short content is covered by the stamp check instead
+  }
+  for (size_t i = 0; i + kShingleLen <= token.size(); ++i) {
+    bloom.Add(token.substr(i, kShingleLen));
+  }
+}
+
+// Sound block-level admission test for one literal keyword.
+bool BlockMayContainKeyword(const BlockInfo& block, std::string_view keyword) {
+  if (HasWildcards(keyword)) {
+    return StampAdmitsKeyword(block.token_stamp, keyword);
+  }
+  if (!block.token_stamp.AdmitsFragment(keyword)) {
+    return false;
+  }
+  if (keyword.size() < kShingleLen || block.shingles.empty()) {
+    return true;
+  }
+  for (size_t i = 0; i + kShingleLen <= keyword.size(); ++i) {
+    if (!block.shingles.MayContain(keyword.substr(i, kShingleLen))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void CollectRequired(const QueryExpr& expr, std::vector<std::string>* out) {
+  switch (expr.kind) {
+    case QueryExpr::Kind::kTerm:
+      out->insert(out->end(), expr.term.keywords.begin(),
+                  expr.term.keywords.end());
+      return;
+    case QueryExpr::Kind::kAnd: {
+      CollectRequired(*expr.left, out);
+      CollectRequired(*expr.right, out);
+      return;
+    }
+    case QueryExpr::Kind::kOr: {
+      // A keyword is required only when both branches require it.
+      std::vector<std::string> l;
+      std::vector<std::string> r;
+      CollectRequired(*expr.left, &l);
+      CollectRequired(*expr.right, &r);
+      const std::set<std::string> rset(r.begin(), r.end());
+      for (std::string& kw : l) {
+        if (rset.count(kw) > 0) {
+          out->push_back(std::move(kw));
+        }
+      }
+      return;
+    }
+    case QueryExpr::Kind::kNot:
+      // Only the positive side constrains matching entries.
+      if (expr.left != nullptr) {
+        CollectRequired(*expr.left, out);
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> RequiredKeywords(const QueryExpr& expr) {
+  std::vector<std::string> out;
+  CollectRequired(expr, &out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string LogArchive::BlockPath(uint32_t seq) const {
+  return dir_ + "/block-" + std::to_string(seq) + ".lgc";
+}
+
+std::string LogArchive::ManifestPath() const { return dir_ + "/archive.manifest"; }
+
+Result<LogArchive> LogArchive::Create(std::string dir, ArchiveOptions options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Internal("archive: cannot create directory " + dir);
+  }
+  LogArchive archive(std::move(dir), options);
+  if (std::filesystem::exists(archive.ManifestPath())) {
+    return InvalidArgument("archive: manifest already exists; use Open");
+  }
+  LOGGREP_RETURN_IF_ERROR(archive.WriteManifest());
+  return archive;
+}
+
+Result<LogArchive> LogArchive::Open(std::string dir, ArchiveOptions options) {
+  LogArchive archive(std::move(dir), options);
+  Result<std::string> bytes = ReadFileBytes(archive.ManifestPath());
+  if (!bytes.ok()) {
+    return bytes.status();
+  }
+  ByteReader in(*bytes);
+  Result<uint32_t> magic = in.ReadU32();
+  if (!magic.ok()) {
+    return magic.status();
+  }
+  if (*magic != kManifestMagic) {
+    return CorruptData("archive: bad manifest magic");
+  }
+  Result<uint64_t> count = in.ReadVarint();
+  if (!count.ok()) {
+    return count.status();
+  }
+  for (uint64_t i = 0; i < *count; ++i) {
+    BlockInfo block;
+    Result<uint64_t> v = in.ReadVarint();
+    if (!v.ok()) {
+      return v.status();
+    }
+    block.seq = static_cast<uint32_t>(*v);
+    for (uint64_t* field : {&block.first_line, &block.line_count,
+                            &block.raw_bytes, &block.stored_bytes}) {
+      Result<uint64_t> value = in.ReadVarint();
+      if (!value.ok()) {
+        return value.status();
+      }
+      *field = *value;
+    }
+    Result<CapsuleStamp> stamp = CapsuleStamp::ReadFrom(in);
+    if (!stamp.ok()) {
+      return stamp.status();
+    }
+    block.token_stamp = *stamp;
+    Result<BloomFilter> bloom = BloomFilter::ReadFrom(in);
+    if (!bloom.ok()) {
+      return bloom.status();
+    }
+    block.shingles = std::move(*bloom);
+    archive.blocks_.push_back(std::move(block));
+  }
+  return archive;
+}
+
+Status LogArchive::WriteManifest() const {
+  ByteWriter out;
+  out.PutU32(kManifestMagic);
+  out.PutVarint(blocks_.size());
+  for (const BlockInfo& block : blocks_) {
+    out.PutVarint(block.seq);
+    for (uint64_t field : {block.first_line, block.line_count, block.raw_bytes,
+                           block.stored_bytes}) {
+      out.PutVarint(field);
+    }
+    block.token_stamp.WriteTo(out);
+    block.shingles.WriteTo(out);
+  }
+  return WriteFileBytes(ManifestPath(), out.data());
+}
+
+Status LogArchive::AppendBlock(std::string_view text) {
+  BlockInfo block;
+  block.seq =
+      blocks_.empty() ? 0 : blocks_.back().seq + 1;
+  block.first_line =
+      blocks_.empty() ? 0 : blocks_.back().first_line + blocks_.back().line_count;
+  block.raw_bytes = text.size();
+
+  // Block-level summary: token stamp + shingle Bloom filter, sized for
+  // roughly one shingle per 4 raw bytes.
+  block.shingles = BloomFilter(std::max<uint64_t>(1024, text.size() / 4),
+                               options_.bloom_bits_per_shingle);
+  for (std::string_view line : SplitLines(text)) {
+    ++block.line_count;
+    for (std::string_view token : TokenizeKeywords(line)) {
+      block.token_stamp.Absorb(token);
+      AddTokenShingles(token, block.shingles);
+    }
+  }
+
+  const std::string box = engine_.CompressBlock(text);
+  block.stored_bytes = box.size();
+  LOGGREP_RETURN_IF_ERROR(WriteFileBytes(BlockPath(block.seq), box));
+  blocks_.push_back(std::move(block));
+  return WriteManifest();
+}
+
+Result<ArchiveQueryResult> LogArchive::Query(std::string_view command) {
+  Result<std::unique_ptr<QueryExpr>> expr = ParseQuery(command);
+  if (!expr.ok()) {
+    return expr.status();
+  }
+  const std::vector<std::string> required = RequiredKeywords(**expr);
+
+  ArchiveQueryResult result;
+  for (const BlockInfo& block : blocks_) {
+    bool pruned = false;
+    for (const std::string& kw : required) {
+      if (!BlockMayContainKeyword(block, kw)) {
+        pruned = true;
+        break;
+      }
+    }
+    if (pruned) {
+      ++result.blocks_pruned;
+      continue;
+    }
+    Result<std::string> box = ReadFileBytes(BlockPath(block.seq));
+    if (!box.ok()) {
+      return box.status();
+    }
+    Result<QueryResult> block_result = engine_.Query(*box, command);
+    if (!block_result.ok()) {
+      return block_result.status();
+    }
+    ++result.blocks_queried;
+    for (auto& [line, text_line] : block_result->hits) {
+      result.hits.emplace_back(static_cast<uint32_t>(block.first_line + line),
+                               std::move(text_line));
+    }
+    result.locator.capsules_decompressed +=
+        block_result->locator.capsules_decompressed;
+    result.locator.capsules_stamp_filtered +=
+        block_result->locator.capsules_stamp_filtered;
+    result.locator.bytes_decompressed += block_result->locator.bytes_decompressed;
+    result.locator.pattern_trivial_hits +=
+        block_result->locator.pattern_trivial_hits;
+    result.locator.possible_matches += block_result->locator.possible_matches;
+  }
+  return result;
+}
+
+Result<ArchiveQueryResult> LogArchive::ParallelQuery(std::string_view command,
+                                                     size_t num_threads) {
+  Result<std::unique_ptr<QueryExpr>> expr = ParseQuery(command);
+  if (!expr.ok()) {
+    return expr.status();
+  }
+  const std::vector<std::string> required = RequiredKeywords(**expr);
+
+  ArchiveQueryResult result;
+  std::vector<const BlockInfo*> to_query;
+  for (const BlockInfo& block : blocks_) {
+    bool pruned = false;
+    for (const std::string& kw : required) {
+      if (!BlockMayContainKeyword(block, kw)) {
+        pruned = true;
+        break;
+      }
+    }
+    if (pruned) {
+      ++result.blocks_pruned;
+    } else {
+      to_query.push_back(&block);
+    }
+  }
+
+  struct PerBlock {
+    Status status;
+    QueryHits hits;
+    LocatorStats locator;
+  };
+  std::vector<PerBlock> slots(to_query.size());
+  {
+    ThreadPool pool(num_threads);
+    for (size_t i = 0; i < to_query.size(); ++i) {
+      const BlockInfo* block = to_query[i];
+      PerBlock* slot = &slots[i];
+      const std::string path = BlockPath(block->seq);
+      const std::string command_copy(command);
+      EngineOptions opts = options_.engine;
+      opts.use_cache = false;  // per-task engines share nothing
+      pool.Submit([block, slot, path, command_copy, opts] {
+        Result<std::string> box = ReadFileBytes(path);
+        if (!box.ok()) {
+          slot->status = box.status();
+          return;
+        }
+        LogGrepEngine engine(opts);
+        Result<QueryResult> r = engine.Query(*box, command_copy);
+        if (!r.ok()) {
+          slot->status = r.status();
+          return;
+        }
+        slot->locator = r->locator;
+        for (auto& [line, text] : r->hits) {
+          slot->hits.emplace_back(static_cast<uint32_t>(block->first_line + line),
+                                  std::move(text));
+        }
+      });
+    }
+    pool.Wait();
+  }
+  for (PerBlock& slot : slots) {
+    if (!slot.status.ok()) {
+      return slot.status;
+    }
+    ++result.blocks_queried;
+    result.hits.insert(result.hits.end(),
+                       std::make_move_iterator(slot.hits.begin()),
+                       std::make_move_iterator(slot.hits.end()));
+    result.locator.capsules_decompressed += slot.locator.capsules_decompressed;
+    result.locator.capsules_stamp_filtered +=
+        slot.locator.capsules_stamp_filtered;
+    result.locator.bytes_decompressed += slot.locator.bytes_decompressed;
+  }
+  return result;
+}
+
+uint64_t LogArchive::total_lines() const {
+  uint64_t n = 0;
+  for (const BlockInfo& b : blocks_) {
+    n += b.line_count;
+  }
+  return n;
+}
+
+uint64_t LogArchive::total_raw_bytes() const {
+  uint64_t n = 0;
+  for (const BlockInfo& b : blocks_) {
+    n += b.raw_bytes;
+  }
+  return n;
+}
+
+uint64_t LogArchive::total_stored_bytes() const {
+  uint64_t n = 0;
+  for (const BlockInfo& b : blocks_) {
+    n += b.stored_bytes;
+  }
+  return n;
+}
+
+}  // namespace loggrep

@@ -1,0 +1,95 @@
+// LogArchive: a directory-backed store of many compressed log blocks.
+//
+// The paper evaluates single 64 MB blocks; in production a near-line store
+// holds long sequences of them (§8 points at scaling out). The archive layer
+// adds the missing block dimension: every appended block becomes one
+// CapsuleBox file plus a manifest entry carrying a block-level summary — a
+// token stamp and a Bloom filter over token 4-byte shingles — so a query
+// prunes whole blocks before any CapsuleBox is even opened. Pruning is sound
+// for the containment semantics: a keyword of length >= 4 can only occur in a
+// block whose shingle filter contains all of the keyword's shingles; shorter
+// or wildcard keywords fall back to the stamp check.
+#ifndef SRC_STORE_LOG_ARCHIVE_H_
+#define SRC_STORE_LOG_ARCHIVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/capsule/stamp.h"
+#include "src/common/bloom.h"
+#include "src/core/engine.h"
+#include "src/query/locator.h"
+#include "src/query/query_parser.h"
+
+namespace loggrep {
+
+struct ArchiveOptions {
+  EngineOptions engine;
+  uint32_t bloom_bits_per_shingle = 10;
+};
+
+struct BlockInfo {
+  uint32_t seq = 0;
+  uint64_t first_line = 0;   // global line number of the block's first entry
+  uint64_t line_count = 0;
+  uint64_t raw_bytes = 0;
+  uint64_t stored_bytes = 0;
+  CapsuleStamp token_stamp;  // over all tokens of the block
+  BloomFilter shingles;      // 4-byte substrings of every token
+};
+
+struct ArchiveQueryResult {
+  // Hits carry global line numbers across all blocks, in ingestion order.
+  QueryHits hits;
+  uint32_t blocks_pruned = 0;
+  uint32_t blocks_queried = 0;
+  LocatorStats locator;  // summed over queried blocks
+};
+
+class LogArchive {
+ public:
+  // Creates an empty archive in `dir` (created if missing; must not already
+  // hold a manifest).
+  static Result<LogArchive> Create(std::string dir, ArchiveOptions options = {});
+  // Opens an existing archive (block summaries load from the manifest).
+  static Result<LogArchive> Open(std::string dir, ArchiveOptions options = {});
+
+  // Compresses `text` as the next block and persists it + the manifest.
+  Status AppendBlock(std::string_view text);
+
+  // Runs a query command over all (non-pruned) blocks.
+  Result<ArchiveQueryResult> Query(std::string_view command);
+
+  // Same result, with non-pruned blocks queried concurrently on
+  // `num_threads` workers (each with its own engine; §6 notes queries
+  // parallelize trivially at block granularity).
+  Result<ArchiveQueryResult> ParallelQuery(std::string_view command,
+                                           size_t num_threads);
+
+  const std::vector<BlockInfo>& blocks() const { return blocks_; }
+  uint64_t total_lines() const;
+  uint64_t total_raw_bytes() const;
+  uint64_t total_stored_bytes() const;
+
+ private:
+  LogArchive(std::string dir, ArchiveOptions options)
+      : dir_(std::move(dir)), options_(options), engine_(options_.engine) {}
+
+  std::string BlockPath(uint32_t seq) const;
+  std::string ManifestPath() const;
+  Status WriteManifest() const;
+
+  std::string dir_;
+  ArchiveOptions options_;
+  LogGrepEngine engine_;
+  std::vector<BlockInfo> blocks_;
+};
+
+// Keywords every matching entry MUST contain, extracted from a parsed query
+// (used for block pruning; exposed for tests).
+std::vector<std::string> RequiredKeywords(const QueryExpr& expr);
+
+}  // namespace loggrep
+
+#endif  // SRC_STORE_LOG_ARCHIVE_H_

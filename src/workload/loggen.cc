@@ -1,0 +1,197 @@
+#include "src/workload/loggen.h"
+
+#include <cassert>
+
+namespace loggrep {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789ABCDEF";
+constexpr char kHexLower[] = "0123456789abcdef";
+
+// Mutable generation state shared across lines of one block.
+struct GenState {
+  Rng rng;
+  uint64_t clock_ms;   // advances monotonically
+  uint64_t seq;        // kSeq counter
+  uint64_t block_salt; // fixes kHexId shared prefixes per block
+};
+
+void AppendFixedDecimal(std::string& out, uint64_t v, int width) {
+  char buf[24];
+  int n = 0;
+  do {
+    buf[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v > 0);
+  for (int i = n; i < width; ++i) {
+    out.push_back('0');
+  }
+  while (n > 0) {
+    out.push_back(buf[--n]);
+  }
+}
+
+int DigitsOf(int64_t v) {
+  int d = 1;
+  while (v >= 10) {
+    v /= 10;
+    ++d;
+  }
+  return d;
+}
+
+void AppendValue(std::string& out, const VarSpec& spec, GenState& st) {
+  out += spec.prefix;
+  switch (spec.kind) {
+    case VarKind::kHexId: {
+      for (int i = 0; i < spec.len; ++i) {
+        uint64_t digit;
+        if (i < spec.shared) {
+          digit = (st.block_salt >> (4 * (i % 16))) & 0xF;
+        } else {
+          digit = st.rng.NextBelow(16);
+        }
+        out.push_back(kHexDigits[digit]);
+      }
+      break;
+    }
+    case VarKind::kDecimal: {
+      const int64_t v = st.rng.NextInRange(spec.min, spec.max);
+      if (spec.zero_pad) {
+        AppendFixedDecimal(out, static_cast<uint64_t>(v), DigitsOf(spec.max));
+      } else {
+        out += std::to_string(v);
+      }
+      break;
+    }
+    case VarKind::kTimestamp: {
+      st.clock_ms += st.rng.NextBelow(1200);
+      const uint64_t total_s = st.clock_ms / 1000;
+      const uint64_t hh = (5 + total_s / 3600) % 24;  // block starts at 05:00
+      const uint64_t mm = (total_s / 60) % 60;
+      const uint64_t ss = total_s % 60;
+      out += "2026-07-06 ";
+      AppendFixedDecimal(out, hh, 2);
+      out.push_back(':');
+      AppendFixedDecimal(out, mm, 2);
+      out.push_back(':');
+      AppendFixedDecimal(out, ss, 2);
+      out.push_back('.');
+      AppendFixedDecimal(out, st.clock_ms % 1000, 3);
+      break;
+    }
+    case VarKind::kIpAddr: {
+      out += "11.187.";
+      out += std::to_string(st.rng.NextBelow(32));
+      out.push_back('.');
+      out += std::to_string(st.rng.NextBelow(256));
+      break;
+    }
+    case VarKind::kPath: {
+      if (!spec.values.empty()) {
+        out += spec.values[st.rng.NextBelow(spec.values.size())];
+      }
+      out += std::to_string(st.rng.NextInRange(spec.min, spec.max));
+      break;
+    }
+    case VarKind::kEnum: {
+      assert(!spec.values.empty());
+      size_t pick = 0;
+      if (!spec.weights.empty()) {
+        double total = 0;
+        for (double w : spec.weights) {
+          total += w;
+        }
+        double r = st.rng.NextDouble() * total;
+        for (size_t i = 0; i < spec.weights.size(); ++i) {
+          r -= spec.weights[i];
+          if (r <= 0) {
+            pick = i;
+            break;
+          }
+        }
+      } else {
+        pick = st.rng.NextBelow(spec.values.size());
+      }
+      out += spec.values[pick];
+      break;
+    }
+    case VarKind::kUuid: {
+      static constexpr int kGroups[] = {8, 4, 4, 4, 12};
+      for (int g = 0; g < 5; ++g) {
+        if (g > 0) {
+          out.push_back('-');
+        }
+        for (int i = 0; i < kGroups[g]; ++i) {
+          out.push_back(kHexLower[st.rng.NextBelow(16)]);
+        }
+      }
+      break;
+    }
+    case VarKind::kSeq: {
+      out += std::to_string(static_cast<int64_t>(st.seq++) + spec.min);
+      break;
+    }
+  }
+  out += spec.suffix;
+}
+
+void AppendLine(std::string& out, const DatasetSpec& spec, GenState& st) {
+  // Weighted template pick.
+  double total = 0;
+  for (const TemplateSpec& t : spec.templates) {
+    total += t.weight;
+  }
+  double r = st.rng.NextDouble() * total;
+  const TemplateSpec* tmpl = &spec.templates.back();
+  for (const TemplateSpec& t : spec.templates) {
+    r -= t.weight;
+    if (r <= 0) {
+      tmpl = &t;
+      break;
+    }
+  }
+  size_t var = 0;
+  const std::string& fmt = tmpl->format;
+  for (size_t i = 0; i < fmt.size(); ++i) {
+    if (i + 1 < fmt.size() && fmt[i] == '{' && fmt[i + 1] == '}') {
+      assert(var < tmpl->vars.size());
+      AppendValue(out, tmpl->vars[var++], st);
+      ++i;
+    } else {
+      out.push_back(fmt[i]);
+    }
+  }
+  assert(var == tmpl->vars.size());
+  out.push_back('\n');
+}
+
+GenState MakeState(const DatasetSpec& spec) {
+  Rng seeder(spec.seed * 0x9E3779B97F4A7C15ULL + 0x5EED);
+  GenState st{Rng(seeder.NextU64()), seeder.NextBelow(3'600'000),
+              seeder.NextBelow(1'000'000), seeder.NextU64()};
+  return st;
+}
+
+}  // namespace
+
+std::string LogGenerator::Generate(size_t target_bytes) const {
+  GenState st = MakeState(spec_);
+  std::string out;
+  out.reserve(target_bytes + 256);
+  while (out.size() < target_bytes) {
+    AppendLine(out, spec_, st);
+  }
+  return out;
+}
+
+std::string LogGenerator::GenerateLines(size_t lines) const {
+  GenState st = MakeState(spec_);
+  std::string out;
+  for (size_t i = 0; i < lines; ++i) {
+    AppendLine(out, spec_, st);
+  }
+  return out;
+}
+
+}  // namespace loggrep

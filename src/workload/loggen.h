@@ -1,0 +1,74 @@
+// Config-driven synthetic log generator.
+//
+// Stands in for the paper's 21 Alibaba production log types and 16 LogHub
+// public datasets (see DESIGN.md "Substitutions"). Each dataset is a weighted
+// mix of templates; each template fills variable slots from generators that
+// exhibit the runtime-pattern structure the paper observes: fixed prefixes
+// (block ids), narrow numeric ranges (timestamps), common roots (paths, IP
+// subnets), and low-cardinality enums (status codes, user names).
+#ifndef SRC_WORKLOAD_LOGGEN_H_
+#define SRC_WORKLOAD_LOGGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace loggrep {
+
+enum class VarKind {
+  kHexId,      // prefix + fixed-length hex digits (+ optional shared prefix)
+  kDecimal,    // integer in [min, max], optionally zero-padded
+  kTimestamp,  // monotonically increasing "2026-07-06 HH:MM:SS.mmm"
+  kIpAddr,     // fixed /16 prefix + random tail, "11.187.x.y"
+  kPath,       // prefix + random word + number + suffix
+  kEnum,       // weighted draw from a small value list (nominal)
+  kUuid,       // 8-4-4-4-12 lowercase hex
+  kSeq,        // monotonically increasing counter
+};
+
+struct VarSpec {
+  VarKind kind = VarKind::kDecimal;
+  std::string prefix;                // constant lead-in inside the token
+  std::string suffix;                // constant tail inside the token
+  int len = 8;                       // hex digits for kHexId
+  int shared = 0;                    // leading generated chars fixed per block
+  int64_t min = 0;                   // kDecimal range
+  int64_t max = 999999;
+  bool zero_pad = false;             // kDecimal fixed width of digits(max)
+  std::vector<std::string> values;   // kEnum / kPath word list
+  std::vector<double> weights;       // optional kEnum weights
+};
+
+struct TemplateSpec {
+  // Static text with "{}" placeholders, one per entry of `vars`.
+  std::string format;
+  std::vector<VarSpec> vars;
+  double weight = 1.0;
+};
+
+struct DatasetSpec {
+  std::string name;
+  bool production = false;  // Alibaba-like (Fig. 7/8a) vs public (8b)
+  std::vector<TemplateSpec> templates;
+  uint64_t seed = 1;
+};
+
+class LogGenerator {
+ public:
+  explicit LogGenerator(const DatasetSpec& spec) : spec_(spec) {}
+
+  // Generates '\n'-terminated lines totalling at least `target_bytes`.
+  std::string Generate(size_t target_bytes) const;
+
+  // Generates exactly `lines` lines.
+  std::string GenerateLines(size_t lines) const;
+
+ private:
+  DatasetSpec spec_;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_WORKLOAD_LOGGEN_H_

@@ -1,0 +1,79 @@
+#include "src/workload/queries.h"
+
+#include <map>
+
+namespace loggrep {
+namespace {
+
+// Table 1 analogs. Keyed by dataset name.
+const std::map<std::string, std::string, std::less<>>& QueryTable() {
+  static const auto* kTable = new std::map<std::string, std::string, std::less<>>{
+      {"Log A", "ERROR and state:REQ_ST_CLOSED and 20012 and reqId:5E9D*"},
+      {"Log B", "ERROR and Project:2963 and RequestId:5EA6*"},
+      {"Log C", "ERROR"},
+      {"Log D", "project_id:30935 and logstore:res_p and inflow:5"},
+      {"Log E", "project:161 and logstore:app_ay87a and shard:99 and wcount:10"},
+      {"Log F", "ERROR not UserId:-2"},
+      {"Log G", "Operation:ReadChunk and SATADiskId:7 and From:tcp://11.187.3.*"},
+      {"Log H", "ERROR"},
+      {"Log I", "WARNING and 2026-07-06 07"},
+      {"Log J", "TraceType:PanguTraceSummary and SectionType:RPC_SealAndNew not CountFail:0"},
+      {"Log K", "DELETE and /results/0 and 2026-07-06"},
+      {"Log L", "WARNING and Errorcode:0 and Packet id:172397858"},
+      {"Log M", "ERROR and exchange-client-24 and /results/10"},
+      {"Log N", "ERROR and project_id:51274"},
+      {"Log O", "error and ProjectId:2396 and 2026-07-06 05"},
+      {"Log P", "ERROR and CLICK_SAVE_ERROR"},
+      {"Log Q", "ERROR and PostLogStoreLogsHandler.cpp and Time:1622009998"},
+      {"Log R", "ERROR and part_id:510 and request id REQ_11.*"},
+      {"Log S", "TTY=unknown and /etc/init.d/ilogtaild and Aug 30 10"},
+      {"Log T", "ERROR and 39244 and 2026-07-06 05:5"},
+      {"Log U", "failed to read trie data and 161815265*"},
+      {"Android", "ERROR and socket read length failure -104"},
+      {"Apache", "error and Invalid URI in request"},
+      {"Bgl", "ERROR and R00-M1-ND"},
+      {"Hadoop", "ERROR and RECEIVED SIGNAL 15: SIGTERM and 2026-07-06"},
+      {"Hdfs", "error and blk_8846"},
+      {"Healthapp", "Step_ExtSDM and totalAltitude=0"},
+      {"Hpc", "unavailable state and HWID=3378"},
+      {"Linux", "authentication failure and rhost=221.230.128.214"},
+      {"Mac", "failed and Err:-1 Errno:1"},
+      {"Openstack", "ERROR or WARNING and Unexpected error while running command"},
+      {"Proxifier", "HTTPS and play.google.com:443"},
+      {"Spark", "ERROR and Error sending result"},
+      {"Ssh", "Received disconnect from and 202.100.179.208"},
+      {"Thunderbird", "Doorbell ACK timeout"},
+      {"Windows", "Error and Failed to process single phase execution"},
+      {"Zookeeper", "ERROR and CommitProcessor"},
+  };
+  return *kTable;
+}
+
+}  // namespace
+
+std::string QueryForDataset(std::string_view dataset_name) {
+  const auto& table = QueryTable();
+  const auto it = table.find(dataset_name);
+  return it == table.end() ? std::string() : it->second;
+}
+
+std::vector<std::string> QuerySuiteForDataset(std::string_view dataset_name) {
+  std::vector<std::string> suite;
+  const std::string primary = QueryForDataset(dataset_name);
+  if (primary.empty()) {
+    return suite;
+  }
+  suite.push_back(primary);
+  // A medium-selectivity prefix of the Table 1 command (its first two search
+  // strings) and a needle-in-haystack miss (pure filtering) complement it.
+  const size_t second_and = primary.find(" and ", primary.find(" and ") + 1);
+  if (second_and != std::string::npos) {
+    suite.push_back(primary.substr(0, second_and));
+  } else {
+    suite.push_back(primary);
+  }
+  suite.push_back("zzzNOSUCHTOKEN42");
+  return suite;
+}
+
+}  // namespace loggrep

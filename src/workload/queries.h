@@ -1,0 +1,22 @@
+// Per-dataset query commands: the Table 1 workload adapted to the synthetic
+// datasets (same shape: a severity keyword plus highly selective key:value
+// conditions, joined with AND / OR / NOT).
+#ifndef SRC_WORKLOAD_QUERIES_H_
+#define SRC_WORKLOAD_QUERIES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace loggrep {
+
+// The dataset's Table 1-style query command; empty when the name is unknown.
+std::string QueryForDataset(std::string_view dataset_name);
+
+// A small per-dataset suite (the Table 1 query first, then broader and
+// narrower variants) used for averaging in the benches.
+std::vector<std::string> QuerySuiteForDataset(std::string_view dataset_name);
+
+}  // namespace loggrep
+
+#endif  // SRC_WORKLOAD_QUERIES_H_

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/baselines/clp_like.h"
+#include "src/baselines/es_like.h"
+#include "src/baselines/gzip_grep.h"
+#include "src/parser/template_miner.h"
+#include "src/query/line_match.h"
+#include "src/query/query_parser.h"
+#include "src/workload/datasets.h"
+#include "src/workload/loggen.h"
+
+namespace loggrep {
+namespace {
+
+QueryHits Reference(std::string_view text, std::string_view command) {
+  auto expr = ParseQuery(command);
+  EXPECT_TRUE(expr.ok());
+  QueryHits hits;
+  const auto lines = SplitLines(text);
+  for (uint32_t ln = 0; ln < lines.size(); ++ln) {
+    if (LineMatchesQuery(lines[ln], **expr)) {
+      hits.emplace_back(ln, std::string(lines[ln]));
+    }
+  }
+  return hits;
+}
+
+class BackendTest : public ::testing::TestWithParam<int> {
+ protected:
+  const LogStoreBackend& backend() const {
+    static const GzipGrepBackend ggrep;
+    static const ClpLikeBackend clp;
+    static const EsLikeBackend es;
+    switch (GetParam()) {
+      case 0:
+        return ggrep;
+      case 1:
+        return clp;
+      default:
+        return es;
+    }
+  }
+};
+
+TEST_P(BackendTest, MatchesReferenceOnSyntheticLogs) {
+  const std::string text =
+      LogGenerator(*FindDataset("Log K")).Generate(48 * 1024);
+  for (const std::string query :
+       {std::string("DELETE and /results/0"), std::string("GET or PUT"),
+        std::string("status and 404 not DELETE"),
+        std::string("zzzNOSUCHTOKEN")}) {
+    const QueryHits expected = Reference(text, query);
+    const std::string stored = backend().Compress(text);
+    auto got = backend().Query(stored, query);
+    ASSERT_TRUE(got.ok()) << backend().name() << ": " << got.status().ToString();
+    ASSERT_EQ(got->size(), expected.size()) << backend().name() << " " << query;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ((*got)[i].first, expected[i].first);
+      EXPECT_EQ((*got)[i].second, expected[i].second);
+    }
+  }
+}
+
+TEST_P(BackendTest, EmptyBlock) {
+  const std::string stored = backend().Compress("");
+  auto got = backend().Query(stored, "anything");
+  ASSERT_TRUE(got.ok()) << backend().name();
+  EXPECT_TRUE(got->empty());
+}
+
+TEST_P(BackendTest, CorruptStoreRejected) {
+  EXPECT_FALSE(backend().Query("garbage bytes", "x").ok());
+  const std::string stored = backend().Compress("a line 1\n");
+  EXPECT_FALSE(
+      backend().Query(std::string_view(stored).substr(0, 3), "x").ok());
+}
+
+TEST_P(BackendTest, WildcardQueries) {
+  const std::string text =
+      "conn 11.187.3.9 up\nconn 11.187.4.12 up\nconn 10.0.0.1 up\n";
+  const std::string stored = backend().Compress(text);
+  auto got = backend().Query(stored, "11.187.*");
+  ASSERT_TRUE(got.ok()) << backend().name();
+  EXPECT_EQ(got->size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendTest, ::testing::Range(0, 3));
+
+TEST(GzipGrepTest, StoredRepresentationIsJustGzip) {
+  const GzipGrepBackend b;
+  const std::string text = "hello hello hello hello\n";
+  const std::string stored = b.Compress(text);
+  EXPECT_LT(stored.size(), text.size() + 16);
+}
+
+TEST(ClpLikeTest, SegmentationCoversAllLines) {
+  ClpLikeOptions opts;
+  opts.segment_raw_bytes = 2048;  // force many segments
+  const ClpLikeBackend b(opts);
+  const std::string text =
+      LogGenerator(*FindDataset("Log Q")).Generate(64 * 1024);
+  const std::string stored = b.Compress(text);
+  // A match-all query must return every line in order.
+  auto got = b.Query(stored, "not zzzNOSUCH");
+  ASSERT_TRUE(got.ok());
+  const auto lines = SplitLines(text);
+  ASSERT_EQ(got->size(), lines.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ((*got)[i].first, i);
+    EXPECT_EQ((*got)[i].second, lines[i]);
+  }
+}
+
+TEST(ClpLikeTest, SelectiveQueryTouchesFewerSegments) {
+  // Not directly observable, but a selective query must still be correct
+  // when segment filtering kicks in.
+  ClpLikeOptions opts;
+  opts.segment_raw_bytes = 4096;
+  const ClpLikeBackend b(opts);
+  const std::string text =
+      LogGenerator(*FindDataset("Log P")).Generate(64 * 1024);
+  const std::string query = "ERROR and CLICK_SAVE_ERROR";
+  const QueryHits expected = Reference(text, query);
+  auto got = b.Query(b.Compress(text), query);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), expected.size());
+}
+
+TEST(EsLikeTest, IndexIsLargerThanCompressedAlternatives) {
+  const EsLikeBackend es;
+  const GzipGrepBackend ggrep;
+  const std::string text =
+      LogGenerator(*FindDataset("Log F")).Generate(128 * 1024);
+  EXPECT_GT(es.Compress(text).size(), ggrep.Compress(text).size() * 3);
+}
+
+TEST(EsLikeTest, SmallDocBlocksRoundTrip) {
+  EsLikeOptions opts;
+  opts.doc_block_lines = 4;  // many stored blocks
+  const EsLikeBackend b(opts);
+  std::string text;
+  for (int i = 0; i < 41; ++i) {
+    text += "row " + std::to_string(i) + " value v" + std::to_string(i % 7) + "\n";
+  }
+  auto got = b.Query(b.Compress(text), "v3");
+  ASSERT_TRUE(got.ok());
+  const QueryHits expected = Reference(text, "v3");
+  ASSERT_EQ(got->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ((*got)[i].second, expected[i].second);
+  }
+}
+
+}  // namespace
+}  // namespace loggrep

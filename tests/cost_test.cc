@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "src/cost/cost_model.h"
+
+namespace loggrep {
+namespace {
+
+TEST(CostModelTest, StorageTermMatchesHandComputation) {
+  // 1 TB raw at ratio 7.7 for 6 months at $0.017/GB-month:
+  // 1024 / 7.7 * 0.017 * 6 = ~$13.56 (the ballpark of the paper's ggrep bar).
+  SystemMeasurement m;
+  m.raw_gb = 1024;
+  m.compression_ratio = 7.7;
+  m.compress_speed_mb_s = 1e9;  // make other terms negligible
+  m.query_latency_s = 0;
+  const CostBreakdown c = ComputeCost(m);
+  EXPECT_NEAR(c.storage, 1024.0 / 7.7 * 0.017 * 6, 1e-6);
+  EXPECT_NEAR(c.total(), c.storage, 1e-3);
+}
+
+TEST(CostModelTest, CompressionTerm) {
+  // 1 TB at 2 MB/s -> 1024*1024/2 seconds = ~145.6 h -> *0.016 = ~$2.33.
+  SystemMeasurement m;
+  m.raw_gb = 1024;
+  m.compression_ratio = 1e9;
+  m.compress_speed_mb_s = 2.0;
+  m.query_latency_s = 0;
+  const CostBreakdown c = ComputeCost(m);
+  EXPECT_NEAR(c.compress, (1024.0 * 1024.0 / 2.0) / 3600.0 * 0.016, 1e-6);
+}
+
+TEST(CostModelTest, QueryTermScalesWithFrequency) {
+  SystemMeasurement m;
+  m.raw_gb = 1;
+  m.compression_ratio = 1e9;
+  m.compress_speed_mb_s = 1e9;
+  m.query_latency_s = 36.0;  // 0.01 h
+  CostParams p;
+  p.query_frequency = 100;
+  const CostBreakdown c = ComputeCost(m, p);
+  EXPECT_NEAR(c.query, 0.016 * 0.01 * 100, 1e-9);
+  p.query_frequency = 200;
+  EXPECT_NEAR(ComputeCost(m, p).query, 2 * c.query, 1e-9);
+}
+
+TEST(CostModelTest, CrossoverFrequency) {
+  // "ES" pays 10x storage but queries 10x faster.
+  SystemMeasurement es;
+  es.raw_gb = 1024;
+  es.compression_ratio = 1.0;
+  es.compress_speed_mb_s = 1.0;
+  es.query_latency_s = 10.0;
+  SystemMeasurement lg = es;
+  lg.compression_ratio = 20.0;
+  lg.compress_speed_mb_s = 2.0;
+  lg.query_latency_s = 100.0;
+
+  const double f = CrossoverFrequency(es, lg);
+  ASSERT_GT(f, 0.0);
+  // At the crossover, total costs agree.
+  CostParams p;
+  p.query_frequency = f;
+  EXPECT_NEAR(ComputeCost(es, p).total(), ComputeCost(lg, p).total(), 1e-6);
+  // Below it, the cheap system wins; above, the fast one.
+  p.query_frequency = f / 2;
+  EXPECT_LT(ComputeCost(lg, p).total(), ComputeCost(es, p).total());
+  p.query_frequency = f * 2;
+  EXPECT_GT(ComputeCost(lg, p).total(), ComputeCost(es, p).total());
+}
+
+TEST(CostModelTest, CrossoverDegenerateCases) {
+  SystemMeasurement slow;
+  slow.query_latency_s = 100;
+  SystemMeasurement fast = slow;
+  fast.query_latency_s = 10;
+  // "fast" with no fixed-cost penalty always wins.
+  EXPECT_EQ(CrossoverFrequency(fast, slow), 0.0);
+  // A "fast" system that is not actually faster never wins.
+  EXPECT_LT(CrossoverFrequency(slow, fast), 0.0);
+}
+
+}  // namespace
+}  // namespace loggrep

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/engine.h"
+#include "src/parser/template_miner.h"
+#include "src/workload/datasets.h"
+#include "src/workload/loggen.h"
+
+namespace loggrep {
+namespace {
+
+std::string Lines(std::initializer_list<std::string_view> lines) {
+  std::string text;
+  for (std::string_view l : lines) {
+    text += l;
+    text += '\n';
+  }
+  return text;
+}
+
+TEST(EngineTest, PaperFigure1WalkThrough) {
+  const std::string text = Lines({
+      "T134 bk.FF.13 read",
+      "T169 state: SUC#1604",
+      "T179 bk.C5.15 read",
+      "T181 state: ERR#1623",
+  });
+  LogGrepEngine engine;
+  const std::string box = engine.CompressBlock(text);
+
+  // Query "read": hits the static pattern of group 1 -> lines 0 and 2.
+  auto read = engine.Query(box, "read");
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->hits.size(), 2u);
+  EXPECT_EQ(read->hits[0].first, 0u);
+  EXPECT_EQ(read->hits[0].second, "T134 bk.FF.13 read");
+  EXPECT_EQ(read->hits[1].first, 2u);
+  EXPECT_EQ(read->hits[1].second, "T179 bk.C5.15 read");
+
+  // Query "ERR#1623": nominal/variable content.
+  auto err = engine.Query(box, "ERR#1623");
+  ASSERT_TRUE(err.ok());
+  ASSERT_EQ(err->hits.size(), 1u);
+  EXPECT_EQ(err->hits[1 - 1].second, "T181 state: ERR#1623");
+
+  // AND across template and variable.
+  auto both = engine.Query(box, "state: and SUC");
+  ASSERT_TRUE(both.ok());
+  ASSERT_EQ(both->hits.size(), 1u);
+  EXPECT_EQ(both->hits[0].first, 1u);
+}
+
+TEST(EngineTest, EmptyBlock) {
+  LogGrepEngine engine;
+  const std::string box = engine.CompressBlock("");
+  auto result = engine.Query(box, "anything");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->hits.empty());
+}
+
+TEST(EngineTest, SingleLineBlock) {
+  LogGrepEngine engine;
+  const std::string box = engine.CompressBlock("lonely line 42\n");
+  auto hit = engine.Query(box, "lonely");
+  ASSERT_TRUE(hit.ok());
+  ASSERT_EQ(hit->hits.size(), 1u);
+  EXPECT_EQ(hit->hits[0].second, "lonely line 42");
+  auto miss = engine.Query(box, "crowded");
+  ASSERT_TRUE(miss.ok());
+  EXPECT_TRUE(miss->hits.empty());
+}
+
+TEST(EngineTest, MalformedQueryRejected) {
+  LogGrepEngine engine;
+  const std::string box = engine.CompressBlock("x 1\n");
+  EXPECT_FALSE(engine.Query(box, "").ok());
+  EXPECT_FALSE(engine.Query(box, "and and").ok());
+}
+
+TEST(EngineTest, CorruptBoxRejected) {
+  LogGrepEngine engine;
+  EXPECT_FALSE(engine.Query("not a capsule box", "x").ok());
+  const std::string box = engine.CompressBlock("x 1\n");
+  EXPECT_FALSE(engine.Query(std::string_view(box).substr(0, 10), "x").ok());
+}
+
+TEST(EngineTest, StampFilteringReducesDecompression) {
+  // A keyword whose character classes cannot occur in any capsule should
+  // decompress (nearly) nothing when stamps are on.
+  const std::string text =
+      LogGenerator(*FindDataset("Log G")).Generate(128 * 1024);
+
+  EngineOptions with;
+  with.use_cache = false;
+  LogGrepEngine engine_with(with);
+  EngineOptions without;
+  without.use_cache = false;
+  without.use_stamps = false;
+  LogGrepEngine engine_without(without);
+
+  const std::string box_with = engine_with.CompressBlock(text);
+  const std::string box_without = engine_without.CompressBlock(text);
+  const std::string query = "zzzzqqqq";  // g-z class, absent from hex ids
+
+  auto r_with = engine_with.Query(box_with, query);
+  auto r_without = engine_without.Query(box_without, query);
+  ASSERT_TRUE(r_with.ok());
+  ASSERT_TRUE(r_without.ok());
+  EXPECT_TRUE(r_with->hits.empty());
+  EXPECT_TRUE(r_without->hits.empty());
+  EXPECT_LT(r_with->locator.capsules_decompressed,
+            r_without->locator.capsules_decompressed);
+  EXPECT_GT(r_with->locator.capsules_stamp_filtered, 0u);
+}
+
+TEST(EngineTest, WildcardQueries) {
+  const std::string text = Lines({
+      "conn from 11.187.3.9 ok",
+      "conn from 11.187.4.101 ok",
+      "conn from 10.20.3.9 ok",
+  });
+  LogGrepEngine engine;
+  const std::string box = engine.CompressBlock(text);
+  auto result = engine.Query(box, "11.187.*");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->hits.size(), 2u);
+  EXPECT_EQ(result->hits[0].first, 0u);
+  EXPECT_EQ(result->hits[1].first, 1u);
+
+  auto qmark = engine.Query(box, "11.187.?.9");
+  ASSERT_TRUE(qmark.ok());
+  ASSERT_EQ(qmark->hits.size(), 1u);
+  EXPECT_EQ(qmark->hits[0].first, 0u);
+}
+
+TEST(EngineTest, OutlierLinesStillQueryable) {
+  // Build a block where one weird line will not match any mined template.
+  std::string text;
+  for (int i = 0; i < 400; ++i) {
+    text += "svc req " + std::to_string(i) + " done\n";
+  }
+  text += "!!! PANIC unique stack frame #42 !!!\n";
+  LogGrepEngine engine;
+  const std::string box = engine.CompressBlock(text);
+  auto result = engine.Query(box, "PANIC");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->hits.size(), 1u);
+  EXPECT_EQ(result->hits[0].first, 400u);
+  EXPECT_EQ(result->hits[0].second, "!!! PANIC unique stack frame #42 !!!");
+}
+
+TEST(EngineTest, ResultsOrderedByLineNumberAcrossGroups) {
+  const std::string text = Lines({
+      "alpha event 1",
+      "beta thing 2",
+      "alpha event 3",
+      "beta thing 4",
+      "alpha event 5",
+  });
+  LogGrepEngine engine;
+  const std::string box = engine.CompressBlock(text);
+  auto result = engine.Query(box, "alpha or beta");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->hits.size(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(result->hits[i].first, i);
+  }
+}
+
+TEST(EngineTest, CacheDisabledNeverServesFromCache) {
+  EngineOptions opts;
+  opts.use_cache = false;
+  LogGrepEngine engine(opts);
+  const std::string box = engine.CompressBlock("a 1\n");
+  auto r1 = engine.Query(box, "a");
+  auto r2 = engine.Query(box, "a");
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r1->from_cache);
+  EXPECT_FALSE(r2->from_cache);
+  EXPECT_EQ(engine.cache().size(), 0u);
+}
+
+TEST(EngineTest, QueryCacheIsPerBox) {
+  // Regression: the same command against a different box must not serve the
+  // first box's cached hits.
+  LogGrepEngine engine;
+  const std::string box_a = engine.CompressBlock("alpha event 1\n");
+  const std::string box_b = engine.CompressBlock("alpha other 2\nalpha more 3\n");
+  auto a = engine.Query(box_a, "alpha");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->hits.size(), 1u);
+  auto b = engine.Query(box_b, "alpha");
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(b->from_cache);
+  EXPECT_EQ(b->hits.size(), 2u);
+  // Re-querying each box hits its own cache entry.
+  auto a2 = engine.Query(box_a, "alpha");
+  ASSERT_TRUE(a2.ok());
+  EXPECT_TRUE(a2->from_cache);
+  EXPECT_EQ(a2->hits.size(), 1u);
+}
+
+TEST(EngineTest, CodecChoiceIsHonored) {
+  EngineOptions opts;
+  opts.codec = &GetZstdCodec();
+  LogGrepEngine engine(opts);
+  const std::string text =
+      LogGenerator(*FindDataset("Log D")).Generate(32 * 1024);
+  const std::string box = engine.CompressBlock(text);
+  auto result = engine.Query(box, "project_id:");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->hits.empty());
+}
+
+TEST(EngineTest, AdversarialTextIsLossless) {
+  // Lines with repeated separators, key=value chains, unicode-ish bytes, and
+  // near-identical shapes.
+  const std::string text = Lines({
+      "a=1 b=2 c=3",
+      "a=9 b=8 c=7",
+      "  leading spaces  and   runs 5",
+      "trailing space 6 ",
+      "sep()[]{}\"'chars 7",
+      "x:y:z:1",
+      "x:y:z:2",
+  });
+  LogGrepEngine engine;
+  const std::string box = engine.CompressBlock(text);
+  auto all = engine.Query(box, "not zzzNOSUCH");
+  ASSERT_TRUE(all.ok());
+  const auto lines = SplitLines(text);
+  ASSERT_EQ(all->hits.size(), lines.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(all->hits[i].second, lines[i]) << i;
+  }
+}
+
+// Parameterized: every engine configuration is lossless on every dataset's
+// sample (compact version of the integration sweep, at unit scale).
+class EngineConfigTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineConfigTest, LosslessOnLogA) {
+  EngineOptions opts;
+  switch (GetParam()) {
+    case 0:
+      break;
+    case 1:
+      opts.use_real = false;
+      break;
+    case 2:
+      opts.use_nominal = false;
+      break;
+    case 3:
+      opts.use_stamps = false;
+      break;
+    case 4:
+      opts.use_fixed = false;
+      break;
+    case 5:
+      opts.static_only = true;
+      break;
+    case 6:
+      opts.codec = &GetGzipCodec();
+      break;
+    case 7:
+      opts.codec = &GetZstdCodec();
+      break;
+  }
+  const std::string text =
+      LogGenerator(*FindDataset("Log A")).Generate(16 * 1024);
+  LogGrepEngine engine(opts);
+  const std::string box = engine.CompressBlock(text);
+  auto all = engine.Query(box, "not zzzNOSUCH");
+  ASSERT_TRUE(all.ok());
+  const auto lines = SplitLines(text);
+  ASSERT_EQ(all->hits.size(), lines.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    ASSERT_EQ(all->hits[i].second, lines[i]) << "config " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, EngineConfigTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace loggrep

@@ -1,0 +1,247 @@
+// End-to-end integration and cross-system equivalence tests.
+//
+// The load-bearing property: for every dataset and query, LogGrep (in every
+// option configuration) and every baseline return exactly the lines that the
+// reference scan (LineMatchesQuery over the raw text) returns.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/baselines/clp_like.h"
+#include "src/baselines/es_like.h"
+#include "src/baselines/gzip_grep.h"
+#include "src/common/rng.h"
+#include "src/core/engine.h"
+#include "src/parser/template_miner.h"
+#include "src/query/line_match.h"
+#include "src/query/query_parser.h"
+#include "src/workload/datasets.h"
+#include "src/workload/loggen.h"
+#include "src/workload/queries.h"
+
+namespace loggrep {
+namespace {
+
+// Reference result: (line number, text) pairs via a plain scan.
+QueryHits ReferenceQuery(std::string_view text, std::string_view command) {
+  auto expr = ParseQuery(command);
+  EXPECT_TRUE(expr.ok()) << expr.status().ToString() << " for " << command;
+  QueryHits hits;
+  const std::vector<std::string_view> lines = SplitLines(text);
+  for (uint32_t ln = 0; ln < lines.size(); ++ln) {
+    if (LineMatchesQuery(lines[ln], **expr)) {
+      hits.emplace_back(ln, std::string(lines[ln]));
+    }
+  }
+  return hits;
+}
+
+void ExpectSameHits(const QueryHits& expected, const QueryHits& actual,
+                    const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].first, actual[i].first) << label << " hit " << i;
+    EXPECT_EQ(expected[i].second, actual[i].second) << label << " hit " << i;
+  }
+}
+
+std::string SampleLog(std::string_view dataset, size_t bytes) {
+  const DatasetSpec* spec = FindDataset(dataset);
+  EXPECT_NE(spec, nullptr) << dataset;
+  return LogGenerator(*spec).Generate(bytes);
+}
+
+TEST(IntegrationTest, LogGrepMatchesReferenceOnLogA) {
+  const std::string text = SampleLog("Log A", 64 * 1024);
+  LogGrepEngine engine;
+  const std::string box = engine.CompressBlock(text);
+  for (const std::string& query : QuerySuiteForDataset("Log A")) {
+    const QueryHits expected = ReferenceQuery(text, query);
+    auto result = engine.Query(box, query);
+    ASSERT_TRUE(result.ok()) << result.status().ToString() << " for " << query;
+    ExpectSameHits(expected, result->hits, "Log A: " + query);
+  }
+}
+
+// Every dataset, primary query, full-featured engine.
+TEST(IntegrationTest, LogGrepMatchesReferenceOnAllDatasets) {
+  for (const DatasetSpec& spec : AllDatasets()) {
+    const std::string text = LogGenerator(spec).Generate(24 * 1024);
+    LogGrepEngine engine;
+    const std::string box = engine.CompressBlock(text);
+    const std::string query = QueryForDataset(spec.name);
+    ASSERT_FALSE(query.empty()) << spec.name;
+    const QueryHits expected = ReferenceQuery(text, query);
+    auto result = engine.Query(box, query);
+    ASSERT_TRUE(result.ok()) << result.status().ToString() << " on " << spec.name;
+    ExpectSameHits(expected, result->hits, spec.name + ": " + query);
+  }
+}
+
+// Ablation configurations must not change results, only performance.
+TEST(IntegrationTest, AblationConfigsPreserveResults) {
+  const std::string text = SampleLog("Log G", 48 * 1024);
+  const std::string query = QueryForDataset("Log G");
+  const QueryHits expected = ReferenceQuery(text, query);
+
+  const auto run = [&](EngineOptions opts, const std::string& label) {
+    LogGrepEngine engine(opts);
+    const std::string box = engine.CompressBlock(text);
+    auto result = engine.Query(box, query);
+    ASSERT_TRUE(result.ok()) << label << ": " << result.status().ToString();
+    ExpectSameHits(expected, result->hits, label);
+  };
+
+  EngineOptions opts;
+  run(opts, "full");
+  opts = {};
+  opts.use_real = false;
+  run(opts, "w/o real");
+  opts = {};
+  opts.use_nominal = false;
+  run(opts, "w/o nomi");
+  opts = {};
+  opts.use_stamps = false;
+  run(opts, "w/o stamp");
+  opts = {};
+  opts.use_fixed = false;
+  run(opts, "w/o fixed");
+  opts = {};
+  opts.use_cache = false;
+  run(opts, "w/o cache");
+  opts = {};
+  opts.static_only = true;
+  run(opts, "LogGrep-SP");
+}
+
+// All baselines agree with the reference scan on selected datasets.
+TEST(IntegrationTest, BaselinesMatchReference) {
+  const GzipGrepBackend ggrep;
+  const ClpLikeBackend clp;
+  const EsLikeBackend es;
+  const std::vector<const LogStoreBackend*> backends = {&ggrep, &clp, &es};
+  for (const DatasetSpec* spec : ProductionDatasets()) {
+    if (spec->name != "Log A" && spec->name != "Log J" && spec->name != "Log R") {
+      continue;  // the full sweep runs in the benches; keep tests quick
+    }
+    const std::string text = LogGenerator(*spec).Generate(32 * 1024);
+    const std::string query = QueryForDataset(spec->name);
+    const QueryHits expected = ReferenceQuery(text, query);
+    for (const LogStoreBackend* backend : backends) {
+      const std::string stored = backend->Compress(text);
+      auto result = backend->Query(stored, query);
+      ASSERT_TRUE(result.ok())
+          << backend->name() << ": " << result.status().ToString();
+      ExpectSameHits(expected, *result, std::string(backend->name()) + " on " +
+                                            spec->name);
+    }
+  }
+}
+
+// Reconstruction must be byte-exact for every line: query that matches all.
+TEST(IntegrationTest, LosslessReconstruction) {
+  for (const std::string name : {"Log A", "Log S", "Hdfs", "Proxifier"}) {
+    const std::string text = SampleLog(name, 16 * 1024);
+    LogGrepEngine engine;
+    const std::string box = engine.CompressBlock(text);
+    // "NOT zzz..." matches every line.
+    auto result = engine.Query(box, "not zzzNOSUCHTOKEN42");
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const std::vector<std::string_view> lines = SplitLines(text);
+    ASSERT_EQ(lines.size(), result->hits.size()) << name;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      ASSERT_EQ(result->hits[i].first, i) << name;
+      ASSERT_EQ(result->hits[i].second, lines[i]) << name << " line " << i;
+    }
+  }
+}
+
+TEST(IntegrationTest, QueryCacheReturnsIdenticalResults) {
+  const std::string text = SampleLog("Log B", 32 * 1024);
+  LogGrepEngine engine;
+  const std::string box = engine.CompressBlock(text);
+  const std::string query = QueryForDataset("Log B");
+  auto first = engine.Query(box, query);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->from_cache);
+  auto second = engine.Query(box, query);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->from_cache);
+  ExpectSameHits(first->hits, second->hits, "cache");
+}
+
+// Randomized query fuzzing: build random boolean commands from fragments of
+// the dataset's own content and require every system to agree with the
+// reference scan exactly.
+class QueryFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueryFuzzTest, AllSystemsAgreeOnRandomQueries) {
+  Rng rng(GetParam() * 7919 + 13);
+  const auto& datasets = AllDatasets();
+  const DatasetSpec& spec = datasets[rng.NextBelow(datasets.size())];
+  const std::string text = LogGenerator(spec).Generate(24 * 1024);
+  const std::vector<std::string_view> lines = SplitLines(text);
+  ASSERT_FALSE(lines.empty());
+
+  // Harvest candidate keywords: random token fragments from random lines,
+  // plus guaranteed misses and wildcarded variants.
+  auto random_keyword = [&]() -> std::string {
+    const std::string_view line = lines[rng.NextBelow(lines.size())];
+    const auto tokens = TokenizeKeywords(line);
+    if (tokens.empty() || rng.NextBool(0.15)) {
+      return "zzMISSzz" + std::to_string(rng.NextBelow(100));
+    }
+    std::string_view token = tokens[rng.NextBelow(tokens.size())];
+    if (token.empty()) {
+      return "x";
+    }
+    const size_t start = rng.NextBelow(token.size());
+    const size_t len = 1 + rng.NextBelow(token.size() - start);
+    std::string kw(token.substr(start, len));
+    if (rng.NextBool(0.2) && kw.size() >= 3) {
+      kw[kw.size() / 2] = '?';
+    }
+    return kw;
+  };
+  std::string command = random_keyword();
+  const int clauses = 1 + static_cast<int>(rng.NextBelow(3));
+  for (int c = 0; c < clauses; ++c) {
+    const char* ops[] = {" and ", " or ", " not "};
+    command += ops[rng.NextBelow(3)];
+    command += random_keyword();
+  }
+
+  const QueryHits expected = ReferenceQuery(text, command);
+  LogGrepEngine engine;
+  const std::string box = engine.CompressBlock(text);
+  auto lg = engine.Query(box, command);
+  ASSERT_TRUE(lg.ok()) << command << ": " << lg.status().ToString();
+  ExpectSameHits(expected, lg->hits, spec.name + " loggrep: " + command);
+
+  const GzipGrepBackend ggrep;
+  const std::string stored = ggrep.Compress(text);
+  auto gz = ggrep.Query(stored, command);
+  ASSERT_TRUE(gz.ok());
+  ExpectSameHits(expected, *gz, spec.name + " ggrep: " + command);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryFuzzTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+TEST(IntegrationTest, CompressionRatioOrdering) {
+  // LogGrep's structured compression should beat whole-block gzip, and the
+  // ES-like index should be by far the largest representation (§6 shapes).
+  const std::string text = SampleLog("Log G", 256 * 1024);
+  LogGrepEngine engine;
+  const GzipGrepBackend ggrep;
+  const EsLikeBackend es;
+  const double lg = static_cast<double>(engine.CompressBlock(text).size());
+  const double gz = static_cast<double>(ggrep.Compress(text).size());
+  const double esz = static_cast<double>(es.Compress(text).size());
+  EXPECT_LT(lg, gz) << "LogGrep should out-compress gzip";
+  EXPECT_GT(esz, gz) << "ES-like index should dwarf gzip output";
+}
+
+}  // namespace
+}  // namespace loggrep

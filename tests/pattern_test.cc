@@ -1,0 +1,368 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/pattern/cluster_extractor.h"
+#include "src/pattern/merge_extractor.h"
+#include "src/pattern/runtime_pattern.h"
+#include "src/pattern/tree_extractor.h"
+
+namespace loggrep {
+namespace {
+
+// ---- duplication rate / classification ---------------------------------------
+
+TEST(DuplicationRateTest, Basics) {
+  EXPECT_DOUBLE_EQ(DuplicationRate({}), 0.0);
+  EXPECT_DOUBLE_EQ(DuplicationRate({"a", "b", "c"}), 0.0);
+  EXPECT_DOUBLE_EQ(DuplicationRate({"a", "a", "a", "a"}), 0.75);
+  EXPECT_DOUBLE_EQ(DuplicationRate({"a", "a", "b", "b"}), 0.5);
+}
+
+TEST(ClassifyVectorTest, ThresholdBoundary) {
+  // Exactly at the threshold counts as nominal (>= 0.5, §4.1).
+  EXPECT_EQ(ClassifyVector({"a", "a", "b", "b"}), VectorClass::kNominal);
+  EXPECT_EQ(ClassifyVector({"a", "b", "c", "c"}), VectorClass::kReal);
+  EXPECT_EQ(ClassifyVector({"x"}), VectorClass::kReal);
+}
+
+// ---- runtime pattern model ------------------------------------------------------
+
+RuntimePattern MakePattern(std::vector<PatternElement> elems) {
+  return RuntimePattern(std::move(elems));
+}
+
+PatternElement Const(std::string text) {
+  PatternElement e;
+  e.constant = std::move(text);
+  return e;
+}
+
+PatternElement Sub(uint32_t idx) {
+  PatternElement e;
+  e.is_subvar = true;
+  e.subvar = idx;
+  return e;
+}
+
+TEST(RuntimePatternTest, MatchAndRenderPaperExample) {
+  // "block_<sv1>F8<sv2>" from Fig. 4.
+  const RuntimePattern p =
+      MakePattern({Const("block_"), Sub(0), Const("F8"), Sub(1)});
+  auto m = p.MatchValue("block_1F81F");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ((*m)[0], "1");
+  EXPECT_EQ((*m)[1], "1F");
+  EXPECT_EQ(p.Render({"1", "1F"}), "block_1F81F");
+
+  m = p.MatchValue("block_8F8F8FE");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ((*m)[0], "8");  // leftmost "F8"
+  EXPECT_EQ((*m)[1], "F8FE");
+
+  EXPECT_FALSE(p.MatchValue("Failed").has_value());
+  EXPECT_FALSE(p.MatchValue("block_123").has_value());  // missing "F8"
+}
+
+TEST(RuntimePatternTest, TrailingConstantMustTerminate) {
+  const RuntimePattern p = MakePattern({Sub(0), Const(".log")});
+  EXPECT_TRUE(p.MatchValue("x.log").has_value());
+  EXPECT_FALSE(p.MatchValue("x.logs").has_value());
+  EXPECT_FALSE(p.MatchValue("x.lo").has_value());
+}
+
+TEST(RuntimePatternTest, EmptySubValueAllowed) {
+  const RuntimePattern p = MakePattern({Const("a"), Sub(0), Const("b")});
+  auto m = p.MatchValue("ab");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ((*m)[0], "");
+}
+
+TEST(RuntimePatternTest, ToStringAndSubVarCount) {
+  const RuntimePattern p =
+      MakePattern({Const("block_"), Sub(0), Const("F8"), Sub(1)});
+  EXPECT_EQ(p.ToString(), "block_<*>F8<*>");
+  EXPECT_EQ(p.SubVarCount(), 2u);
+  EXPECT_EQ(RuntimePattern::SingleSubVar().ToString(), "<*>");
+}
+
+TEST(RuntimePatternTest, SerializationRoundTrip) {
+  const RuntimePattern p =
+      MakePattern({Const("/tmp/1FF8"), Sub(0), Const(".log")});
+  ByteWriter w;
+  p.WriteTo(w);
+  ByteReader r(w.data());
+  auto q = RuntimePattern::ReadFrom(r);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(*q, p);
+}
+
+// ---- tree extractor (real vectors) -----------------------------------------------
+
+TEST(TreeExtractorTest, PaperFigure4Example) {
+  // Values dominated by "block_<d>F8<hex>"; "Failed" is the 5% outlier.
+  std::vector<std::string> values;
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    std::string v = "block_";
+    v += std::to_string(rng.NextBelow(10));
+    v += "F8";
+    for (int k = 0; k < 1 + static_cast<int>(rng.NextBelow(4)); ++k) {
+      v += "0123456789ABCDEF"[rng.NextBelow(16)];
+    }
+    values.push_back(v);
+  }
+  values.push_back("Failed");  // below the 5% slack
+  const TreeExtractor extractor;
+  const RuntimePattern p = extractor.Extract(values);
+  // The pattern must reproduce all conforming values.
+  size_t matched = 0;
+  for (const std::string& v : values) {
+    auto m = p.MatchValue(v);
+    if (m.has_value()) {
+      std::vector<std::string_view> views(m->begin(), m->end());
+      EXPECT_EQ(p.Render(views), v);
+      ++matched;
+    }
+  }
+  EXPECT_GE(matched, values.size() - 1);
+  // And it must have found real structure, splitting at least on "_".
+  EXPECT_GT(p.elements().size(), 1u) << p.ToString();
+}
+
+TEST(TreeExtractorTest, FixedPrefixDiscovered) {
+  std::vector<std::string> values;
+  Rng rng(4);
+  for (int i = 0; i < 300; ++i) {
+    values.push_back("blk_" + std::to_string(1000000 + rng.NextBelow(9000000)));
+  }
+  const RuntimePattern p = TreeExtractor().Extract(values);
+  // Every value matches and renders back.
+  for (const std::string& v : values) {
+    auto m = p.MatchValue(v);
+    ASSERT_TRUE(m.has_value()) << p.ToString() << " vs " << v;
+    std::vector<std::string_view> views(m->begin(), m->end());
+    EXPECT_EQ(p.Render(views), v);
+  }
+  EXPECT_NE(p.ToString().find("_"), std::string::npos);
+}
+
+TEST(TreeExtractorTest, IpLikeValuesSplitOnDots) {
+  std::vector<std::string> values;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    values.push_back("11.187." + std::to_string(rng.NextBelow(32)) + "." +
+                     std::to_string(rng.NextBelow(256)));
+  }
+  const RuntimePattern p = TreeExtractor().Extract(values);
+  EXPECT_GE(p.elements().size(), 3u) << p.ToString();
+  for (const std::string& v : values) {
+    EXPECT_TRUE(p.MatchValue(v).has_value()) << p.ToString() << " vs " << v;
+  }
+}
+
+TEST(TreeExtractorTest, UnstructuredValuesYieldTrivialPattern) {
+  // Random alphanumeric values with no common delimiter or substring.
+  std::vector<std::string> values;
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    std::string v;
+    for (int k = 0; k < 12; ++k) {
+      v += static_cast<char>('A' + rng.NextBelow(26));
+    }
+    values.push_back(v);
+  }
+  const RuntimePattern p = TreeExtractor().Extract(values);
+  // Either trivial or at least matching the bulk of the values.
+  size_t matched = 0;
+  for (const std::string& v : values) {
+    matched += p.MatchValue(v).has_value() ? 1 : 0;
+  }
+  EXPECT_GE(matched, values.size() / 2) << p.ToString();
+}
+
+TEST(TreeExtractorTest, EmptyAndSingletonInputs) {
+  EXPECT_EQ(TreeExtractor().Extract({}).ToString(), "<*>");
+  const RuntimePattern p = TreeExtractor().Extract({"only_one"});
+  // A single value may collapse to constants; it must at least match itself.
+  EXPECT_TRUE(p.MatchValue("only_one").has_value());
+}
+
+TEST(TreeExtractorTest, NeverProducesAdjacentSubvars) {
+  // Invariant required by the §5.1 matcher.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    std::vector<std::string> values;
+    for (int i = 0; i < 150; ++i) {
+      std::string v = "req-";
+      v += std::to_string(rng.NextBelow(100));
+      v += ":";
+      v += std::to_string(rng.NextBelow(100000));
+      values.push_back(v);
+    }
+    TreeExtractorOptions opts;
+    opts.seed = seed;
+    const RuntimePattern p = TreeExtractor(opts).Extract(values);
+    const auto& elems = p.elements();
+    for (size_t i = 1; i < elems.size(); ++i) {
+      EXPECT_FALSE(elems[i - 1].is_subvar && elems[i].is_subvar)
+          << p.ToString();
+    }
+  }
+}
+
+// ---- merge extractor (nominal vectors) --------------------------------------------
+
+TEST(MergeExtractorTest, PaperFigure5Example) {
+  const std::vector<std::string> values = {"ERR#404", "SUCC",    "ERR#501",
+                                           "SUCC",    "ERR#404", "SUCC"};
+  const NominalExtraction ex = MergeExtractor().Extract(values);
+  // Unique values: ERR#404, SUCC, ERR#501 -> dictionary size 3, 2 patterns.
+  ASSERT_EQ(ex.dictionary.size(), 3u);
+  ASSERT_EQ(ex.patterns.size(), 2u);
+  // Index reproduces the original vector.
+  ASSERT_EQ(ex.index.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(ex.dictionary[ex.index[i]], values[i]);
+  }
+  // One pattern is the constant "SUCC", the other "ERR#<*>".
+  std::set<std::string> rendered;
+  for (const RuntimePattern& p : ex.patterns) {
+    rendered.insert(p.ToString());
+  }
+  EXPECT_TRUE(rendered.count("SUCC") == 1) << *rendered.begin();
+  EXPECT_TRUE(rendered.count("ERR#<*>") == 1);
+  // Dictionary entries of the same pattern are contiguous.
+  for (size_t i = 1; i < ex.pattern_of_dict.size(); ++i) {
+    EXPECT_GE(ex.pattern_of_dict[i], ex.pattern_of_dict[i - 1]);
+  }
+}
+
+TEST(MergeExtractorTest, ConstantSlotCollapses) {
+  const std::vector<std::string> values = {"ERR#404", "ERR#501", "ERR#404"};
+  const NominalExtraction ex = MergeExtractor().Extract(values);
+  ASSERT_EQ(ex.patterns.size(), 1u);
+  // "ERR" is constant across the form, so it folds into the constant part.
+  EXPECT_EQ(ex.patterns[0].ToString(), "ERR#<*>");
+}
+
+TEST(MergeExtractorTest, PatternsMatchTheirSectionValues) {
+  const std::vector<std::string> values = {
+      "/usr/admin/a.log", "/usr/admin/b.log", "/usr/admin/a.log",
+      "up",               "down",             "up",
+  };
+  const NominalExtraction ex = MergeExtractor().Extract(values);
+  for (size_t d = 0; d < ex.dictionary.size(); ++d) {
+    const RuntimePattern& p = ex.patterns[ex.pattern_of_dict[d]];
+    auto m = p.MatchValue(ex.dictionary[d]);
+    ASSERT_TRUE(m.has_value())
+        << p.ToString() << " vs " << ex.dictionary[d];
+    std::vector<std::string_view> views(m->begin(), m->end());
+    EXPECT_EQ(p.Render(views), ex.dictionary[d]);
+  }
+}
+
+TEST(MergeExtractorTest, EmptyValuesAndEmptyVector) {
+  const NominalExtraction none = MergeExtractor().Extract({});
+  EXPECT_TRUE(none.dictionary.empty());
+  EXPECT_TRUE(none.index.empty());
+
+  const NominalExtraction ex = MergeExtractor().Extract({"", "x", ""});
+  ASSERT_EQ(ex.dictionary.size(), 2u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ex.dictionary[ex.index[i]], (i == 1 ? "x" : ""));
+  }
+}
+
+TEST(MergeExtractorTest, DifferentSkeletonsStaySeparate) {
+  const std::vector<std::string> values = {"a-b", "a_b", "a-b", "a_b"};
+  const NominalExtraction ex = MergeExtractor().Extract(values);
+  EXPECT_EQ(ex.patterns.size(), 2u);
+}
+
+// Property: index/dictionary reconstruction is exact for arbitrary inputs.
+class MergeExtractorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MergeExtractorPropertyTest, RoundTrips) {
+  Rng rng(GetParam());
+  std::vector<std::string> pool;
+  for (int i = 0; i < 8; ++i) {
+    std::string v;
+    const int pieces = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int k = 0; k < pieces; ++k) {
+      if (k > 0) {
+        v += "-#/."[rng.NextBelow(4)];
+      }
+      const int len = static_cast<int>(rng.NextBelow(6));
+      for (int c = 0; c < len; ++c) {
+        v += static_cast<char>('a' + rng.NextBelow(26));
+      }
+    }
+    pool.push_back(v);
+  }
+  std::vector<std::string> values;
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(pool[rng.NextBelow(pool.size())]);
+  }
+  const NominalExtraction ex = MergeExtractor().Extract(values);
+  ASSERT_EQ(ex.index.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(ex.dictionary[ex.index[i]], values[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeExtractorPropertyTest,
+                         ::testing::Range<uint64_t>(1, 17));
+
+// ---- general-purpose clustering extractor (the §4.1 slow baseline) -------------
+
+TEST(ClusterExtractorTest, SeparatesDistinctFamilies) {
+  std::vector<std::string> values;
+  Rng rng(8);
+  for (int i = 0; i < 40; ++i) {
+    values.push_back("blk_" + std::to_string(100000 + rng.NextBelow(899999)));
+    values.push_back("10.0." + std::to_string(rng.NextBelow(255)) + ".1");
+  }
+  // Within-family similarity is ~0.4 (shared "blk_" prefix over 10 chars);
+  // cross-family is ~0.1.
+  ClusterExtractorOptions opts;
+  opts.merge_threshold = 0.35;
+  const ClusterExtraction ex = ClusterExtractor(opts).Extract(values);
+  ASSERT_EQ(ex.assignment.size(), values.size());
+  // Block ids and IPs must land in different clusters.
+  EXPECT_NE(ex.assignment[0], ex.assignment[1]);
+  // All block ids share one pattern; all IPs share another.
+  for (size_t i = 2; i < values.size(); i += 2) {
+    EXPECT_EQ(ex.assignment[i], ex.assignment[0]) << values[i];
+    EXPECT_EQ(ex.assignment[i + 1], ex.assignment[1]) << values[i + 1];
+  }
+}
+
+TEST(ClusterExtractorTest, AssignmentIndexesValidPatterns) {
+  const std::vector<std::string> values = {"a-1", "a-2", "zz", "a-3", "zz"};
+  const ClusterExtraction ex = ClusterExtractor().Extract(values);
+  ASSERT_EQ(ex.assignment.size(), values.size());
+  for (uint32_t p : ex.assignment) {
+    ASSERT_LT(p, ex.patterns.size());
+  }
+}
+
+TEST(ClusterExtractorTest, EmptyAndCapped) {
+  EXPECT_TRUE(ClusterExtractor().Extract({}).assignment.empty());
+  ClusterExtractorOptions opts;
+  opts.max_values = 4;
+  std::vector<std::string> values;
+  for (int i = 0; i < 20; ++i) {
+    values.push_back("val" + std::to_string(i));
+  }
+  const ClusterExtraction ex = ClusterExtractor(opts).Extract(values);
+  ASSERT_EQ(ex.assignment.size(), values.size());
+  for (uint32_t p : ex.assignment) {
+    ASSERT_LT(p, ex.patterns.size());
+  }
+}
+
+}  // namespace
+}  // namespace loggrep

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "src/common/thread_pool.h"
+#include "src/core/session.h"
+#include "src/workload/datasets.h"
+#include "src/workload/loggen.h"
+
+namespace loggrep {
+namespace {
+
+// ---- thread pool ---------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, TasksSubmittedFromTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&pool, &counter] {
+      counter.fetch_add(1);
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+// ---- refining-mode session --------------------------------------------------------
+
+class QuerySessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    text_ = LogGenerator(*FindDataset("Log A")).Generate(48 * 1024);
+    box_ = engine_.CompressBlock(text_);
+  }
+
+  LogGrepEngine engine_;
+  std::string text_;
+  std::string box_;
+};
+
+TEST_F(QuerySessionTest, IncrementalRefinementMatchesFullQuery) {
+  QuerySession session(&engine_, box_);
+  auto broad = session.Query("ERROR");
+  ASSERT_TRUE(broad.ok());
+  EXPECT_FALSE(broad->refined_incrementally);
+
+  auto narrow = session.Query("ERROR and state:REQ_ST_CLOSED");
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_TRUE(narrow->refined_incrementally);
+
+  // Ground truth: the same command via a fresh engine.
+  LogGrepEngine fresh;
+  auto full = fresh.Query(fresh.CompressBlock(text_),
+                          "ERROR and state:REQ_ST_CLOSED");
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(narrow->hits.size(), full->hits.size());
+  for (size_t i = 0; i < full->hits.size(); ++i) {
+    EXPECT_EQ(narrow->hits[i].first, full->hits[i].first);
+    EXPECT_EQ(narrow->hits[i].second, full->hits[i].second);
+  }
+}
+
+TEST_F(QuerySessionTest, ChainedRefinements) {
+  QuerySession session(&engine_, box_);
+  ASSERT_TRUE(session.Query("ERROR").ok());
+  auto second = session.Query("ERROR and aborted");
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->refined_incrementally);
+  auto third = session.Query("ERROR and aborted and state:REQ_ST_TIMEOUT");
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third->refined_incrementally);
+  for (const auto& [line, hit_text] : third->hits) {
+    EXPECT_NE(hit_text.find("REQ_ST_TIMEOUT"), std::string::npos);
+  }
+}
+
+TEST_F(QuerySessionTest, NonRefinementFallsBackToFullQuery) {
+  QuerySession session(&engine_, box_);
+  ASSERT_TRUE(session.Query("ERROR").ok());
+  // OR-extension is NOT a sound narrowing: must re-run fully.
+  auto widened = session.Query("ERROR or WARN");
+  ASSERT_TRUE(widened.ok());
+  EXPECT_FALSE(widened->refined_incrementally);
+  // A completely different command likewise.
+  auto other = session.Query("heartbeat");
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(other->refined_incrementally);
+}
+
+TEST_F(QuerySessionTest, AppendedNotClauseIsNotIncremental) {
+  QuerySession session(&engine_, box_);
+  ASSERT_TRUE(session.Query("ERROR").ok());
+  auto negated = session.Query("ERROR not aborted");
+  ASSERT_TRUE(negated.ok());
+  EXPECT_FALSE(negated->refined_incrementally);
+  // But it must still be correct.
+  for (const auto& [line, hit_text] : negated->hits) {
+    EXPECT_EQ(hit_text.find("aborted"), std::string::npos);
+  }
+}
+
+TEST_F(QuerySessionTest, RevisitingAnyEarlierCommandIsMemoized) {
+  QuerySession session(&engine_, box_);
+  ASSERT_TRUE(session.Query("ERROR").ok());
+  auto refined = session.Query("ERROR and aborted");
+  ASSERT_TRUE(refined.ok());
+  ASSERT_TRUE(refined->refined_incrementally);
+  // Revisit the refined command: served from the session memo even though
+  // the engine's own cache never executed it.
+  auto revisit = session.Query("ERROR and aborted");
+  ASSERT_TRUE(revisit.ok());
+  EXPECT_TRUE(revisit->from_cache);
+  ASSERT_EQ(revisit->hits.size(), refined->hits.size());
+  // And refinement continues from the revisited state.
+  auto deeper = session.Query("ERROR and aborted and code:");
+  ASSERT_TRUE(deeper.ok());
+  EXPECT_TRUE(deeper->refined_incrementally);
+}
+
+TEST_F(QuerySessionTest, ResetForgetsRefinementState) {
+  QuerySession session(&engine_, box_);
+  ASSERT_TRUE(session.Query("ERROR").ok());
+  session.Reset();
+  auto after = session.Query("ERROR and aborted");
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->refined_incrementally);
+}
+
+}  // namespace
+}  // namespace loggrep

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "src/common/bloom.h"
+#include "src/query/query_parser.h"
+#include "src/store/log_archive.h"
+#include "src/workload/datasets.h"
+#include "src/workload/loggen.h"
+
+namespace loggrep {
+namespace {
+
+// ---- bloom filter ------------------------------------------------------------
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bloom(1000, 10);
+  std::vector<std::string> items;
+  for (int i = 0; i < 1000; ++i) {
+    items.push_back("item-" + std::to_string(i * 7919));
+    bloom.Add(items.back());
+  }
+  for (const std::string& item : items) {
+    EXPECT_TRUE(bloom.MayContain(item)) << item;
+  }
+}
+
+TEST(BloomFilterTest, LowFalsePositiveRate) {
+  BloomFilter bloom(2000, 10);
+  for (int i = 0; i < 2000; ++i) {
+    bloom.Add("present-" + std::to_string(i));
+  }
+  int false_positives = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (bloom.MayContain("absent-" + std::to_string(i))) {
+      ++false_positives;
+    }
+  }
+  // 10 bits/item gives ~1% theoretical; allow generous slack.
+  EXPECT_LT(false_positives, 500);
+  EXPECT_LT(bloom.FillRatio(), 0.7);
+}
+
+TEST(BloomFilterTest, SerializationRoundTrip) {
+  BloomFilter bloom(100, 8);
+  bloom.Add("alpha");
+  bloom.Add("beta");
+  ByteWriter w;
+  bloom.WriteTo(w);
+  ByteReader r(w.data());
+  auto restored = BloomFilter::ReadFrom(r);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->MayContain("alpha"));
+  EXPECT_TRUE(restored->MayContain("beta"));
+  EXPECT_FALSE(restored->MayContain("gamma"));
+}
+
+TEST(BloomFilterTest, EmptyFilterFiltersNothing) {
+  const BloomFilter bloom;
+  EXPECT_TRUE(bloom.MayContain("anything"));
+}
+
+// ---- required keywords ----------------------------------------------------------
+
+std::vector<std::string> Required(std::string_view command) {
+  auto expr = ParseQuery(command);
+  EXPECT_TRUE(expr.ok()) << command;
+  return RequiredKeywords(**expr);
+}
+
+TEST(RequiredKeywordsTest, AndUnionsOrIntersectsNotDrops) {
+  EXPECT_EQ(Required("alpha and beta"),
+            (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(Required("alpha or beta"), (std::vector<std::string>{}));
+  EXPECT_EQ(Required("alpha gamma or beta gamma"),
+            (std::vector<std::string>{"gamma"}));
+  EXPECT_EQ(Required("alpha not beta"), (std::vector<std::string>{"alpha"}));
+  EXPECT_EQ(Required("not beta"), (std::vector<std::string>{}));
+}
+
+// ---- archive ----------------------------------------------------------------------
+
+class LogArchiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("loggrep_archive_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(LogArchiveTest, CreateAppendQuery) {
+  auto archive = LogArchive::Create(dir_);
+  ASSERT_TRUE(archive.ok()) << archive.status().ToString();
+  ASSERT_TRUE(archive->AppendBlock("first block alpha 1\nsecond line beta 2\n").ok());
+  ASSERT_TRUE(archive->AppendBlock("third line alpha 3\nfourth line gamma 4\n").ok());
+  EXPECT_EQ(archive->blocks().size(), 2u);
+  EXPECT_EQ(archive->total_lines(), 4u);
+
+  auto result = archive->Query("alpha");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->hits.size(), 2u);
+  EXPECT_EQ(result->hits[0].first, 0u);  // global line numbers
+  EXPECT_EQ(result->hits[0].second, "first block alpha 1");
+  EXPECT_EQ(result->hits[1].first, 2u);
+  EXPECT_EQ(result->hits[1].second, "third line alpha 3");
+}
+
+TEST_F(LogArchiveTest, ReopenPreservesEverything) {
+  {
+    auto archive = LogArchive::Create(dir_);
+    ASSERT_TRUE(archive.ok());
+    ASSERT_TRUE(archive->AppendBlock("persistent entry omega 9\n").ok());
+  }
+  auto reopened = LogArchive::Open(dir_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->blocks().size(), 1u);
+  auto result = reopened->Query("omega");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->hits.size(), 1u);
+  EXPECT_EQ(result->hits[0].second, "persistent entry omega 9");
+}
+
+TEST_F(LogArchiveTest, BlockPruningIsSoundAndEffective) {
+  auto archive = LogArchive::Create(dir_);
+  ASSERT_TRUE(archive.ok());
+  // Ten blocks; the needle appears only in block 7.
+  for (int b = 0; b < 10; ++b) {
+    std::string text;
+    for (int i = 0; i < 50; ++i) {
+      text += "svc request " + std::to_string(b * 100 + i) + " handled ok\n";
+    }
+    if (b == 7) {
+      text += "svc request 999 FAILED uniqueneedletoken here\n";
+    }
+    ASSERT_TRUE(archive->AppendBlock(text).ok());
+  }
+  auto result = archive->Query("uniqueneedletoken");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->hits.size(), 1u);
+  EXPECT_EQ(result->hits[0].second,
+            "svc request 999 FAILED uniqueneedletoken here");
+  // Bloom pruning should have skipped (almost) all other blocks.
+  EXPECT_GE(result->blocks_pruned, 8u);
+  EXPECT_LE(result->blocks_queried, 2u);
+}
+
+TEST_F(LogArchiveTest, PruningNeverDropsMatches) {
+  auto archive = LogArchive::Create(dir_);
+  ASSERT_TRUE(archive.ok());
+  const DatasetSpec* spec = FindDataset("Hdfs");
+  std::vector<std::string> texts;
+  DatasetSpec varied = *spec;
+  for (int b = 0; b < 4; ++b) {
+    varied.seed = spec->seed + b;
+    texts.push_back(LogGenerator(varied).Generate(8 * 1024));
+    ASSERT_TRUE(archive->AppendBlock(texts.back()).ok());
+  }
+  // Compare against querying every block through a fresh engine.
+  for (const std::string query :
+       {std::string("error and blk_884"), std::string("Received block"),
+        std::string("zzzNOSUCH")}) {
+    auto got = archive->Query(query);
+    ASSERT_TRUE(got.ok());
+    size_t expected = 0;
+    LogGrepEngine engine;
+    for (const std::string& text : texts) {
+      auto r = engine.Query(engine.CompressBlock(text), query);
+      ASSERT_TRUE(r.ok());
+      expected += r->hits.size();
+    }
+    EXPECT_EQ(got->hits.size(), expected) << query;
+  }
+}
+
+TEST_F(LogArchiveTest, WildcardAndShortKeywordsBypassBloom) {
+  auto archive = LogArchive::Create(dir_);
+  ASSERT_TRUE(archive.ok());
+  ASSERT_TRUE(archive->AppendBlock("status az9 fine 1\n").ok());
+  // 3-char keyword: below shingle length, must still match via stamp path.
+  auto short_kw = archive->Query("az9");
+  ASSERT_TRUE(short_kw.ok());
+  EXPECT_EQ(short_kw->hits.size(), 1u);
+  // Wildcard keyword.
+  auto wild = archive->Query("a?9");
+  ASSERT_TRUE(wild.ok());
+  EXPECT_EQ(wild->hits.size(), 1u);
+}
+
+TEST_F(LogArchiveTest, ParallelQueryMatchesSerial) {
+  auto archive = LogArchive::Create(dir_);
+  ASSERT_TRUE(archive.ok());
+  DatasetSpec spec = *FindDataset("Ssh");
+  for (int b = 0; b < 6; ++b) {
+    spec.seed += 17;
+    ASSERT_TRUE(archive->AppendBlock(LogGenerator(spec).Generate(16 * 1024)).ok());
+  }
+  for (const std::string query :
+       {std::string("Failed password and 183.62.140.253"),
+        std::string("sshd not preauth"), std::string("zzzNOSUCH")}) {
+    auto serial = archive->Query(query);
+    auto parallel = archive->ParallelQuery(query, 4);
+    ASSERT_TRUE(serial.ok()) << query;
+    ASSERT_TRUE(parallel.ok()) << query;
+    ASSERT_EQ(serial->hits.size(), parallel->hits.size()) << query;
+    for (size_t i = 0; i < serial->hits.size(); ++i) {
+      EXPECT_EQ(serial->hits[i].first, parallel->hits[i].first);
+      EXPECT_EQ(serial->hits[i].second, parallel->hits[i].second);
+    }
+    EXPECT_EQ(serial->blocks_pruned, parallel->blocks_pruned);
+  }
+}
+
+TEST_F(LogArchiveTest, CreateTwiceFails) {
+  auto first = LogArchive::Create(dir_);
+  ASSERT_TRUE(first.ok());
+  auto second = LogArchive::Create(dir_);
+  EXPECT_FALSE(second.ok());
+}
+
+TEST_F(LogArchiveTest, OpenMissingFails) {
+  auto missing = LogArchive::Open(dir_ + "_nope");
+  EXPECT_FALSE(missing.ok());
+}
+
+TEST_F(LogArchiveTest, EmptyArchiveQueries) {
+  auto archive = LogArchive::Create(dir_);
+  ASSERT_TRUE(archive.ok());
+  auto result = archive->Query("anything");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->hits.empty());
+  EXPECT_EQ(result->blocks_queried, 0u);
+}
+
+}  // namespace
+}  // namespace loggrep
