@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archive_scale.dir/archive_scale.cc.o"
+  "CMakeFiles/archive_scale.dir/archive_scale.cc.o.d"
+  "CMakeFiles/archive_scale.dir/bench_util.cc.o"
+  "CMakeFiles/archive_scale.dir/bench_util.cc.o.d"
+  "archive_scale"
+  "archive_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archive_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_choice.dir/bench_util.cc.o"
+  "CMakeFiles/codec_choice.dir/bench_util.cc.o.d"
+  "CMakeFiles/codec_choice.dir/codec_choice.cc.o"
+  "CMakeFiles/codec_choice.dir/codec_choice.cc.o.d"
+  "codec_choice"
+  "codec_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_micro.dir/codec_micro.cc.o"
+  "CMakeFiles/codec_micro.dir/codec_micro.cc.o.d"
+  "codec_micro"
+  "codec_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

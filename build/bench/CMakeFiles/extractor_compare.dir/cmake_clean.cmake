@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extractor_compare.dir/bench_util.cc.o"
+  "CMakeFiles/extractor_compare.dir/bench_util.cc.o.d"
+  "CMakeFiles/extractor_compare.dir/extractor_compare.cc.o"
+  "CMakeFiles/extractor_compare.dir/extractor_compare.cc.o.d"
+  "extractor_compare"
+  "extractor_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extractor_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

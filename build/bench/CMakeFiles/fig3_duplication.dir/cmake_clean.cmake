@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_duplication.dir/bench_util.cc.o"
+  "CMakeFiles/fig3_duplication.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig3_duplication.dir/fig3_duplication.cc.o"
+  "CMakeFiles/fig3_duplication.dir/fig3_duplication.cc.o.d"
+  "fig3_duplication"
+  "fig3_duplication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_duplication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_compression.dir/bench_util.cc.o"
+  "CMakeFiles/fig7_compression.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig7_compression.dir/fig7_compression.cc.o"
+  "CMakeFiles/fig7_compression.dir/fig7_compression.cc.o.d"
+  "fig7_compression"
+  "fig7_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

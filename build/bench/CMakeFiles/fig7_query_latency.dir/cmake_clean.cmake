@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_query_latency.dir/bench_util.cc.o"
+  "CMakeFiles/fig7_query_latency.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig7_query_latency.dir/fig7_query_latency.cc.o"
+  "CMakeFiles/fig7_query_latency.dir/fig7_query_latency.cc.o.d"
+  "fig7_query_latency"
+  "fig7_query_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_query_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_cost.dir/bench_util.cc.o"
+  "CMakeFiles/fig8_cost.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig8_cost.dir/fig8_cost.cc.o"
+  "CMakeFiles/fig8_cost.dir/fig8_cost.cc.o.d"
+  "fig8_cost"
+  "fig8_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

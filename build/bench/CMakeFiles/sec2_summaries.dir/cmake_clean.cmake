@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec2_summaries.dir/bench_util.cc.o"
+  "CMakeFiles/sec2_summaries.dir/bench_util.cc.o.d"
+  "CMakeFiles/sec2_summaries.dir/sec2_summaries.cc.o"
+  "CMakeFiles/sec2_summaries.dir/sec2_summaries.cc.o.d"
+  "sec2_summaries"
+  "sec2_summaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2_summaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

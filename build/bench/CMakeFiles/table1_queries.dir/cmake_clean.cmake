@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_queries.dir/bench_util.cc.o"
+  "CMakeFiles/table1_queries.dir/bench_util.cc.o.d"
+  "CMakeFiles/table1_queries.dir/table1_queries.cc.o"
+  "CMakeFiles/table1_queries.dir/table1_queries.cc.o.d"
+  "table1_queries"
+  "table1_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

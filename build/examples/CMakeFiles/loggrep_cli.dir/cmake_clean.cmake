@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loggrep_cli.dir/loggrep_cli.cpp.o"
+  "CMakeFiles/loggrep_cli.dir/loggrep_cli.cpp.o.d"
+  "loggrep_cli"
+  "loggrep_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loggrep_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/clp_like.cc" "src/CMakeFiles/loggrep.dir/baselines/clp_like.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/baselines/clp_like.cc.o.d"
+  "/root/repo/src/baselines/es_like.cc" "src/CMakeFiles/loggrep.dir/baselines/es_like.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/baselines/es_like.cc.o.d"
+  "/root/repo/src/baselines/gzip_grep.cc" "src/CMakeFiles/loggrep.dir/baselines/gzip_grep.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/baselines/gzip_grep.cc.o.d"
+  "/root/repo/src/capsule/assembler.cc" "src/CMakeFiles/loggrep.dir/capsule/assembler.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/capsule/assembler.cc.o.d"
+  "/root/repo/src/capsule/capsule.cc" "src/CMakeFiles/loggrep.dir/capsule/capsule.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/capsule/capsule.cc.o.d"
+  "/root/repo/src/capsule/capsule_box.cc" "src/CMakeFiles/loggrep.dir/capsule/capsule_box.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/capsule/capsule_box.cc.o.d"
+  "/root/repo/src/capsule/stamp.cc" "src/CMakeFiles/loggrep.dir/capsule/stamp.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/capsule/stamp.cc.o.d"
+  "/root/repo/src/codec/bitstream.cc" "src/CMakeFiles/loggrep.dir/codec/bitstream.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/codec/bitstream.cc.o.d"
+  "/root/repo/src/codec/codec.cc" "src/CMakeFiles/loggrep.dir/codec/codec.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/codec/codec.cc.o.d"
+  "/root/repo/src/codec/gzip_codec.cc" "src/CMakeFiles/loggrep.dir/codec/gzip_codec.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/codec/gzip_codec.cc.o.d"
+  "/root/repo/src/codec/huffman.cc" "src/CMakeFiles/loggrep.dir/codec/huffman.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/codec/huffman.cc.o.d"
+  "/root/repo/src/codec/lz_huff.cc" "src/CMakeFiles/loggrep.dir/codec/lz_huff.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/codec/lz_huff.cc.o.d"
+  "/root/repo/src/codec/lz_matcher.cc" "src/CMakeFiles/loggrep.dir/codec/lz_matcher.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/codec/lz_matcher.cc.o.d"
+  "/root/repo/src/codec/range_coder.cc" "src/CMakeFiles/loggrep.dir/codec/range_coder.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/codec/range_coder.cc.o.d"
+  "/root/repo/src/codec/xz_codec.cc" "src/CMakeFiles/loggrep.dir/codec/xz_codec.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/codec/xz_codec.cc.o.d"
+  "/root/repo/src/codec/zstd_codec.cc" "src/CMakeFiles/loggrep.dir/codec/zstd_codec.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/codec/zstd_codec.cc.o.d"
+  "/root/repo/src/common/bloom.cc" "src/CMakeFiles/loggrep.dir/common/bloom.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/common/bloom.cc.o.d"
+  "/root/repo/src/common/bytes.cc" "src/CMakeFiles/loggrep.dir/common/bytes.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/common/bytes.cc.o.d"
+  "/root/repo/src/common/charclass.cc" "src/CMakeFiles/loggrep.dir/common/charclass.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/common/charclass.cc.o.d"
+  "/root/repo/src/common/result.cc" "src/CMakeFiles/loggrep.dir/common/result.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/common/result.cc.o.d"
+  "/root/repo/src/common/rowset.cc" "src/CMakeFiles/loggrep.dir/common/rowset.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/common/rowset.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/loggrep.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/loggrep.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/loggrep.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/CMakeFiles/loggrep.dir/core/session.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/core/session.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "src/CMakeFiles/loggrep.dir/cost/cost_model.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/cost/cost_model.cc.o.d"
+  "/root/repo/src/parser/block_parser.cc" "src/CMakeFiles/loggrep.dir/parser/block_parser.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/parser/block_parser.cc.o.d"
+  "/root/repo/src/parser/static_pattern.cc" "src/CMakeFiles/loggrep.dir/parser/static_pattern.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/parser/static_pattern.cc.o.d"
+  "/root/repo/src/parser/template_miner.cc" "src/CMakeFiles/loggrep.dir/parser/template_miner.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/parser/template_miner.cc.o.d"
+  "/root/repo/src/parser/tokenizer.cc" "src/CMakeFiles/loggrep.dir/parser/tokenizer.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/parser/tokenizer.cc.o.d"
+  "/root/repo/src/pattern/cluster_extractor.cc" "src/CMakeFiles/loggrep.dir/pattern/cluster_extractor.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/pattern/cluster_extractor.cc.o.d"
+  "/root/repo/src/pattern/merge_extractor.cc" "src/CMakeFiles/loggrep.dir/pattern/merge_extractor.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/pattern/merge_extractor.cc.o.d"
+  "/root/repo/src/pattern/runtime_pattern.cc" "src/CMakeFiles/loggrep.dir/pattern/runtime_pattern.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/pattern/runtime_pattern.cc.o.d"
+  "/root/repo/src/pattern/tree_extractor.cc" "src/CMakeFiles/loggrep.dir/pattern/tree_extractor.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/pattern/tree_extractor.cc.o.d"
+  "/root/repo/src/query/fixed_matcher.cc" "src/CMakeFiles/loggrep.dir/query/fixed_matcher.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/query/fixed_matcher.cc.o.d"
+  "/root/repo/src/query/line_match.cc" "src/CMakeFiles/loggrep.dir/query/line_match.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/query/line_match.cc.o.d"
+  "/root/repo/src/query/locator.cc" "src/CMakeFiles/loggrep.dir/query/locator.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/query/locator.cc.o.d"
+  "/root/repo/src/query/pattern_match.cc" "src/CMakeFiles/loggrep.dir/query/pattern_match.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/query/pattern_match.cc.o.d"
+  "/root/repo/src/query/query_cache.cc" "src/CMakeFiles/loggrep.dir/query/query_cache.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/query/query_cache.cc.o.d"
+  "/root/repo/src/query/query_parser.cc" "src/CMakeFiles/loggrep.dir/query/query_parser.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/query/query_parser.cc.o.d"
+  "/root/repo/src/query/reconstructor.cc" "src/CMakeFiles/loggrep.dir/query/reconstructor.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/query/reconstructor.cc.o.d"
+  "/root/repo/src/query/wildcard.cc" "src/CMakeFiles/loggrep.dir/query/wildcard.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/query/wildcard.cc.o.d"
+  "/root/repo/src/store/log_archive.cc" "src/CMakeFiles/loggrep.dir/store/log_archive.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/store/log_archive.cc.o.d"
+  "/root/repo/src/workload/datasets.cc" "src/CMakeFiles/loggrep.dir/workload/datasets.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/workload/datasets.cc.o.d"
+  "/root/repo/src/workload/loggen.cc" "src/CMakeFiles/loggrep.dir/workload/loggen.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/workload/loggen.cc.o.d"
+  "/root/repo/src/workload/queries.cc" "src/CMakeFiles/loggrep.dir/workload/queries.cc.o" "gcc" "src/CMakeFiles/loggrep.dir/workload/queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

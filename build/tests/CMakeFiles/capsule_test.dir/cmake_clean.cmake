@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capsule_test.dir/capsule_test.cc.o"
+  "CMakeFiles/capsule_test.dir/capsule_test.cc.o.d"
+  "capsule_test"
+  "capsule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capsule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
