@@ -1,0 +1,140 @@
+// Ingest thread-scaling bench (beyond the paper; §6/§8 say compression
+// "can easily be parallelized" — this measures by how much).
+//
+// Corpus: the 21 production-style datasets (Log A..Log U), concatenated.
+// Baseline: serial LogArchive::AppendBlock with the same block size.
+// Treatment: LogIngestor at 1 / 2 / 4 / 8 workers, bounded window.
+//
+// Prints one row per configuration: wall seconds, MB/s, speedup over serial,
+// producer stall share, queue-depth high-water mark. Scale the corpus with
+// LOGGREP_BENCH_KB (per dataset, default 768 KiB).
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/timer.h"
+#include "src/ingest/log_ingestor.h"
+#include "src/store/log_archive.h"
+#include "src/workload/datasets.h"
+#include "src/workload/loggen.h"
+
+namespace loggrep {
+namespace bench {
+namespace {
+
+std::string TempDir(const std::string& tag) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("loggrep_ingest_bench_" + tag + "_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Cuts `corpus` exactly the way LogIngestor does (entry-aligned blocks of
+// ~target bytes) so the serial baseline does the same work per block.
+std::vector<std::string_view> CutBlocks(std::string_view corpus,
+                                        size_t target) {
+  std::vector<std::string_view> blocks;
+  while (corpus.size() >= target) {
+    size_t cut = corpus.rfind('\n', target - 1);
+    if (cut == std::string_view::npos) {
+      cut = corpus.find('\n', target);
+      if (cut == std::string_view::npos) {
+        break;
+      }
+    }
+    blocks.push_back(corpus.substr(0, cut + 1));
+    corpus.remove_prefix(cut + 1);
+  }
+  if (!corpus.empty()) {
+    blocks.push_back(corpus);
+  }
+  return blocks;
+}
+
+int Run() {
+  std::string corpus;
+  for (const DatasetSpec* spec : ProductionDatasets()) {
+    corpus += LogGenerator(*spec).Generate(DatasetBytes());
+  }
+  const double raw_mb = corpus.size() / 1e6;
+  // ~16 blocks regardless of corpus scale, so every worker count has work.
+  const size_t target = std::max<size_t>(64 * 1024, corpus.size() / 16);
+
+  std::printf("ingest throughput — corpus %.1f MB, block target %.1f MB\n\n",
+              raw_mb, target / 1e6);
+  std::printf("%-22s %10s %10s %9s %12s %6s\n", "configuration", "seconds",
+              "MB/s", "speedup", "stall-share", "hwm");
+
+  // Serial baseline: AppendBlock over the identical block cuts.
+  double serial_seconds = 0;
+  {
+    const std::string dir = TempDir("serial");
+    auto archive = LogArchive::Create(dir);
+    if (!archive.ok()) {
+      std::fprintf(stderr, "%s\n", archive.status().ToString().c_str());
+      return 1;
+    }
+    WallTimer timer;
+    for (std::string_view block : CutBlocks(corpus, target)) {
+      if (Status s = archive->AppendBlock(block); !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+    serial_seconds = timer.ElapsedSeconds();
+    std::printf("%-22s %10.2f %10.1f %9s %12s %6s\n", "serial AppendBlock",
+                serial_seconds, raw_mb / serial_seconds, "1.00x", "-", "-");
+    std::filesystem::remove_all(dir);
+  }
+
+  for (const size_t workers : {1u, 2u, 4u, 8u}) {
+    const std::string dir = TempDir("w" + std::to_string(workers));
+    IngestOptions options;
+    options.target_block_bytes = target;
+    options.num_workers = workers;
+    options.max_in_flight_blocks = 2 * workers;
+    auto ingestor = LogIngestor::Start(dir, options);
+    if (!ingestor.ok()) {
+      std::fprintf(stderr, "%s\n", ingestor.status().ToString().c_str());
+      return 1;
+    }
+    WallTimer timer;
+    // Feed in 1 MB chunks to exercise the streaming cut path.
+    for (size_t off = 0; off < corpus.size(); off += 1 << 20) {
+      const size_t len = std::min<size_t>(1 << 20, corpus.size() - off);
+      if (Status s = (*ingestor)->Append({corpus.data() + off, len}); !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+    if (Status s = (*ingestor)->Finish(); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    const double seconds = timer.ElapsedSeconds();
+    const IngestMetrics m = (*ingestor)->metrics();
+    char label[64];
+    std::snprintf(label, sizeof(label), "ingestor %zu worker%s", workers,
+                  workers == 1 ? "" : "s");
+    char speedup[16];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", serial_seconds / seconds);
+    char stall[16];
+    std::snprintf(stall, sizeof(stall), "%.0f%%",
+                  100.0 * m.producer_stall_seconds / seconds);
+    std::printf("%-22s %10.2f %10.1f %9s %12s %6llu\n", label, seconds,
+                raw_mb / seconds, speedup, stall,
+                static_cast<unsigned long long>(m.queue_depth_hwm));
+    std::filesystem::remove_all(dir);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace loggrep
+
+int main() { return loggrep::bench::Run(); }

@@ -30,7 +30,7 @@ int main() {
 
   // 3. Query without decompressing the block. Commands use grep-ish syntax:
   //    search strings joined by AND / OR / NOT, wildcards within a token.
-  for (const std::string command : {
+  for (const std::string& command : {
            std::string("error and blk_884"),
            std::string("Received block and size"),
            std::string("exception NOT writeBlock"),

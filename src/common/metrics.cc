@@ -1,0 +1,23 @@
+#include "src/common/metrics.h"
+
+namespace loggrep {
+
+Counter* MetricsRegistry::GetOrCreate(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, counter] : counters_) {
+    out.emplace(name, counter->value());
+  }
+  return out;
+}
+
+}  // namespace loggrep

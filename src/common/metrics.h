@@ -1,0 +1,81 @@
+// Minimal process-local metrics: named monotonic counters and high-water
+// gauges behind a registry, designed for hot paths shared by many threads.
+//
+// Usage pattern: resolve `Counter*` handles once (registry lookup takes a
+// lock), then bump them lock-free from any thread. `Snapshot()` returns a
+// stable name -> value map for logging / test assertions. Times are recorded
+// as integer microseconds so everything stays a uint64 counter.
+//
+// The ingest subsystem is the first consumer (queue depth high-water mark,
+// producer stall time, per-stage wall time), but the registry is deliberately
+// generic so query-side metrics can reuse it.
+#ifndef SRC_COMMON_METRICS_H_
+#define SRC_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace loggrep {
+
+// One metric cell. Monotonic by convention for Add(); UpdateMax() turns the
+// same cell into a high-water gauge. Never destroyed while its registry
+// lives, so handles stay valid.
+class Counter {
+ public:
+  Counter() : value_(0) {}
+
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+
+  // Raises the cell to `candidate` if larger (high-water gauge).
+  void UpdateMax(uint64_t candidate) {
+    uint64_t current = value_.load(std::memory_order_relaxed);
+    while (candidate > current &&
+           !value_.compare_exchange_weak(current, candidate,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Returns the counter registered under `name`, creating it at zero on first
+  // use. The pointer remains valid for the registry's lifetime; cache it
+  // outside hot loops.
+  Counter* GetOrCreate(const std::string& name);
+
+  // Point-in-time copy of every registered counter.
+  std::map<std::string, uint64_t> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  // unique_ptr keeps Counter addresses stable across rehashes.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+};
+
+// Converts a seconds measurement to the integer microseconds stored in
+// counters (and back).
+inline uint64_t SecondsToMicros(double seconds) {
+  return seconds <= 0 ? 0 : static_cast<uint64_t>(seconds * 1e6);
+}
+inline double MicrosToSeconds(uint64_t micros) {
+  return static_cast<double>(micros) / 1e6;
+}
+
+}  // namespace loggrep
+
+#endif  // SRC_COMMON_METRICS_H_

@@ -1,0 +1,208 @@
+#include "src/ingest/log_ingestor.h"
+
+#include <filesystem>
+#include <thread>
+#include <utility>
+
+namespace loggrep {
+
+Result<std::unique_ptr<LogIngestor>> LogIngestor::Start(std::string dir,
+                                                        IngestOptions options) {
+  if (options.target_block_bytes == 0) {
+    return InvalidArgument("ingest: target_block_bytes must be > 0");
+  }
+  if (options.max_in_flight_blocks == 0) {
+    return InvalidArgument("ingest: max_in_flight_blocks must be > 0");
+  }
+  const bool exists = std::filesystem::exists(dir + "/archive.manifest");
+  Result<LogArchive> archive = exists
+                                   ? LogArchive::Open(dir, options.archive)
+                                   : LogArchive::Create(dir, options.archive);
+  if (!archive.ok()) {
+    return archive.status();
+  }
+  auto owned = std::make_unique<LogArchive>(std::move(*archive));
+  return std::unique_ptr<LogIngestor>(
+      new LogIngestor(std::move(options), std::move(owned)));
+}
+
+LogIngestor::LogIngestor(IngestOptions options,
+                         std::unique_ptr<LogArchive> archive)
+    : options_(std::move(options)), archive_(std::move(archive)) {
+  size_t workers = options_.num_workers;
+  if (workers == 0) {
+    workers = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  pool_ = std::make_unique<ThreadPool>(workers);
+  raw_bytes_ = registry_.GetOrCreate("ingest.raw_bytes");
+  stored_bytes_ = registry_.GetOrCreate("ingest.stored_bytes");
+  lines_ = registry_.GetOrCreate("ingest.lines");
+  blocks_cut_ = registry_.GetOrCreate("ingest.blocks_cut");
+  blocks_committed_ = registry_.GetOrCreate("ingest.blocks_committed");
+  queue_hwm_ = registry_.GetOrCreate("ingest.queue_depth_hwm");
+  stall_us_ = registry_.GetOrCreate("ingest.producer_stall_us");
+  summary_us_ = registry_.GetOrCreate("ingest.summary_us");
+  compress_us_ = registry_.GetOrCreate("ingest.compress_us");
+  commit_us_ = registry_.GetOrCreate("ingest.commit_us");
+  wall_us_ = registry_.GetOrCreate("ingest.wall_us");
+}
+
+LogIngestor::~LogIngestor() {
+  if (!finished_) {
+    (void)Finish();  // best effort drain; errors were already recorded
+  }
+}
+
+Status LogIngestor::Append(std::string_view chunk) {
+  if (finished_) {
+    return InvalidArgument("ingest: Append after Finish");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!status_.ok()) {
+      return status_;
+    }
+  }
+  buffer_.append(chunk);
+  return CutReadyBlocks();
+}
+
+Status LogIngestor::CutReadyBlocks() {
+  const size_t target = options_.target_block_bytes;
+  while (buffer_.size() >= target) {
+    // Entry-aligned cut: last newline at or before the target size...
+    size_t cut = buffer_.rfind('\n', target - 1);
+    if (cut == std::string::npos) {
+      // ...or, for an entry longer than a whole block, the entry's own end
+      // (one oversized single-entry block rather than a torn entry).
+      cut = buffer_.find('\n', target);
+      if (cut == std::string::npos) {
+        return OkStatus();  // need more data to close the giant entry
+      }
+    }
+    std::string block = buffer_.substr(0, cut + 1);
+    buffer_.erase(0, cut + 1);
+    LOGGREP_RETURN_IF_ERROR(EnqueueBlock(std::move(block)));
+  }
+  return OkStatus();
+}
+
+Status LogIngestor::EnqueueBlock(std::string text) {
+  uint64_t seq = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (in_flight_ >= options_.max_in_flight_blocks && status_.ok()) {
+      WallTimer stall;
+      window_open_.wait(lock, [this] {
+        return in_flight_ < options_.max_in_flight_blocks || !status_.ok();
+      });
+      stall_us_->Add(SecondsToMicros(stall.ElapsedSeconds()));
+    }
+    if (!status_.ok()) {
+      return status_;
+    }
+    seq = next_seq_++;
+    ++in_flight_;
+    queue_hwm_->UpdateMax(in_flight_);
+  }
+  blocks_cut_->Increment();
+  auto shared = std::make_shared<std::string>(std::move(text));
+  pool_->Submit([this, seq, shared] { WorkerCompress(seq, shared); });
+  return OkStatus();
+}
+
+void LogIngestor::WorkerCompress(uint64_t seq,
+                                 std::shared_ptr<std::string> text) {
+  WallTimer timer;
+  ReadyBlock ready;
+  ready.info =
+      BuildBlockSummary(*text, options_.archive.bloom_bits_per_shingle);
+  summary_us_->Add(SecondsToMicros(timer.ElapsedSeconds()));
+
+  timer.Reset();
+  // One engine per block: CompressBlock shares nothing across blocks, so
+  // workers stay lock-free (mirrors ParallelQuery's per-task engines).
+  LogGrepEngine engine(options_.archive.engine);
+  ready.box = engine.CompressBlock(*text);
+  compress_us_->Add(SecondsToMicros(timer.ElapsedSeconds()));
+
+  raw_bytes_->Add(text->size());
+  lines_->Add(ready.info.line_count);
+  text.reset();  // release raw text before queueing for commit
+  OnBlockReady(seq, std::move(ready));
+}
+
+void LogIngestor::OnBlockReady(uint64_t seq, ReadyBlock ready) {
+  std::unique_lock<std::mutex> lock(mu_);
+  completed_.emplace(seq, std::move(ready));
+  if (committing_) {
+    return;  // the active committer will drain this block in order
+  }
+  committing_ = true;
+  while (status_.ok()) {
+    auto it = completed_.find(next_commit_);
+    if (it == completed_.end()) {
+      break;
+    }
+    ReadyBlock block = std::move(it->second);
+    completed_.erase(it);
+    const uint64_t stored = block.box.size();
+
+    lock.unlock();
+    WallTimer timer;
+    Status s = archive_->CommitCompressedBlock(block.box, std::move(block.info),
+                                               options_.kill_hook);
+    const double commit_seconds = timer.ElapsedSeconds();
+    lock.lock();
+
+    commit_us_->Add(SecondsToMicros(commit_seconds));
+    if (s.ok()) {
+      ++next_commit_;
+      stored_bytes_->Add(stored);
+      blocks_committed_->Increment();
+    } else if (status_.ok()) {
+      status_ = s;  // first failure wins; stream is dead from here
+    }
+    --in_flight_;
+    window_open_.notify_all();
+  }
+  committing_ = false;
+}
+
+Status LogIngestor::Finish() {
+  if (finished_) {
+    return final_status_;
+  }
+  finished_ = true;
+  Status seal = OkStatus();
+  if (!buffer_.empty()) {
+    seal = EnqueueBlock(std::move(buffer_));
+    buffer_.clear();
+  }
+  pool_->Wait();  // all compressions + in-order commits done after this
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    final_status_ = status_.ok() ? seal : status_;
+  }
+  wall_us_->UpdateMax(SecondsToMicros(started_.ElapsedSeconds()));
+  return final_status_;
+}
+
+IngestMetrics LogIngestor::metrics() const {
+  IngestMetrics m;
+  m.raw_bytes = raw_bytes_->value();
+  m.stored_bytes = stored_bytes_->value();
+  m.lines = lines_->value();
+  m.blocks_cut = blocks_cut_->value();
+  m.blocks_committed = blocks_committed_->value();
+  m.queue_depth_hwm = queue_hwm_->value();
+  m.producer_stall_seconds = MicrosToSeconds(stall_us_->value());
+  m.summary_seconds = MicrosToSeconds(summary_us_->value());
+  m.compress_seconds = MicrosToSeconds(compress_us_->value());
+  m.commit_seconds = MicrosToSeconds(commit_us_->value());
+  const uint64_t wall = wall_us_->value();
+  m.wall_seconds = wall > 0 ? MicrosToSeconds(wall) : started_.ElapsedSeconds();
+  return m;
+}
+
+}  // namespace loggrep

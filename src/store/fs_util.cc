@@ -1,0 +1,62 @@
+#include "src/store/fs_util.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace loggrep {
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFound("fs: cannot open " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Status WriteFileBytes(const std::string& path, std::string_view data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Internal("fs: cannot write " + path);
+  }
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.flush();
+  if (!out.good()) {
+    return Internal("fs: short write to " + path);
+  }
+  return OkStatus();
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  LOGGREP_RETURN_IF_ERROR(WriteFileBytes(tmp, data));
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);  // best effort cleanup
+    return Internal("fs: cannot rename " + tmp + " -> " + path);
+  }
+  return OkStatus();
+}
+
+std::vector<std::string> SweepTempFiles(const std::string& dir) {
+  std::vector<std::string> removed;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      std::error_code rm_ec;
+      if (std::filesystem::remove(entry.path(), rm_ec)) {
+        removed.push_back(entry.path().string());
+      }
+    }
+  }
+  return removed;
+}
+
+}  // namespace loggrep

@@ -1,0 +1,36 @@
+// Filesystem helpers shared by the archive store and the ingest pipeline.
+//
+// All durable writes in the store go through WriteFileAtomic: bytes land in
+// `<path>.tmp` first and are renamed over `<path>` only after a successful
+// full write, so a crash at any instant leaves either the old file, the new
+// file, or the old file plus a stray `*.tmp` — never a torn file. Stray temps
+// are garbage-collected by SweepTempFiles on archive open.
+#ifndef SRC_STORE_FS_UTIL_H_
+#define SRC_STORE_FS_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace loggrep {
+
+// Whole-file read; NotFound when the file cannot be opened.
+Result<std::string> ReadFileBytes(const std::string& path);
+
+// Direct (non-atomic) whole-file write. Prefer WriteFileAtomic for anything
+// a reader may observe mid-write.
+Status WriteFileBytes(const std::string& path, std::string_view data);
+
+// Crash-safe whole-file replace: write `<path>.tmp`, then rename over
+// `<path>`. The rename is atomic on POSIX filesystems.
+Status WriteFileAtomic(const std::string& path, std::string_view data);
+
+// Deletes every regular file in `dir` whose name ends with `.tmp` (the
+// droppings of interrupted WriteFileAtomic calls). Returns the paths removed.
+std::vector<std::string> SweepTempFiles(const std::string& dir);
+
+}  // namespace loggrep
+
+#endif  // SRC_STORE_FS_UTIL_H_

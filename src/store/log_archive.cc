@@ -2,43 +2,21 @@
 
 #include <algorithm>
 #include <filesystem>
-#include <fstream>
 #include <set>
-#include <sstream>
+#include <unordered_set>
 
 #include "src/common/thread_pool.h"
 #include "src/parser/template_miner.h"  // SplitLines
 #include "src/parser/tokenizer.h"
 #include "src/query/query_parser.h"
 #include "src/query/wildcard.h"
+#include "src/store/fs_util.h"
 
 namespace loggrep {
 namespace {
 
 constexpr uint32_t kManifestMagic = 0x4D41474Cu;  // "LGAM"
 constexpr size_t kShingleLen = 4;
-
-Result<std::string> ReadFileBytes(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return NotFound("archive: cannot open " + path);
-  }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
-}
-
-Status WriteFileBytes(const std::string& path, std::string_view data) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Internal("archive: cannot write " + path);
-  }
-  out.write(data.data(), static_cast<std::streamsize>(data.size()));
-  if (!out.good()) {
-    return Internal("archive: short write to " + path);
-  }
-  return OkStatus();
-}
 
 void AddTokenShingles(const std::string_view token, BloomFilter& bloom) {
   if (token.size() < kShingleLen) {
@@ -112,6 +90,36 @@ std::vector<std::string> RequiredKeywords(const QueryExpr& expr) {
   return out;
 }
 
+const char* CommitKillPointName(CommitKillPoint point) {
+  switch (point) {
+    case CommitKillPoint::kBlockTmpWritten:
+      return "block-tmp-written";
+    case CommitKillPoint::kBlockRenamed:
+      return "block-renamed";
+    case CommitKillPoint::kManifestTmpWritten:
+      return "manifest-tmp-written";
+  }
+  return "unknown";
+}
+
+BlockInfo BuildBlockSummary(std::string_view text,
+                            uint32_t bloom_bits_per_shingle) {
+  BlockInfo block;
+  block.raw_bytes = text.size();
+  // Block-level summary: token stamp + shingle Bloom filter, sized for
+  // roughly one shingle per 4 raw bytes.
+  block.shingles = BloomFilter(std::max<uint64_t>(1024, text.size() / 4),
+                               bloom_bits_per_shingle);
+  for (std::string_view line : SplitLines(text)) {
+    ++block.line_count;
+    for (std::string_view token : TokenizeKeywords(line)) {
+      block.token_stamp.Absorb(token);
+      AddTokenShingles(token, block.shingles);
+    }
+  }
+  return block;
+}
+
 std::string LogArchive::BlockPath(uint32_t seq) const {
   return dir_ + "/block-" + std::to_string(seq) + ".lgc";
 }
@@ -177,10 +185,34 @@ Result<LogArchive> LogArchive::Open(std::string dir, ArchiveOptions options) {
     block.shingles = std::move(*bloom);
     archive.blocks_.push_back(std::move(block));
   }
+
+  // Crash recovery. A commit that died after the manifest tmp write but
+  // before the rename leaves the *old* manifest in place — nothing to do
+  // beyond sweeping. A manifest that somehow references a block whose file
+  // never survived (e.g. manual tampering, partial restore) is repaired by
+  // dropping trailing entries; an interior hole is real corruption.
+  size_t dropped = 0;
+  while (!archive.blocks_.empty() &&
+         !std::filesystem::exists(
+             archive.BlockPath(archive.blocks_.back().seq))) {
+    archive.blocks_.pop_back();
+    ++dropped;
+  }
+  for (const BlockInfo& block : archive.blocks_) {
+    if (!std::filesystem::exists(archive.BlockPath(block.seq))) {
+      return CorruptData("archive: interior block file missing: " +
+                         archive.BlockPath(block.seq));
+    }
+  }
+  if (dropped > 0) {
+    LOGGREP_RETURN_IF_ERROR(archive.WriteManifest());
+  }
+  SweepTempFiles(archive.dir_);
+  archive.SweepUnreferencedBlocks();
   return archive;
 }
 
-Status LogArchive::WriteManifest() const {
+std::string LogArchive::SerializeManifest() const {
   ByteWriter out;
   out.PutU32(kManifestMagic);
   out.PutVarint(blocks_.size());
@@ -193,34 +225,101 @@ Status LogArchive::WriteManifest() const {
     block.token_stamp.WriteTo(out);
     block.shingles.WriteTo(out);
   }
-  return WriteFileBytes(ManifestPath(), out.data());
+  return std::string(out.data());
+}
+
+Status LogArchive::WriteManifest() const {
+  return WriteFileAtomic(ManifestPath(), SerializeManifest());
+}
+
+void LogArchive::SweepUnreferencedBlocks() const {
+  std::unordered_set<uint32_t> live;
+  live.reserve(blocks_.size());
+  for (const BlockInfo& block : blocks_) {
+    live.insert(block.seq);
+  }
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    const std::string name = entry.path().filename().string();
+    constexpr std::string_view kPrefix = "block-";
+    constexpr std::string_view kSuffix = ".lgc";
+    if (name.size() <= kPrefix.size() + kSuffix.size() ||
+        name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+            0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    const uint32_t seq = static_cast<uint32_t>(std::stoul(digits));
+    if (live.count(seq) == 0) {
+      std::error_code rm_ec;
+      std::filesystem::remove(entry.path(), rm_ec);
+    }
+  }
 }
 
 Status LogArchive::AppendBlock(std::string_view text) {
-  BlockInfo block;
-  block.seq =
-      blocks_.empty() ? 0 : blocks_.back().seq + 1;
-  block.first_line =
-      blocks_.empty() ? 0 : blocks_.back().first_line + blocks_.back().line_count;
-  block.raw_bytes = text.size();
+  BlockInfo block = BuildBlockSummary(text, options_.bloom_bits_per_shingle);
+  const std::string box = engine_.CompressBlock(text);
+  return CommitCompressedBlock(box, std::move(block), nullptr);
+}
 
-  // Block-level summary: token stamp + shingle Bloom filter, sized for
-  // roughly one shingle per 4 raw bytes.
-  block.shingles = BloomFilter(std::max<uint64_t>(1024, text.size() / 4),
-                               options_.bloom_bits_per_shingle);
-  for (std::string_view line : SplitLines(text)) {
-    ++block.line_count;
-    for (std::string_view token : TokenizeKeywords(line)) {
-      block.token_stamp.Absorb(token);
-      AddTokenShingles(token, block.shingles);
-    }
+Status LogArchive::CommitCompressedBlock(std::string_view box_bytes,
+                                         BlockInfo block,
+                                         const CommitHook& hook) {
+  block.seq = blocks_.empty() ? 0 : blocks_.back().seq + 1;
+  block.first_line = blocks_.empty()
+                         ? 0
+                         : blocks_.back().first_line + blocks_.back().line_count;
+  block.stored_bytes = box_bytes.size();
+
+  // Step 1+2: block file via tmp + rename (kill points in between).
+  const std::string path = BlockPath(block.seq);
+  const std::string block_tmp = path + ".tmp";
+  LOGGREP_RETURN_IF_ERROR(WriteFileBytes(block_tmp, box_bytes));
+  if (hook && hook(CommitKillPoint::kBlockTmpWritten)) {
+    return Internal(std::string("archive: commit aborted at ") +
+                    CommitKillPointName(CommitKillPoint::kBlockTmpWritten));
+  }
+  std::error_code ec;
+  std::filesystem::rename(block_tmp, path, ec);
+  if (ec) {
+    return Internal("archive: cannot rename " + block_tmp + " -> " + path);
+  }
+  if (hook && hook(CommitKillPoint::kBlockRenamed)) {
+    return Internal(std::string("archive: commit aborted at ") +
+                    CommitKillPointName(CommitKillPoint::kBlockRenamed));
   }
 
-  const std::string box = engine_.CompressBlock(text);
-  block.stored_bytes = box.size();
-  LOGGREP_RETURN_IF_ERROR(WriteFileBytes(BlockPath(block.seq), box));
+  // Step 3+4: manifest swap. On any failure the in-memory state rolls back;
+  // the already-renamed block file becomes an orphan swept at next Open.
   blocks_.push_back(std::move(block));
-  return WriteManifest();
+  const std::string manifest = SerializeManifest();
+  const std::string manifest_tmp = ManifestPath() + ".tmp";
+  if (Status s = WriteFileBytes(manifest_tmp, manifest); !s.ok()) {
+    blocks_.pop_back();
+    return s;
+  }
+  if (hook && hook(CommitKillPoint::kManifestTmpWritten)) {
+    blocks_.pop_back();
+    return Internal(std::string("archive: commit aborted at ") +
+                    CommitKillPointName(CommitKillPoint::kManifestTmpWritten));
+  }
+  std::filesystem::rename(manifest_tmp, ManifestPath(), ec);
+  if (ec) {
+    blocks_.pop_back();
+    return Internal("archive: cannot rename " + manifest_tmp + " -> " +
+                    ManifestPath());
+  }
+  return OkStatus();
 }
 
 Result<ArchiveQueryResult> LogArchive::Query(std::string_view command) {

@@ -13,6 +13,7 @@
 #define SRC_STORE_LOG_ARCHIVE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,36 @@ struct BlockInfo {
   BloomFilter shingles;      // 4-byte substrings of every token
 };
 
+// Crash-safe block commit protocol (used by AppendBlock and the ingest
+// pipeline). Every step goes through tmp-file + atomic rename:
+//   1. write  block-N.lgc.tmp                      [kBlockTmpWritten]
+//   2. rename block-N.lgc.tmp -> block-N.lgc       [kBlockRenamed]
+//   3. write  archive.manifest.tmp                 [kManifestTmpWritten]
+//   4. rename archive.manifest.tmp -> archive.manifest
+// A crash between any two steps leaves either the old archive state or the
+// new one plus sweepable garbage; `Open` recovers by trusting the manifest,
+// dropping trailing entries whose block file is missing, and sweeping
+// orphaned `*.tmp` / unreferenced block files.
+enum class CommitKillPoint {
+  kBlockTmpWritten,    // block temp durable, final name absent
+  kBlockRenamed,       // block durable, manifest still the old one
+  kManifestTmpWritten, // new manifest written to tmp, not yet renamed
+};
+
+// Fault-injection hook: invoked at each kill point during a commit; return
+// true to abort mid-protocol as if the process died there. Production passes
+// nullptr.
+using CommitHook = std::function<bool(CommitKillPoint)>;
+
+// Printable name for diagnostics ("block-tmp-written", ...).
+const char* CommitKillPointName(CommitKillPoint point);
+
+// Builds the block-level summary (line count, raw bytes, token stamp,
+// shingle Bloom filter) for one block of text. seq / first_line /
+// stored_bytes are assigned at commit time.
+BlockInfo BuildBlockSummary(std::string_view text,
+                            uint32_t bloom_bits_per_shingle);
+
 struct ArchiveQueryResult {
   // Hits carry global line numbers across all blocks, in ingestion order.
   QueryHits hits;
@@ -53,10 +84,22 @@ class LogArchive {
   // hold a manifest).
   static Result<LogArchive> Create(std::string dir, ArchiveOptions options = {});
   // Opens an existing archive (block summaries load from the manifest).
+  // Recovery: trailing manifest entries whose block file is missing are
+  // dropped (the manifest is re-persisted), interior holes are rejected as
+  // corruption, and orphaned `*.tmp` / unreferenced block files are swept.
   static Result<LogArchive> Open(std::string dir, ArchiveOptions options = {});
 
-  // Compresses `text` as the next block and persists it + the manifest.
+  // Compresses `text` as the next block and persists it + the manifest
+  // (crash-safe: every file lands via tmp + atomic rename).
   Status AppendBlock(std::string_view text);
+
+  // Commits an already-compressed block (summary pre-computed off-thread by
+  // the ingest pipeline). Assigns seq / first_line / stored_bytes, then runs
+  // the crash-safe protocol above. `hook` may abort at each kill point
+  // (fault injection); pass nullptr in production. Not thread-safe — callers
+  // serialize commits.
+  Status CommitCompressedBlock(std::string_view box_bytes, BlockInfo block,
+                               const CommitHook& hook = nullptr);
 
   // Runs a query command over all (non-pruned) blocks.
   Result<ArchiveQueryResult> Query(std::string_view command);
@@ -78,7 +121,11 @@ class LogArchive {
 
   std::string BlockPath(uint32_t seq) const;
   std::string ManifestPath() const;
+  std::string SerializeManifest() const;
   Status WriteManifest() const;
+  // Removes block-*.lgc files whose seq has no manifest entry (droppings of
+  // commits that died after the block rename but before the manifest swap).
+  void SweepUnreferencedBlocks() const;
 
   std::string dir_;
   ArchiveOptions options_;

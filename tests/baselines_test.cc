@@ -47,7 +47,7 @@ class BackendTest : public ::testing::TestWithParam<int> {
 TEST_P(BackendTest, MatchesReferenceOnSyntheticLogs) {
   const std::string text =
       LogGenerator(*FindDataset("Log K")).Generate(48 * 1024);
-  for (const std::string query :
+  for (const std::string& query :
        {std::string("DELETE and /results/0"), std::string("GET or PUT"),
         std::string("status and 404 not DELETE"),
         std::string("zzzNOSUCHTOKEN")}) {

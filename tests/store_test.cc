@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "src/common/bloom.h"
+#include "src/core/engine.h"
 #include "src/query/query_parser.h"
 #include "src/store/log_archive.h"
 #include "src/workload/datasets.h"
@@ -162,7 +164,7 @@ TEST_F(LogArchiveTest, PruningNeverDropsMatches) {
     ASSERT_TRUE(archive->AppendBlock(texts.back()).ok());
   }
   // Compare against querying every block through a fresh engine.
-  for (const std::string query :
+  for (const std::string& query :
        {std::string("error and blk_884"), std::string("Received block"),
         std::string("zzzNOSUCH")}) {
     auto got = archive->Query(query);
@@ -200,7 +202,7 @@ TEST_F(LogArchiveTest, ParallelQueryMatchesSerial) {
     spec.seed += 17;
     ASSERT_TRUE(archive->AppendBlock(LogGenerator(spec).Generate(16 * 1024)).ok());
   }
-  for (const std::string query :
+  for (const std::string& query :
        {std::string("Failed password and 183.62.140.253"),
         std::string("sshd not preauth"), std::string("zzzNOSUCH")}) {
     auto serial = archive->Query(query);
@@ -235,6 +237,115 @@ TEST_F(LogArchiveTest, EmptyArchiveQueries) {
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->hits.empty());
   EXPECT_EQ(result->blocks_queried, 0u);
+}
+
+// ---- crash safety / recovery ------------------------------------------------
+
+TEST_F(LogArchiveTest, OpenDropsTrailingEntriesWithMissingBlocks) {
+  {
+    auto archive = LogArchive::Create(dir_);
+    ASSERT_TRUE(archive.ok());
+    for (int b = 0; b < 3; ++b) {
+      ASSERT_TRUE(
+          archive->AppendBlock("block " + std::to_string(b) + " data\n").ok());
+    }
+  }
+  // Simulate a lost tail: the last block file vanishes, manifest keeps it.
+  ASSERT_TRUE(std::filesystem::remove(dir_ + "/block-2.lgc"));
+  auto recovered = LogArchive::Open(dir_);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->blocks().size(), 2u);
+  auto result = recovered->Query("data");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->hits.size(), 2u);  // no late failure at query time
+  // The truncation was persisted: a second Open agrees without repair.
+  auto again = LogArchive::Open(dir_);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->blocks().size(), 2u);
+}
+
+TEST_F(LogArchiveTest, OpenRejectsInteriorHole) {
+  {
+    auto archive = LogArchive::Create(dir_);
+    ASSERT_TRUE(archive.ok());
+    for (int b = 0; b < 3; ++b) {
+      ASSERT_TRUE(
+          archive->AppendBlock("block " + std::to_string(b) + " data\n").ok());
+    }
+  }
+  ASSERT_TRUE(std::filesystem::remove(dir_ + "/block-1.lgc"));
+  auto opened = LogArchive::Open(dir_);
+  EXPECT_FALSE(opened.ok());  // a hole is corruption, not a recoverable tail
+}
+
+TEST_F(LogArchiveTest, OpenSweepsTempAndOrphanFiles) {
+  {
+    auto archive = LogArchive::Create(dir_);
+    ASSERT_TRUE(archive.ok());
+    ASSERT_TRUE(archive->AppendBlock("kept entry sigma 1\n").ok());
+  }
+  // Droppings of a crashed commit: stray temps + an unreferenced block file.
+  for (const char* name :
+       {"archive.manifest.tmp", "block-5.lgc.tmp", "block-7.lgc"}) {
+    std::ofstream(dir_ + "/" + name) << "garbage";
+  }
+  auto recovered = LogArchive::Open(dir_);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->blocks().size(), 1u);
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/archive.manifest.tmp"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/block-5.lgc.tmp"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/block-7.lgc"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/block-0.lgc"));
+  auto result = recovered->Query("sigma");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->hits.size(), 1u);
+}
+
+TEST_F(LogArchiveTest, CommitKillPointsLeaveOldStateVisible) {
+  for (const CommitKillPoint point : {CommitKillPoint::kBlockTmpWritten,
+                                      CommitKillPoint::kBlockRenamed,
+                                      CommitKillPoint::kManifestTmpWritten}) {
+    const std::string dir = dir_ + "_" + CommitKillPointName(point);
+    std::filesystem::remove_all(dir);
+    auto archive = LogArchive::Create(dir);
+    ASSERT_TRUE(archive.ok());
+    ASSERT_TRUE(archive->AppendBlock("survivor entry tau 1\n").ok());
+
+    // A commit that dies at `point` must not disturb the committed state.
+    const std::string text = "victim entry upsilon 2\n";
+    BlockInfo info = BuildBlockSummary(text, 10);
+    LogGrepEngine engine;
+    Status s = archive->CommitCompressedBlock(
+        engine.CompressBlock(text), std::move(info),
+        [point](CommitKillPoint at) { return at == point; });
+    EXPECT_FALSE(s.ok()) << CommitKillPointName(point);
+    EXPECT_EQ(archive->blocks().size(), 1u);  // in-memory state rolled back
+
+    auto reopened = LogArchive::Open(dir);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ(reopened->blocks().size(), 1u) << CommitKillPointName(point);
+    auto result = reopened->Query("tau");
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->hits.size(), 1u);
+    // No commit droppings survive recovery.
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      const std::string name = entry.path().filename().string();
+      EXPECT_TRUE(name == "archive.manifest" || name == "block-0.lgc")
+          << CommitKillPointName(point) << " left " << name;
+    }
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST_F(LogArchiveTest, ManifestWriteIsAtomicOnSerialAppend) {
+  auto archive = LogArchive::Create(dir_);
+  ASSERT_TRUE(archive.ok());
+  ASSERT_TRUE(archive->AppendBlock("atomic entry phi 1\n").ok());
+  // tmp+rename protocol: after a successful append no temp files remain.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+  }
 }
 
 }  // namespace
