@@ -1,0 +1,248 @@
+// Cold-vs-warm query economics of the shared BoxCache + command QueryCache.
+//
+// Three workloads, per dataset (Log A..U + public logs):
+//   1. block: the dataset's query suite against one CapsuleBox, run cold
+//      (all caches off), then twice on a cache-enabled engine — the second
+//      pass must decompress strictly fewer fresh bytes than the first.
+//   2. session: a refining-mode command chain through QuerySession
+//      (incremental refinement + memo) vs re-running every command cold.
+//   3. archive: a multi-block LogArchive queried cold then warm; warm
+//      queries are served from the archive's shared BoxCache without
+//      touching the block files.
+//
+// Prints per-dataset rows plus a cross-dataset summary; exits non-zero if
+// any dataset fails the "warm decompresses fewer bytes than cold" invariant
+// (the PR's acceptance criterion).
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/engine.h"
+#include "src/core/session.h"
+#include "src/store/log_archive.h"
+#include "src/workload/datasets.h"
+#include "src/workload/loggen.h"
+#include "src/workload/queries.h"
+
+namespace {
+
+using namespace loggrep;
+
+struct PassStats {
+  double seconds = 0;
+  uint64_t bytes_decompressed = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t bytes_saved = 0;
+};
+
+PassStats RunSuite(LogGrepEngine& engine, const std::string& box,
+                   const std::vector<std::string>& suite) {
+  PassStats stats;
+  stats.seconds = bench::TimeSeconds([&] {
+    for (const std::string& command : suite) {
+      auto result = engine.Query(box, command);
+      if (!result.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     result.status().ToString().c_str());
+        std::exit(1);
+      }
+      stats.bytes_decompressed += result->locator.bytes_decompressed;
+      stats.cache_hits += result->locator.cache_hits;
+      stats.cache_misses += result->locator.cache_misses;
+      stats.bytes_saved += result->locator.bytes_saved;
+    }
+  });
+  return stats;
+}
+
+// The §3 refining chain for one dataset: the Table 1 query narrowed twice.
+std::vector<std::string> RefinementChain(const std::string& dataset) {
+  const std::string base = QueryForDataset(dataset);
+  if (base.empty() || base.find(" or ") != std::string::npos ||
+      base.find(" not ") != std::string::npos) {
+    return {};
+  }
+  return {base, base + " and 1", base + " and 1 and 2"};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== query cache bench: cold vs warm (suite totals per dataset) ==\n");
+  std::printf("%-10s %10s %10s %10s %12s %12s %8s %10s\n", "dataset",
+              "cold ms", "pass1 ms", "warm ms", "cold MB dec", "warm MB dec",
+              "hits", "saved MB");
+
+  int failures = 0;
+  double cold_ms_total = 0;
+  double warm_ms_total = 0;
+  uint64_t cold_bytes_total = 0;
+  uint64_t warm_bytes_total = 0;
+
+  for (const DatasetSpec& spec : AllDatasets()) {
+    const std::string text = LogGenerator(spec).Generate(bench::DatasetBytes());
+    const std::vector<std::string> suite = QuerySuiteForDataset(spec.name);
+    if (suite.empty()) {
+      continue;
+    }
+
+    EngineOptions cold_options;
+    cold_options.use_cache = false;
+    cold_options.use_box_cache = false;
+    LogGrepEngine cold_engine(cold_options);
+    const std::string box = cold_engine.CompressBlock(text);
+
+    const PassStats cold = RunSuite(cold_engine, box, suite);
+
+    EngineOptions warm_options;
+    warm_options.use_cache = false;  // isolate the BoxCache effect
+    LogGrepEngine warm_engine(warm_options);
+    const PassStats pass1 = RunSuite(warm_engine, box, suite);
+    const PassStats warm = RunSuite(warm_engine, box, suite);
+
+    std::printf("%-10s %10.2f %10.2f %10.2f %12.3f %12.3f %8llu %10.3f\n",
+                spec.name.c_str(), cold.seconds * 1000, pass1.seconds * 1000,
+                warm.seconds * 1000, cold.bytes_decompressed / 1e6,
+                warm.bytes_decompressed / 1e6,
+                static_cast<unsigned long long>(warm.cache_hits),
+                warm.bytes_saved / 1e6);
+
+    cold_ms_total += cold.seconds * 1000;
+    warm_ms_total += warm.seconds * 1000;
+    cold_bytes_total += cold.bytes_decompressed;
+    warm_bytes_total += warm.bytes_decompressed;
+    // Acceptance: warm pass decompresses strictly fewer fresh bytes than the
+    // cold pass and actually hits the cache.
+    if (cold.bytes_decompressed > 0 &&
+        (warm.bytes_decompressed >= cold.bytes_decompressed ||
+         warm.cache_hits == 0)) {
+      std::fprintf(stderr, "FAIL %s: warm pass not cheaper than cold\n",
+                   spec.name.c_str());
+      ++failures;
+    }
+  }
+  std::printf("total: cold %.1f ms / %.2f MB decompressed -> warm %.1f ms / "
+              "%.2f MB decompressed\n\n",
+              cold_ms_total, cold_bytes_total / 1e6, warm_ms_total,
+              warm_bytes_total / 1e6);
+
+  std::printf("== refining sessions: incremental+memo vs cold re-runs ==\n");
+  std::printf("%-10s %12s %12s %10s\n", "dataset", "cold ms", "session ms",
+              "speedup");
+  double session_speedup_sum = 0;
+  int session_rows = 0;
+  for (const DatasetSpec& spec : AllDatasets()) {
+    const std::vector<std::string> chain = RefinementChain(spec.name);
+    if (chain.empty()) {
+      continue;
+    }
+    const std::string text = LogGenerator(spec).Generate(bench::DatasetBytes());
+
+    EngineOptions cold_options;
+    cold_options.use_cache = false;
+    cold_options.use_box_cache = false;
+    LogGrepEngine cold_engine(cold_options);
+    const std::string box = cold_engine.CompressBlock(text);
+    const double cold_seconds = bench::TimeSeconds([&] {
+      for (int round = 0; round < 2; ++round) {
+        for (const std::string& command : chain) {
+          if (!cold_engine.Query(box, command).ok()) {
+            std::exit(1);
+          }
+        }
+      }
+    });
+
+    LogGrepEngine warm_engine;
+    QuerySession session(&warm_engine, box);
+    const double session_seconds = bench::TimeSeconds([&] {
+      for (int round = 0; round < 2; ++round) {  // round 2 replays the memo
+        for (const std::string& command : chain) {
+          if (!session.Query(command).ok()) {
+            std::exit(1);
+          }
+        }
+      }
+    });
+    const double speedup =
+        session_seconds > 0 ? cold_seconds / session_seconds : 0;
+    std::printf("%-10s %12.2f %12.2f %9.1fx\n", spec.name.c_str(),
+                cold_seconds * 1000, session_seconds * 1000, speedup);
+    session_speedup_sum += speedup;
+    ++session_rows;
+  }
+  if (session_rows > 0) {
+    std::printf("mean session speedup: %.1fx\n\n",
+                session_speedup_sum / session_rows);
+  }
+
+  std::printf("== archive: cold vs warm over the shared BoxCache ==\n");
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("loggrep_query_cache_bench_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  {
+    auto archive = LogArchive::Create(dir.string());
+    if (!archive.ok()) {
+      std::fprintf(stderr, "%s\n", archive.status().ToString().c_str());
+      return 1;
+    }
+    DatasetSpec spec = *FindDataset("Log A");
+    for (int b = 0; b < 4; ++b) {
+      spec.seed += 13;
+      if (!archive->AppendBlock(LogGenerator(spec).Generate(bench::DatasetBytes()))
+               .ok()) {
+        return 1;
+      }
+    }
+    const std::string command = QueryForDataset("Log A");
+    ArchiveQueryResult cold_result;
+    const double cold_seconds = bench::TimeSeconds([&] {
+      auto r = archive->Query(command);
+      if (!r.ok()) {
+        std::exit(1);
+      }
+      cold_result = std::move(*r);
+    });
+    // Different command so the command cache cannot answer; only the
+    // BoxCache makes it warm.
+    const std::string warm_command = command + " and 1";
+    ArchiveQueryResult warm_result;
+    const double warm_seconds = bench::TimeSeconds([&] {
+      auto r = archive->Query(warm_command);
+      if (!r.ok()) {
+        std::exit(1);
+      }
+      warm_result = std::move(*r);
+    });
+    std::printf("cold: %7.2f ms, %8.3f MB decompressed, %llu cache misses\n",
+                cold_seconds * 1000,
+                cold_result.locator.bytes_decompressed / 1e6,
+                static_cast<unsigned long long>(cold_result.locator.cache_misses));
+    std::printf("warm: %7.2f ms, %8.3f MB decompressed, %llu cache hits, "
+                "%.3f MB saved\n",
+                warm_seconds * 1000,
+                warm_result.locator.bytes_decompressed / 1e6,
+                static_cast<unsigned long long>(warm_result.locator.cache_hits),
+                warm_result.locator.bytes_saved / 1e6);
+    if (warm_result.locator.cache_hits == 0 ||
+        warm_result.locator.bytes_decompressed >=
+            cold_result.locator.bytes_decompressed +
+                cold_result.locator.bytes_saved + 1) {
+      std::fprintf(stderr, "FAIL archive: warm query did not use the cache\n");
+      ++failures;
+    }
+  }
+  std::filesystem::remove_all(dir);
+
+  if (failures > 0) {
+    std::fprintf(stderr, "%d workload(s) failed the warm<cold invariant\n",
+                 failures);
+    return 1;
+  }
+  std::printf("all workloads: warm pass decompressed fewer fresh bytes than cold\n");
+  return 0;
+}

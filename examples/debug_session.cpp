@@ -53,7 +53,8 @@ int main() {
                 result->hits.size(), ms, how);
     if (result->hits.size() <= 3) {
       for (const auto& [line, text] : result->hits) {
-        std::printf("    line %u: %s\n", line, text.c_str());
+        std::printf("    line %llu: %s\n",
+                    static_cast<unsigned long long>(line), text.c_str());
       }
     }
   }

@@ -82,7 +82,8 @@ int Grep(const std::string& archive_path, const std::string& command) {
     return 1;
   }
   for (const auto& [line, text] : result->hits) {
-    std::printf("%u:%s\n", line + 1, text.c_str());
+    std::printf("%llu:%s\n", static_cast<unsigned long long>(line + 1),
+                text.c_str());
   }
   std::fprintf(stderr, "%zu matching entries (%llu capsules decompressed, "
                "%llu filtered by stamps)\n",
@@ -91,6 +92,14 @@ int Grep(const std::string& archive_path, const std::string& command) {
                    result->locator.capsules_decompressed),
                static_cast<unsigned long long>(
                    result->locator.capsules_stamp_filtered));
+  std::fprintf(stderr,
+               "stages (ms): open %.2f  scan %.2f  stamp %.2f  "
+               "decompress %.2f  reconstruct %.2f\n",
+               result->locator.open_nanos / 1e6,
+               result->locator.scan_nanos / 1e6,
+               result->locator.stamp_filter_nanos / 1e6,
+               result->locator.decompress_nanos / 1e6,
+               result->locator.reconstruct_nanos / 1e6);
   return 0;
 }
 
@@ -257,11 +266,26 @@ int ArchiveGrep(const std::string& dir, const std::string& command) {
     return 1;
   }
   for (const auto& [line, text] : result->hits) {
-    std::printf("%u:%s\n", line + 1, text.c_str());
+    std::printf("%llu:%s\n", static_cast<unsigned long long>(line + 1),
+                text.c_str());
   }
   std::fprintf(stderr, "%zu hits; %u blocks pruned, %u queried\n",
                result->hits.size(), result->blocks_pruned,
                result->blocks_queried);
+  std::fprintf(stderr,
+               "stages (ms): prune %.2f  open %.2f  scan %.2f  stamp %.2f  "
+               "decompress %.2f  reconstruct %.2f\n",
+               result->locator.prune_nanos / 1e6,
+               result->locator.open_nanos / 1e6,
+               result->locator.scan_nanos / 1e6,
+               result->locator.stamp_filter_nanos / 1e6,
+               result->locator.decompress_nanos / 1e6,
+               result->locator.reconstruct_nanos / 1e6);
+  std::fprintf(stderr,
+               "cache: %llu hits, %llu misses, %.1f MB saved\n",
+               static_cast<unsigned long long>(result->locator.cache_hits),
+               static_cast<unsigned long long>(result->locator.cache_misses),
+               result->locator.bytes_saved / 1e6);
   return 0;
 }
 

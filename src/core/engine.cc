@@ -1,13 +1,19 @@
 #include "src/core/engine.h"
 
 #include <algorithm>
+#include <optional>
 
-#include "src/common/hash.h"
+#include "src/common/timer.h"
 #include "src/query/query_parser.h"
 #include "src/query/reconstructor.h"
 
 namespace loggrep {
 namespace {
+
+inline uint64_t ElapsedNanos(const WallTimer& timer) {
+  const double s = timer.ElapsedSeconds();
+  return s <= 0 ? 0 : static_cast<uint64_t>(s * 1e9);
+}
 
 // Boolean evaluation state: one RowSet per group plus one for raw outliers.
 struct Evaluation {
@@ -90,10 +96,25 @@ Evaluation EvaluateExpr(BoxQuerier& querier, const QueryExpr& expr) {
 
 }  // namespace
 
-LogGrepEngine::LogGrepEngine(EngineOptions options) : options_(options) {
+LogGrepEngine::LogGrepEngine(EngineOptions options)
+    : options_(options), cache_(options.query_cache_budget_bytes) {
   if (options_.codec == nullptr) {
     options_.codec = &GetXzCodec();
   }
+  if (options_.use_box_cache && options_.box_cache == nullptr) {
+    BoxCacheOptions copts;
+    copts.byte_budget = options_.box_cache_budget_bytes;
+    copts.metrics = options_.metrics;
+    owned_box_cache_ = std::make_unique<BoxCache>(copts);
+  }
+}
+
+BoxCache* LogGrepEngine::box_cache() const {
+  if (!options_.use_box_cache) {
+    return nullptr;
+  }
+  return options_.box_cache != nullptr ? options_.box_cache
+                                       : owned_box_cache_.get();
 }
 
 std::string LogGrepEngine::CompressBlock(std::string_view text) const {
@@ -135,16 +156,35 @@ std::string LogGrepEngine::CompressBlock(std::string_view text) const {
 
 Result<QueryResult> LogGrepEngine::Query(std::string_view box_bytes,
                                          std::string_view command) {
-  // Cache entries are per (box, command): the same command against another
-  // block must not serve stale hits.
-  std::string command_key = std::to_string(Fnv1a64(box_bytes));
+  return QueryInternal(BoxKey::FromBytes(box_bytes), box_bytes, nullptr,
+                       command);
+}
+
+Result<QueryResult> LogGrepEngine::QueryBox(const BoxKey& key,
+                                            const BoxLoader& load,
+                                            std::string_view command) {
+  return QueryInternal(key, std::string_view(), &load, command);
+}
+
+Result<QueryResult> LogGrepEngine::QueryInternal(const BoxKey& key,
+                                                 std::string_view inline_bytes,
+                                                 const BoxLoader* load,
+                                                 std::string_view command) {
+  // Cache entries are per (box identity, command): the same command against
+  // another block must not serve stale hits, and the identity is a dual hash
+  // plus size so a single 64-bit collision cannot alias two blocks.
+  std::string command_key = key.ToString();
   command_key += '|';
   command_key += command;
   if (options_.use_cache) {
     if (auto cached = cache_.Lookup(command_key); cached.has_value()) {
       QueryResult result;
-      result.hits = std::move(*cached);
+      result.hits = std::move(cached->hits);
+      result.locator = cached->locator;  // what the original execution cost
       result.from_cache = true;
+      if (options_.metrics != nullptr) {
+        options_.metrics->GetOrCreate("query.command_cache_hits")->Increment();
+      }
       return result;
     }
   }
@@ -153,20 +193,72 @@ Result<QueryResult> LogGrepEngine::Query(std::string_view box_bytes,
   if (!expr.ok()) {
     return expr.status();
   }
-  Result<CapsuleBox> box = CapsuleBox::Open(box_bytes);
-  if (!box.ok()) {
-    return box.status();
+
+  // Open stage: through the shared cache when enabled (a warm entry skips
+  // the loader — typically a file read — and the metadata parse), otherwise
+  // a local zero-copy open.
+  LocatorStats open_stats;
+  BoxCache* shared = box_cache();
+  std::shared_ptr<const OpenedBox> opened;  // pins cache entry if used
+  std::string local_bytes;                  // owns bytes on the uncached path
+  std::optional<CapsuleBox> local_box;
+  const CapsuleBox* box = nullptr;
+  {
+    const WallTimer open_timer;
+    if (shared != nullptr) {
+      bool was_hit = false;
+      auto loader = [&]() -> Result<std::string> {
+        if (load != nullptr) {
+          return (*load)();
+        }
+        return std::string(inline_bytes);
+      };
+      Result<std::shared_ptr<const OpenedBox>> entry =
+          shared->GetOrOpenBox(key, loader, &was_hit);
+      if (!entry.ok()) {
+        return entry.status();
+      }
+      opened = std::move(*entry);
+      box = &opened->box();
+      if (was_hit) {
+        ++open_stats.cache_hits;
+        open_stats.bytes_saved += opened->bytes().size();
+      } else {
+        ++open_stats.cache_misses;
+      }
+    } else {
+      std::string_view bytes = inline_bytes;
+      if (load != nullptr) {
+        Result<std::string> loaded = (*load)();
+        if (!loaded.ok()) {
+          return loaded.status();
+        }
+        local_bytes = std::move(*loaded);
+        bytes = local_bytes;
+      }
+      Result<CapsuleBox> parsed = CapsuleBox::Open(bytes);
+      if (!parsed.ok()) {
+        return parsed.status();
+      }
+      local_box.emplace(std::move(*parsed));
+      box = &*local_box;
+    }
+    open_stats.open_nanos = ElapsedNanos(open_timer);
   }
 
   LocatorOptions lopts;
   lopts.use_stamps = options_.use_stamps;
   lopts.use_bm = options_.use_fixed;
-  BoxQuerier querier(*box, lopts);
+  BoxQuerier querier(*box, lopts, shared, key);
+
+  const WallTimer scan_timer;
   const Evaluation ev = EvaluateExpr(querier, **expr);
+  const uint64_t scan_nanos = ElapsedNanos(scan_timer);
   if (!querier.status().ok()) {
     return querier.status();
   }
 
+  const WallTimer reconstruct_timer;
   Reconstructor reconstructor(&querier);
   QueryResult result;
   const CapsuleBoxMeta& meta = box->meta();
@@ -187,10 +279,32 @@ Result<QueryResult> LogGrepEngine::Query(std::string_view box_bytes,
   // ordered; this is the cross-group merge of §3).
   std::sort(result.hits.begin(), result.hits.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
+
   result.locator = querier.stats();
+  result.locator.Accumulate(open_stats);
+  // The scan stage is the boolean evaluation minus the decompression and
+  // stamp checks it triggered (those are accounted to their own stages).
+  const uint64_t charged = result.locator.decompress_nanos +
+                           result.locator.stamp_filter_nanos;
+  result.locator.scan_nanos = scan_nanos > charged ? scan_nanos - charged : 0;
+  result.locator.reconstruct_nanos = ElapsedNanos(reconstruct_timer);
+
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetOrCreate("query.count")->Increment();
+    options_.metrics->GetOrCreate("query.open_nanos")
+        ->Add(result.locator.open_nanos);
+    options_.metrics->GetOrCreate("query.scan_nanos")
+        ->Add(result.locator.scan_nanos);
+    options_.metrics->GetOrCreate("query.decompress_nanos")
+        ->Add(result.locator.decompress_nanos);
+    options_.metrics->GetOrCreate("query.reconstruct_nanos")
+        ->Add(result.locator.reconstruct_nanos);
+    options_.metrics->GetOrCreate("query.bytes_decompressed")
+        ->Add(result.locator.bytes_decompressed);
+  }
 
   if (options_.use_cache) {
-    cache_.Insert(command_key, result.hits);
+    cache_.Insert(command_key, CachedQuery{result.hits, result.locator});
   }
   return result;
 }

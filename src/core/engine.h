@@ -2,8 +2,15 @@
 //
 // Compression: Parser (static patterns) -> Extractor (runtime patterns) ->
 // Assembler (Capsules + stamps) -> Packer (CapsuleBox). Query: Locator
-// (pattern + stamp filtering, fixed-length matching) -> Reconstructor, with a
-// Query Cache in front.
+// (pattern + stamp filtering, fixed-length matching) -> Reconstructor, with
+// two caches in front:
+//   - a command-level QueryCache (§3) memoizing whole results per
+//     (box identity, command), and
+//   - a shared BoxCache holding opened boxes and decompressed Capsules so
+//     warm queries skip file reads, metadata parses and decompression.
+// Box identity is a BoxKey (two independent 64-bit hashes + size, or an
+// archive-assigned sequence key), so a hash collision between two different
+// blocks can no longer serve the wrong block's hits.
 //
 // EngineOptions exposes one switch per technique so the §6.3 ablation
 // versions ("w/o real", "w/o nomi", "w/o stamp", "w/o fixed", "w/o cache")
@@ -11,12 +18,16 @@
 #ifndef SRC_CORE_ENGINE_H_
 #define SRC_CORE_ENGINE_H_
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "src/capsule/assembler.h"
 #include "src/codec/codec.h"
+#include "src/common/metrics.h"
 #include "src/parser/block_parser.h"
+#include "src/query/box_cache.h"
 #include "src/query/locator.h"
 #include "src/query/query_cache.h"
 
@@ -27,8 +38,23 @@ struct EngineOptions {
   bool use_nominal = true;  // runtime patterns in nominal variable vectors
   bool use_stamps = true;   // Capsule-stamp filtering during queries
   bool use_fixed = true;    // fixed-length padding + Boyer-Moore matching
-  bool use_cache = true;    // query cache
+  bool use_cache = true;    // command-level query cache
   bool static_only = false; // LogGrep-SP: static patterns only
+
+  // Shared box/capsule cache. When `box_cache` is null and `use_box_cache`
+  // is set, the engine owns a private cache sized by
+  // `box_cache_budget_bytes`; pass an external cache to share it across
+  // engines (LogArchive does this for its ParallelQuery workers).
+  bool use_box_cache = true;
+  size_t box_cache_budget_bytes = 256ull << 20;
+  BoxCache* box_cache = nullptr;  // borrowed; must outlive the engine
+
+  // Byte budget of the command-level QueryCache LRU.
+  size_t query_cache_budget_bytes = QueryCache::kDefaultByteBudget;
+
+  // Optional registry for query-side counters ("query.*",
+  // "query.box_cache.*"). Borrowed; must outlive the engine.
+  MetricsRegistry* metrics = nullptr;
 
   const Codec* codec = nullptr;  // defaults to the LZMA stand-in (XzCodec)
   TemplateMinerOptions miner;
@@ -37,27 +63,50 @@ struct EngineOptions {
 
 struct QueryResult {
   QueryHits hits;        // (line number, original text), in block order
-  LocatorStats locator;  // zeroed for cache hits
+  // Cost accounting. For cache hits this is the snapshot of the execution
+  // that originally produced the result (not zeros).
+  LocatorStats locator;
   bool from_cache = false;
 };
 
 class LogGrepEngine {
  public:
+  // Produces the serialized CapsuleBox bytes for `key` on a cache miss.
+  using BoxLoader = std::function<Result<std::string>()>;
+
   explicit LogGrepEngine(EngineOptions options = {});
 
   // Compresses one log block into serialized CapsuleBox bytes.
   std::string CompressBlock(std::string_view text) const;
 
-  // Runs a grep-like query command against a CapsuleBox.
+  // Runs a grep-like query command against a CapsuleBox. Box identity is
+  // content-derived (BoxKey::FromBytes).
   Result<QueryResult> Query(std::string_view box_bytes, std::string_view command);
+
+  // Same, but with an externally assigned identity and a lazy loader: on a
+  // warm box-cache entry the loader is never invoked, so callers that read
+  // box bytes from disk (LogArchive) skip the file read entirely.
+  Result<QueryResult> QueryBox(const BoxKey& key, const BoxLoader& load,
+                               std::string_view command);
 
   const EngineOptions& options() const { return options_; }
   const QueryCache& cache() const { return cache_; }
+  // The effective shared cache (owned or borrowed); null when disabled.
+  BoxCache* box_cache() const;
+  // Clears the command-level cache (sessions call this on Reset so a reset
+  // can never serve pre-reset hits). The box cache keeps its entries: they
+  // are identity-keyed bytes, not query answers.
   void ClearCache() { cache_.Clear(); }
 
  private:
+  Result<QueryResult> QueryInternal(const BoxKey& key,
+                                    std::string_view inline_bytes,
+                                    const BoxLoader* load,
+                                    std::string_view command);
+
   EngineOptions options_;
   QueryCache cache_;
+  std::unique_ptr<BoxCache> owned_box_cache_;
 };
 
 }  // namespace loggrep

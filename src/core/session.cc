@@ -33,8 +33,8 @@ std::string_view RefinementSuffix(std::string_view previous,
 Result<SessionQueryResult> QuerySession::Query(std::string_view command) {
   SessionQueryResult out;
   const std::string command_key(command);
-  if (const auto it = memo_.find(command_key); it != memo_.end()) {
-    out.hits = it->second;
+  if (auto memoized = memo_.Lookup(command_key); memoized.has_value()) {
+    out.hits = std::move(memoized->hits);
     out.from_cache = true;
     last_command_ = command_key;
     last_hits_ = out.hits;
@@ -71,7 +71,7 @@ Result<SessionQueryResult> QuerySession::Query(std::string_view command) {
       }
       last_command_ = command_key;
       last_hits_ = out.hits;
-      memo_.emplace(command_key, out.hits);
+      memo_.Insert(command_key, out.hits);
       return out;
     }
   }
@@ -85,7 +85,7 @@ Result<SessionQueryResult> QuerySession::Query(std::string_view command) {
   last_command_ = command_key;
   last_hits_ = out.hits;
   has_last_ = true;
-  memo_.emplace(command_key, out.hits);
+  memo_.Insert(command_key, out.hits);
   return out;
 }
 
@@ -93,7 +93,10 @@ void QuerySession::Reset() {
   has_last_ = false;
   last_command_.clear();
   last_hits_.clear();
-  memo_.clear();
+  memo_.Clear();
+  // The memo fronts the engine's command cache; a reset must flush both or a
+  // post-reset query could be answered with pre-reset hits.
+  engine_->ClearCache();
 }
 
 }  // namespace loggrep

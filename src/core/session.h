@@ -12,9 +12,9 @@
 
 #include <string>
 #include <string_view>
-#include <unordered_map>
 
 #include "src/core/engine.h"
+#include "src/query/query_cache.h"
 
 namespace loggrep {
 
@@ -28,14 +28,19 @@ struct SessionQueryResult {
 
 class QuerySession {
  public:
+  // Byte budget for the session-local memo LRU (same budget discipline as
+  // the engine's QueryCache, just smaller: one engineer's session).
+  static constexpr size_t kMemoByteBudget = 16ull << 20;
+
   // Borrows both; they must outlive the session.
   QuerySession(LogGrepEngine* engine, std::string_view box_bytes)
-      : engine_(engine), box_(box_bytes) {}
+      : engine_(engine), box_(box_bytes), memo_(kMemoByteBudget) {}
 
   Result<SessionQueryResult> Query(std::string_view command);
 
   // Forget the refinement state and memoized results (e.g. the engineer
-  // starts a new hypothesis).
+  // starts a new hypothesis). Also clears the engine-level command cache the
+  // memo fronts, so a reset can never serve pre-reset hits.
   void Reset();
 
  private:
@@ -44,10 +49,10 @@ class QuerySession {
   std::string last_command_;
   QueryHits last_hits_;
   bool has_last_ = false;
-  // Session-local result memo: revisiting any earlier command is free even
-  // when that command was answered by incremental refinement (which the
-  // engine's own cache never sees).
-  std::unordered_map<std::string, QueryHits> memo_;
+  // Session-local result memo (bounded LRU): revisiting any earlier command
+  // is free even when that command was answered by incremental refinement
+  // (which the engine's own cache never sees).
+  QueryCache memo_;
 };
 
 }  // namespace loggrep

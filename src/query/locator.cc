@@ -3,9 +3,18 @@
 #include <algorithm>
 
 #include "src/capsule/capsule.h"
+#include "src/common/timer.h"
 #include "src/query/wildcard.h"
 
 namespace loggrep {
+namespace {
+
+inline uint64_t ElapsedNanos(const WallTimer& timer) {
+  const double s = timer.ElapsedSeconds();
+  return s <= 0 ? 0 : static_cast<uint64_t>(s * 1e9);
+}
+
+}  // namespace
 
 bool StampAdmitsKeyword(const CapsuleStamp& stamp, std::string_view keyword) {
   if (!HasWildcards(keyword)) {
@@ -25,12 +34,55 @@ bool StampAdmitsKeyword(const CapsuleStamp& stamp, std::string_view keyword) {
   return min_len <= stamp.max_len && MaskSubsumes(stamp.mask, literal_mask);
 }
 
+bool BoxQuerier::StampAdmits(const CapsuleStamp& stamp,
+                             std::string_view keyword, bool wildcard_aware) {
+  const WallTimer timer;
+  const bool admits = wildcard_aware ? StampAdmitsKeyword(stamp, keyword)
+                                     : stamp.AdmitsFragment(keyword);
+  stats_.stamp_filter_nanos += ElapsedNanos(timer);
+  return admits;
+}
+
+const CachedCapsule* BoxQuerier::FetchCachedCapsule(uint32_t id) {
+  const auto pinned = capsule_pins_.find(id);
+  if (pinned != capsule_pins_.end()) {
+    return pinned->second.get();
+  }
+  bool was_hit = false;
+  const WallTimer timer;
+  Result<std::shared_ptr<const CachedCapsule>> entry = cache_->GetOrLoadCapsule(
+      key_, id, [this, id] { return box_.ReadCapsule(id); }, &was_hit);
+  stats_.decompress_nanos += ElapsedNanos(timer);
+  if (!entry.ok()) {
+    LatchError(entry.status());
+    return nullptr;
+  }
+  const CachedCapsule* capsule =
+      capsule_pins_.emplace(id, std::move(*entry)).first->second.get();
+  if (was_hit) {
+    ++stats_.cache_hits;
+    stats_.bytes_saved += capsule->blob().size();
+  } else {
+    ++stats_.cache_misses;
+    ++stats_.capsules_decompressed;
+    stats_.bytes_decompressed += capsule->blob().size();
+  }
+  return capsule;
+}
+
 std::string_view BoxQuerier::CapsuleBlob(uint32_t id) {
+  if (cache_ != nullptr) {
+    const CachedCapsule* capsule = FetchCachedCapsule(id);
+    return capsule != nullptr ? std::string_view(capsule->blob())
+                              : std::string_view();
+  }
   const auto it = blob_cache_.find(id);
   if (it != blob_cache_.end()) {
     return it->second;
   }
+  const WallTimer timer;
   Result<std::string> blob = box_.ReadCapsule(id);
+  stats_.decompress_nanos += ElapsedNanos(timer);
   if (!blob.ok()) {
     LatchError(blob.status());
     return {};
@@ -41,6 +93,10 @@ std::string_view BoxQuerier::CapsuleBlob(uint32_t id) {
 }
 
 const std::vector<std::string_view>& BoxQuerier::DelimitedValues(uint32_t id) {
+  if (cache_ != nullptr) {
+    const CachedCapsule* capsule = FetchCachedCapsule(id);
+    return capsule != nullptr ? capsule->splits() : empty_values_;
+  }
   const auto it = split_cache_.find(id);
   if (it != split_cache_.end()) {
     return it->second;
@@ -126,7 +182,8 @@ RowSet BoxQuerier::MatchKeywordInOutliers(std::string_view keyword) {
 
 RowSet BoxQuerier::MatchInWhole(const GroupMeta& group, const WholeVarMeta& wv,
                                 std::string_view keyword) {
-  if (options_.use_stamps && !StampAdmitsKeyword(wv.stamp, keyword)) {
+  if (options_.use_stamps &&
+      !StampAdmits(wv.stamp, keyword, /*wildcard_aware=*/true)) {
     ++stats_.capsules_stamp_filtered;
     return RowSet::None(group.row_count);
   }
@@ -165,7 +222,8 @@ std::vector<uint32_t> BoxQuerier::EvaluateConstraints(const RealVarMeta& rv,
   bool first = true;
   for (const SubVarConstraint& c : match.constraints) {
     const CapsuleStamp& stamp = rv.subvar_stamps[c.subvar];
-    if (options_.use_stamps && !stamp.AdmitsFragment(c.fragment)) {
+    if (options_.use_stamps &&
+        !StampAdmits(stamp, c.fragment, /*wildcard_aware=*/false)) {
       ++stats_.capsules_stamp_filtered;
       return {};
     }
@@ -300,11 +358,13 @@ RowSet BoxQuerier::MatchInNominal(const GroupMeta& group,
     if (!wild) {
       if (MatchKeywordOnPattern(pm.pattern, keyword).empty()) {
         candidate = false;
-      } else if (options_.use_stamps && !pm.stamp.AdmitsFragment(keyword)) {
+      } else if (options_.use_stamps &&
+                 !StampAdmits(pm.stamp, keyword, /*wildcard_aware=*/false)) {
         ++stats_.capsules_stamp_filtered;
         candidate = false;
       }
-    } else if (options_.use_stamps && !StampAdmitsKeyword(pm.stamp, keyword)) {
+    } else if (options_.use_stamps &&
+               !StampAdmits(pm.stamp, keyword, /*wildcard_aware=*/true)) {
       ++stats_.capsules_stamp_filtered;
       candidate = false;
     }

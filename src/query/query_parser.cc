@@ -34,18 +34,51 @@ OpWord OpOf(std::string_view word) {
   return OpWord::kNone;
 }
 
+// Splits on blanks, except that a double-quoted run ("disk error", "and")
+// stays one word, quotes included — the quotes mark it as literal search
+// content so it is never read as an operator. An unterminated quote extends
+// to the end of the command.
 std::vector<std::string_view> SplitWords(std::string_view command) {
   std::vector<std::string_view> words;
-  size_t start = 0;
-  for (size_t i = 0; i <= command.size(); ++i) {
-    if (i == command.size() || command[i] == ' ' || command[i] == '\t') {
-      if (i > start) {
-        words.push_back(command.substr(start, i - start));
-      }
-      start = i + 1;
+  size_t i = 0;
+  while (i < command.size()) {
+    if (command[i] == ' ' || command[i] == '\t') {
+      ++i;
+      continue;
     }
+    const size_t start = i;
+    if (command[i] == '"') {
+      ++i;
+      while (i < command.size() && command[i] != '"') {
+        ++i;
+      }
+      if (i < command.size()) {
+        ++i;  // include the closing quote
+      }
+    } else {
+      while (i < command.size() && command[i] != ' ' && command[i] != '\t') {
+        ++i;
+      }
+    }
+    words.push_back(command.substr(start, i - start));
   }
   return words;
+}
+
+// A word carrying quotes is always literal content, never an operator.
+bool IsQuoted(std::string_view word) {
+  return !word.empty() && word.front() == '"';
+}
+
+// Strips the surrounding quotes of a quoted word ("and" -> and).
+std::string_view Unquote(std::string_view word) {
+  if (IsQuoted(word)) {
+    word.remove_prefix(1);
+    if (!word.empty() && word.back() == '"') {
+      word.remove_suffix(1);
+    }
+  }
+  return word;
 }
 
 SearchTerm MakeTerm(const std::vector<std::string_view>& words, size_t begin,
@@ -55,7 +88,8 @@ SearchTerm MakeTerm(const std::vector<std::string_view>& words, size_t begin,
     if (i > begin) {
       term.text += ' ';
     }
-    term.text.append(words[i].data(), words[i].size());
+    const std::string_view word = Unquote(words[i]);
+    term.text.append(word.data(), word.size());
   }
   for (std::string_view kw : TokenizeKeywords(term.text)) {
     // Under containment semantics a leading or trailing '*' is a no-op
@@ -87,7 +121,7 @@ Result<std::unique_ptr<QueryExpr>> ParseQuery(std::string_view command) {
   bool leading = true;
   size_t i = 0;
   while (i < words.size()) {
-    const OpWord op = OpOf(words[i]);
+    const OpWord op = IsQuoted(words[i]) ? OpWord::kNone : OpOf(words[i]);
     if (op != OpWord::kNone) {
       if (pending != OpWord::kNone) {
         return InvalidArgument("query: consecutive operators");
@@ -101,7 +135,8 @@ Result<std::unique_ptr<QueryExpr>> ParseQuery(std::string_view command) {
     }
     // Gather the run of non-operator words into one search string.
     const size_t begin = i;
-    while (i < words.size() && OpOf(words[i]) == OpWord::kNone) {
+    while (i < words.size() &&
+           (IsQuoted(words[i]) || OpOf(words[i]) == OpWord::kNone)) {
       ++i;
     }
     auto node = std::make_unique<QueryExpr>();

@@ -7,6 +7,11 @@
 // has three search strings, the last two being "part_id:510" and
 // "request id REQ_11.*". Operators associate left to right; NOT binds like
 // "AND NOT" (a leading NOT negates against all entries).
+//
+// Double quotes force a word to be literal search content: `error "and" retry`
+// searches for the token `and` instead of conjoining, and `"disk error"`
+// keeps an embedded blank inside one word. Quotes are stripped before
+// tokenization, so quoting never changes which keywords a plain word yields.
 #ifndef SRC_QUERY_QUERY_PARSER_H_
 #define SRC_QUERY_QUERY_PARSER_H_
 

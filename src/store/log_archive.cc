@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "src/common/thread_pool.h"
+#include "src/common/timer.h"
 #include "src/parser/template_miner.h"  // SplitLines
 #include "src/parser/tokenizer.h"
 #include "src/query/query_parser.h"
@@ -17,6 +18,19 @@ namespace {
 
 constexpr uint32_t kManifestMagic = 0x4D41474Cu;  // "LGAM"
 constexpr size_t kShingleLen = 4;
+
+inline uint64_t ElapsedNanos(const WallTimer& timer) {
+  const double s = timer.ElapsedSeconds();
+  return s <= 0 ? 0 : static_cast<uint64_t>(s * 1e9);
+}
+
+// Engine options for an archive-embedded engine: wire in the shared cache
+// (the engine must not own a second, private one).
+EngineOptions ArchiveEngineOptions(EngineOptions base, BoxCache* cache) {
+  base.box_cache = cache;
+  base.use_box_cache = cache != nullptr;
+  return base;
+}
 
 void AddTokenShingles(const std::string_view token, BloomFilter& bloom) {
   if (token.size() < kShingleLen) {
@@ -118,6 +132,21 @@ BlockInfo BuildBlockSummary(std::string_view text,
     }
   }
   return block;
+}
+
+LogArchive::LogArchive(std::string dir, ArchiveOptions options)
+    : dir_(std::move(dir)),
+      options_(options),
+      cache_namespace_(BoxKey::NextNamespaceId()),
+      box_cache_(options.box_cache_budget_bytes > 0
+                     ? std::make_shared<BoxCache>(BoxCacheOptions{
+                           options.box_cache_budget_bytes, /*shards=*/8,
+                           options.metrics})
+                     : nullptr),
+      engine_(ArchiveEngineOptions(options_.engine, box_cache_.get())) {}
+
+BoxKey LogArchive::KeyForBlock(uint32_t seq) const {
+  return BoxKey::ForSequence(cache_namespace_, seq);
 }
 
 std::string LogArchive::BlockPath(uint32_t seq) const {
@@ -276,9 +305,15 @@ Status LogArchive::CommitCompressedBlock(std::string_view box_bytes,
                                          BlockInfo block,
                                          const CommitHook& hook) {
   block.seq = blocks_.empty() ? 0 : blocks_.back().seq + 1;
-  block.first_line = blocks_.empty()
-                         ? 0
-                         : blocks_.back().first_line + blocks_.back().line_count;
+  // Contiguous by default; a caller backfilling at a known global offset may
+  // pre-set first_line to any value >= the current end (sparse line space).
+  const uint64_t next_line =
+      blocks_.empty()
+          ? 0
+          : blocks_.back().first_line + blocks_.back().line_count;
+  if (block.first_line < next_line) {
+    block.first_line = next_line;
+  }
   block.stored_bytes = box_bytes.size();
 
   // Step 1+2: block file via tmp + rename (kill points in between).
@@ -322,6 +357,27 @@ Status LogArchive::CommitCompressedBlock(std::string_view box_bytes,
   return OkStatus();
 }
 
+uint64_t LogArchive::PruneBlocks(const std::vector<std::string>& required,
+                                 std::vector<const BlockInfo*>* to_query,
+                                 uint32_t* pruned) const {
+  const WallTimer timer;
+  for (const BlockInfo& block : blocks_) {
+    bool drop = false;
+    for (const std::string& kw : required) {
+      if (!BlockMayContainKeyword(block, kw)) {
+        drop = true;
+        break;
+      }
+    }
+    if (drop) {
+      ++*pruned;
+    } else {
+      to_query->push_back(&block);
+    }
+  }
+  return ElapsedNanos(timer);
+}
+
 Result<ArchiveQueryResult> LogArchive::Query(std::string_view command) {
   Result<std::unique_ptr<QueryExpr>> expr = ParseQuery(command);
   if (!expr.ok()) {
@@ -330,39 +386,27 @@ Result<ArchiveQueryResult> LogArchive::Query(std::string_view command) {
   const std::vector<std::string> required = RequiredKeywords(**expr);
 
   ArchiveQueryResult result;
-  for (const BlockInfo& block : blocks_) {
-    bool pruned = false;
-    for (const std::string& kw : required) {
-      if (!BlockMayContainKeyword(block, kw)) {
-        pruned = true;
-        break;
-      }
-    }
-    if (pruned) {
-      ++result.blocks_pruned;
-      continue;
-    }
-    Result<std::string> box = ReadFileBytes(BlockPath(block.seq));
-    if (!box.ok()) {
-      return box.status();
-    }
-    Result<QueryResult> block_result = engine_.Query(*box, command);
+  std::vector<const BlockInfo*> to_query;
+  result.locator.prune_nanos =
+      PruneBlocks(required, &to_query, &result.blocks_pruned);
+
+  for (const BlockInfo* block : to_query) {
+    // Warm blocks never touch the file: the loader only runs on a box-cache
+    // miss (or when the archive runs without a cache).
+    const std::string path = BlockPath(block->seq);
+    auto loader = [&path]() -> Result<std::string> {
+      return ReadFileBytes(path);
+    };
+    Result<QueryResult> block_result =
+        engine_.QueryBox(KeyForBlock(block->seq), loader, command);
     if (!block_result.ok()) {
       return block_result.status();
     }
     ++result.blocks_queried;
     for (auto& [line, text_line] : block_result->hits) {
-      result.hits.emplace_back(static_cast<uint32_t>(block.first_line + line),
-                               std::move(text_line));
+      result.hits.emplace_back(block->first_line + line, std::move(text_line));
     }
-    result.locator.capsules_decompressed +=
-        block_result->locator.capsules_decompressed;
-    result.locator.capsules_stamp_filtered +=
-        block_result->locator.capsules_stamp_filtered;
-    result.locator.bytes_decompressed += block_result->locator.bytes_decompressed;
-    result.locator.pattern_trivial_hits +=
-        block_result->locator.pattern_trivial_hits;
-    result.locator.possible_matches += block_result->locator.possible_matches;
+    result.locator.Accumulate(block_result->locator);
   }
   return result;
 }
@@ -377,20 +421,8 @@ Result<ArchiveQueryResult> LogArchive::ParallelQuery(std::string_view command,
 
   ArchiveQueryResult result;
   std::vector<const BlockInfo*> to_query;
-  for (const BlockInfo& block : blocks_) {
-    bool pruned = false;
-    for (const std::string& kw : required) {
-      if (!BlockMayContainKeyword(block, kw)) {
-        pruned = true;
-        break;
-      }
-    }
-    if (pruned) {
-      ++result.blocks_pruned;
-    } else {
-      to_query.push_back(&block);
-    }
-  }
+  result.locator.prune_nanos =
+      PruneBlocks(required, &to_query, &result.blocks_pruned);
 
   struct PerBlock {
     Status status;
@@ -405,24 +437,26 @@ Result<ArchiveQueryResult> LogArchive::ParallelQuery(std::string_view command,
       PerBlock* slot = &slots[i];
       const std::string path = BlockPath(block->seq);
       const std::string command_copy(command);
+      const BoxKey key = KeyForBlock(block->seq);
       EngineOptions opts = options_.engine;
-      opts.use_cache = false;  // per-task engines share nothing
-      pool.Submit([block, slot, path, command_copy, opts] {
-        Result<std::string> box = ReadFileBytes(path);
-        if (!box.ok()) {
-          slot->status = box.status();
-          return;
-        }
+      opts.use_cache = false;  // per-task engines share no command cache...
+      // ...but they all share the archive's BoxCache: a block decompressed by
+      // one worker (or a prior serial query) is warm for every other.
+      opts.box_cache = box_cache_.get();
+      opts.use_box_cache = box_cache_ != nullptr;
+      pool.Submit([block, slot, path, command_copy, key, opts] {
         LogGrepEngine engine(opts);
-        Result<QueryResult> r = engine.Query(*box, command_copy);
+        auto loader = [&path]() -> Result<std::string> {
+          return ReadFileBytes(path);
+        };
+        Result<QueryResult> r = engine.QueryBox(key, loader, command_copy);
         if (!r.ok()) {
           slot->status = r.status();
           return;
         }
         slot->locator = r->locator;
         for (auto& [line, text] : r->hits) {
-          slot->hits.emplace_back(static_cast<uint32_t>(block->first_line + line),
-                                  std::move(text));
+          slot->hits.emplace_back(block->first_line + line, std::move(text));
         }
       });
     }
@@ -436,10 +470,7 @@ Result<ArchiveQueryResult> LogArchive::ParallelQuery(std::string_view command,
     result.hits.insert(result.hits.end(),
                        std::make_move_iterator(slot.hits.begin()),
                        std::make_move_iterator(slot.hits.end()));
-    result.locator.capsules_decompressed += slot.locator.capsules_decompressed;
-    result.locator.capsules_stamp_filtered +=
-        slot.locator.capsules_stamp_filtered;
-    result.locator.bytes_decompressed += slot.locator.bytes_decompressed;
+    result.locator.Accumulate(slot.locator);
   }
   return result;
 }

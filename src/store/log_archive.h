@@ -14,12 +14,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/capsule/stamp.h"
 #include "src/common/bloom.h"
+#include "src/common/metrics.h"
 #include "src/core/engine.h"
+#include "src/query/box_cache.h"
 #include "src/query/locator.h"
 #include "src/query/query_parser.h"
 
@@ -28,6 +31,11 @@ namespace loggrep {
 struct ArchiveOptions {
   EngineOptions engine;
   uint32_t bloom_bits_per_shingle = 10;
+  // Byte budget of the archive-owned BoxCache shared by Query, ParallelQuery
+  // workers and the embedded engine. 0 disables the shared cache.
+  size_t box_cache_budget_bytes = 256ull << 20;
+  // Optional registry for query/cache counters. Borrowed.
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct BlockInfo {
@@ -71,11 +79,12 @@ BlockInfo BuildBlockSummary(std::string_view text,
                             uint32_t bloom_bits_per_shingle);
 
 struct ArchiveQueryResult {
-  // Hits carry global line numbers across all blocks, in ingestion order.
+  // Hits carry 64-bit global line numbers across all blocks, in ingestion
+  // order (an archive past ~4 billion lines must not wrap).
   QueryHits hits;
   uint32_t blocks_pruned = 0;
   uint32_t blocks_queried = 0;
-  LocatorStats locator;  // summed over queried blocks
+  LocatorStats locator;  // summed over queried blocks (+ prune stage time)
 };
 
 class LogArchive {
@@ -94,30 +103,37 @@ class LogArchive {
   Status AppendBlock(std::string_view text);
 
   // Commits an already-compressed block (summary pre-computed off-thread by
-  // the ingest pipeline). Assigns seq / first_line / stored_bytes, then runs
-  // the crash-safe protocol above. `hook` may abort at each kill point
-  // (fault injection); pass nullptr in production. Not thread-safe — callers
-  // serialize commits.
+  // the ingest pipeline). Assigns seq / stored_bytes, then runs the
+  // crash-safe protocol above. `block.first_line` is normally left 0 and
+  // assigned contiguously; a caller backfilling a shard at a known global
+  // offset may pre-set it to any value >= the current end of the archive
+  // (the line space is allowed to be sparse). `hook` may abort at each kill
+  // point (fault injection); pass nullptr in production. Not thread-safe —
+  // callers serialize commits.
   Status CommitCompressedBlock(std::string_view box_bytes, BlockInfo block,
                                const CommitHook& hook = nullptr);
 
-  // Runs a query command over all (non-pruned) blocks.
+  // Runs a query command over all (non-pruned) blocks. Warm blocks are
+  // served from the shared BoxCache: no file read, no metadata parse, and
+  // only the capsules the cache lacks are decompressed.
   Result<ArchiveQueryResult> Query(std::string_view command);
 
   // Same result, with non-pruned blocks queried concurrently on
-  // `num_threads` workers (each with its own engine; §6 notes queries
-  // parallelize trivially at block granularity).
+  // `num_threads` workers (each with its own engine but all sharing the
+  // archive's BoxCache; §6 notes queries parallelize trivially at block
+  // granularity).
   Result<ArchiveQueryResult> ParallelQuery(std::string_view command,
                                            size_t num_threads);
 
   const std::vector<BlockInfo>& blocks() const { return blocks_; }
+  // The shared cache (null when box_cache_budget_bytes == 0).
+  BoxCache* box_cache() const { return box_cache_.get(); }
   uint64_t total_lines() const;
   uint64_t total_raw_bytes() const;
   uint64_t total_stored_bytes() const;
 
  private:
-  LogArchive(std::string dir, ArchiveOptions options)
-      : dir_(std::move(dir)), options_(options), engine_(options_.engine) {}
+  LogArchive(std::string dir, ArchiveOptions options);
 
   std::string BlockPath(uint32_t seq) const;
   std::string ManifestPath() const;
@@ -127,8 +143,19 @@ class LogArchive {
   // commits that died after the block rename but before the manifest swap).
   void SweepUnreferencedBlocks() const;
 
+  // Identity of block `seq` inside the shared cache.
+  BoxKey KeyForBlock(uint32_t seq) const;
+  // Prunes blocks against `required`; appends survivors to `to_query` and
+  // counts the rest. Returns elapsed nanoseconds.
+  uint64_t PruneBlocks(const std::vector<std::string>& required,
+                       std::vector<const BlockInfo*>* to_query,
+                       uint32_t* pruned) const;
+
   std::string dir_;
   ArchiveOptions options_;
+  uint64_t cache_namespace_ = 0;
+  // Declared before engine_: the engine borrows the cache pointer.
+  std::shared_ptr<BoxCache> box_cache_;
   LogGrepEngine engine_;
   std::vector<BlockInfo> blocks_;
 };

@@ -202,6 +202,96 @@ TEST(EngineTest, QueryCacheIsPerBox) {
   EXPECT_EQ(a2->hits.size(), 1u);
 }
 
+TEST(EngineTest, CachedResultReportsOriginalCost) {
+  // Regression: a command-cache hit used to report an all-zero LocatorStats;
+  // it must echo the snapshot of the execution that produced the result.
+  LogGrepEngine engine;
+  const std::string text =
+      LogGenerator(*FindDataset("Log A")).Generate(24 * 1024);
+  const std::string box = engine.CompressBlock(text);
+  auto cold = engine.Query(box, "ERROR");
+  ASSERT_TRUE(cold.ok());
+  ASSERT_FALSE(cold->from_cache);
+  ASSERT_GT(cold->locator.capsules_decompressed, 0u);
+  auto warm = engine.Query(box, "ERROR");
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(warm->from_cache);
+  EXPECT_EQ(warm->locator.capsules_decompressed,
+            cold->locator.capsules_decompressed);
+  EXPECT_EQ(warm->locator.bytes_decompressed, cold->locator.bytes_decompressed);
+}
+
+TEST(EngineTest, BoxCacheMakesSecondCommandCheaper) {
+  // Two *different* commands over the same box: the second never misses the
+  // command cache, but the shared box cache already holds the opened box and
+  // the capsules the first command decompressed.
+  LogGrepEngine engine;  // box cache on by default
+  const std::string text =
+      LogGenerator(*FindDataset("Log A")).Generate(24 * 1024);
+  const std::string box = engine.CompressBlock(text);
+  auto first = engine.Query(box, "ERROR");
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(first->locator.cache_misses, 0u);
+  auto second = engine.Query(box, "ERROR and aborted");
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->from_cache);
+  EXPECT_GT(second->locator.cache_hits, 0u);
+  EXPECT_GT(second->locator.bytes_saved, 0u);
+  // Strictly fewer fresh bytes decompressed than a cold run of the same
+  // command on a cache-less engine.
+  EngineOptions cold_options;
+  cold_options.use_cache = false;
+  cold_options.use_box_cache = false;
+  LogGrepEngine cold(cold_options);
+  auto cold_run = cold.Query(box, "ERROR and aborted");
+  ASSERT_TRUE(cold_run.ok());
+  EXPECT_LT(second->locator.bytes_decompressed,
+            cold_run->locator.bytes_decompressed);
+  // And identical hits with caching on and off.
+  ASSERT_EQ(second->hits.size(), cold_run->hits.size());
+  for (size_t i = 0; i < cold_run->hits.size(); ++i) {
+    EXPECT_EQ(second->hits[i].first, cold_run->hits[i].first);
+    EXPECT_EQ(second->hits[i].second, cold_run->hits[i].second);
+  }
+}
+
+TEST(EngineTest, SharedBoxCacheAcrossEngines) {
+  // Two engines wired to one external BoxCache: what one engine opens and
+  // decompresses is warm for the other (the ParallelQuery arrangement).
+  BoxCacheOptions cache_options;
+  MetricsRegistry metrics;
+  cache_options.metrics = &metrics;
+  BoxCache shared(cache_options);
+  EngineOptions options;
+  options.box_cache = &shared;
+  options.use_cache = false;
+  LogGrepEngine a(options);
+  LogGrepEngine b(options);
+  ASSERT_EQ(a.box_cache(), &shared);
+  ASSERT_EQ(b.box_cache(), &shared);
+
+  const std::string box = a.CompressBlock("shared entry nu 1\nother xi 2\n");
+  auto first = a.Query(box, "nu");
+  ASSERT_TRUE(first.ok());
+  auto second = b.Query(box, "nu");
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(second->locator.cache_hits, 0u);
+  ASSERT_EQ(second->hits.size(), first->hits.size());
+  EXPECT_GT(metrics.GetOrCreate("query.box_cache.hits")->value(), 0u);
+}
+
+TEST(EngineTest, MetricsRegistryCollectsQueryCounters) {
+  MetricsRegistry metrics;
+  EngineOptions options;
+  options.metrics = &metrics;
+  LogGrepEngine engine(options);
+  const std::string box = engine.CompressBlock("metered entry pi 1\n");
+  ASSERT_TRUE(engine.Query(box, "pi").ok());
+  ASSERT_TRUE(engine.Query(box, "pi").ok());  // command-cache hit
+  EXPECT_EQ(metrics.GetOrCreate("query.count")->value(), 1u);
+  EXPECT_EQ(metrics.GetOrCreate("query.command_cache_hits")->value(), 1u);
+}
+
 TEST(EngineTest, CodecChoiceIsHonored) {
   EngineOptions opts;
   opts.codec = &GetZstdCodec();

@@ -438,6 +438,44 @@ TEST(QueryParserTest, Errors) {
   EXPECT_FALSE(ParseQuery("x and and y").ok());
 }
 
+TEST(QueryParserTest, QuotedWordIsNeverAnOperator) {
+  // `error "and" retry` searches for the literal token `and`, it does not
+  // conjoin: one term with three keywords.
+  auto expr = ParseQuery("error \"and\" retry");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->kind, QueryExpr::Kind::kTerm);
+  EXPECT_EQ((*expr)->term.text, "error and retry");
+  EXPECT_EQ((*expr)->term.keywords.size(), 3u);
+}
+
+TEST(QueryParserTest, QuotedRunKeepsEmbeddedBlanks) {
+  auto expr = ParseQuery("\"disk error\" AND fatal");
+  ASSERT_TRUE(expr.ok());
+  const QueryExpr& root = **expr;
+  ASSERT_EQ(root.kind, QueryExpr::Kind::kAnd);
+  EXPECT_EQ(root.left->term.text, "disk error");
+  EXPECT_EQ(root.left->term.keywords.size(), 2u);
+  EXPECT_EQ(root.right->term.text, "fatal");
+}
+
+TEST(QueryParserTest, QuotingIsTransparentForPlainWords) {
+  // Quoting a word that is not an operator yields the same parse.
+  auto quoted = ParseQuery("\"ERROR\" and \"code:20012\"");
+  auto plain = ParseQuery("ERROR and code:20012");
+  ASSERT_TRUE(quoted.ok());
+  ASSERT_TRUE(plain.ok());
+  ASSERT_EQ((*quoted)->kind, (*plain)->kind);
+  EXPECT_EQ((*quoted)->left->term.text, (*plain)->left->term.text);
+  EXPECT_EQ((*quoted)->right->term.keywords, (*plain)->right->term.keywords);
+}
+
+TEST(QueryParserTest, UnterminatedQuoteExtendsToEnd) {
+  auto expr = ParseQuery("\"error and more");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->kind, QueryExpr::Kind::kTerm);
+  EXPECT_EQ((*expr)->term.text, "error and more");
+}
+
 // ---- line match ----------------------------------------------------------------------
 
 TEST(LineMatchTest, TermSemantics) {
@@ -472,14 +510,74 @@ TEST(QueryCacheTest, HitMissAndClear) {
   QueryCache cache;
   EXPECT_FALSE(cache.Lookup("q").has_value());
   EXPECT_EQ(cache.misses(), 1u);
-  cache.Insert("q", {{3, "line three"}});
+  cache.Insert("q", QueryHits{{3, "line three"}});
   auto hit = cache.Lookup("q");
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(cache.hits(), 1u);
-  ASSERT_EQ(hit->size(), 1u);
-  EXPECT_EQ((*hit)[0].first, 3u);
+  ASSERT_EQ(hit->hits.size(), 1u);
+  EXPECT_EQ(hit->hits[0].first, 3u);
   cache.Clear();
   EXPECT_FALSE(cache.Lookup("q").has_value());
+}
+
+TEST(QueryCacheTest, InsertReplacesExistingEntry) {
+  // Re-inserting under the same command must replace the stale value, not
+  // keep the first one (the old emplace-based Insert silently dropped the
+  // update).
+  QueryCache cache;
+  cache.Insert("q", QueryHits{{1, "old"}});
+  cache.Insert("q", QueryHits{{2, "new"}});
+  auto hit = cache.Lookup("q");
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->hits.size(), 1u);
+  EXPECT_EQ(hit->hits[0].first, 2u);
+  EXPECT_EQ(hit->hits[0].second, "new");
+}
+
+TEST(QueryCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
+  // Budget sized to hold roughly two entries; inserting a third must evict
+  // the least recently used one.
+  const std::string big(512, 'x');
+  QueryCache cache(/*byte_budget=*/2000);
+  cache.Insert("a", QueryHits{{1, big}});
+  cache.Insert("b", QueryHits{{2, big}});
+  ASSERT_TRUE(cache.Lookup("a").has_value());  // promote "a"; "b" is LRU now
+  cache.Insert("c", QueryHits{{3, big}});
+  EXPECT_GE(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.Lookup("b").has_value());
+  EXPECT_TRUE(cache.Lookup("c").has_value());
+  EXPECT_LE(cache.bytes_in_use(), cache.byte_budget());
+}
+
+TEST(QueryCacheTest, KeepsFreshestEntryEvenWhenOverBudget) {
+  // An entry larger than the whole budget is still usable until the next
+  // insert (never evict the freshest entry).
+  QueryCache cache(/*byte_budget=*/64);
+  cache.Insert("huge", QueryHits{{1, std::string(4096, 'y')}});
+  EXPECT_TRUE(cache.Lookup("huge").has_value());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(QueryCacheTest, StoresLocatorSnapshot) {
+  QueryCache cache;
+  CachedQuery entry;
+  entry.hits = {{7, "hit"}};
+  entry.locator.capsules_decompressed = 5;
+  entry.locator.bytes_decompressed = 1234;
+  cache.Insert("q", entry);
+  auto hit = cache.Lookup("q");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->locator.capsules_decompressed, 5u);
+  EXPECT_EQ(hit->locator.bytes_decompressed, 1234u);
+}
+
+TEST(QueryCacheTest, SixtyFourBitLineNumbersSurviveRoundTrip) {
+  QueryCache cache;
+  const uint64_t line = (5ull << 32) + 17;  // > UINT32_MAX
+  cache.Insert("q", QueryHits{{line, "far line"}});
+  auto hit = cache.Lookup("q");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->hits[0].first, line);
 }
 
 }  // namespace

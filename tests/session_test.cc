@@ -209,5 +209,62 @@ TEST_F(QuerySessionTest, ResetForgetsRefinementState) {
   EXPECT_FALSE(after->refined_incrementally);
 }
 
+TEST_F(QuerySessionTest, ResetAlsoFlushesEngineCommandCache) {
+  // The session memo fronts the engine's command cache; Reset must flush
+  // both, or a post-reset query could be served pre-reset hits.
+  QuerySession session(&engine_, box_);
+  ASSERT_TRUE(session.Query("ERROR").ok());
+  EXPECT_GT(engine_.cache().size(), 0u);
+  session.Reset();
+  EXPECT_EQ(engine_.cache().size(), 0u);
+  auto after = session.Query("ERROR");
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->from_cache);
+}
+
+// ---- property test: refinement == cold full query ---------------------------
+//
+// For every production dataset, grow a command by appending AND clauses —
+// including wildcard and quoted-keyword suffixes — and check that the
+// incremental path produces hit-for-hit exactly what a cold engine (no query
+// cache, no box cache) computes for the full command.
+TEST(QuerySessionPropertyTest, RefinementMatchesColdQueryAcrossDatasets) {
+  const std::vector<std::vector<std::string>> suffix_chains = {
+      {"ERROR", "ERROR and 1", "ERROR and 1 and 2"},
+      {"INFO", "INFO and id*", "INFO and id* and 1?"},        // wildcards
+      {"0", "0 and \"1\"", "0 and \"1\" and \"id\""},         // quoted
+      {"1", "1 and 2*3", "1 and 2*3 and \"4\""},              // mixed
+  };
+  for (const DatasetSpec* spec_ptr : ProductionDatasets()) {
+    const DatasetSpec& spec = *spec_ptr;
+    const std::string text = LogGenerator(spec).Generate(12 * 1024);
+    LogGrepEngine engine;
+    const std::string box = engine.CompressBlock(text);
+
+    EngineOptions cold_options;
+    cold_options.use_cache = false;
+    cold_options.use_box_cache = false;
+    LogGrepEngine cold(cold_options);
+
+    for (const std::vector<std::string>& chain : suffix_chains) {
+      QuerySession session(&engine, box);
+      for (const std::string& command : chain) {
+        auto via_session = session.Query(command);
+        ASSERT_TRUE(via_session.ok()) << spec.name << ": " << command;
+        auto ground_truth = cold.Query(box, command);
+        ASSERT_TRUE(ground_truth.ok()) << spec.name << ": " << command;
+        ASSERT_EQ(via_session->hits.size(), ground_truth->hits.size())
+            << spec.name << ": " << command;
+        for (size_t i = 0; i < ground_truth->hits.size(); ++i) {
+          EXPECT_EQ(via_session->hits[i].first, ground_truth->hits[i].first)
+              << spec.name << ": " << command;
+          EXPECT_EQ(via_session->hits[i].second, ground_truth->hits[i].second)
+              << spec.name << ": " << command;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace loggrep

@@ -348,5 +348,158 @@ TEST_F(LogArchiveTest, ManifestWriteIsAtomicOnSerialAppend) {
   }
 }
 
+// ---- 64-bit global line numbers (regression) -------------------------------
+
+TEST_F(LogArchiveTest, GlobalLineNumbersPastFourBillionDoNotWrap) {
+  // Regression: hits used to be narrowed through a uint32_t, so a block
+  // starting past ~4 billion lines reported wrapped line numbers. A backfill
+  // commit with a pre-set first_line simulates an archive that deep without
+  // ingesting four billion entries.
+  auto archive = LogArchive::Create(dir_);
+  ASSERT_TRUE(archive.ok());
+  ASSERT_TRUE(archive->AppendBlock("early entry kappa 0\n").ok());
+
+  constexpr uint64_t kFarStart = (5ull << 32) + 123;  // > UINT32_MAX
+  const std::string text = "deep entry kappa 1\nsecond deep entry lambda 2\n";
+  BlockInfo info = BuildBlockSummary(text, 10);
+  info.first_line = kFarStart;
+  LogGrepEngine engine;
+  ASSERT_TRUE(
+      archive->CommitCompressedBlock(engine.CompressBlock(text), std::move(info))
+          .ok());
+  ASSERT_EQ(archive->blocks().size(), 2u);
+  EXPECT_EQ(archive->blocks()[1].first_line, kFarStart);
+
+  for (const bool parallel : {false, true}) {
+    auto result = parallel ? archive->ParallelQuery("kappa", 2)
+                           : archive->Query("kappa");
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->hits.size(), 2u);
+    EXPECT_EQ(result->hits[0].first, 0u);
+    EXPECT_EQ(result->hits[1].first, kFarStart);
+    EXPECT_EQ(result->hits[1].second, "deep entry kappa 1");
+  }
+
+  // The next contiguous commit continues after the sparse block.
+  ASSERT_TRUE(archive->AppendBlock("after the gap lambda 3\n").ok());
+  EXPECT_EQ(archive->blocks()[2].first_line, kFarStart + 2);
+  auto after = archive->Query("lambda");
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->hits.size(), 2u);
+  EXPECT_EQ(after->hits[1].first, kFarStart + 2);
+
+  // And everything survives a manifest round trip.
+  auto reopened = LogArchive::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  auto again = reopened->Query("kappa");
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->hits.size(), 2u);
+  EXPECT_EQ(again->hits[1].first, kFarStart);
+}
+
+TEST_F(LogArchiveTest, PresetFirstLineBelowEndIsClampedContiguous) {
+  auto archive = LogArchive::Create(dir_);
+  ASSERT_TRUE(archive.ok());
+  ASSERT_TRUE(archive->AppendBlock("one alpha\ntwo alpha\nthree alpha\n").ok());
+  const std::string text = "four beta\n";
+  BlockInfo info = BuildBlockSummary(text, 10);
+  info.first_line = 1;  // would overlap the first block; must be clamped
+  LogGrepEngine engine;
+  ASSERT_TRUE(
+      archive->CommitCompressedBlock(engine.CompressBlock(text), std::move(info))
+          .ok());
+  EXPECT_EQ(archive->blocks()[1].first_line, 3u);
+}
+
+// ---- shared box cache across archive queries --------------------------------
+
+TEST_F(LogArchiveTest, WarmQueriesSkipBlockFilesEntirely) {
+  auto archive = LogArchive::Create(dir_);
+  ASSERT_TRUE(archive.ok());
+  ASSERT_TRUE(archive->AppendBlock("warm cache entry rho 1\nother sigma 2\n").ok());
+  ASSERT_TRUE(archive->AppendBlock("warm cache entry rho 3\nother sigma 4\n").ok());
+
+  auto cold = archive->Query("rho");
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(cold->hits.size(), 2u);
+  EXPECT_GT(cold->locator.cache_misses, 0u);
+
+  // Remove every block file: only the cache can serve the bytes now. A new
+  // command (different command-cache key) must still succeed, warm.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".lgc") {
+      std::filesystem::remove(entry.path());
+    }
+  }
+  auto warm = archive->Query("sigma");
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ASSERT_EQ(warm->hits.size(), 2u);
+  EXPECT_GT(warm->locator.cache_hits, 0u);
+  EXPECT_GT(warm->locator.bytes_saved, 0u);
+  // ParallelQuery workers share the same cache and also never touch disk.
+  auto parallel = archive->ParallelQuery("sigma", 2);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  EXPECT_EQ(parallel->hits.size(), 2u);
+}
+
+TEST_F(LogArchiveTest, CacheDisabledArchiveStillAnswersCorrectly) {
+  ArchiveOptions options;
+  options.box_cache_budget_bytes = 0;  // no shared cache at all
+  auto archive = LogArchive::Create(dir_, options);
+  ASSERT_TRUE(archive.ok());
+  EXPECT_EQ(archive->box_cache(), nullptr);
+  ASSERT_TRUE(archive->AppendBlock("plain entry chi 1\n").ok());
+  for (int round = 0; round < 2; ++round) {
+    auto result = archive->Query("chi");
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->hits.size(), 1u);
+    EXPECT_EQ(result->hits[0].second, "plain entry chi 1");
+  }
+  auto parallel = archive->ParallelQuery("chi", 2);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel->hits.size(), 1u);
+}
+
+TEST_F(LogArchiveTest, ParallelAndSerialAgreeOnDeterministicStats) {
+  // Two identical archives, both cold: the parallel run must report exactly
+  // the same hits AND the same deterministic locator counters as the serial
+  // one (nanosecond timings are excluded — they are wall-clock).
+  DatasetSpec spec = *FindDataset("Ssh");
+  auto build = [&](const std::string& dir) {
+    auto archive = LogArchive::Create(dir);
+    EXPECT_TRUE(archive.ok());
+    DatasetSpec s = spec;
+    for (int b = 0; b < 5; ++b) {
+      s.seed = spec.seed + 31 * b;
+      EXPECT_TRUE(archive->AppendBlock(LogGenerator(s).Generate(16 * 1024)).ok());
+    }
+    return archive;
+  };
+  auto serial_archive = build(dir_ + "_serial");
+  auto parallel_archive = build(dir_ + "_parallel");
+  for (const std::string& query :
+       {std::string("Failed password"), std::string("sshd and Accepted"),
+        std::string("session or preauth")}) {
+    auto serial = serial_archive->Query(query);
+    auto parallel = parallel_archive->ParallelQuery(query, 4);
+    ASSERT_TRUE(serial.ok()) << query;
+    ASSERT_TRUE(parallel.ok()) << query;
+    ASSERT_EQ(serial->hits, parallel->hits) << query;
+    EXPECT_EQ(serial->blocks_pruned, parallel->blocks_pruned) << query;
+    EXPECT_EQ(serial->blocks_queried, parallel->blocks_queried) << query;
+    const LocatorStats& s = serial->locator;
+    const LocatorStats& p = parallel->locator;
+    EXPECT_EQ(s.capsules_decompressed, p.capsules_decompressed) << query;
+    EXPECT_EQ(s.capsules_stamp_filtered, p.capsules_stamp_filtered) << query;
+    EXPECT_EQ(s.bytes_decompressed, p.bytes_decompressed) << query;
+    EXPECT_EQ(s.pattern_trivial_hits, p.pattern_trivial_hits) << query;
+    EXPECT_EQ(s.possible_matches, p.possible_matches) << query;
+    EXPECT_EQ(s.cache_hits, p.cache_hits) << query;
+    EXPECT_EQ(s.cache_misses, p.cache_misses) << query;
+  }
+  std::filesystem::remove_all(dir_ + "_serial");
+  std::filesystem::remove_all(dir_ + "_parallel");
+}
+
 }  // namespace
 }  // namespace loggrep
