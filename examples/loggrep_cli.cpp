@@ -9,6 +9,18 @@
 //   loggrep_cli archive-stat <dir>
 //   loggrep_cli ingest <dir> <input.log|-> [block_mb] [threads]
 //       (streaming pipelined ingest; '-' reads stdin; prints IngestMetrics)
+//   loggrep_cli explain <block.lgc|archive-dir> "<query>"
+//       (per-block / per-variable / per-Capsule decision tree; exits
+//        non-zero if the pruned+cached+decompressed==visited invariant
+//        fails)
+//   loggrep_cli metrics <block.lgc|archive-dir> "<query>"
+//       (runs the query, then prints the metrics registry in Prometheus
+//        exposition format — or JSON with --stats-json)
+//
+// Global flags (any subcommand):
+//   --stats-json     emit registry counters+histograms as sorted-key JSON
+//   --trace=<file>   enable span tracing, write Chrome trace_event JSON
+//                    (open in chrome://tracing or Perfetto)
 //
 // Query commands follow §3: search strings joined by AND / OR / NOT,
 // wildcards ('*', '?') within a single token, e.g.
@@ -19,12 +31,18 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include <filesystem>
 
 #include "src/capsule/capsule_box.h"
+#include "src/common/metrics.h"
+#include "src/common/metrics_export.h"
+#include "src/common/trace.h"
 #include "src/core/engine.h"
 #include "src/ingest/log_ingestor.h"
+#include "src/query/explain.h"
 #include "src/store/log_archive.h"
 #include "src/workload/datasets.h"
 #include "src/workload/loggen.h"
@@ -32,6 +50,30 @@
 namespace {
 
 using namespace loggrep;
+
+// Process-wide registry shared by every subcommand ("query.*", "ingest.*",
+// "query.box_cache.*"); exported by `metrics` / --stats-json.
+MetricsRegistry g_metrics;
+bool g_stats_json = false;
+
+EngineOptions CliEngineOptions() {
+  EngineOptions opts;
+  opts.metrics = &g_metrics;
+  return opts;
+}
+
+ArchiveOptions CliArchiveOptions() {
+  ArchiveOptions opts;
+  opts.metrics = &g_metrics;
+  opts.engine.metrics = &g_metrics;
+  return opts;
+}
+
+void MaybePrintStatsJson() {
+  if (g_stats_json) {
+    std::printf("%s\n", ExportJson(g_metrics).c_str());
+  }
+}
 
 bool ReadFile(const std::string& path, std::string* out) {
   std::ifstream in(path, std::ios::binary);
@@ -75,7 +117,7 @@ int Grep(const std::string& archive_path, const std::string& command) {
   if (!ReadFile(archive_path, &box)) {
     return 1;
   }
-  LogGrepEngine engine;
+  LogGrepEngine engine(CliEngineOptions());
   auto result = engine.Query(box, command);
   if (!result.ok()) {
     std::fprintf(stderr, "query failed: %s\n", result.status().ToString().c_str());
@@ -100,6 +142,7 @@ int Grep(const std::string& archive_path, const std::string& command) {
                result->locator.stamp_filter_nanos / 1e6,
                result->locator.decompress_nanos / 1e6,
                result->locator.reconstruct_nanos / 1e6);
+  MaybePrintStatsJson();
   return 0;
 }
 
@@ -196,6 +239,7 @@ int Ingest(const std::string& dir, const std::string& in_path,
   IngestOptions options;
   options.target_block_bytes = block_mb << 20;
   options.num_workers = threads;
+  options.metrics = &g_metrics;
   auto ingestor = LogIngestor::Start(dir, options);
   if (!ingestor.ok()) {
     std::fprintf(stderr, "%s\n", ingestor.status().ToString().c_str());
@@ -251,11 +295,12 @@ int Ingest(const std::string& dir, const std::string& in_path,
   std::printf("producer stalled:   %.2f s\n", m.producer_stall_seconds);
   std::printf("stage seconds:      summary %.2f  compress %.2f  commit %.2f\n",
               m.summary_seconds, m.compress_seconds, m.commit_seconds);
+  MaybePrintStatsJson();
   return 0;
 }
 
 int ArchiveGrep(const std::string& dir, const std::string& command) {
-  auto archive = LogArchive::Open(dir);
+  auto archive = LogArchive::Open(dir, CliArchiveOptions());
   if (!archive.ok()) {
     std::fprintf(stderr, "%s\n", archive.status().ToString().c_str());
     return 1;
@@ -286,6 +331,87 @@ int ArchiveGrep(const std::string& dir, const std::string& command) {
                static_cast<unsigned long long>(result->locator.cache_hits),
                static_cast<unsigned long long>(result->locator.cache_misses),
                result->locator.bytes_saved / 1e6);
+  MaybePrintStatsJson();
+  return 0;
+}
+
+// Runs the query with the shared registry attached and prints the registry
+// afterwards — Prometheus exposition text by default, sorted-key JSON with
+// --stats-json. Works against a single .lgc block or an archive directory.
+int Metrics(const std::string& target, const std::string& command) {
+  if (std::filesystem::is_directory(target)) {
+    auto archive = LogArchive::Open(target, CliArchiveOptions());
+    if (!archive.ok()) {
+      std::fprintf(stderr, "%s\n", archive.status().ToString().c_str());
+      return 1;
+    }
+    auto result = archive->Query(command);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "%zu hits over %u blocks\n", result->hits.size(),
+                 result->blocks_queried);
+  } else {
+    std::string box;
+    if (!ReadFile(target, &box)) {
+      return 1;
+    }
+    LogGrepEngine engine(CliEngineOptions());
+    auto result = engine.Query(box, command);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "%zu hits\n", result->hits.size());
+  }
+  const std::string out =
+      g_stats_json ? ExportJson(g_metrics) + "\n" : ExportPrometheus(g_metrics);
+  std::fputs(out.c_str(), stdout);
+  return 0;
+}
+
+// Renders the per-block / per-variable-vector / per-Capsule decision tree
+// and enforces the accounting invariant (non-zero exit on imbalance).
+int Explain(const std::string& target, const std::string& command) {
+  QueryExplain qe;
+  if (std::filesystem::is_directory(target)) {
+    auto archive = LogArchive::Open(target, CliArchiveOptions());
+    if (!archive.ok()) {
+      std::fprintf(stderr, "%s\n", archive.status().ToString().c_str());
+      return 1;
+    }
+    auto result = archive->Explain(command, &qe);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+  } else {
+    std::string box;
+    if (!ReadFile(target, &box)) {
+      return 1;
+    }
+    qe.command = command;
+    qe.blocks.emplace_back();
+    LogGrepEngine engine(CliEngineOptions());
+    auto result = engine.ExplainQuery(box, command, &qe.blocks[0]);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+  }
+  std::fputs(qe.Render().c_str(), stdout);
+  std::string detail;
+  if (!qe.CheckInvariant(&detail)) {
+    std::fprintf(stderr, "explain accounting invariant VIOLATED: %s\n",
+                 detail.c_str());
+    return 1;
+  }
+  MaybePrintStatsJson();
   return 0;
 }
 
@@ -328,37 +454,73 @@ int Usage() {
                "  loggrep_cli archive-grep <dir> \"<query>\"\n"
                "  loggrep_cli archive-stat <dir>\n"
                "  loggrep_cli ingest <dir> <input.log|-> [block_mb] "
-               "[threads]\n");
+               "[threads]\n"
+               "  loggrep_cli explain <block.lgc|archive-dir> \"<query>\"\n"
+               "  loggrep_cli metrics <block.lgc|archive-dir> \"<query>\"\n"
+               "flags: --stats-json   --trace=<file>\n");
   return 2;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int raw_argc, char** raw_argv) {
+  // Strip global flags (anywhere on the command line).
+  std::string trace_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(raw_argc));
+  for (int i = 0; i < raw_argc; ++i) {
+    const std::string_view arg = raw_argv[i];
+    if (arg == "--stats-json") {
+      g_stats_json = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else {
+      args.push_back(raw_argv[i]);
+    }
+  }
+  const int argc = static_cast<int>(args.size());
+  char** argv = args.data();
+  if (!trace_path.empty()) {
+    Tracer::Global().Enable(true);
+  }
+  const auto finish = [&trace_path](int rc) {
+    if (!trace_path.empty() &&
+        !Tracer::Global().WriteChromeJson(trace_path)) {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_path.c_str());
+      return rc == 0 ? 1 : rc;
+    }
+    return rc;
+  };
   if (argc < 3) {
-    return Usage();
+    return finish(Usage());
   }
   const std::string cmd = argv[1];
   if (cmd == "compress" && argc == 4) {
-    return Compress(argv[2], argv[3]);
+    return finish(Compress(argv[2], argv[3]));
   }
   if (cmd == "grep" && argc == 4) {
-    return Grep(argv[2], argv[3]);
+    return finish(Grep(argv[2], argv[3]));
   }
   if (cmd == "stat" && argc == 3) {
-    return Stat(argv[2]);
+    return finish(Stat(argv[2]));
   }
   if (cmd == "demo" && argc == 3) {
-    return Demo(argv[2]);
+    return finish(Demo(argv[2]));
   }
   if (cmd == "archive-ingest" && argc == 4) {
-    return ArchiveIngest(argv[2], argv[3]);
+    return finish(ArchiveIngest(argv[2], argv[3]));
   }
   if (cmd == "archive-grep" && argc == 4) {
-    return ArchiveGrep(argv[2], argv[3]);
+    return finish(ArchiveGrep(argv[2], argv[3]));
   }
   if (cmd == "archive-stat" && argc == 3) {
-    return ArchiveStat(argv[2]);
+    return finish(ArchiveStat(argv[2]));
+  }
+  if (cmd == "explain" && argc == 4) {
+    return finish(Explain(argv[2], argv[3]));
+  }
+  if (cmd == "metrics" && argc == 4) {
+    return finish(Metrics(argv[2], argv[3]));
   }
   if (cmd == "ingest" && argc >= 4 && argc <= 6) {
     const size_t block_mb =
@@ -367,9 +529,9 @@ int main(int argc, char** argv) {
         argc >= 6 ? static_cast<size_t>(std::strtoul(argv[5], nullptr, 10)) : 0;
     if (block_mb == 0) {
       std::fprintf(stderr, "block_mb must be > 0\n");
-      return 2;
+      return finish(2);
     }
-    return Ingest(argv[2], argv[3], block_mb, threads);
+    return finish(Ingest(argv[2], argv[3], block_mb, threads));
   }
-  return Usage();
+  return finish(Usage());
 }

@@ -1,0 +1,108 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace loggrep {
+
+size_t Histogram::BucketFor(uint64_t value) {
+  if (value == 0) {
+    return 0;
+  }
+  // floor(log2(value)) + 1, capped at the overflow bucket.
+  const size_t b = 64 - static_cast<size_t>(std::countl_zero(value));
+  return std::min<size_t>(b, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketLowerBound(size_t b) {
+  if (b == 0) {
+    return 0;
+  }
+  if (b == 1) {
+    return 1;
+  }
+  return uint64_t{1} << (b - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t b) {
+  if (b == 0) {
+    return 0;
+  }
+  if (b >= kNumBuckets - 1) {
+    return UINT64_MAX;
+  }
+  return (uint64_t{1} << b) - 1;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t current = max_.load(std::memory_order_relaxed);
+  while (value > current &&
+         !max_.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 100.0);
+  // 1-based rank of the requested quantile.
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q / 100.0 * static_cast<double>(count)));
+  rank = std::clamp<uint64_t>(rank, 1, count);
+
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    if (buckets[b] == 0) {
+      continue;
+    }
+    cumulative += buckets[b];
+    if (cumulative < rank) {
+      continue;
+    }
+    if (b == 0) {
+      return 0;
+    }
+    const uint64_t lo = Histogram::BucketLowerBound(b);
+    // Interpolation ceiling: the bucket's nominal top, but never beyond the
+    // observed max (keeps the overflow bucket honest).
+    const uint64_t hi = std::min(Histogram::BucketUpperBound(b), max);
+    if (hi <= lo) {
+      return std::min(lo, max);
+    }
+    const uint64_t into_bucket = rank - (cumulative - buckets[b]);  // >= 1
+    const double frac =
+        static_cast<double>(into_bucket) / static_cast<double>(buckets[b]);
+    const uint64_t value =
+        lo + static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
+    return std::min(value, max);
+  }
+  return max;
+}
+
+}  // namespace loggrep

@@ -11,6 +11,15 @@ Counter* MetricsRegistry::GetOrCreate(const std::string& name) {
   return slot.get();
 }
 
+Histogram* MetricsRegistry::GetOrCreateHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return slot.get();
+}
+
 std::map<std::string, uint64_t> MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, uint64_t> out;
@@ -18,6 +27,26 @@ std::map<std::string, uint64_t> MetricsRegistry::Snapshot() const {
     out.emplace(name, counter->value());
   }
   return out;
+}
+
+std::map<std::string, HistogramSnapshot> MetricsRegistry::HistogramSnapshots()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace(name, histogram->Snapshot());
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
 }
 
 }  // namespace loggrep

@@ -1,14 +1,18 @@
-// Minimal process-local metrics: named monotonic counters and high-water
-// gauges behind a registry, designed for hot paths shared by many threads.
+// Minimal process-local metrics: named monotonic counters, high-water
+// gauges, and log-bucketed histograms behind a registry, designed for hot
+// paths shared by many threads.
 //
-// Usage pattern: resolve `Counter*` handles once (registry lookup takes a
-// lock), then bump them lock-free from any thread. `Snapshot()` returns a
-// stable name -> value map for logging / test assertions. Times are recorded
-// as integer microseconds so everything stays a uint64 counter.
+// Usage pattern: resolve `Counter*` / `Histogram*` handles once (registry
+// lookup takes a lock), then bump them lock-free from any thread.
+// `Snapshot()` returns a stable name -> value map for logging / test
+// assertions. Times are recorded as integer **nanoseconds** end-to-end so
+// everything stays a uint64 cell; time-valued metric names carry a `_ns`
+// suffix (e.g. "ingest.compress_ns", "query.open_ns").
 //
-// The ingest subsystem is the first consumer (queue depth high-water mark,
-// producer stall time, per-stage wall time), but the registry is deliberately
-// generic so query-side metrics can reuse it.
+// The ingest subsystem was the first consumer (queue depth high-water mark,
+// producer stall time, per-stage wall time); the query pipeline mirrors its
+// LocatorStats stage timings into the same registry. Text exporters
+// (Prometheus exposition + JSON) live in src/common/metrics_export.h.
 #ifndef SRC_COMMON_METRICS_H_
 #define SRC_COMMON_METRICS_H_
 
@@ -19,6 +23,8 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/common/histogram.h"
 
 namespace loggrep {
 
@@ -41,6 +47,9 @@ class Counter {
     }
   }
 
+  // Zeroes the cell (used by MetricsRegistry::Reset).
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
   uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
@@ -58,22 +67,36 @@ class MetricsRegistry {
   // outside hot loops.
   Counter* GetOrCreate(const std::string& name);
 
+  // Same contract for histograms. Counters and histograms live in separate
+  // namespaces, but sharing a name between them is a bad idea (exporters
+  // would emit both).
+  Histogram* GetOrCreateHistogram(const std::string& name);
+
   // Point-in-time copy of every registered counter.
   std::map<std::string, uint64_t> Snapshot() const;
 
+  // Point-in-time snapshot of every registered histogram.
+  std::map<std::string, HistogramSnapshot> HistogramSnapshots() const;
+
+  // Zeroes every counter and histogram cell without invalidating handles.
+  // Tests share one registry across cases and Reset() between them instead
+  // of constructing throwaway registries for isolation.
+  void Reset();
+
  private:
   mutable std::mutex mu_;
-  // unique_ptr keeps Counter addresses stable across rehashes.
+  // unique_ptr keeps cell addresses stable across rehashes.
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
-// Converts a seconds measurement to the integer microseconds stored in
-// counters (and back).
-inline uint64_t SecondsToMicros(double seconds) {
-  return seconds <= 0 ? 0 : static_cast<uint64_t>(seconds * 1e6);
+// Converts a seconds measurement to the integer nanoseconds stored in
+// counters/histograms (and back).
+inline uint64_t SecondsToNanos(double seconds) {
+  return seconds <= 0 ? 0 : static_cast<uint64_t>(seconds * 1e9);
 }
-inline double MicrosToSeconds(uint64_t micros) {
-  return static_cast<double>(micros) / 1e6;
+inline double NanosToSeconds(uint64_t nanos) {
+  return static_cast<double>(nanos) / 1e9;
 }
 
 }  // namespace loggrep

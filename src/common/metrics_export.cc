@@ -1,0 +1,91 @@
+#include "src/common/metrics_export.h"
+
+#include <cctype>
+
+namespace loggrep {
+namespace {
+
+std::string SanitizePrometheusName(const std::string& name) {
+  std::string out = "loggrep_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void AppendJsonKey(std::string& out, const std::string& key) {
+  out += '"';
+  for (char c : key) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& [name, value] : registry.Snapshot()) {
+    const std::string prom = SanitizePrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, snap] : registry.HistogramSnapshots()) {
+    const std::string prom = SanitizePrometheusName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < HistogramSnapshot::kNumBuckets; ++b) {
+      if (snap.buckets[b] == 0) {
+        continue;  // compact exposition: only non-empty boundaries
+      }
+      cumulative += snap.buckets[b];
+      const uint64_t le = Histogram::BucketUpperBound(b);
+      out += prom + "_bucket{le=\"";
+      out += le == UINT64_MAX ? "+Inf" : std::to_string(le);
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(snap.count) + "\n";
+    out += prom + "_sum " + std::to_string(snap.sum) + "\n";
+    out += prom + "_count " + std::to_string(snap.count) + "\n";
+  }
+  return out;
+}
+
+std::string ExportJson(const MetricsRegistry& registry) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : registry.Snapshot()) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    AppendJsonKey(out, name);
+    out += ':' + std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, snap] : registry.HistogramSnapshots()) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    AppendJsonKey(out, name);
+    out += ":{\"count\":" + std::to_string(snap.count) +
+           ",\"sum\":" + std::to_string(snap.sum) +
+           ",\"max\":" + std::to_string(snap.max) +
+           ",\"p50\":" + std::to_string(snap.p50()) +
+           ",\"p90\":" + std::to_string(snap.p90()) +
+           ",\"p95\":" + std::to_string(snap.p95()) +
+           ",\"p99\":" + std::to_string(snap.p99()) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace loggrep

@@ -1,0 +1,29 @@
+// Text exporters for MetricsRegistry: Prometheus exposition format and a
+// stable JSON document. Both emit keys in sorted order so output is
+// deterministic (golden-testable) for a given registry state.
+#ifndef SRC_COMMON_METRICS_EXPORT_H_
+#define SRC_COMMON_METRICS_EXPORT_H_
+
+#include <string>
+
+#include "src/common/metrics.h"
+
+namespace loggrep {
+
+// Prometheus text exposition. Metric names are prefixed with `loggrep_` and
+// sanitized ('.'/'-' and any other non [a-zA-Z0-9_] byte become '_').
+// Counters export as `counter`; histograms as native Prometheus histograms
+// with cumulative power-of-two `le` buckets (only non-empty boundaries plus
+// `+Inf`), `_sum` and `_count` series.
+std::string ExportPrometheus(const MetricsRegistry& registry);
+
+// JSON document:
+//   {"counters":{"a.b":1,...},
+//    "histograms":{"x_ns":{"count":..,"sum":..,"max":..,
+//                           "p50":..,"p90":..,"p95":..,"p99":..},...}}
+// Keys are sorted; numbers are plain integers.
+std::string ExportJson(const MetricsRegistry& registry);
+
+}  // namespace loggrep
+
+#endif  // SRC_COMMON_METRICS_EXPORT_H_

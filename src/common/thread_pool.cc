@@ -1,6 +1,9 @@
 #include "src/common/thread_pool.h"
 
 #include <algorithm>
+#include <string>
+
+#include "src/common/trace.h"
 
 namespace loggrep {
 
@@ -8,7 +11,11 @@ ThreadPool::ThreadPool(size_t num_threads) {
   const size_t n = std::max<size_t>(1, num_threads);
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      Tracer::Global().SetCurrentThreadName("pool-worker-" +
+                                            std::to_string(i));
+      WorkerLoop();
+    });
   }
 }
 
@@ -24,9 +31,21 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Capture the submitting thread's innermost span so spans the task opens
+  // on a worker nest under it in exported traces (cross-thread stitching).
+  const uint64_t parent = Tracer::CurrentSpanId();
+  std::function<void()> wrapped;
+  if (parent != 0) {
+    wrapped = [parent, task = std::move(task)] {
+      const ScopedTraceParent stitch(parent);
+      task();
+    };
+  } else {
+    wrapped = std::move(task);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push(std::move(task));
+    tasks_.push(std::move(wrapped));
     ++in_flight_;
   }
   task_ready_.notify_one();

@@ -1,8 +1,9 @@
-// Wall-clock timer for benchmark harnesses.
+// Wall-clock timer for benchmark harnesses and stage-time accounting.
 #ifndef SRC_COMMON_TIMER_H_
 #define SRC_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace loggrep {
 
@@ -14,6 +15,14 @@ class WallTimer {
 
   double ElapsedSeconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // Integer nanoseconds since construction/Reset (clamped at 0). All stage
+  // timings in the pipeline are recorded in nanoseconds.
+  uint64_t ElapsedNanos() const {
+    const auto d = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        Clock::now() - start_);
+    return d.count() <= 0 ? 0 : static_cast<uint64_t>(d.count());
   }
 
  private:

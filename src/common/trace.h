@@ -1,0 +1,171 @@
+// Low-overhead span tracer for the query / ingest pipelines.
+//
+// A TraceSpan is a scoped RAII measurement: construction captures the start
+// time and pushes the span onto a thread-local stack (so nested spans record
+// their parent), destruction records one finished TraceEvent into the
+// tracer's thread-safe ring buffer. The collected events export as Chrome
+// `trace_event` JSON ("ph":"X" complete events plus "s"/"f" flow arrows for
+// cross-thread parent links), so a whole query or ingest run can be opened
+// in chrome://tracing or Perfetto.
+//
+// Cost model:
+//   - disabled (the default): one relaxed atomic load per span — the
+//     constructor checks Tracer::enabled() and does nothing else. This keeps
+//     instrumentation compile-time cheap and always-on in release builds.
+//   - enabled: start/stop timestamps, a thread-local stack push/pop, and one
+//     short mutex-protected ring-buffer write per *finished* span.
+//
+// Cross-thread stitching: work handed to another thread (ThreadPool tasks)
+// carries the submitting span's id; the receiving thread installs it with
+// ScopedTraceParent so spans opened there nest under the submitter in the
+// exported trace even though they run on a different tid. ThreadPool does
+// this automatically for every submitted task.
+//
+// Names and categories must be string literals (or otherwise outlive the
+// tracer): the record path stores the pointers, never copies.
+//
+// Environment integration (picked up once, by Tracer::Global()):
+//   LOGGREP_TRACE=1           start with tracing enabled
+//   LOGGREP_TRACE_OUT=<path>  write the Chrome JSON trace at process exit
+#ifndef SRC_COMMON_TRACE_H_
+#define SRC_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace loggrep {
+
+// One finished span. `start_ns` is relative to the tracer's epoch (its
+// construction time).
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  // 0 = root span
+  uint32_t tid = 0;        // tracer-assigned stable per-thread index
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  const char* arg_name = nullptr;  // optional single integer argument
+  uint64_t arg_value = 0;
+};
+
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  explicit Tracer(size_t capacity = kDefaultCapacity);
+
+  // Process-wide tracer used by TraceSpan. Honors LOGGREP_TRACE /
+  // LOGGREP_TRACE_OUT on first use.
+  static Tracer& Global();
+
+  void Enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Drops all collected events (the ring keeps its capacity).
+  void Clear();
+
+  // Number of events currently held / overwritten since the last Clear().
+  size_t size() const;
+  uint64_t dropped() const;
+
+  // Point-in-time copy of the held events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  // Chrome trace_event JSON: {"traceEvents":[...]} with thread-name
+  // metadata, one "X" event per span, and "s"/"f" flow arrows for parents
+  // that live on a different thread. Safe to call while spans are being
+  // recorded (it snapshots under the ring lock).
+  std::string ExportChromeJson() const;
+
+  // ExportChromeJson() to a file; returns false on I/O failure.
+  bool WriteChromeJson(const std::string& path) const;
+
+  // --- span plumbing (used by TraceSpan / ScopedTraceParent) ---------------
+
+  // Innermost live span of the calling thread (0 when none). Capture this
+  // before handing work to another thread, then install it there with
+  // ScopedTraceParent to stitch the two threads' spans together.
+  static uint64_t CurrentSpanId();
+
+  // Stable small index for the calling thread (assigned on first use).
+  static uint32_t CurrentThreadId();
+
+  // Label the calling thread in exported traces ("pool-worker-3", ...).
+  void SetCurrentThreadName(std::string name);
+
+  // Appends one finished event (called by ~TraceSpan).
+  void Record(const TraceEvent& event);
+
+  // Monotonic nanoseconds since the tracer's epoch.
+  uint64_t NowNanos() const;
+
+  // Process-unique span ids (never 0).
+  static uint64_t NextSpanId();
+
+ private:
+  std::atomic<bool> enabled_{false};
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t head_ = 0;   // next slot to write
+  size_t count_ = 0;  // events held (<= ring_.size())
+  uint64_t dropped_ = 0;
+  std::unordered_map<uint32_t, std::string> thread_names_;
+
+  uint64_t epoch_ns_ = 0;  // steady_clock at construction
+};
+
+// RAII span. Must be destroyed on the thread that created it, in LIFO order
+// with any other spans opened on that thread (natural for scoped locals).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "loggrep");
+  // Span with a single integer argument (e.g. a capsule id or block seq).
+  TraceSpan(const char* name, const char* category, const char* arg_name,
+            uint64_t arg_value);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return active_; }
+  uint64_t span_id() const { return span_id_; }
+
+ private:
+  void Begin(const char* name, const char* category, const char* arg_name,
+             uint64_t arg_value);
+
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  const char* arg_name_ = nullptr;
+  uint64_t arg_value_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_id_ = 0;
+  uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+// Installs `parent_span_id` as the calling thread's current span for the
+// scope's lifetime, so spans opened in this scope nest under a span that
+// lives on another thread. A zero id is a no-op.
+class ScopedTraceParent {
+ public:
+  explicit ScopedTraceParent(uint64_t parent_span_id);
+  ~ScopedTraceParent();
+
+  ScopedTraceParent(const ScopedTraceParent&) = delete;
+  ScopedTraceParent& operator=(const ScopedTraceParent&) = delete;
+
+ private:
+  uint64_t saved_ = 0;
+  bool installed_ = false;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_COMMON_TRACE_H_

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "src/common/timer.h"
+#include "src/common/trace.h"
 #include "src/query/query_parser.h"
 #include "src/query/reconstructor.h"
 
@@ -11,8 +12,7 @@ namespace loggrep {
 namespace {
 
 inline uint64_t ElapsedNanos(const WallTimer& timer) {
-  const double s = timer.ElapsedSeconds();
-  return s <= 0 ? 0 : static_cast<uint64_t>(s * 1e9);
+  return timer.ElapsedNanos();
 }
 
 // Boolean evaluation state: one RowSet per group plus one for raw outliers.
@@ -157,26 +157,44 @@ std::string LogGrepEngine::CompressBlock(std::string_view text) const {
 Result<QueryResult> LogGrepEngine::Query(std::string_view box_bytes,
                                          std::string_view command) {
   return QueryInternal(BoxKey::FromBytes(box_bytes), box_bytes, nullptr,
-                       command);
+                       command, nullptr);
 }
 
 Result<QueryResult> LogGrepEngine::QueryBox(const BoxKey& key,
                                             const BoxLoader& load,
                                             std::string_view command) {
-  return QueryInternal(key, std::string_view(), &load, command);
+  return QueryInternal(key, std::string_view(), &load, command, nullptr);
+}
+
+Result<QueryResult> LogGrepEngine::ExplainQuery(std::string_view box_bytes,
+                                                std::string_view command,
+                                                BlockExplain* block) {
+  return QueryInternal(BoxKey::FromBytes(box_bytes), box_bytes, nullptr,
+                       command, block);
+}
+
+Result<QueryResult> LogGrepEngine::ExplainBox(const BoxKey& key,
+                                              const BoxLoader& load,
+                                              std::string_view command,
+                                              BlockExplain* block) {
+  return QueryInternal(key, std::string_view(), &load, command, block);
 }
 
 Result<QueryResult> LogGrepEngine::QueryInternal(const BoxKey& key,
                                                  std::string_view inline_bytes,
                                                  const BoxLoader* load,
-                                                 std::string_view command) {
+                                                 std::string_view command,
+                                                 BlockExplain* explain) {
+  const TraceSpan query_span("engine.query", "query");
   // Cache entries are per (box identity, command): the same command against
   // another block must not serve stale hits, and the identity is a dual hash
   // plus size so a single 64-bit collision cannot alias two blocks.
   std::string command_key = key.ToString();
   command_key += '|';
   command_key += command;
-  if (options_.use_cache) {
+  // Explained executions bypass the command cache: the decision tree must
+  // describe what this run actually did.
+  if (options_.use_cache && explain == nullptr) {
     if (auto cached = cache_.Lookup(command_key); cached.has_value()) {
       QueryResult result;
       result.hits = std::move(cached->hits);
@@ -204,6 +222,7 @@ Result<QueryResult> LogGrepEngine::QueryInternal(const BoxKey& key,
   std::optional<CapsuleBox> local_box;
   const CapsuleBox* box = nullptr;
   {
+    const TraceSpan open_span("engine.open", "query");
     const WallTimer open_timer;
     if (shared != nullptr) {
       bool was_hit = false;
@@ -250,14 +269,30 @@ Result<QueryResult> LogGrepEngine::QueryInternal(const BoxKey& key,
   lopts.use_stamps = options_.use_stamps;
   lopts.use_bm = options_.use_fixed;
   BoxQuerier querier(*box, lopts, shared, key);
+  std::optional<ExplainRecorder> recorder;
+  if (explain != nullptr) {
+    recorder.emplace(explain);
+    querier.AttachExplain(&*recorder);
+  }
 
   const WallTimer scan_timer;
-  const Evaluation ev = EvaluateExpr(querier, **expr);
-  const uint64_t scan_nanos = ElapsedNanos(scan_timer);
+  uint64_t scan_nanos = 0;
+  Evaluation ev;
+  {
+    const TraceSpan scan_span("engine.scan", "query");
+    ev = EvaluateExpr(querier, **expr);
+    scan_nanos = ElapsedNanos(scan_timer);
+  }
   if (!querier.status().ok()) {
     return querier.status();
   }
 
+  const TraceSpan reconstruct_span("engine.reconstruct", "query");
+  if (recorder.has_value()) {
+    // Capsules opened from here on are for rendering matched rows, not
+    // matching; attribute them to a dedicated stage.
+    recorder->BeginStage("reconstruct");
+  }
   const WallTimer reconstruct_timer;
   Reconstructor reconstructor(&querier);
   QueryResult result;
@@ -289,21 +324,29 @@ Result<QueryResult> LogGrepEngine::QueryInternal(const BoxKey& key,
   result.locator.scan_nanos = scan_nanos > charged ? scan_nanos - charged : 0;
   result.locator.reconstruct_nanos = ElapsedNanos(reconstruct_timer);
 
-  if (options_.metrics != nullptr) {
-    options_.metrics->GetOrCreate("query.count")->Increment();
-    options_.metrics->GetOrCreate("query.open_nanos")
-        ->Add(result.locator.open_nanos);
-    options_.metrics->GetOrCreate("query.scan_nanos")
-        ->Add(result.locator.scan_nanos);
-    options_.metrics->GetOrCreate("query.decompress_nanos")
-        ->Add(result.locator.decompress_nanos);
-    options_.metrics->GetOrCreate("query.reconstruct_nanos")
-        ->Add(result.locator.reconstruct_nanos);
-    options_.metrics->GetOrCreate("query.bytes_decompressed")
-        ->Add(result.locator.bytes_decompressed);
+  if (explain != nullptr) {
+    explain->hits = result.hits.size();
   }
 
-  if (options_.use_cache) {
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetOrCreate("query.count")->Increment();
+    options_.metrics->GetOrCreate("query.bytes_decompressed")
+        ->Add(result.locator.bytes_decompressed);
+    // Per-query stage latencies feed histograms (p50/p95/p99 snapshots);
+    // histogram sums replace the old per-stage cumulative counters.
+    options_.metrics->GetOrCreateHistogram("query.open_ns")
+        ->Record(result.locator.open_nanos);
+    options_.metrics->GetOrCreateHistogram("query.scan_ns")
+        ->Record(result.locator.scan_nanos);
+    options_.metrics->GetOrCreateHistogram("query.decompress_ns")
+        ->Record(result.locator.decompress_nanos);
+    options_.metrics->GetOrCreateHistogram("query.stamp_filter_ns")
+        ->Record(result.locator.stamp_filter_nanos);
+    options_.metrics->GetOrCreateHistogram("query.reconstruct_ns")
+        ->Record(result.locator.reconstruct_nanos);
+  }
+
+  if (options_.use_cache && explain == nullptr) {
     cache_.Insert(command_key, CachedQuery{result.hits, result.locator});
   }
   return result;

@@ -89,6 +89,18 @@ class LogGrepEngine {
   Result<QueryResult> QueryBox(const BoxKey& key, const BoxLoader& load,
                                std::string_view command);
 
+  // Explain variants: run the query with a recorder attached, filling
+  // `block` with the per-variable-vector, per-Capsule decision tree (see
+  // src/query/explain.h). Explained executions bypass the command-level
+  // QueryCache in both directions — the record must describe a real
+  // execution, and a synthetic cache-bypass run must not overwrite the
+  // cache's cost snapshots. `block` must be non-null.
+  Result<QueryResult> ExplainQuery(std::string_view box_bytes,
+                                   std::string_view command,
+                                   BlockExplain* block);
+  Result<QueryResult> ExplainBox(const BoxKey& key, const BoxLoader& load,
+                                 std::string_view command, BlockExplain* block);
+
   const EngineOptions& options() const { return options_; }
   const QueryCache& cache() const { return cache_; }
   // The effective shared cache (owned or borrowed); null when disabled.
@@ -102,7 +114,8 @@ class LogGrepEngine {
   Result<QueryResult> QueryInternal(const BoxKey& key,
                                     std::string_view inline_bytes,
                                     const BoxLoader* load,
-                                    std::string_view command);
+                                    std::string_view command,
+                                    BlockExplain* explain);
 
   EngineOptions options_;
   QueryCache cache_;

@@ -4,6 +4,8 @@
 #include <thread>
 #include <utility>
 
+#include "src/common/trace.h"
+
 namespace loggrep {
 
 Result<std::unique_ptr<LogIngestor>> LogIngestor::Start(std::string dir,
@@ -34,17 +36,22 @@ LogIngestor::LogIngestor(IngestOptions options,
     workers = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
   pool_ = std::make_unique<ThreadPool>(workers);
-  raw_bytes_ = registry_.GetOrCreate("ingest.raw_bytes");
-  stored_bytes_ = registry_.GetOrCreate("ingest.stored_bytes");
-  lines_ = registry_.GetOrCreate("ingest.lines");
-  blocks_cut_ = registry_.GetOrCreate("ingest.blocks_cut");
-  blocks_committed_ = registry_.GetOrCreate("ingest.blocks_committed");
-  queue_hwm_ = registry_.GetOrCreate("ingest.queue_depth_hwm");
-  stall_us_ = registry_.GetOrCreate("ingest.producer_stall_us");
-  summary_us_ = registry_.GetOrCreate("ingest.summary_us");
-  compress_us_ = registry_.GetOrCreate("ingest.compress_us");
-  commit_us_ = registry_.GetOrCreate("ingest.commit_us");
-  wall_us_ = registry_.GetOrCreate("ingest.wall_us");
+  registry_ = options_.metrics != nullptr ? options_.metrics : &own_registry_;
+  raw_bytes_ = registry_->GetOrCreate("ingest.raw_bytes");
+  stored_bytes_ = registry_->GetOrCreate("ingest.stored_bytes");
+  lines_ = registry_->GetOrCreate("ingest.lines");
+  blocks_cut_ = registry_->GetOrCreate("ingest.blocks_cut");
+  blocks_committed_ = registry_->GetOrCreate("ingest.blocks_committed");
+  queue_hwm_ = registry_->GetOrCreate("ingest.queue_depth_hwm");
+  stall_ns_ = registry_->GetOrCreate("ingest.producer_stall_ns");
+  summary_ns_ = registry_->GetOrCreate("ingest.summary_ns");
+  compress_ns_ = registry_->GetOrCreate("ingest.compress_ns");
+  commit_ns_ = registry_->GetOrCreate("ingest.commit_ns");
+  wall_ns_ = registry_->GetOrCreate("ingest.wall_ns");
+  block_summary_ns_ = registry_->GetOrCreateHistogram("ingest.block_summary_ns");
+  block_compress_ns_ =
+      registry_->GetOrCreateHistogram("ingest.block_compress_ns");
+  block_commit_ns_ = registry_->GetOrCreateHistogram("ingest.block_commit_ns");
 }
 
 LogIngestor::~LogIngestor() {
@@ -92,11 +99,12 @@ Status LogIngestor::EnqueueBlock(std::string text) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (in_flight_ >= options_.max_in_flight_blocks && status_.ok()) {
+      const TraceSpan stall_span("ingest.backpressure_stall", "ingest");
       WallTimer stall;
       window_open_.wait(lock, [this] {
         return in_flight_ < options_.max_in_flight_blocks || !status_.ok();
       });
-      stall_us_->Add(SecondsToMicros(stall.ElapsedSeconds()));
+      stall_ns_->Add(stall.ElapsedNanos());
     }
     if (!status_.ok()) {
       return status_;
@@ -107,6 +115,9 @@ Status LogIngestor::EnqueueBlock(std::string text) {
   }
   blocks_cut_->Increment();
   auto shared = std::make_shared<std::string>(std::move(text));
+  // Spans the worker opens for this block stitch to this enqueue span
+  // (ThreadPool::Submit captures the current span as the task's parent).
+  const TraceSpan span("ingest.enqueue_block", "ingest", "seq", seq);
   pool_->Submit([this, seq, shared] { WorkerCompress(seq, shared); });
   return OkStatus();
 }
@@ -115,16 +126,26 @@ void LogIngestor::WorkerCompress(uint64_t seq,
                                  std::shared_ptr<std::string> text) {
   WallTimer timer;
   ReadyBlock ready;
-  ready.info =
-      BuildBlockSummary(*text, options_.archive.bloom_bits_per_shingle);
-  summary_us_->Add(SecondsToMicros(timer.ElapsedSeconds()));
+  {
+    const TraceSpan span("ingest.summary", "ingest", "seq", seq);
+    ready.info =
+        BuildBlockSummary(*text, options_.archive.bloom_bits_per_shingle);
+  }
+  uint64_t nanos = timer.ElapsedNanos();
+  summary_ns_->Add(nanos);
+  block_summary_ns_->Record(nanos);
 
   timer.Reset();
   // One engine per block: CompressBlock shares nothing across blocks, so
   // workers stay lock-free (mirrors ParallelQuery's per-task engines).
-  LogGrepEngine engine(options_.archive.engine);
-  ready.box = engine.CompressBlock(*text);
-  compress_us_->Add(SecondsToMicros(timer.ElapsedSeconds()));
+  {
+    const TraceSpan span("ingest.compress", "ingest", "seq", seq);
+    LogGrepEngine engine(options_.archive.engine);
+    ready.box = engine.CompressBlock(*text);
+  }
+  nanos = timer.ElapsedNanos();
+  compress_ns_->Add(nanos);
+  block_compress_ns_->Record(nanos);
 
   raw_bytes_->Add(text->size());
   lines_->Add(ready.info.line_count);
@@ -149,13 +170,19 @@ void LogIngestor::OnBlockReady(uint64_t seq, ReadyBlock ready) {
     const uint64_t stored = block.box.size();
 
     lock.unlock();
-    WallTimer timer;
-    Status s = archive_->CommitCompressedBlock(block.box, std::move(block.info),
-                                               options_.kill_hook);
-    const double commit_seconds = timer.ElapsedSeconds();
+    uint64_t commit_nanos = 0;
+    Status s;
+    {
+      const TraceSpan span("ingest.commit", "ingest", "seq", next_commit_);
+      WallTimer timer;
+      s = archive_->CommitCompressedBlock(block.box, std::move(block.info),
+                                          options_.kill_hook);
+      commit_nanos = timer.ElapsedNanos();
+    }
     lock.lock();
 
-    commit_us_->Add(SecondsToMicros(commit_seconds));
+    commit_ns_->Add(commit_nanos);
+    block_commit_ns_->Record(commit_nanos);
     if (s.ok()) {
       ++next_commit_;
       stored_bytes_->Add(stored);
@@ -184,7 +211,7 @@ Status LogIngestor::Finish() {
     std::lock_guard<std::mutex> lock(mu_);
     final_status_ = status_.ok() ? seal : status_;
   }
-  wall_us_->UpdateMax(SecondsToMicros(started_.ElapsedSeconds()));
+  wall_ns_->UpdateMax(started_.ElapsedNanos());
   return final_status_;
 }
 
@@ -196,12 +223,12 @@ IngestMetrics LogIngestor::metrics() const {
   m.blocks_cut = blocks_cut_->value();
   m.blocks_committed = blocks_committed_->value();
   m.queue_depth_hwm = queue_hwm_->value();
-  m.producer_stall_seconds = MicrosToSeconds(stall_us_->value());
-  m.summary_seconds = MicrosToSeconds(summary_us_->value());
-  m.compress_seconds = MicrosToSeconds(compress_us_->value());
-  m.commit_seconds = MicrosToSeconds(commit_us_->value());
-  const uint64_t wall = wall_us_->value();
-  m.wall_seconds = wall > 0 ? MicrosToSeconds(wall) : started_.ElapsedSeconds();
+  m.producer_stall_seconds = NanosToSeconds(stall_ns_->value());
+  m.summary_seconds = NanosToSeconds(summary_ns_->value());
+  m.compress_seconds = NanosToSeconds(compress_ns_->value());
+  m.commit_seconds = NanosToSeconds(commit_ns_->value());
+  const uint64_t wall = wall_ns_->value();
+  m.wall_seconds = wall > 0 ? NanosToSeconds(wall) : started_.ElapsedSeconds();
   return m;
 }
 

@@ -57,6 +57,10 @@ struct IngestOptions {
   ArchiveOptions archive;
   // Fault injection for tests: forwarded to every block commit.
   CommitHook kill_hook;
+  // Optional external registry for the "ingest.*" counters and per-block
+  // stage-latency histograms ("ingest.block_*_ns"). Borrowed; must outlive
+  // the ingestor. When null the ingestor owns a private registry.
+  MetricsRegistry* metrics = nullptr;
 };
 
 // Point-in-time ingest statistics (all stages, all threads).
@@ -97,6 +101,10 @@ class LogIngestor {
 
   // Snapshot of the ingest counters (callable at any time, thread-safe).
   IngestMetrics metrics() const;
+
+  // The registry holding the raw "ingest.*" counters and histograms (the
+  // external one when IngestOptions::metrics was set, else the private one).
+  const MetricsRegistry& registry() const { return *registry_; }
 
   // The underlying archive. Only safe to use after Finish() returned.
   LogArchive& archive() { return *archive_; }
@@ -139,18 +147,23 @@ class LogIngestor {
   Status status_;              // first pipeline error
   std::map<uint64_t, ReadyBlock> completed_;
 
-  MetricsRegistry registry_;
+  // All times are integer nanoseconds ("_ns" names; see metrics.h).
+  MetricsRegistry own_registry_;
+  MetricsRegistry* registry_;  // own_registry_ or IngestOptions::metrics
   Counter* raw_bytes_;
   Counter* stored_bytes_;
   Counter* lines_;
   Counter* blocks_cut_;
   Counter* blocks_committed_;
   Counter* queue_hwm_;
-  Counter* stall_us_;
-  Counter* summary_us_;
-  Counter* compress_us_;
-  Counter* commit_us_;
-  Counter* wall_us_;
+  Counter* stall_ns_;
+  Counter* summary_ns_;
+  Counter* compress_ns_;
+  Counter* commit_ns_;
+  Counter* wall_ns_;
+  Histogram* block_summary_ns_;   // per-block stage latency distributions
+  Histogram* block_compress_ns_;
+  Histogram* block_commit_ns_;
   WallTimer started_;
 };
 

@@ -5,6 +5,7 @@
 
 #include "src/capsule/capsule.h"  // SplitDelimitedBlob
 #include "src/common/hash.h"
+#include "src/common/trace.h"
 
 namespace loggrep {
 namespace {
@@ -174,6 +175,7 @@ Result<std::shared_ptr<const OpenedBox>> BoxCache::GetOrOpenBox(
     }
   }
   // Miss: load and open outside the lock.
+  const TraceSpan span("box_cache.load_box", "query");
   Result<std::string> bytes = load();
   if (!bytes.ok()) {
     return bytes.status();
@@ -223,6 +225,8 @@ Result<std::shared_ptr<const CachedCapsule>> BoxCache::GetOrLoadCapsule(
       return it->second.capsule;
     }
   }
+  const TraceSpan span("box_cache.load_capsule", "query", "capsule",
+                       capsule_id);
   Result<std::string> blob = load();
   if (!blob.ok()) {
     return blob.status();

@@ -1,0 +1,200 @@
+#include "src/query/explain.h"
+
+#include <cstdio>
+
+namespace loggrep {
+namespace {
+
+std::string HumanBytes(uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", bytes / (1024.0 * 1024.0));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+void AppendTotals(std::string& out, const ExplainTotals& t) {
+  out += "visited " + std::to_string(t.visited) + " = pruned " +
+         std::to_string(t.pruned) + " + cached " + std::to_string(t.cached) +
+         " + decompressed " + std::to_string(t.decompressed) + " (" +
+         HumanBytes(t.bytes_decompressed) + ")";
+  out += t.Balanced() ? "  [balanced]" : "  [IMBALANCED]";
+}
+
+}  // namespace
+
+const char* CapsuleFateName(CapsuleFate fate) {
+  switch (fate) {
+    case CapsuleFate::kStaticHit:
+      return "static-hit";
+    case CapsuleFate::kPatternMiss:
+      return "pattern-miss";
+    case CapsuleFate::kPatternTrivial:
+      return "pattern-trivial";
+    case CapsuleFate::kStampMaskReject:
+      return "stamp-mask";
+    case CapsuleFate::kStampLenReject:
+      return "stamp-max-length";
+    case CapsuleFate::kCacheHit:
+      return "cache-hit";
+    case CapsuleFate::kDecompressed:
+      return "decompressed";
+  }
+  return "unknown";
+}
+
+bool FateIsOpen(CapsuleFate fate) {
+  return fate == CapsuleFate::kCacheHit || fate == CapsuleFate::kDecompressed;
+}
+
+ExplainTotals BlockExplain::Totals() const {
+  ExplainTotals t;
+  for (const CapsuleExplain& c : capsules) {
+    ++t.visited;
+    if (c.fate == CapsuleFate::kCacheHit) {
+      ++t.cached;
+    } else if (c.fate == CapsuleFate::kDecompressed) {
+      ++t.decompressed;
+      t.bytes_decompressed += c.bytes;
+    } else {
+      ++t.pruned;
+    }
+  }
+  return t;
+}
+
+ExplainTotals QueryExplain::Totals() const {
+  ExplainTotals t;
+  for (const BlockExplain& block : blocks) {
+    t.Accumulate(block.Totals());
+  }
+  return t;
+}
+
+bool QueryExplain::CheckInvariant(std::string* detail) const {
+  for (const BlockExplain& block : blocks) {
+    const ExplainTotals t = block.Totals();
+    if (!t.Balanced()) {
+      if (detail != nullptr) {
+        *detail = "block " + std::to_string(block.seq) + ": " +
+                  std::to_string(t.pruned) + " pruned + " +
+                  std::to_string(t.cached) + " cached + " +
+                  std::to_string(t.decompressed) + " decompressed != " +
+                  std::to_string(t.visited) + " visited";
+      }
+      return false;
+    }
+  }
+  if (!Totals().Balanced()) {
+    if (detail != nullptr) {
+      *detail = "cross-block totals imbalanced";
+    }
+    return false;
+  }
+  return true;
+}
+
+std::string QueryExplain::Render() const {
+  std::string out = "explain: \"" + command + "\"\n";
+  for (const BlockExplain& block : blocks) {
+    out += "block " + std::to_string(block.seq);
+    if (block.block_pruned) {
+      out += "  [pruned: " + block.prune_reason + "]\n";
+      continue;
+    }
+    out += "  [queried: " + std::to_string(block.hits) + " hit" +
+           (block.hits == 1 ? "" : "s") + "]\n";
+    // Group capsule fates under the visit that first decided them.
+    for (size_t v = 0; v < block.visits.size(); ++v) {
+      bool any = false;
+      for (const CapsuleExplain& c : block.capsules) {
+        if (c.visit != v) {
+          continue;
+        }
+        if (!any) {
+          const VarVisit& visit = block.visits[v];
+          out += "  ";
+          if (visit.slot >= 0) {
+            out += "group " + std::to_string(visit.group) + " slot " +
+                   std::to_string(visit.slot) + " [" + visit.kind + "]";
+          } else {
+            out += "[";
+            out += visit.kind;
+            out += "]";
+          }
+          if (!visit.keyword.empty()) {
+            out += " keyword \"" + visit.keyword + "\"";
+          }
+          out += "\n";
+          any = true;
+        }
+        out += "    capsule " + std::to_string(c.capsule) + ": " +
+               CapsuleFateName(c.fate);
+        if (FateIsOpen(c.fate)) {
+          out += " (" + HumanBytes(c.bytes) + ")";
+        }
+        out += "\n";
+      }
+    }
+    out += "  block accounting: ";
+    AppendTotals(out, block.Totals());
+    out += "\n";
+  }
+  out += "total accounting: ";
+  AppendTotals(out, Totals());
+  out += "\n";
+  return out;
+}
+
+size_t ExplainRecorder::CurrentVisit() {
+  if (!has_visit_) {
+    BeginStage("query");
+  }
+  return block_->visits.size() - 1;
+}
+
+void ExplainRecorder::BeginVisit(uint32_t group, int32_t slot,
+                                 const char* kind, std::string_view keyword) {
+  VarVisit visit;
+  visit.group = group;
+  visit.slot = slot;
+  visit.kind = kind;
+  visit.keyword.assign(keyword.data(), keyword.size());
+  block_->visits.push_back(std::move(visit));
+  has_visit_ = true;
+}
+
+void ExplainRecorder::BeginStage(const char* kind) {
+  VarVisit visit;
+  visit.kind = kind;
+  block_->visits.push_back(std::move(visit));
+  has_visit_ = true;
+}
+
+void ExplainRecorder::Record(uint32_t capsule, CapsuleFate fate,
+                             uint64_t bytes) {
+  const auto it = index_.find(capsule);
+  if (it != index_.end()) {
+    CapsuleExplain& existing = block_->capsules[it->second];
+    // Opened fates upgrade pruned ones; otherwise the first fate sticks.
+    if (FateIsOpen(fate) && !FateIsOpen(existing.fate)) {
+      existing.fate = fate;
+      existing.bytes = bytes;
+    }
+    return;
+  }
+  CapsuleExplain c;
+  c.capsule = capsule;
+  c.fate = fate;
+  c.bytes = bytes;
+  c.visit = CurrentVisit();
+  index_.emplace(capsule, block_->capsules.size());
+  block_->capsules.push_back(std::move(c));
+}
+
+}  // namespace loggrep

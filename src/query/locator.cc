@@ -4,14 +4,32 @@
 
 #include "src/capsule/capsule.h"
 #include "src/common/timer.h"
+#include "src/common/trace.h"
 #include "src/query/wildcard.h"
 
 namespace loggrep {
 namespace {
 
 inline uint64_t ElapsedNanos(const WallTimer& timer) {
-  const double s = timer.ElapsedSeconds();
-  return s <= 0 ? 0 : static_cast<uint64_t>(s * 1e9);
+  return timer.ElapsedNanos();
+}
+
+// Which stamp check rejected `keyword` (assumes the stamp did reject it):
+// the max-length bound or the character-class mask.
+CapsuleFate StampRejectFate(const CapsuleStamp& stamp, std::string_view keyword,
+                            bool wildcard_aware) {
+  if (wildcard_aware && HasWildcards(keyword)) {
+    uint32_t min_len = 0;
+    for (char c : keyword) {
+      if (c != '*') {
+        ++min_len;
+      }
+    }
+    return min_len > stamp.max_len ? CapsuleFate::kStampLenReject
+                                   : CapsuleFate::kStampMaskReject;
+  }
+  return keyword.size() > stamp.max_len ? CapsuleFate::kStampLenReject
+                                        : CapsuleFate::kStampMaskReject;
 }
 
 }  // namespace
@@ -49,6 +67,7 @@ const CachedCapsule* BoxQuerier::FetchCachedCapsule(uint32_t id) {
     return pinned->second.get();
   }
   bool was_hit = false;
+  const TraceSpan span("locator.fetch_capsule", "query", "capsule", id);
   const WallTimer timer;
   Result<std::shared_ptr<const CachedCapsule>> entry = cache_->GetOrLoadCapsule(
       key_, id, [this, id] { return box_.ReadCapsule(id); }, &was_hit);
@@ -67,6 +86,12 @@ const CachedCapsule* BoxQuerier::FetchCachedCapsule(uint32_t id) {
     ++stats_.capsules_decompressed;
     stats_.bytes_decompressed += capsule->blob().size();
   }
+  if (explain_ != nullptr) {
+    explain_->Record(id,
+                     was_hit ? CapsuleFate::kCacheHit
+                             : CapsuleFate::kDecompressed,
+                     capsule->blob().size());
+  }
   return capsule;
 }
 
@@ -80,6 +105,7 @@ std::string_view BoxQuerier::CapsuleBlob(uint32_t id) {
   if (it != blob_cache_.end()) {
     return it->second;
   }
+  const TraceSpan span("locator.decompress", "query", "capsule", id);
   const WallTimer timer;
   Result<std::string> blob = box_.ReadCapsule(id);
   stats_.decompress_nanos += ElapsedNanos(timer);
@@ -89,6 +115,9 @@ std::string_view BoxQuerier::CapsuleBlob(uint32_t id) {
   }
   ++stats_.capsules_decompressed;
   stats_.bytes_decompressed += blob->size();
+  if (explain_ != nullptr) {
+    explain_->Record(id, CapsuleFate::kDecompressed, blob->size());
+  }
   return blob_cache_.emplace(id, std::move(*blob)).first->second;
 }
 
@@ -128,14 +157,46 @@ const std::vector<uint32_t>& BoxQuerier::PresentRows(uint32_t group_idx,
   return present_rows_cache_.emplace(key, std::move(present)).first->second;
 }
 
+void BoxQuerier::ExplainGroupCapsules(const GroupMeta& group,
+                                      CapsuleFate fate) {
+  for (const VarMeta& var : group.vars) {
+    if (var.is_whole()) {
+      if (var.whole().capsule != kNoCapsule) {
+        explain_->Record(var.whole().capsule, fate);
+      }
+    } else if (var.is_real()) {
+      const RealVarMeta& rv = var.real();
+      for (uint32_t capsule : rv.subvar_capsules) {
+        explain_->Record(capsule, fate);
+      }
+      if (rv.outlier_capsule != kNoCapsule) {
+        explain_->Record(rv.outlier_capsule, fate);
+      }
+    } else {
+      const NominalVarMeta& nv = var.nominal();
+      if (nv.dict_capsule != kNoCapsule) {
+        explain_->Record(nv.dict_capsule, fate);
+      }
+      if (nv.index_capsule != kNoCapsule) {
+        explain_->Record(nv.index_capsule, fate);
+      }
+    }
+  }
+}
+
 RowSet BoxQuerier::MatchKeywordInGroup(uint32_t group_idx,
                                        std::string_view keyword) {
   const GroupMeta& group = box_.meta().groups[group_idx];
   const StaticPattern& tmpl = box_.meta().templates[group.template_id];
   // Static pattern hit: the keyword is contained in a constant token, so
-  // every entry of the group matches.
+  // every entry of the group matches — none of the group's Capsules need to
+  // be consulted at all.
   for (const StaticPattern::Tok& tok : tmpl.tokens()) {
     if (!tok.is_var && KeywordHitsToken(keyword, tok.text)) {
+      if (explain_ != nullptr) {
+        explain_->BeginVisit(group_idx, -1, "group", keyword);
+        ExplainGroupCapsules(group, CapsuleFate::kStaticHit);
+      }
       return RowSet::All(group.row_count);
     }
   }
@@ -147,10 +208,22 @@ RowSet BoxQuerier::MatchKeywordInGroup(uint32_t group_idx,
     RowSet var_rows = RowSet::None(group.row_count);
     const VarMeta& var = group.vars[slot];
     if (var.is_whole()) {
+      if (explain_ != nullptr) {
+        explain_->BeginVisit(group_idx, static_cast<int32_t>(slot), "whole",
+                             keyword);
+      }
       var_rows = MatchInWhole(group, var.whole(), keyword);
     } else if (var.is_real()) {
+      if (explain_ != nullptr) {
+        explain_->BeginVisit(group_idx, static_cast<int32_t>(slot), "real",
+                             keyword);
+      }
       var_rows = MatchInReal(group, group_idx, slot, var.real(), keyword);
     } else {
+      if (explain_ != nullptr) {
+        explain_->BeginVisit(group_idx, static_cast<int32_t>(slot), "nominal",
+                             keyword);
+      }
       var_rows = MatchInNominal(group, var.nominal(), keyword);
     }
     rows = rows.UnionWith(var_rows);
@@ -164,6 +237,9 @@ RowSet BoxQuerier::MatchKeywordInOutliers(std::string_view keyword) {
       static_cast<uint32_t>(meta.outlier_line_numbers.size());
   if (meta.outlier_capsule == kNoCapsule || universe == 0) {
     return RowSet::None(universe);
+  }
+  if (explain_ != nullptr) {
+    explain_->BeginVisit(0, -1, "outliers", keyword);
   }
   const std::vector<std::string_view>& lines =
       DelimitedValues(meta.outlier_capsule);
@@ -185,6 +261,9 @@ RowSet BoxQuerier::MatchInWhole(const GroupMeta& group, const WholeVarMeta& wv,
   if (options_.use_stamps &&
       !StampAdmits(wv.stamp, keyword, /*wildcard_aware=*/true)) {
     ++stats_.capsules_stamp_filtered;
+    if (explain_ != nullptr && wv.capsule != kNoCapsule) {
+      explain_->Record(wv.capsule, StampRejectFate(wv.stamp, keyword, true));
+    }
     return RowSet::None(group.row_count);
   }
   const bool wild = HasWildcards(keyword);
@@ -225,6 +304,10 @@ std::vector<uint32_t> BoxQuerier::EvaluateConstraints(const RealVarMeta& rv,
     if (options_.use_stamps &&
         !StampAdmits(stamp, c.fragment, /*wildcard_aware=*/false)) {
       ++stats_.capsules_stamp_filtered;
+      if (explain_ != nullptr) {
+        explain_->Record(rv.subvar_capsules[c.subvar],
+                         StampRejectFate(stamp, c.fragment, false));
+      }
       return {};
     }
     const uint32_t capsule = rv.subvar_capsules[c.subvar];
@@ -318,9 +401,23 @@ RowSet BoxQuerier::MatchInReal(const GroupMeta& group, uint32_t group_idx,
   const std::vector<PossibleMatch> matches =
       MatchKeywordOnPattern(rv.pattern, keyword);
   stats_.possible_matches += matches.size();
+  if (explain_ != nullptr && matches.empty()) {
+    // Runtime-pattern miss: no expansion of the pattern can contain the
+    // keyword, so none of the sub-variable Capsules need to be opened.
+    for (uint32_t capsule : rv.subvar_capsules) {
+      explain_->Record(capsule, CapsuleFate::kPatternMiss);
+    }
+  }
   for (const PossibleMatch& match : matches) {
     if (match.trivial()) {
       ++stats_.pattern_trivial_hits;
+      if (explain_ != nullptr) {
+        // Trivial possible match: every present row matches via the
+        // pattern's constant fragments alone — Capsules stay closed.
+        for (uint32_t capsule : rv.subvar_capsules) {
+          explain_->Record(capsule, CapsuleFate::kPatternTrivial);
+        }
+      }
       rows = rows.UnionWith(RowSet::Of(group.row_count, present));
       break;
     }
@@ -352,20 +449,32 @@ RowSet BoxQuerier::MatchInNominal(const GroupMeta& group,
   const std::vector<std::string_view>* dict_values = nullptr;
   std::string_view dict_blob;
   bool dict_fetched = false;  // decompress lazily: stamps may filter it all
+  // First prune reason, for the explain record when no section survives.
+  CapsuleFate prune_fate = CapsuleFate::kPatternMiss;
+  bool have_prune_fate = false;
+  const auto note_prune = [&](CapsuleFate fate) {
+    if (!have_prune_fate) {
+      prune_fate = fate;
+      have_prune_fate = true;
+    }
+  };
   for (const NominalPatternMeta& pm : nv.patterns) {
     const uint32_t width = pm.stamp.PadWidth();
     bool candidate = true;
     if (!wild) {
       if (MatchKeywordOnPattern(pm.pattern, keyword).empty()) {
+        note_prune(CapsuleFate::kPatternMiss);
         candidate = false;
       } else if (options_.use_stamps &&
                  !StampAdmits(pm.stamp, keyword, /*wildcard_aware=*/false)) {
         ++stats_.capsules_stamp_filtered;
+        note_prune(StampRejectFate(pm.stamp, keyword, false));
         candidate = false;
       }
     } else if (options_.use_stamps &&
                !StampAdmits(pm.stamp, keyword, /*wildcard_aware=*/true)) {
       ++stats_.capsules_stamp_filtered;
+      note_prune(StampRejectFate(pm.stamp, keyword, true));
       candidate = false;
     }
     if (candidate) {
@@ -395,7 +504,17 @@ RowSet BoxQuerier::MatchInNominal(const GroupMeta& group,
     first_id += pm.count;
     byte_offset += static_cast<uint64_t>(pm.count) * width;
   }
+  if (explain_ != nullptr && !dict_fetched && dict_values == nullptr &&
+      nv.dict_capsule != kNoCapsule) {
+    // The dictionary Capsule was never opened: every section was pruned by
+    // its runtime pattern or stamp (record the first reason encountered).
+    explain_->Record(nv.dict_capsule, prune_fate);
+  }
   if (dict_ids.empty()) {
+    if (explain_ != nullptr && nv.index_capsule != kNoCapsule) {
+      // No dictionary value matched, so the row index is never consulted.
+      explain_->Record(nv.index_capsule, CapsuleFate::kPatternMiss);
+    }
     return RowSet::None(group.row_count);
   }
 

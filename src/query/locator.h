@@ -21,6 +21,7 @@
 #include "src/capsule/capsule_box.h"
 #include "src/common/rowset.h"
 #include "src/query/box_cache.h"
+#include "src/query/explain.h"
 #include "src/query/pattern_match.h"
 
 namespace loggrep {
@@ -106,6 +107,11 @@ class BoxQuerier {
   // Row translation for real variables: present index -> group row.
   const std::vector<uint32_t>& PresentRows(uint32_t group_idx, uint32_t slot);
 
+  // Attaches a per-block explain recorder: every Capsule the querier
+  // considers receives a terminal fate (see explain.h). May be null;
+  // must outlive the querier when set.
+  void AttachExplain(ExplainRecorder* recorder) { explain_ = recorder; }
+
   const CapsuleBox& box() const { return box_; }
   const LocatorStats& stats() const { return stats_; }
   Status status() const { return status_; }
@@ -138,10 +144,15 @@ class BoxQuerier {
     }
   }
 
+  // Reports every capsule of `group` to the explain recorder with `fate`
+  // (used when a whole group is answered without touching its capsules).
+  void ExplainGroupCapsules(const GroupMeta& group, CapsuleFate fate);
+
   const CapsuleBox& box_;
   LocatorOptions options_;
   BoxCache* cache_ = nullptr;  // shared across queriers; may be null
   BoxKey key_;                 // box identity within cache_
+  ExplainRecorder* explain_ = nullptr;  // may be null (no explain)
   LocatorStats stats_;
   Status status_;
 

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <filesystem>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "src/common/thread_pool.h"
 #include "src/common/timer.h"
+#include "src/common/trace.h"
 #include "src/parser/template_miner.h"  // SplitLines
 #include "src/parser/tokenizer.h"
 #include "src/query/query_parser.h"
@@ -20,8 +22,7 @@ constexpr uint32_t kManifestMagic = 0x4D41474Cu;  // "LGAM"
 constexpr size_t kShingleLen = 4;
 
 inline uint64_t ElapsedNanos(const WallTimer& timer) {
-  const double s = timer.ElapsedSeconds();
-  return s <= 0 ? 0 : static_cast<uint64_t>(s * 1e9);
+  return timer.ElapsedNanos();
 }
 
 // Engine options for an archive-embedded engine: wire in the shared cache
@@ -41,12 +42,24 @@ void AddTokenShingles(const std::string_view token, BloomFilter& bloom) {
   }
 }
 
-// Sound block-level admission test for one literal keyword.
-bool BlockMayContainKeyword(const BlockInfo& block, std::string_view keyword) {
+// Sound block-level admission test for one literal keyword. When `reason`
+// is non-null and the block is rejected, it receives which filter fired
+// (for archive-level explain records).
+bool BlockMayContainKeyword(const BlockInfo& block, std::string_view keyword,
+                            std::string* reason = nullptr) {
   if (HasWildcards(keyword)) {
-    return StampAdmitsKeyword(block.token_stamp, keyword);
+    if (!StampAdmitsKeyword(block.token_stamp, keyword)) {
+      if (reason != nullptr) {
+        *reason = "keyword \"" + std::string(keyword) + "\" fails block stamp";
+      }
+      return false;
+    }
+    return true;
   }
   if (!block.token_stamp.AdmitsFragment(keyword)) {
+    if (reason != nullptr) {
+      *reason = "keyword \"" + std::string(keyword) + "\" fails block stamp";
+    }
     return false;
   }
   if (keyword.size() < kShingleLen || block.shingles.empty()) {
@@ -54,6 +67,11 @@ bool BlockMayContainKeyword(const BlockInfo& block, std::string_view keyword) {
   }
   for (size_t i = 0; i + kShingleLen <= keyword.size(); ++i) {
     if (!block.shingles.MayContain(keyword.substr(i, kShingleLen))) {
+      if (reason != nullptr) {
+        *reason = "keyword \"" + std::string(keyword) +
+                  "\" shingle \"" + std::string(keyword.substr(i, kShingleLen)) +
+                  "\" absent from block shingle filter";
+      }
       return false;
     }
   }
@@ -359,15 +377,26 @@ Status LogArchive::CommitCompressedBlock(std::string_view box_bytes,
 
 uint64_t LogArchive::PruneBlocks(const std::vector<std::string>& required,
                                  std::vector<const BlockInfo*>* to_query,
-                                 uint32_t* pruned) const {
+                                 uint32_t* pruned,
+                                 QueryExplain* explain) const {
+  const TraceSpan span("archive.prune", "query", "blocks", blocks_.size());
   const WallTimer timer;
   for (const BlockInfo& block : blocks_) {
     bool drop = false;
+    std::string reason;
     for (const std::string& kw : required) {
-      if (!BlockMayContainKeyword(block, kw)) {
+      if (!BlockMayContainKeyword(block, kw,
+                                  explain != nullptr ? &reason : nullptr)) {
         drop = true;
         break;
       }
+    }
+    if (explain != nullptr) {
+      BlockExplain be;
+      be.seq = block.seq;
+      be.block_pruned = drop;
+      be.prune_reason = std::move(reason);
+      explain->blocks.push_back(std::move(be));
     }
     if (drop) {
       ++*pruned;
@@ -379,6 +408,7 @@ uint64_t LogArchive::PruneBlocks(const std::vector<std::string>& required,
 }
 
 Result<ArchiveQueryResult> LogArchive::Query(std::string_view command) {
+  const TraceSpan span("archive.query", "query");
   Result<std::unique_ptr<QueryExpr>> expr = ParseQuery(command);
   if (!expr.ok()) {
     return expr.status();
@@ -391,6 +421,8 @@ Result<ArchiveQueryResult> LogArchive::Query(std::string_view command) {
       PruneBlocks(required, &to_query, &result.blocks_pruned);
 
   for (const BlockInfo* block : to_query) {
+    const TraceSpan block_span("archive.query_block", "query", "seq",
+                               block->seq);
     // Warm blocks never touch the file: the loader only runs on a box-cache
     // miss (or when the archive runs without a cache).
     const std::string path = BlockPath(block->seq);
@@ -411,8 +443,55 @@ Result<ArchiveQueryResult> LogArchive::Query(std::string_view command) {
   return result;
 }
 
+Result<ArchiveQueryResult> LogArchive::Explain(std::string_view command,
+                                               QueryExplain* explain) {
+  const TraceSpan span("archive.explain", "query");
+  explain->command.assign(command.data(), command.size());
+  explain->blocks.clear();
+  Result<std::unique_ptr<QueryExpr>> expr = ParseQuery(command);
+  if (!expr.ok()) {
+    return expr.status();
+  }
+  const std::vector<std::string> required = RequiredKeywords(**expr);
+
+  ArchiveQueryResult result;
+  std::vector<const BlockInfo*> to_query;
+  result.locator.prune_nanos =
+      PruneBlocks(required, &to_query, &result.blocks_pruned, explain);
+
+  // PruneBlocks appended one BlockExplain per block, in blocks_ order; map
+  // seq -> slot so each queried block fills its own record.
+  std::unordered_map<uint32_t, size_t> slot_of_seq;
+  slot_of_seq.reserve(explain->blocks.size());
+  for (size_t i = 0; i < explain->blocks.size(); ++i) {
+    slot_of_seq.emplace(explain->blocks[i].seq, i);
+  }
+
+  for (const BlockInfo* block : to_query) {
+    const TraceSpan block_span("archive.query_block", "query", "seq",
+                               block->seq);
+    const std::string path = BlockPath(block->seq);
+    auto loader = [&path]() -> Result<std::string> {
+      return ReadFileBytes(path);
+    };
+    BlockExplain* be = &explain->blocks[slot_of_seq.at(block->seq)];
+    Result<QueryResult> block_result =
+        engine_.ExplainBox(KeyForBlock(block->seq), loader, command, be);
+    if (!block_result.ok()) {
+      return block_result.status();
+    }
+    ++result.blocks_queried;
+    for (auto& [line, text_line] : block_result->hits) {
+      result.hits.emplace_back(block->first_line + line, std::move(text_line));
+    }
+    result.locator.Accumulate(block_result->locator);
+  }
+  return result;
+}
+
 Result<ArchiveQueryResult> LogArchive::ParallelQuery(std::string_view command,
                                                      size_t num_threads) {
+  const TraceSpan span("archive.parallel_query", "query");
   Result<std::unique_ptr<QueryExpr>> expr = ParseQuery(command);
   if (!expr.ok()) {
     return expr.status();
@@ -445,6 +524,11 @@ Result<ArchiveQueryResult> LogArchive::ParallelQuery(std::string_view command,
       opts.box_cache = box_cache_.get();
       opts.use_box_cache = box_cache_ != nullptr;
       pool.Submit([block, slot, path, command_copy, key, opts] {
+        // ThreadPool installs the submitting span as parent, so this span
+        // nests under archive.parallel_query in the exported trace even
+        // though it runs on a worker thread.
+        const TraceSpan block_span("archive.query_block", "query", "seq",
+                                   block->seq);
         LogGrepEngine engine(opts);
         auto loader = [&path]() -> Result<std::string> {
           return ReadFileBytes(path);

@@ -125,6 +125,15 @@ class LogArchive {
   Result<ArchiveQueryResult> ParallelQuery(std::string_view command,
                                            size_t num_threads);
 
+  // Query with a full decision record: `explain` receives one BlockExplain
+  // per block — archive-pruned blocks carry block_pruned plus a reason
+  // naming the keyword and filter that rejected them, queried blocks carry
+  // the per-variable-vector / per-Capsule fate tree recorded by the engine
+  // (see src/query/explain.h). Runs serially and bypasses the command
+  // cache, so the record always describes a real execution.
+  Result<ArchiveQueryResult> Explain(std::string_view command,
+                                     QueryExplain* explain);
+
   const std::vector<BlockInfo>& blocks() const { return blocks_; }
   // The shared cache (null when box_cache_budget_bytes == 0).
   BoxCache* box_cache() const { return box_cache_.get(); }
@@ -146,10 +155,12 @@ class LogArchive {
   // Identity of block `seq` inside the shared cache.
   BoxKey KeyForBlock(uint32_t seq) const;
   // Prunes blocks against `required`; appends survivors to `to_query` and
-  // counts the rest. Returns elapsed nanoseconds.
+  // counts the rest. Returns elapsed nanoseconds. When `explain` is
+  // non-null, appends one BlockExplain per block (pruned ones annotated
+  // with the keyword/filter that rejected them).
   uint64_t PruneBlocks(const std::vector<std::string>& required,
                        std::vector<const BlockInfo*>* to_query,
-                       uint32_t* pruned) const;
+                       uint32_t* pruned, QueryExplain* explain = nullptr) const;
 
   std::string dir_;
   ArchiveOptions options_;

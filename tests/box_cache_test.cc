@@ -231,8 +231,16 @@ TEST(BoxCacheTest, PinnedEntriesSurviveEvictionAndClear) {
   EXPECT_EQ(view[1023], 'p');
 }
 
+// Shared across runs of this test binary; Reset() isolates each use without
+// throwing away the registered cells (handles stay valid, per metrics.h).
+MetricsRegistry& SharedMetrics() {
+  static MetricsRegistry registry;
+  registry.Reset();
+  return registry;
+}
+
 TEST(BoxCacheTest, MetricsRegistryMirrorsCounters) {
-  MetricsRegistry metrics;
+  MetricsRegistry& metrics = SharedMetrics();
   BoxCacheOptions options;
   options.metrics = &metrics;
   BoxCache cache(options);

@@ -255,11 +255,20 @@ TEST(EngineTest, BoxCacheMakesSecondCommandCheaper) {
   }
 }
 
+// One registry shared by the metrics-asserting tests in this binary; each
+// test Reset()s it at entry instead of constructing a throwaway registry
+// (handles registered by earlier tests stay valid across the reset).
+MetricsRegistry& SharedMetrics() {
+  static MetricsRegistry registry;
+  registry.Reset();
+  return registry;
+}
+
 TEST(EngineTest, SharedBoxCacheAcrossEngines) {
   // Two engines wired to one external BoxCache: what one engine opens and
   // decompresses is warm for the other (the ParallelQuery arrangement).
   BoxCacheOptions cache_options;
-  MetricsRegistry metrics;
+  MetricsRegistry& metrics = SharedMetrics();
   cache_options.metrics = &metrics;
   BoxCache shared(cache_options);
   EngineOptions options;
@@ -281,7 +290,7 @@ TEST(EngineTest, SharedBoxCacheAcrossEngines) {
 }
 
 TEST(EngineTest, MetricsRegistryCollectsQueryCounters) {
-  MetricsRegistry metrics;
+  MetricsRegistry& metrics = SharedMetrics();
   EngineOptions options;
   options.metrics = &metrics;
   LogGrepEngine engine(options);

@@ -20,8 +20,17 @@ namespace {
 
 // ---- metrics registry ------------------------------------------------------
 
+// One registry shared by the registry-focused tests below; Reset() between
+// tests replaces the old throwaway-registry-per-test pattern and doubles as
+// a check that reset cells stay usable through existing handles.
+MetricsRegistry& SharedRegistry() {
+  static MetricsRegistry registry;
+  registry.Reset();
+  return registry;
+}
+
 TEST(MetricsRegistryTest, CountersAccumulateAndSnapshot) {
-  MetricsRegistry registry;
+  MetricsRegistry& registry = SharedRegistry();
   Counter* a = registry.GetOrCreate("a");
   Counter* also_a = registry.GetOrCreate("a");
   EXPECT_EQ(a, also_a);  // stable handles
@@ -36,7 +45,7 @@ TEST(MetricsRegistryTest, CountersAccumulateAndSnapshot) {
 }
 
 TEST(MetricsRegistryTest, CountersAreThreadSafe) {
-  MetricsRegistry registry;
+  MetricsRegistry& registry = SharedRegistry();
   Counter* c = registry.GetOrCreate("shared");
   std::vector<std::thread> threads;
   for (int t = 0; t < 8; ++t) {
