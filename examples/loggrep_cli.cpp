@@ -44,6 +44,7 @@
 #include "src/ingest/log_ingestor.h"
 #include "src/query/explain.h"
 #include "src/store/log_archive.h"
+#include "src/store/verify.h"
 #include "src/workload/datasets.h"
 #include "src/workload/loggen.h"
 
@@ -415,6 +416,23 @@ int Explain(const std::string& target, const std::string& command) {
   return 0;
 }
 
+// fsck: re-hash stored bytes, decompress every Capsule, reconstruct every
+// line and checksum against the manifest's content hashes. Read-only.
+int Verify(const std::string& dir) {
+  const VerifyReport report = VerifyArchive(dir);
+  std::printf("%s\n", report.Summary().c_str());
+  if (!report.fatal.ok()) {
+    return 1;
+  }
+  for (const BlockVerifyResult& block : report.blocks) {
+    std::printf("  block %-3u %8llu lines  %8llu bytes  %s\n", block.seq,
+                static_cast<unsigned long long>(block.line_count),
+                static_cast<unsigned long long>(block.stored_bytes),
+                block.ok() ? "OK" : "CORRUPT");
+  }
+  return report.ok() ? 0 : 1;
+}
+
 int ArchiveStat(const std::string& dir) {
   auto archive = LogArchive::Open(dir);
   if (!archive.ok()) {
@@ -453,6 +471,7 @@ int Usage() {
                "  loggrep_cli archive-ingest <dir> <input.log>\n"
                "  loggrep_cli archive-grep <dir> \"<query>\"\n"
                "  loggrep_cli archive-stat <dir>\n"
+               "  loggrep_cli verify <dir>\n"
                "  loggrep_cli ingest <dir> <input.log|-> [block_mb] "
                "[threads]\n"
                "  loggrep_cli explain <block.lgc|archive-dir> \"<query>\"\n"
@@ -515,6 +534,9 @@ int main(int raw_argc, char** raw_argv) {
   }
   if (cmd == "archive-stat" && argc == 3) {
     return finish(ArchiveStat(argv[2]));
+  }
+  if (cmd == "verify" && argc == 3) {
+    return finish(Verify(argv[2]));
   }
   if (cmd == "explain" && argc == 4) {
     return finish(Explain(argv[2], argv[3]));

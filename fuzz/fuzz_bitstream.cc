@@ -1,0 +1,51 @@
+// Fuzz target: bit-level reader + canonical Huffman decoder on arbitrary
+// bytes. The first bytes are interpreted as a code-length table (the way a
+// hostile compressed stream delivers one), the rest as the bitstream.
+// Property: Build rejects invalid tables cleanly; Decode on a valid table
+// never reads out of bounds and terminates (-1 on stream end).
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "fuzz/fuzz_driver.h"
+#include "src/codec/bitstream.h"
+#include "src/codec/huffman.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  // Raw bit reads at every width, including past-end behavior.
+  {
+    loggrep::BitReader reader(input);
+    for (int width = 1; width <= 32; ++width) {
+      if (reader.ReadBits(width) < 0) {
+        break;
+      }
+    }
+    loggrep::BitReader bits(input);
+    int guard = 0;
+    while (bits.ReadBit() >= 0 && ++guard < 1 << 16) {
+    }
+  }
+
+  // Hostile Huffman code-length table + stream decode.
+  if (size < 2) {
+    return 0;
+  }
+  const size_t table_len = 1 + data[0] % 64;
+  if (size < 1 + table_len) {
+    return 0;
+  }
+  std::vector<uint8_t> lengths(data + 1, data + 1 + table_len);
+  auto decoder = loggrep::HuffmanDecoder::Build(lengths);
+  if (!decoder.ok()) {
+    return 0;  // clean rejection of an oversubscribed / overlong table
+  }
+  loggrep::BitReader stream(input.substr(1 + table_len));
+  for (int i = 0; i < 1 << 14; ++i) {
+    if (decoder->Decode(stream) < 0) {
+      break;
+    }
+  }
+  return 0;
+}

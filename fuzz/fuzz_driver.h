@@ -1,0 +1,33 @@
+// Standalone fuzzing driver, libFuzzer-compatible.
+//
+// Every target defines the libFuzzer entry point
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+// When the toolchain has clang, build with `-fsanitize=fuzzer,address` and
+// libFuzzer supplies main(). This header supplies the fallback main() for
+// plain gcc builds (the only compiler in the default container):
+//
+//   fuzz_target <corpus-dir|file>... [-seconds N] [-runs N] [-seed S]
+//               [-max_len BYTES]
+//
+// Phase 1 replays every corpus input (regression mode). Phase 2 — when
+// -seconds or -runs is given — runs a seeded mutation loop over the corpus:
+// byte flips, truncations, splices, insertions and varint-boundary edits,
+// calling the target on each mutant. Any crash (signal / uncaught throw /
+// sanitizer abort) terminates the process with the offending input dumped
+// to ./crash-<hash> so it can be committed as a reproducer.
+//
+// Build with -DLOGGREP_FUZZ_LIBFUZZER to suppress this main() and let
+// libFuzzer's own driver link instead.
+#ifndef FUZZ_FUZZ_DRIVER_H_
+#define FUZZ_FUZZ_DRIVER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+#ifndef LOGGREP_FUZZ_LIBFUZZER
+int LoggrepFuzzMain(int argc, char** argv);
+#endif
+
+#endif  // FUZZ_FUZZ_DRIVER_H_

@@ -1,0 +1,29 @@
+// Fuzz target: archive manifest parsing on arbitrary bytes. Property: any
+// input yields blocks or a clean Status — no crash, no unbounded reserve
+// from hostile counts, and accepted manifests satisfy the parser's own
+// invariants (strictly increasing seq, non-overlapping line ranges).
+#include <cstdint>
+#include <string_view>
+
+#include "fuzz/fuzz_driver.h"
+#include "src/store/log_archive.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  auto blocks = loggrep::ParseManifestBytes(input);
+  if (!blocks.ok()) {
+    return 0;
+  }
+  uint64_t prev_seq = 0;
+  uint64_t prev_end = 0;
+  bool first = true;
+  for (const loggrep::BlockInfo& block : *blocks) {
+    if (!first && (block.seq <= prev_seq || block.first_line < prev_end)) {
+      __builtin_trap();  // parser accepted an invariant violation
+    }
+    prev_seq = block.seq;
+    prev_end = block.first_line + block.line_count;
+    first = false;
+  }
+  return 0;
+}

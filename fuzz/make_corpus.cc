@@ -1,0 +1,141 @@
+// Seed-corpus generator: writes real archives, boxes, codec blobs and
+// manifests into fuzz/corpus/<target>/ so every fuzz target starts from
+// structurally valid inputs (coverage deep inside the decoders) instead of
+// spending its budget rediscovering magic bytes.
+//
+//   make_corpus <corpus-root>
+//
+// Deterministic: re-running produces identical files (content-hash names),
+// so the committed corpus stays stable.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/codec/codec.h"
+#include "src/common/bytes.h"
+#include "src/common/hash.h"
+#include "src/core/engine.h"
+#include "src/store/fs_util.h"
+#include "src/store/log_archive.h"
+#include "src/workload/datasets.h"
+#include "src/workload/loggen.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace loggrep;
+
+void WriteSeed(const std::string& dir, const std::string& bytes) {
+  fs::create_directories(dir);
+  char name[64];
+  std::snprintf(name, sizeof(name), "seed-%016llx",
+                static_cast<unsigned long long>(Fnv1a64(bytes)));
+  std::ofstream out(dir + "/" + name, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string SampleText(uint64_t seed, size_t lines) {
+  DatasetSpec spec = AllDatasets()[seed % AllDatasets().size()];
+  spec.seed = seed | 1;
+  return LogGenerator(spec).GenerateLines(lines);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: make_corpus <corpus-root>\n");
+    return 2;
+  }
+  const std::string root = argv[1];
+
+  // --- codec: container blobs from all three codecs, varied content -------
+  {
+    const std::string dir = root + "/codec";
+    const std::vector<std::string> payloads = {
+        "", "x", std::string(512, '\0'), SampleText(1, 20),
+        std::string("abababababababab")};
+    for (const Codec* codec :
+         {&GetXzCodec(), &GetGzipCodec(), &GetZstdCodec()}) {
+      for (const std::string& payload : payloads) {
+        WriteSeed(dir, codec->Compress(payload));
+      }
+    }
+  }
+
+  // --- bitstream: compressed payloads minus the container header ----------
+  {
+    const std::string dir = root + "/bitstream";
+    for (uint64_t s = 1; s <= 3; ++s) {
+      const std::string blob = GetXzCodec().Compress(SampleText(s, 30));
+      WriteSeed(dir, blob.substr(std::min<size_t>(blob.size(), 3)));
+    }
+    WriteSeed(dir, std::string("\x05\x01\x02\x03\x04\x05hello", 11));
+  }
+
+  // --- parser: raw log text in several dataset shapes ---------------------
+  {
+    const std::string dir = root + "/parser";
+    for (uint64_t s = 1; s <= 4; ++s) {
+      WriteSeed(dir, SampleText(s * 7, 25));
+    }
+    WriteSeed(dir, "no structure here\nat all\n\n");
+    WriteSeed(dir, std::string("\x00\x01\x02 binary-ish line\n", 21));
+  }
+
+  // --- capsule_box: serialized boxes from several engine configs ----------
+  {
+    const std::string dir = root + "/capsule_box";
+    const std::string text = SampleText(11, 40);
+    {
+      LogGrepEngine full;
+      WriteSeed(dir, full.CompressBlock(text));
+    }
+    {
+      EngineOptions o;
+      o.static_only = true;
+      LogGrepEngine sp(o);
+      WriteSeed(dir, sp.CompressBlock(text));
+    }
+    {
+      EngineOptions o;
+      o.use_fixed = false;
+      o.codec = &GetGzipCodec();
+      LogGrepEngine unpadded(o);
+      WriteSeed(dir, unpadded.CompressBlock(text));
+    }
+    {
+      LogGrepEngine full;
+      WriteSeed(dir, full.CompressBlock(""));  // empty block
+    }
+  }
+
+  // --- manifest: real multi-block archive manifests -----------------------
+  {
+    const std::string dir = root + "/manifest";
+    const std::string scratch =
+        (fs::temp_directory_path() / "loggrep-make-corpus").string();
+    fs::remove_all(scratch);
+    auto archive = LogArchive::Create(scratch);
+    if (!archive.ok()) {
+      std::fprintf(stderr, "%s\n", archive.status().ToString().c_str());
+      return 1;
+    }
+    for (uint64_t b = 0; b < 3; ++b) {
+      if (Status s = archive->AppendBlock(SampleText(b + 21, 30)); !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      auto manifest = ReadFileBytes(scratch + "/archive.manifest");
+      if (manifest.ok()) {
+        WriteSeed(dir, *manifest);  // 1-, 2- and 3-block manifests
+      }
+    }
+    fs::remove_all(scratch);
+  }
+
+  std::printf("corpus written under %s\n", root.c_str());
+  return 0;
+}

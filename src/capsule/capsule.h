@@ -25,10 +25,16 @@ inline constexpr char kPadChar = '\0';
 std::string BuildPaddedBlob(const std::vector<std::string_view>& values,
                             uint32_t width);
 
-// Cell `row` of a padded blob (includes padding bytes).
+// Cell `row` of a padded blob (includes padding bytes). Never throws:
+// out-of-range rows (a truncated or corrupt blob) yield an empty view, and a
+// cell straddling the end of the blob is clipped to the bytes that exist.
 inline std::string_view PaddedCell(std::string_view blob, uint32_t width,
                                    uint32_t row) {
-  return blob.substr(static_cast<size_t>(row) * width, width);
+  const size_t begin = static_cast<size_t>(row) * width;
+  if (width == 0 || begin >= blob.size()) {
+    return std::string_view();
+  }
+  return blob.substr(begin, width);
 }
 
 // The value inside a cell: the cell up to its first pad byte.

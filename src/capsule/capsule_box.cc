@@ -24,8 +24,14 @@ Result<std::vector<uint32_t>> ReadDeltaRows(ByteReader& in) {
   if (!n.ok()) {
     return n.status();
   }
+  // The declared count cannot exceed the remaining stream bytes (every row
+  // costs at least a one-byte varint), so a hostile 2^60 count is rejected
+  // before the reserve instead of aborting in the allocator.
+  if (*n > in.remaining()) {
+    return CorruptData("capsule_box: row count exceeds stream size");
+  }
   std::vector<uint32_t> rows;
-  rows.reserve(*n);
+  rows.reserve(static_cast<size_t>(*n));
   uint32_t prev = 0;
   for (uint64_t i = 0; i < *n; ++i) {
     Result<uint64_t> d = in.ReadVarint();
@@ -36,6 +42,112 @@ Result<std::vector<uint32_t>> ReadDeltaRows(ByteReader& in) {
     rows.push_back(prev);
   }
   return rows;
+}
+
+// True iff `rows` is strictly increasing with every element < limit.
+// (Delta decoding alone does not guarantee this: zero deltas produce
+// duplicates and large deltas wrap uint32.)
+bool StrictlyIncreasingBelow(const std::vector<uint32_t>& rows,
+                             uint64_t limit) {
+  uint64_t prev = 0;
+  bool first = true;
+  for (uint32_t r : rows) {
+    if (r >= limit || (!first && r <= prev)) {
+      return false;
+    }
+    prev = r;
+    first = false;
+  }
+  return true;
+}
+
+// Valid capsule reference: a real directory entry or the "absent" sentinel.
+bool ValidCapsuleRef(uint32_t id, size_t capsule_count) {
+  return id == kNoCapsule || id < capsule_count;
+}
+
+// Referential-integrity validation of freshly parsed metadata. Everything
+// the query path indexes with (template ids, capsule ids, sub-variable
+// ordinals, row/line counts) is checked once here so the locator and
+// reconstructor can stay branch-light; a box that passes Open never sends
+// them out of bounds.
+Status ValidateMeta(const CapsuleBoxMeta& meta, size_t capsule_count) {
+  if (!CodecById(meta.codec_id).ok()) {
+    return CorruptData("capsule_box: unknown codec id in metadata");
+  }
+  for (const GroupMeta& g : meta.groups) {
+    if (g.template_id >= meta.templates.size()) {
+      return CorruptData("capsule_box: group references missing template");
+    }
+    if (g.line_numbers.size() != g.row_count) {
+      return CorruptData("capsule_box: line-number count != row count");
+    }
+    if (!StrictlyIncreasingBelow(g.line_numbers, meta.total_lines)) {
+      return CorruptData("capsule_box: group line numbers not increasing");
+    }
+    const StaticPattern& tmpl = meta.templates[g.template_id];
+    if (g.vars.size() != static_cast<size_t>(tmpl.VarCount())) {
+      return CorruptData("capsule_box: var count != template slot count");
+    }
+    for (const VarMeta& v : g.vars) {
+      if (v.is_real()) {
+        const RealVarMeta& rv = v.real();
+        if (!rv.pattern.WellFormed()) {
+          return CorruptData("capsule_box: malformed runtime pattern");
+        }
+        if (rv.subvar_capsules.size() != rv.pattern.SubVarCount()) {
+          return CorruptData(
+              "capsule_box: sub-variable capsule count != pattern arity");
+        }
+        for (uint32_t cap : rv.subvar_capsules) {
+          if (cap >= capsule_count) {
+            return CorruptData("capsule_box: sub-variable capsule missing");
+          }
+        }
+        if (!StrictlyIncreasingBelow(rv.outlier_rows, g.row_count)) {
+          return CorruptData("capsule_box: outlier rows not increasing");
+        }
+        if (!ValidCapsuleRef(rv.outlier_capsule, capsule_count) ||
+            (!rv.outlier_rows.empty() && rv.outlier_capsule == kNoCapsule)) {
+          return CorruptData("capsule_box: bad outlier capsule reference");
+        }
+      } else if (v.is_nominal()) {
+        const NominalVarMeta& nv = v.nominal();
+        uint64_t dict_entries = 0;
+        for (const NominalPatternMeta& p : nv.patterns) {
+          if (!p.pattern.WellFormed()) {
+            return CorruptData("capsule_box: malformed runtime pattern");
+          }
+          dict_entries += p.count;
+        }
+        // A dictionary cannot hold more distinct values than the group has
+        // rows (prevents hostile counts from sizing huge scratch vectors).
+        if (dict_entries > g.row_count) {
+          return CorruptData("capsule_box: dictionary larger than group");
+        }
+        if (!ValidCapsuleRef(nv.dict_capsule, capsule_count) ||
+            !ValidCapsuleRef(nv.index_capsule, capsule_count)) {
+          return CorruptData("capsule_box: bad nominal capsule reference");
+        }
+        if (nv.index_width > 20) {  // a uint64 has at most 20 decimal digits
+          return CorruptData("capsule_box: implausible index width");
+        }
+      } else {
+        if (!ValidCapsuleRef(v.whole().capsule, capsule_count)) {
+          return CorruptData("capsule_box: bad whole-vector capsule");
+        }
+      }
+    }
+  }
+  if (!ValidCapsuleRef(meta.outlier_capsule, capsule_count) ||
+      (!meta.outlier_line_numbers.empty() &&
+       meta.outlier_capsule == kNoCapsule)) {
+    return CorruptData("capsule_box: bad outlier capsule reference");
+  }
+  if (!StrictlyIncreasingBelow(meta.outlier_line_numbers, meta.total_lines)) {
+    return CorruptData("capsule_box: outlier line numbers not increasing");
+  }
+  return OkStatus();
 }
 
 void WriteVarMeta(ByteWriter& out, const VarMeta& var) {
@@ -339,11 +451,20 @@ Result<CapsuleBox> CapsuleBox::Open(std::string_view bytes) {
     return payload.status();
   }
   box.payload_ = *payload;
-  // Validate directory bounds once here so ReadCapsule stays cheap.
+  // Validate directory bounds once here so ReadCapsule stays cheap. The
+  // two-step comparison is immune to the uint64 wrap a hostile
+  // offset + length pair can produce (e.g. offset = 2^64 - 1, length = 2).
   for (const auto& [offset, length] : box.directory_) {
-    if (offset + length > box.payload_.size()) {
+    if (length > box.payload_.size() ||
+        offset > box.payload_.size() - length) {
       return CorruptData("capsule_box: directory entry out of bounds");
     }
+  }
+  // Referential integrity: everything the query path will index with must
+  // be in range before the box is handed out.
+  Status valid = ValidateMeta(box.meta_, box.directory_.size());
+  if (!valid.ok()) {
+    return valid;
   }
   return box;
 }

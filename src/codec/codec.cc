@@ -29,6 +29,17 @@ Result<std::string> Codec::Decompress(std::string_view blob) const {
   if (!payload.ok()) {
     return payload.status();
   }
+  // Decompression-bomb defense: validate the declared raw size before any
+  // codec allocates for it. Both checks are overflow-safe (the multiply is
+  // guarded by the absolute cap on raw_size, and payload sizes are real
+  // in-memory buffer sizes).
+  if (*raw_size > kMaxDecompressedBytes) {
+    return CorruptData("codec: declared raw size exceeds absolute cap");
+  }
+  if (*raw_size > kExpansionFloorBytes &&
+      *raw_size > payload->size() * kMaxExpansionRatio) {
+    return CorruptData("codec: declared raw size exceeds expansion cap");
+  }
   return DecompressPayload(*payload, static_cast<size_t>(*raw_size));
 }
 

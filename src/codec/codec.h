@@ -20,6 +20,22 @@
 
 namespace loggrep {
 
+// Decompression-bomb limits, enforced by Codec::Decompress before any
+// allocation happens (a hostile blob may declare any raw size it likes):
+//   * the declared raw size must not exceed kMaxDecompressedBytes, and
+//   * it must not exceed max(kExpansionFloorBytes, payload * kMaxExpansionRatio).
+// The ratio is deliberately generous — the range coder genuinely reaches
+// ~40000x on 64 MiB of zeros (measured; rep0 matches cost a handful of
+// direct bits each) — while still turning a 10-byte blob that declares an
+// exabyte into a clean kCorruptData instead of a bad_alloc. Codecs
+// additionally cap their upfront reserve at kDecompressReserveBytes so even
+// an admitted declared size only pre-allocates a bounded amount; memory past
+// that grows only as genuinely decoded bytes are produced.
+inline constexpr uint64_t kMaxDecompressedBytes = 1ull << 30;    // 1 GiB
+inline constexpr uint64_t kMaxExpansionRatio = 1ull << 17;       // 131072x
+inline constexpr uint64_t kExpansionFloorBytes = 1ull << 20;     // 1 MiB
+inline constexpr size_t kDecompressReserveBytes = size_t{1} << 24;  // 16 MiB
+
 class Codec {
  public:
   virtual ~Codec() = default;

@@ -238,7 +238,7 @@ std::string LzHuffCodec::CompressPayload(std::string_view raw) const {
 Result<std::string> LzHuffCodec::DecompressPayload(std::string_view payload,
                                                    size_t raw_size) const {
   std::string out;
-  out.reserve(raw_size);
+  out.reserve(std::min(raw_size, kDecompressReserveBytes));
   ByteReader in(payload);
   while (!in.AtEnd()) {
     Result<uint8_t> type = in.ReadU8();

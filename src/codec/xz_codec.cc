@@ -6,6 +6,7 @@
 // ratio; used as LogGrep's second-stage compressor like LZMA in the paper.
 //
 // Payload: [u8 mode: 0 = stored, 1 = range-coded][data].
+#include <algorithm>
 #include <vector>
 
 #include "src/codec/codec.h"
@@ -205,7 +206,7 @@ class XzLikeCodec : public Codec {
       return CorruptData("xz-like: unknown payload mode");
     }
     std::string out;
-    out.reserve(raw_size);
+    out.reserve(std::min(raw_size, kDecompressReserveBytes));
     if (raw_size == 0) {
       return out;
     }

@@ -9,6 +9,7 @@
 //   [u16 LE offset][match extension bytes if match_len_code == 15]
 // The final sequence carries literals only: its offset is absent and its
 // match nibble is 0; it is recognized by the input ending after the literals.
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -110,7 +111,7 @@ class Lz4LikeCodec : public Codec {
   Result<std::string> DecompressPayload(std::string_view payload,
                                         size_t raw_size) const override {
     std::string out;
-    out.reserve(raw_size);
+    out.reserve(std::min(raw_size, kDecompressReserveBytes));
     size_t pos = 0;
     auto read_extension = [&](uint32_t& v) -> bool {
       while (true) {

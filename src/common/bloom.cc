@@ -64,6 +64,13 @@ Result<BloomFilter> BloomFilter::ReadFrom(ByteReader& in) {
   if (!bits.ok()) {
     return bits.status();
   }
+  // A hostile manifest could declare billions of hash functions, turning
+  // every MayContain() into an unbounded loop. Real filters use
+  // bits_per_item * 0.69 hashes (single digits); 64 is far beyond any
+  // legitimate configuration.
+  if (*k > 64) {
+    return CorruptData("bloom: implausible hash-function count");
+  }
   BloomFilter f;
   f.num_hashes_ = static_cast<uint32_t>(*k);
   f.bits_ = std::string(*bits);

@@ -34,10 +34,15 @@ ParsedBlock BlockParser::Parse(std::string_view text) const {
 
   std::vector<std::string_view> vars;
   for (uint32_t ln = 0; ln < lines.size(); ++ln) {
+    // Lines containing NUL go to the outlier list (stored raw, delimited by
+    // '\n'): the padded Capsule layout uses '\0' as its pad byte, so a NUL
+    // inside a variable value would be silently truncated by TrimCell at
+    // reconstruction time. Found by the fuzz_parser round-trip target.
+    const bool paddable = lines[ln].find('\0') == std::string_view::npos;
     const TokenizedLine tokenized = TokenizeLine(lines[ln]);
     bool matched = false;
     const auto it = by_shape.find(ShapeKey(tokenized));
-    if (it != by_shape.end()) {
+    if (paddable && it != by_shape.end()) {
       for (uint32_t t : it->second) {
         vars.clear();
         if (block.templates[t].Match(tokenized, &vars)) {

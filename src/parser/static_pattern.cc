@@ -103,7 +103,10 @@ std::string StaticPattern::Render(const std::vector<std::string_view>& vars) con
     out += seps_[i];
     if (tokens_[i].is_var) {
       assert(slot < vars.size());
-      out += vars[slot++];
+      if (slot < vars.size()) {  // defensive: never index OOB
+        out += vars[slot];
+      }
+      ++slot;
     } else {
       out += tokens_[i].text;
     }
@@ -141,8 +144,12 @@ Result<StaticPattern> StaticPattern::ReadFrom(ByteReader& in) {
   }
   std::vector<std::string> seps;
   std::vector<Tok> tokens;
-  seps.reserve(*n + 1);
-  tokens.reserve(*n);
+  // Cap the up-front reserve: the declared count is attacker-controlled but
+  // every real token costs stream bytes, so growth past the cap is bounded
+  // by the input size.
+  const size_t plausible = static_cast<size_t>(std::min<uint64_t>(*n, 4096));
+  seps.reserve(plausible + 1);
+  tokens.reserve(plausible);
   for (uint64_t i = 0; i < *n; ++i) {
     Result<std::string_view> sep = in.ReadLengthPrefixed();
     if (!sep.ok()) {

@@ -1,5 +1,6 @@
 #include "src/pattern/runtime_pattern.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace loggrep {
@@ -19,6 +20,24 @@ uint32_t RuntimePattern::SubVarCount() const {
   return n;
 }
 
+bool RuntimePattern::WellFormed() const {
+  const uint32_t n = SubVarCount();
+  std::vector<bool> seen(n, false);
+  bool prev_subvar = false;
+  for (const PatternElement& e : elements_) {
+    if (!e.is_subvar) {
+      prev_subvar = false;
+      continue;
+    }
+    if (prev_subvar || e.subvar >= n || seen[e.subvar]) {
+      return false;
+    }
+    seen[e.subvar] = true;
+    prev_subvar = true;
+  }
+  return true;
+}
+
 std::optional<std::vector<std::string_view>> RuntimePattern::MatchValue(
     std::string_view value) const {
   std::vector<std::string_view> out(SubVarCount());
@@ -35,6 +54,11 @@ std::optional<std::vector<std::string_view>> RuntimePattern::MatchValue(
     // Sub-variable: absorbs up to the next constant (leftmost occurrence), or
     // the rest of the value if it is the final element. Extractor invariant:
     // the next element, if any, is a constant.
+    if (e.subvar >= out.size()) {
+      // Only reachable through a malformed (hostile) pattern; treat as a
+      // mismatch instead of writing out of bounds.
+      return std::nullopt;
+    }
     if (i + 1 == elements_.size()) {
       out[e.subvar] = value.substr(pos);
       pos = value.size();
@@ -61,7 +85,9 @@ std::string RuntimePattern::Render(
   for (const PatternElement& e : elements_) {
     if (e.is_subvar) {
       assert(e.subvar < subvalues.size());
-      out += subvalues[e.subvar];
+      if (e.subvar < subvalues.size()) {  // defensive: never index OOB
+        out += subvalues[e.subvar];
+      }
     } else {
       out += e.constant;
     }
@@ -99,7 +125,10 @@ Result<RuntimePattern> RuntimePattern::ReadFrom(ByteReader& in) {
     return n.status();
   }
   std::vector<PatternElement> elems;
-  elems.reserve(*n);
+  // Reserve from the declared count only up to a sane bound: a hostile
+  // stream can declare 2^60 elements in five bytes, but each real element
+  // costs at least one stream byte, so growth past the cap is input-bounded.
+  elems.reserve(static_cast<size_t>(std::min<uint64_t>(*n, 4096)));
   for (uint64_t i = 0; i < *n; ++i) {
     Result<uint8_t> is_subvar = in.ReadU8();
     if (!is_subvar.ok()) {

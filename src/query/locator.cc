@@ -144,7 +144,11 @@ const std::vector<uint32_t>& BoxQuerier::PresentRows(uint32_t group_idx,
   const GroupMeta& group = box_.meta().groups[group_idx];
   const RealVarMeta& rv = group.vars[slot].real();
   std::vector<uint32_t> present;
-  present.reserve(group.row_count - rv.outlier_rows.size());
+  // outlier_rows.size() <= row_count is guaranteed by CapsuleBox::Open's
+  // metadata validation; guard anyway so a future caller can't underflow.
+  present.reserve(group.row_count >= rv.outlier_rows.size()
+                      ? group.row_count - rv.outlier_rows.size()
+                      : 0);
   size_t next_outlier = 0;
   for (uint32_t row = 0; row < group.row_count; ++row) {
     if (next_outlier < rv.outlier_rows.size() &&
@@ -486,11 +490,21 @@ RowSet BoxQuerier::MatchInNominal(const GroupMeta& group,
             dict_blob = CapsuleBlob(nv.dict_capsule);
             dict_fetched = true;
           }
-          value = TrimCell(
-              dict_blob.substr(byte_offset + static_cast<uint64_t>(i) * width, width));
+          // A corrupt Capsule can decompress to a blob shorter than the
+          // metadata's section sizes imply; clamp instead of letting substr
+          // throw past the end.
+          const uint64_t cell_off =
+              byte_offset + static_cast<uint64_t>(i) * width;
+          if (cell_off >= dict_blob.size()) {
+            break;  // nothing left to scan in this truncated dictionary
+          }
+          value = TrimCell(dict_blob.substr(cell_off, width));
         } else {
           if (dict_values == nullptr) {
             dict_values = &DelimitedValues(nv.dict_capsule);
+          }
+          if (first_id + i >= dict_values->size()) {
+            break;  // truncated delimited dictionary
           }
           value = (*dict_values)[first_id + i];
         }

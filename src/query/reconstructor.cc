@@ -95,6 +95,9 @@ std::string Reconstructor::VariableValue(uint32_t group_idx, uint32_t slot,
         const uint32_t width = pm.stamp.PadWidth();
         const uint64_t cell_off =
             byte_offset + static_cast<uint64_t>(dict_id - first_id) * width;
+        if (cell_off >= dict_blob.size()) {
+          return {};  // truncated/corrupt dictionary Capsule
+        }
         return std::string(TrimCell(dict_blob.substr(cell_off, width)));
       }
       const std::vector<std::string_view>& values =

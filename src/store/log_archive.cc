@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/common/hash.h"
 #include "src/common/thread_pool.h"
 #include "src/common/timer.h"
 #include "src/common/trace.h"
@@ -19,7 +20,15 @@ namespace loggrep {
 namespace {
 
 constexpr uint32_t kManifestMagic = 0x4D41474Cu;  // "LGAM"
+// v2 adds a version byte plus per-block content / stored-bytes checksums
+// (the v1 layout had no version byte at all, so v1 manifests now read as
+// corrupt; archives are regenerated from raw logs in that case).
+constexpr uint8_t kManifestVersion = 2;
 constexpr size_t kShingleLen = 4;
+// Line counts / line numbers beyond this are not plausible (they would need
+// more than an exabyte of raw log) and would overflow the monotonicity
+// arithmetic below; reject them during manifest parsing.
+constexpr uint64_t kMaxPlausibleLines = 1ull << 62;
 
 inline uint64_t ElapsedNanos(const WallTimer& timer) {
   return timer.ElapsedNanos();
@@ -134,6 +143,15 @@ const char* CommitKillPointName(CommitKillPoint point) {
   return "unknown";
 }
 
+uint64_t HashBlockContent(std::string_view text) {
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  for (std::string_view line : SplitLines(text)) {
+    h = Fnv1a64(line, h);
+    h = Fnv1a64("\n", h);
+  }
+  return h;
+}
+
 BlockInfo BuildBlockSummary(std::string_view text,
                             uint32_t bloom_bits_per_shingle) {
   BlockInfo block;
@@ -142,13 +160,17 @@ BlockInfo BuildBlockSummary(std::string_view text,
   // roughly one shingle per 4 raw bytes.
   block.shingles = BloomFilter(std::max<uint64_t>(1024, text.size() / 4),
                                bloom_bits_per_shingle);
+  uint64_t h = 0xCBF29CE484222325ULL;
   for (std::string_view line : SplitLines(text)) {
     ++block.line_count;
+    h = Fnv1a64(line, h);
+    h = Fnv1a64("\n", h);
     for (std::string_view token : TokenizeKeywords(line)) {
       block.token_stamp.Absorb(token);
       AddTokenShingles(token, block.shingles);
     }
   }
+  block.content_hash = h;
   return block;
 }
 
@@ -187,13 +209,8 @@ Result<LogArchive> LogArchive::Create(std::string dir, ArchiveOptions options) {
   return archive;
 }
 
-Result<LogArchive> LogArchive::Open(std::string dir, ArchiveOptions options) {
-  LogArchive archive(std::move(dir), options);
-  Result<std::string> bytes = ReadFileBytes(archive.ManifestPath());
-  if (!bytes.ok()) {
-    return bytes.status();
-  }
-  ByteReader in(*bytes);
+Result<std::vector<BlockInfo>> ParseManifestBytes(std::string_view bytes) {
+  ByteReader in(bytes);
   Result<uint32_t> magic = in.ReadU32();
   if (!magic.ok()) {
     return magic.status();
@@ -201,15 +218,32 @@ Result<LogArchive> LogArchive::Open(std::string dir, ArchiveOptions options) {
   if (*magic != kManifestMagic) {
     return CorruptData("archive: bad manifest magic");
   }
+  Result<uint8_t> version = in.ReadU8();
+  if (!version.ok()) {
+    return version.status();
+  }
+  if (*version != kManifestVersion) {
+    return CorruptData("archive: unsupported manifest version");
+  }
   Result<uint64_t> count = in.ReadVarint();
   if (!count.ok()) {
     return count.status();
   }
+  // Every block entry costs well over one stream byte; a declared count
+  // beyond the remaining bytes is hostile, reject before any allocation.
+  if (*count > in.remaining()) {
+    return CorruptData("archive: block count exceeds manifest size");
+  }
+  std::vector<BlockInfo> blocks;
+  blocks.reserve(static_cast<size_t>(*count));
   for (uint64_t i = 0; i < *count; ++i) {
     BlockInfo block;
     Result<uint64_t> v = in.ReadVarint();
     if (!v.ok()) {
       return v.status();
+    }
+    if (*v > UINT32_MAX) {
+      return CorruptData("archive: block seq out of range");
     }
     block.seq = static_cast<uint32_t>(*v);
     for (uint64_t* field : {&block.first_line, &block.line_count,
@@ -219,6 +253,13 @@ Result<LogArchive> LogArchive::Open(std::string dir, ArchiveOptions options) {
         return value.status();
       }
       *field = *value;
+    }
+    for (uint64_t* hash : {&block.content_hash, &block.stored_hash}) {
+      Result<uint64_t> value = in.ReadU64();
+      if (!value.ok()) {
+        return value.status();
+      }
+      *hash = *value;
     }
     Result<CapsuleStamp> stamp = CapsuleStamp::ReadFrom(in);
     if (!stamp.ok()) {
@@ -230,8 +271,40 @@ Result<LogArchive> LogArchive::Open(std::string dir, ArchiveOptions options) {
       return bloom.status();
     }
     block.shingles = std::move(*bloom);
-    archive.blocks_.push_back(std::move(block));
+    // Structural coherence: seq strictly increasing, line space monotonic
+    // and small enough that the arithmetic below cannot overflow.
+    if (block.first_line > kMaxPlausibleLines ||
+        block.line_count > kMaxPlausibleLines) {
+      return CorruptData("archive: implausible line numbers in manifest");
+    }
+    if (!blocks.empty()) {
+      const BlockInfo& prev = blocks.back();
+      if (block.seq <= prev.seq) {
+        return CorruptData("archive: block seqs not strictly increasing");
+      }
+      if (block.first_line < prev.first_line + prev.line_count) {
+        return CorruptData("archive: block line ranges overlap");
+      }
+    }
+    blocks.push_back(std::move(block));
   }
+  if (in.remaining() != 0) {
+    return CorruptData("archive: trailing garbage after manifest");
+  }
+  return blocks;
+}
+
+Result<LogArchive> LogArchive::Open(std::string dir, ArchiveOptions options) {
+  LogArchive archive(std::move(dir), options);
+  Result<std::string> bytes = ReadFileBytes(archive.ManifestPath());
+  if (!bytes.ok()) {
+    return bytes.status();
+  }
+  Result<std::vector<BlockInfo>> blocks = ParseManifestBytes(*bytes);
+  if (!blocks.ok()) {
+    return blocks.status();
+  }
+  archive.blocks_ = std::move(*blocks);
 
   // Crash recovery. A commit that died after the manifest tmp write but
   // before the rename leaves the *old* manifest in place — nothing to do
@@ -262,6 +335,7 @@ Result<LogArchive> LogArchive::Open(std::string dir, ArchiveOptions options) {
 std::string LogArchive::SerializeManifest() const {
   ByteWriter out;
   out.PutU32(kManifestMagic);
+  out.PutU8(kManifestVersion);
   out.PutVarint(blocks_.size());
   for (const BlockInfo& block : blocks_) {
     out.PutVarint(block.seq);
@@ -269,6 +343,8 @@ std::string LogArchive::SerializeManifest() const {
                            block.stored_bytes}) {
       out.PutVarint(field);
     }
+    out.PutU64(block.content_hash);
+    out.PutU64(block.stored_hash);
     block.token_stamp.WriteTo(out);
     block.shingles.WriteTo(out);
   }
@@ -301,11 +377,18 @@ void LogArchive::SweepUnreferencedBlocks() const {
     }
     const std::string digits =
         name.substr(kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
-    if (digits.empty() ||
+    // `digits` must parse as a uint32 without throwing: cap the digit count
+    // (std::stoul aborts the process via std::out_of_range on e.g. a
+    // 40-digit filename someone drops into the directory).
+    if (digits.empty() || digits.size() > 10 ||
         digits.find_first_not_of("0123456789") != std::string::npos) {
       continue;
     }
-    const uint32_t seq = static_cast<uint32_t>(std::stoul(digits));
+    const uint64_t parsed = std::stoull(digits);  // <= 10 digits: no throw
+    if (parsed > UINT32_MAX) {
+      continue;  // not a live seq; leave the stray file alone
+    }
+    const uint32_t seq = static_cast<uint32_t>(parsed);
     if (live.count(seq) == 0) {
       std::error_code rm_ec;
       std::filesystem::remove(entry.path(), rm_ec);
@@ -333,6 +416,7 @@ Status LogArchive::CommitCompressedBlock(std::string_view box_bytes,
     block.first_line = next_line;
   }
   block.stored_bytes = box_bytes.size();
+  block.stored_hash = Fnv1a64(box_bytes);
 
   // Step 1+2: block file via tmp + rename (kill points in between).
   const std::string path = BlockPath(block.seq);

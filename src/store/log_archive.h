@@ -44,9 +44,26 @@ struct BlockInfo {
   uint64_t line_count = 0;
   uint64_t raw_bytes = 0;
   uint64_t stored_bytes = 0;
+  // Chained FNV-1a over every raw line plus a '\n' terminator byte
+  // (unambiguous: lines never contain '\n'). Lets `loggrep_cli verify`
+  // prove a block reconstructs to exactly the ingested text.
+  uint64_t content_hash = 0;
+  // FNV-1a over the stored CapsuleBox bytes (detects at-rest bit rot
+  // without decompressing anything).
+  uint64_t stored_hash = 0;
   CapsuleStamp token_stamp;  // over all tokens of the block
   BloomFilter shingles;      // 4-byte substrings of every token
 };
+
+// Chained content hash used for BlockInfo::content_hash: FNV-1a absorbed
+// over each line followed by one '\n' byte. Exposed so the verifier can
+// recompute it from reconstructed lines.
+uint64_t HashBlockContent(std::string_view text);
+
+// Parses serialized manifest bytes into block summaries. Exposed separately
+// from Open for the manifest fuzz target and verify tooling; hostile input
+// yields a clean Status, never a crash or unbounded allocation.
+Result<std::vector<BlockInfo>> ParseManifestBytes(std::string_view bytes);
 
 // Crash-safe block commit protocol (used by AppendBlock and the ingest
 // pipeline). Every step goes through tmp-file + atomic rename:

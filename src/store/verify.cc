@@ -1,0 +1,169 @@
+#include "src/store/verify.h"
+
+#include <cstdio>
+
+#include "src/capsule/capsule_box.h"
+#include "src/common/hash.h"
+#include "src/query/locator.h"
+#include "src/query/reconstructor.h"
+#include "src/store/fs_util.h"
+#include "src/store/log_archive.h"
+
+namespace loggrep {
+namespace {
+
+Status Corrupt(std::string message) {
+  return CorruptData(std::move(message));
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> ReconstructAllLines(
+    std::string_view box_bytes) {
+  Result<CapsuleBox> box = CapsuleBox::Open(box_bytes);
+  if (!box.ok()) {
+    return box.status();
+  }
+  const CapsuleBoxMeta& meta = box->meta();
+  std::vector<std::string> lines(meta.total_lines);
+  std::vector<uint8_t> covered(meta.total_lines, 0);
+
+  BoxQuerier querier(*box, LocatorOptions{});
+  Reconstructor recon(&querier);
+  for (size_t g = 0; g < meta.groups.size(); ++g) {
+    const GroupMeta& group = meta.groups[g];
+    for (uint32_t row = 0; row < group.row_count; ++row) {
+      const uint32_t line_no = group.line_numbers[row];
+      if (covered[line_no]) {
+        return Corrupt("verify: line " + std::to_string(line_no) +
+                       " reconstructed twice (group " + std::to_string(g) +
+                       ")");
+      }
+      covered[line_no] = 1;
+      lines[line_no] =
+          recon.RenderRow(static_cast<uint32_t>(g), row);
+    }
+  }
+  for (size_t i = 0; i < meta.outlier_line_numbers.size(); ++i) {
+    const uint32_t line_no = meta.outlier_line_numbers[i];
+    if (covered[line_no]) {
+      return Corrupt("verify: outlier line " + std::to_string(line_no) +
+                     " reconstructed twice");
+    }
+    covered[line_no] = 1;
+    lines[line_no] = recon.RenderOutlier(static_cast<uint32_t>(i));
+  }
+  if (Status s = querier.status(); !s.ok()) {
+    return s;  // capsule decompression / decode failure
+  }
+  for (uint32_t line_no = 0; line_no < meta.total_lines; ++line_no) {
+    if (!covered[line_no]) {
+      return Corrupt("verify: line " + std::to_string(line_no) +
+                     " covered by no group or outlier (hole)");
+    }
+  }
+  return lines;
+}
+
+uint64_t HashReconstructedLines(const std::vector<std::string>& lines) {
+  // Mirrors HashBlockContent: absorb each line, then one '\n' byte. Lines
+  // never contain '\n', so the chaining is unambiguous.
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  for (const std::string& line : lines) {
+    h = Fnv1a64(line, h);
+    h = Fnv1a64("\n", h);
+  }
+  return h;
+}
+
+VerifyReport VerifyArchive(const std::string& dir) {
+  VerifyReport report;
+  report.dir = dir;
+
+  Result<std::string> manifest_bytes = ReadFileBytes(dir + "/archive.manifest");
+  if (!manifest_bytes.ok()) {
+    report.fatal = manifest_bytes.status();
+    return report;
+  }
+  Result<std::vector<BlockInfo>> blocks = ParseManifestBytes(*manifest_bytes);
+  if (!blocks.ok()) {
+    report.fatal = blocks.status();
+    return report;
+  }
+
+  for (const BlockInfo& block : *blocks) {
+    BlockVerifyResult result;
+    result.seq = block.seq;
+    result.line_count = block.line_count;
+    result.stored_bytes = block.stored_bytes;
+
+    const std::string path =
+        dir + "/block-" + std::to_string(block.seq) + ".lgc";
+    Result<std::string> bytes = ReadFileBytes(path);
+    if (!bytes.ok()) {
+      result.error = "block file unreadable: " + bytes.status().ToString();
+      report.blocks.push_back(std::move(result));
+      ++report.blocks_failed;
+      continue;
+    }
+    if (bytes->size() != block.stored_bytes) {
+      result.error = "stored size mismatch: manifest says " +
+                     std::to_string(block.stored_bytes) + " bytes, file has " +
+                     std::to_string(bytes->size());
+      report.blocks.push_back(std::move(result));
+      ++report.blocks_failed;
+      continue;
+    }
+    if (Fnv1a64(*bytes) != block.stored_hash) {
+      result.error = "stored bytes hash mismatch (at-rest corruption)";
+      report.blocks.push_back(std::move(result));
+      ++report.blocks_failed;
+      continue;
+    }
+
+    Result<std::vector<std::string>> lines = ReconstructAllLines(*bytes);
+    if (!lines.ok()) {
+      result.error = "reconstruction failed: " + lines.status().ToString();
+      report.blocks.push_back(std::move(result));
+      ++report.blocks_failed;
+      continue;
+    }
+    if (lines->size() != block.line_count) {
+      result.error = "line count mismatch: manifest says " +
+                     std::to_string(block.line_count) + ", box holds " +
+                     std::to_string(lines->size());
+      report.blocks.push_back(std::move(result));
+      ++report.blocks_failed;
+      continue;
+    }
+    if (HashReconstructedLines(*lines) != block.content_hash) {
+      result.error =
+          "content hash mismatch: reconstructed text differs from ingested";
+      report.blocks.push_back(std::move(result));
+      ++report.blocks_failed;
+      continue;
+    }
+
+    report.lines_verified += lines->size();
+    report.blocks.push_back(std::move(result));
+  }
+  return report;
+}
+
+std::string VerifyReport::Summary() const {
+  if (!fatal.ok()) {
+    return "verify " + dir + ": FATAL " + fatal.ToString();
+  }
+  std::string out = "verify " + dir + ": " +
+                    std::to_string(blocks.size()) + " blocks, " +
+                    std::to_string(lines_verified) + " lines, " +
+                    std::to_string(blocks_failed) + " failed";
+  for (const BlockVerifyResult& block : blocks) {
+    if (!block.ok()) {
+      out += "\n  block " + std::to_string(block.seq) + ": " + block.error;
+    }
+  }
+  return out;
+}
+
+}  // namespace loggrep

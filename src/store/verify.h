@@ -1,0 +1,64 @@
+// Archive fsck: end-to-end integrity verification for a LogArchive directory.
+//
+// `loggrep_cli verify <dir>` proves, for every committed block,
+//   1. the stored CapsuleBox bytes hash to the manifest's stored_hash
+//      (at-rest bit rot, torn writes);
+//   2. the box opens and its metadata passes referential validation;
+//   3. every Capsule decompresses and every line reconstructs, each global
+//      line exactly once (no overlap, no hole);
+//   4. the chained FNV-1a over the reconstructed lines equals the
+//      manifest's content_hash — i.e. the block decodes byte-for-byte to
+//      the text that was ingested.
+// The walk is strictly read-only (it parses the manifest directly instead
+// of going through LogArchive::Open, which may re-persist during recovery),
+// and hostile bytes anywhere yield a recorded failure, never a crash.
+#ifndef SRC_STORE_VERIFY_H_
+#define SRC_STORE_VERIFY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace loggrep {
+
+// One block's verdict. `error` carries the first failure in human-readable
+// form; empty means the block passed every check.
+struct BlockVerifyResult {
+  uint32_t seq = 0;
+  uint64_t line_count = 0;
+  uint64_t stored_bytes = 0;
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+struct VerifyReport {
+  std::string dir;
+  std::vector<BlockVerifyResult> blocks;
+  size_t blocks_failed = 0;
+  uint64_t lines_verified = 0;
+  // Archive-level failure (unreadable/corrupt manifest): nothing block-wise
+  // was checkable.
+  Status fatal = OkStatus();
+
+  bool ok() const { return fatal.ok() && blocks_failed == 0; }
+  std::string Summary() const;
+};
+
+// Reconstructs every line of a serialized CapsuleBox, in global line order.
+// Fails cleanly on corrupt boxes, including line-number coverage violations
+// (a line rendered twice or never). Exposed for the verifier and tests.
+Result<std::vector<std::string>> ReconstructAllLines(std::string_view box_bytes);
+
+// Chained FNV-1a over `lines`, identical to HashBlockContent over the
+// original block text (each line absorbed, then one '\n').
+uint64_t HashReconstructedLines(const std::vector<std::string>& lines);
+
+// Verifies every block of the archive at `dir`. Never throws; never writes.
+VerifyReport VerifyArchive(const std::string& dir);
+
+}  // namespace loggrep
+
+#endif  // SRC_STORE_VERIFY_H_

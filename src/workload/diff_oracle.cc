@@ -1,0 +1,445 @@
+#include "src/workload/diff_oracle.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <optional>
+#include <utility>
+
+#include "src/core/engine.h"
+#include "src/core/session.h"
+#include "src/parser/template_miner.h"  // SplitLines
+#include "src/parser/tokenizer.h"
+#include "src/query/explain.h"
+#include "src/query/line_match.h"
+#include "src/query/query_parser.h"
+#include "src/workload/datasets.h"
+#include "src/workload/loggen.h"
+#include "src/workload/queries.h"
+
+namespace loggrep {
+namespace {
+
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool IsOperatorWord(std::string_view token) {
+  const std::string low = Lower(token);
+  return low == "and" || low == "or" || low == "not";
+}
+
+// Samples one keyword token from a random reference line; never returns an
+// empty, quoted or wildcard-carrying token.
+std::string SampleToken(Rng& rng, const std::vector<std::string>& lines) {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const std::string& line = lines[rng.NextBelow(lines.size())];
+    std::vector<std::string_view> tokens = TokenizeKeywords(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    std::string token(tokens[rng.NextBelow(tokens.size())]);
+    token.erase(std::remove_if(token.begin(), token.end(),
+                               [](char c) {
+                                 return c == '"' || c == '*' || c == '?';
+                               }),
+                token.end());
+    if (token.empty()) {
+      continue;
+    }
+    return token;
+  }
+  return "ERROR";
+}
+
+// Quotes tokens that would otherwise parse as operators.
+std::string AsSearchWord(std::string token) {
+  if (IsOperatorWord(token)) {
+    return "\"" + token + "\"";
+  }
+  return token;
+}
+
+std::string WithWildcard(Rng& rng, std::string token) {
+  switch (rng.NextBelow(3)) {
+    case 0:  // prefix match
+      return token.substr(0, 1 + rng.NextBelow(token.size())) + "*";
+    case 1:  // suffix match
+      return "*" + token.substr(rng.NextBelow(token.size()));
+    default: {  // single-char hole
+      token[rng.NextBelow(token.size())] = '?';
+      return token;
+    }
+  }
+}
+
+// One seeded random query command over the reference lines. Covers single
+// keywords, keyword fragments, wildcards, multi-word search strings, AND /
+// OR / NOT combinations, quoted operator words, and guaranteed misses.
+std::string RandomCommand(Rng& rng, const std::vector<std::string>& lines) {
+  const std::string a = SampleToken(rng, lines);
+  const std::string b = SampleToken(rng, lines);
+  switch (rng.NextBelow(8)) {
+    case 0:
+      return AsSearchWord(a);
+    case 1: {  // substring fragment of a token
+      const size_t begin = rng.NextBelow(a.size());
+      const size_t len = 1 + rng.NextBelow(a.size() - begin);
+      return AsSearchWord(a.substr(begin, len));
+    }
+    case 2:
+      return WithWildcard(rng, a);
+    case 3:
+      return AsSearchWord(a) + " and " + AsSearchWord(b);
+    case 4:
+      return AsSearchWord(a) + " or " + AsSearchWord(b);
+    case 5:  // grammar: NOT is the binary "left AND NOT right"
+      return AsSearchWord(a) + " not " + AsSearchWord(b);
+    case 6:  // multi-word search string (one term, several keywords)
+      return AsSearchWord(a) + " " + AsSearchWord(b);
+    default: {  // guaranteed miss: random content absent from the corpus
+      std::string miss = "zqxv";
+      for (int i = 0; i < 8; ++i) {
+        miss += static_cast<char>('a' + rng.NextBelow(26));
+      }
+      return miss;
+    }
+  }
+}
+
+// Reference evaluation: plain grep over the in-memory lines.
+QueryHits ReferenceHits(const std::vector<std::string>& lines,
+                        const QueryExpr& expr) {
+  QueryHits hits;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (LineMatchesQuery(lines[i], expr)) {
+      hits.emplace_back(static_cast<uint64_t>(i), lines[i]);
+    }
+  }
+  return hits;
+}
+
+// Hit-for-hit comparison; nullopt when equal, else a first-divergence
+// description. `got` is sorted by line number first (ParallelQuery merges
+// per-block slices whose concatenation is already ordered, but the oracle
+// must not depend on that).
+std::optional<std::string> DiffHits(const QueryHits& expected,
+                                    QueryHits got) {
+  std::sort(got.begin(), got.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  if (expected.size() != got.size()) {
+    std::string detail = "hit count: expected " +
+                         std::to_string(expected.size()) + ", got " +
+                         std::to_string(got.size());
+    for (size_t i = 0; i < std::max(expected.size(), got.size()); ++i) {
+      const bool have_e = i < expected.size();
+      const bool have_g = i < got.size();
+      if (!have_e || !have_g || expected[i] != got[i]) {
+        detail += "; first divergence at rank " + std::to_string(i);
+        if (have_e) {
+          detail += "; expected line " + std::to_string(expected[i].first) +
+                    " \"" + expected[i].second + "\"";
+        }
+        if (have_g) {
+          detail += "; got line " + std::to_string(got[i].first) + " \"" +
+                    got[i].second + "\"";
+        }
+        break;
+      }
+    }
+    return detail;
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if (expected[i] != got[i]) {
+      return "rank " + std::to_string(i) + ": expected line " +
+             std::to_string(expected[i].first) + " \"" + expected[i].second +
+             "\", got line " + std::to_string(got[i].first) + " \"" +
+             got[i].second + "\"";
+    }
+  }
+  return std::nullopt;
+}
+
+// The largest prefix command that the full command strictly refines by an
+// appended "and <term>" clause, or empty when there is none (QuerySession's
+// refinement fast path only triggers for that shape).
+std::string RefinementPrefix(const std::string& command) {
+  if (command.find('"') != std::string::npos) {
+    return {};  // quoted operators make textual splitting unsafe
+  }
+  const std::string low = Lower(command);
+  const size_t pos = low.rfind(" and ");
+  if (pos == std::string::npos || pos == 0) {
+    return {};
+  }
+  return command.substr(0, pos);
+}
+
+struct DatasetFixture {
+  std::string name;
+  std::string dir;                        // archive directory on disk
+  std::vector<std::string> lines;         // reference: all committed lines
+  std::vector<std::string> block_texts;   // committed blocks, in order
+  std::vector<std::string> commands;
+};
+
+}  // namespace
+
+const char* OracleModeName(OracleMode mode) {
+  switch (mode) {
+    case OracleMode::kColdEngine:
+      return "cold";
+    case OracleMode::kWarmCache:
+      return "warm";
+    case OracleMode::kSession:
+      return "session";
+    case OracleMode::kParallel:
+      return "parallel";
+    case OracleMode::kPostRecovery:
+      return "post-recovery";
+  }
+  return "unknown";
+}
+
+std::vector<OracleMode> AllOracleModes() {
+  return {OracleMode::kColdEngine, OracleMode::kWarmCache,
+          OracleMode::kSession, OracleMode::kParallel,
+          OracleMode::kPostRecovery};
+}
+
+std::string OracleReport::Summary() const {
+  std::string out = "seed " + std::to_string(seed) + ": " +
+                    std::to_string(datasets_run) + " datasets, " +
+                    std::to_string(commands_run) + " commands, " +
+                    std::to_string(checks_run) + " checks, " +
+                    std::to_string(mismatches.size()) + " mismatches";
+  if (!fatal.ok()) {
+    out += ", FATAL: " + fatal.ToString();
+  }
+  for (const OracleMismatch& m : mismatches) {
+    out += "\n  [" + m.mode + "] " + m.dataset + " :: \"" + m.command +
+           "\" :: " + m.detail;
+  }
+  return out;
+}
+
+OracleReport RunDifferentialOracle(const OracleOptions& options) {
+  OracleReport report;
+  report.seed = options.seed;
+  Rng rng(options.seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+
+  const std::string scratch_root =
+      options.scratch_dir.empty()
+          ? std::filesystem::temp_directory_path().string()
+          : options.scratch_dir;
+
+  const std::vector<DatasetSpec>& catalog = AllDatasets();
+  const auto wants_mode = [&](OracleMode m) {
+    return std::find(options.modes.begin(), options.modes.end(), m) !=
+           options.modes.end();
+  };
+  const bool want_recovery = wants_mode(OracleMode::kPostRecovery);
+
+  for (size_t d = 0; d < options.num_datasets; ++d) {
+    // --- Build the workload for one sampled dataset. ---
+    DatasetSpec spec = catalog[rng.NextBelow(catalog.size())];
+    DatasetFixture fx;
+    fx.name = spec.name;
+    fx.dir = scratch_root + "/loggrep-oracle-" + std::to_string(options.seed) +
+             "-" + std::to_string(d);
+    std::error_code ec;
+    std::filesystem::remove_all(fx.dir, ec);
+
+    for (size_t b = 0; b < options.blocks_per_archive; ++b) {
+      spec.seed = rng.NextU64() | 1;
+      const LogGenerator gen(spec);
+      fx.block_texts.push_back(gen.GenerateLines(options.lines_per_block));
+      for (std::string_view line : SplitLines(fx.block_texts.back())) {
+        fx.lines.emplace_back(line);
+      }
+    }
+
+    Result<LogArchive> archive = LogArchive::Create(fx.dir, options.archive);
+    if (!archive.ok()) {
+      report.fatal = archive.status();
+      return report;
+    }
+    for (const std::string& text : fx.block_texts) {
+      if (Status s = archive->AppendBlock(text); !s.ok()) {
+        report.fatal = s;
+        return report;
+      }
+    }
+
+    // Post-recovery fixture: one extra block whose commit dies mid-protocol
+    // at a seed-chosen kill point; reopening must recover exactly the
+    // committed prefix (and the reference is the committed prefix).
+    std::optional<LogArchive> recovered;
+    if (want_recovery) {
+      spec.seed = rng.NextU64() | 1;
+      const std::string doomed =
+          LogGenerator(spec).GenerateLines(options.lines_per_block);
+      const CommitKillPoint kill_at = static_cast<CommitKillPoint>(
+          rng.NextBelow(3));  // rotates across the three protocol steps
+      BlockInfo info =
+          BuildBlockSummary(doomed, options.archive.bloom_bits_per_shingle);
+      const std::string box =
+          LogGrepEngine(options.archive.engine).CompressBlock(doomed);
+      const Status aborted = archive->CommitCompressedBlock(
+          box, std::move(info),
+          [kill_at](CommitKillPoint p) { return p == kill_at; });
+      if (aborted.ok()) {
+        report.fatal = Internal("oracle: injected commit abort did not fire");
+        return report;
+      }
+      Result<LogArchive> reopened = LogArchive::Open(fx.dir, options.archive);
+      if (!reopened.ok()) {
+        report.fatal = reopened.status();
+        return report;
+      }
+      if (reopened->blocks().size() != options.blocks_per_archive) {
+        report.fatal = Internal(
+            "oracle: recovery kept " +
+            std::to_string(reopened->blocks().size()) + " blocks, expected " +
+            std::to_string(options.blocks_per_archive));
+        return report;
+      }
+      recovered.emplace(std::move(*reopened));
+    }
+
+    // --- Command list: the dataset's own suite plus seeded random ones. ---
+    for (std::string& q : QuerySuiteForDataset(fx.name)) {
+      fx.commands.push_back(std::move(q));
+    }
+    for (size_t i = 0; i < options.random_queries; ++i) {
+      fx.commands.push_back(RandomCommand(rng, fx.lines));
+    }
+
+    // Session fixture: per-block CapsuleBoxes recompressed deterministically
+    // with the same engine options (QuerySession operates on one box).
+    LogGrepEngine session_engine(options.archive.engine);
+    std::vector<std::string> session_boxes;
+    std::vector<uint64_t> block_first_line;
+    if (wants_mode(OracleMode::kSession)) {
+      uint64_t first = 0;
+      for (const std::string& text : fx.block_texts) {
+        session_boxes.push_back(session_engine.CompressBlock(text));
+        block_first_line.push_back(first);
+        first += SplitLines(text).size();
+      }
+    }
+
+    ++report.datasets_run;
+
+    const auto note = [&](OracleMode mode, const std::string& command,
+                          const std::string& detail) {
+      report.mismatches.push_back(
+          {fx.name, command, OracleModeName(mode), detail});
+    };
+
+    for (const std::string& command : fx.commands) {
+      Result<std::unique_ptr<QueryExpr>> expr = ParseQuery(command);
+      if (!expr.ok()) {
+        report.fatal = Status(expr.status().code(),
+                              "oracle: generated command \"" + command +
+                                  "\" failed to parse: " +
+                                  expr.status().ToString());
+        return report;
+      }
+      const QueryHits expected = ReferenceHits(fx.lines, **expr);
+      ++report.commands_run;
+
+      for (OracleMode mode : options.modes) {
+        Result<ArchiveQueryResult> got = [&]() -> Result<ArchiveQueryResult> {
+          switch (mode) {
+            case OracleMode::kColdEngine: {
+              Result<LogArchive> cold =
+                  LogArchive::Open(fx.dir, options.archive);
+              if (!cold.ok()) {
+                return cold.status();
+              }
+              return cold->Query(command);
+            }
+            case OracleMode::kWarmCache: {
+              // First pass warms the shared BoxCache + command cache; the
+              // compared result is the warm one.
+              Result<ArchiveQueryResult> warmup = archive->Query(command);
+              if (!warmup.ok()) {
+                return warmup.status();
+              }
+              return archive->Query(command);
+            }
+            case OracleMode::kParallel:
+              return archive->ParallelQuery(command,
+                                            options.parallel_threads);
+            case OracleMode::kPostRecovery:
+              return recovered->Query(command);
+            case OracleMode::kSession: {
+              ArchiveQueryResult merged;
+              for (size_t b = 0; b < session_boxes.size(); ++b) {
+                QuerySession session(&session_engine, session_boxes[b]);
+                const std::string prefix = RefinementPrefix(command);
+                if (!prefix.empty()) {
+                  // Prime the refinement fast path with the base command.
+                  Result<SessionQueryResult> base = session.Query(prefix);
+                  if (!base.ok()) {
+                    return base.status();
+                  }
+                }
+                Result<SessionQueryResult> r = session.Query(command);
+                if (!r.ok()) {
+                  return r.status();
+                }
+                for (auto& [line, text] : r->hits) {
+                  merged.hits.emplace_back(block_first_line[b] + line,
+                                           std::move(text));
+                }
+              }
+              return merged;
+            }
+          }
+          return Internal("oracle: unknown mode");
+        }();
+        ++report.checks_run;
+        if (!got.ok()) {
+          note(mode, command, "query failed: " + got.status().ToString());
+          continue;
+        }
+        if (auto diff = DiffHits(expected, std::move(got->hits))) {
+          note(mode, command, *diff);
+        }
+      }
+
+      if (options.check_explain) {
+        ++report.checks_run;
+        QueryExplain explain;
+        Result<ArchiveQueryResult> got = archive->Explain(command, &explain);
+        if (!got.ok()) {
+          report.mismatches.push_back(
+              {fx.name, command, "explain",
+               "explain failed: " + got.status().ToString()});
+        } else {
+          if (auto diff = DiffHits(expected, std::move(got->hits))) {
+            report.mismatches.push_back(
+                {fx.name, command, "explain", *diff});
+          }
+          std::string detail;
+          if (!explain.CheckInvariant(&detail)) {
+            report.mismatches.push_back(
+                {fx.name, command, "explain",
+                 "accounting invariant violated: " + detail});
+          }
+        }
+      }
+    }
+
+    std::filesystem::remove_all(fx.dir, ec);
+  }
+  return report;
+}
+
+}  // namespace loggrep

@@ -151,6 +151,7 @@ TEST(CapsuleBoxTest, AllVarMetaKindsRoundTrip) {
   const uint32_t c2 = builder.AddCapsule("three");
 
   CapsuleBoxMeta meta = MinimalMeta(2);
+  meta.total_lines = 2;  // Open validates line numbers against total_lines
   meta.templates.push_back(StaticPattern::FromLine(TokenizeLine("a 1 2 3")));
   GroupMeta group;
   group.template_id = 0;
@@ -382,6 +383,7 @@ TEST(AssemblerTest, UnpaddedModeBuildsDelimitedCapsules) {
   const Assembler assembler(opts, &builder);
   const VarMeta meta = assembler.AssembleVariable(RealValues(120, 23));
   CapsuleBoxMeta box_meta;
+  box_meta.codec_id = GetXzCodec().id();  // Open validates the codec id
   box_meta.padded = false;
   const std::string bytes = std::move(builder).Finish(box_meta);
   auto box = CapsuleBox::Open(bytes);
