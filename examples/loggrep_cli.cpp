@@ -17,10 +17,18 @@
 //       (runs the query, then prints the metrics registry in Prometheus
 //        exposition format — or JSON with --stats-json)
 //
+//   loggrep_cli repair <dir>
+//       (re-verifies quarantined blocks; reinstates healthy ones,
+//        tombstones the rest)
+//
 // Global flags (any subcommand):
 //   --stats-json     emit registry counters+histograms as sorted-key JSON
 //   --trace=<file>   enable span tracing, write Chrome trace_event JSON
 //                    (open in chrome://tracing or Perfetto)
+//
+// Exit codes: 0 = success, 1 = error, 2 = usage, 3 = PARTIAL (the query
+// succeeded but one or more quarantined blocks left holes in the result —
+// scripts must be able to tell a complete answer from a degraded one).
 //
 // Query commands follow §3: search strings joined by AND / OR / NOT,
 // wildcards ('*', '?') within a single token, e.g.
@@ -56,6 +64,19 @@ using namespace loggrep;
 // "query.box_cache.*"); exported by `metrics` / --stats-json.
 MetricsRegistry g_metrics;
 bool g_stats_json = false;
+
+// Exit code for a query that succeeded but is missing quarantined blocks.
+constexpr int kExitPartial = 3;
+
+// Prints the partial report (if any) to stderr and maps the result to the
+// process exit code: complete -> 0, degraded -> kExitPartial.
+int FinishQuery(const ArchiveQueryResult& result) {
+  if (!result.partial.partial()) {
+    return 0;
+  }
+  std::fprintf(stderr, "%s", result.partial.Render().c_str());
+  return kExitPartial;
+}
 
 EngineOptions CliEngineOptions() {
   EngineOptions opts;
@@ -333,7 +354,7 @@ int ArchiveGrep(const std::string& dir, const std::string& command) {
                static_cast<unsigned long long>(result->locator.cache_misses),
                result->locator.bytes_saved / 1e6);
   MaybePrintStatsJson();
-  return 0;
+  return FinishQuery(*result);
 }
 
 // Runs the query with the shared registry attached and prints the registry
@@ -378,6 +399,7 @@ int Metrics(const std::string& target, const std::string& command) {
 // and enforces the accounting invariant (non-zero exit on imbalance).
 int Explain(const std::string& target, const std::string& command) {
   QueryExplain qe;
+  int query_rc = 0;
   if (std::filesystem::is_directory(target)) {
     auto archive = LogArchive::Open(target, CliArchiveOptions());
     if (!archive.ok()) {
@@ -390,6 +412,7 @@ int Explain(const std::string& target, const std::string& command) {
                    result.status().ToString().c_str());
       return 1;
     }
+    query_rc = FinishQuery(*result);
   } else {
     std::string box;
     if (!ReadFile(target, &box)) {
@@ -413,7 +436,7 @@ int Explain(const std::string& target, const std::string& command) {
     return 1;
   }
   MaybePrintStatsJson();
-  return 0;
+  return query_rc;
 }
 
 // fsck: re-hash stored bytes, decompress every Capsule, reconstruct every
@@ -431,6 +454,18 @@ int Verify(const std::string& dir) {
                 block.ok() ? "OK" : "CORRUPT");
   }
   return report.ok() ? 0 : 1;
+}
+
+// Self-healing pass: re-verify every quarantined block; reinstate the
+// healthy, tombstone the rest. Exit 0 when every examined block was
+// reinstated (or none were quarantined), 3 when tombstoned holes remain.
+int Repair(const std::string& dir) {
+  const RepairReport report = RepairArchive(dir);
+  std::printf("%s\n", report.Summary().c_str());
+  if (!report.ok()) {
+    return 1;
+  }
+  return report.tombstoned == 0 ? 0 : kExitPartial;
 }
 
 int ArchiveStat(const std::string& dir) {
@@ -472,11 +507,14 @@ int Usage() {
                "  loggrep_cli archive-grep <dir> \"<query>\"\n"
                "  loggrep_cli archive-stat <dir>\n"
                "  loggrep_cli verify <dir>\n"
+               "  loggrep_cli repair <dir>\n"
                "  loggrep_cli ingest <dir> <input.log|-> [block_mb] "
                "[threads]\n"
                "  loggrep_cli explain <block.lgc|archive-dir> \"<query>\"\n"
                "  loggrep_cli metrics <block.lgc|archive-dir> \"<query>\"\n"
-               "flags: --stats-json   --trace=<file>\n");
+               "flags: --stats-json   --trace=<file>\n"
+               "exit codes: 0 ok, 1 error, 2 usage, 3 partial result "
+               "(quarantined blocks)\n");
   return 2;
 }
 
@@ -537,6 +575,9 @@ int main(int raw_argc, char** raw_argv) {
   }
   if (cmd == "verify" && argc == 3) {
     return finish(Verify(argv[2]));
+  }
+  if (cmd == "repair" && argc == 3) {
+    return finish(Repair(argv[2]));
   }
   if (cmd == "explain" && argc == 4) {
     return finish(Explain(argv[2], argv[3]));

@@ -16,6 +16,12 @@ const char* StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case StatusCode::kIOError:
+      return "IO_ERROR";
   }
   return "UNKNOWN";
 }

@@ -20,6 +20,14 @@ enum class StatusCode {
   kNotFound,          // requested entity (group, capsule, file) absent
   kInternal,          // invariant violation inside the library
   kUnimplemented,
+  // Storage-layer failure taxonomy (see src/store/storage_env.h). The
+  // distinction matters to the retry policy: kUnavailable and kIOError are
+  // retryable (the backend may heal); kNotFound and kPermissionDenied are
+  // deterministic answers that retries cannot change.
+  kUnavailable,        // transient backend failure (timeout, throttling, EIO
+                       // that a later attempt may not see)
+  kPermissionDenied,   // the entity exists but the caller may not touch it
+  kIOError,            // hard device / backend error on an existing entity
 };
 
 // Short stable name for a code ("OK", "INVALID_ARGUMENT", ...).
@@ -61,6 +69,15 @@ inline Status Internal(std::string msg) {
 }
 inline Status Unimplemented(std::string msg) {
   return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status PermissionDenied(std::string msg) {
+  return Status(StatusCode::kPermissionDenied, std::move(msg));
+}
+inline Status IOError(std::string msg) {
+  return Status(StatusCode::kIOError, std::move(msg));
 }
 
 // Result<T>: either a value or an error Status. Accessors assert on misuse.

@@ -16,7 +16,8 @@ Result<std::unique_ptr<LogIngestor>> LogIngestor::Start(std::string dir,
   if (options.max_in_flight_blocks == 0) {
     return InvalidArgument("ingest: max_in_flight_blocks must be > 0");
   }
-  const bool exists = std::filesystem::exists(dir + "/archive.manifest");
+  const bool exists =
+      EnvOrDefault(options.archive.env)->FileExists(dir + "/archive.manifest");
   Result<LogArchive> archive = exists
                                    ? LogArchive::Open(dir, options.archive)
                                    : LogArchive::Create(dir, options.archive);

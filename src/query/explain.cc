@@ -107,6 +107,10 @@ std::string QueryExplain::Render() const {
       out += "  [pruned: " + block.prune_reason + "]\n";
       continue;
     }
+    if (block.block_failed) {
+      out += "  [FAILED: " + block.failure + "]\n";
+      continue;
+    }
     out += "  [queried: " + std::to_string(block.hits) + " hit" +
            (block.hits == 1 ? "" : "s") + "]\n";
     // Group capsule fates under the visit that first decided them.

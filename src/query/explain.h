@@ -93,6 +93,8 @@ struct BlockExplain {
   uint64_t hits = 0;             // matching entries in this block
   bool block_pruned = false;     // pruned at the archive level (never opened)
   std::string prune_reason;      // e.g. which keyword failed which filter
+  bool block_failed = false;     // quarantined / failed: hole in the result
+  std::string failure;           // the failure behind the hole
   std::vector<VarVisit> visits;
   std::vector<CapsuleExplain> capsules;  // one entry per visited capsule
 

@@ -1,47 +1,145 @@
 #include "src/store/fs_util.h"
 
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
+#include <mutex>
+#include <unordered_set>
 
 namespace loggrep {
+namespace {
 
-Result<std::string> ReadFileBytes(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return NotFound("fs: cannot open " + path);
-  }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
+// Process-local registry of in-flight temp paths (see ScopedTempFile).
+std::mutex& LiveTempMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
 }
 
-Status WriteFileBytes(const std::string& path, std::string_view data) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Internal("fs: cannot write " + path);
+std::unordered_set<std::string>& LiveTempSet() {
+  static std::unordered_set<std::string>* set =
+      new std::unordered_set<std::string>();
+  return *set;
+}
+
+void RegisterLiveTemp(const std::string& path) {
+  std::lock_guard<std::mutex> lock(LiveTempMutex());
+  LiveTempSet().insert(path);
+}
+
+void UnregisterLiveTemp(const std::string& path) {
+  std::lock_guard<std::mutex> lock(LiveTempMutex());
+  LiveTempSet().erase(path);
+}
+
+// Parses the owner pid out of a tagged temp name
+// ("<base>.<pid>-<nonce>.tmp"); returns -1 for legacy bare "*.tmp" names.
+long ParseTempOwnerPid(const std::string& name) {
+  constexpr std::string_view kSuffix = ".tmp";
+  if (name.size() <= kSuffix.size() ||
+      name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+          0) {
+    return -1;
   }
-  out.write(data.data(), static_cast<std::streamsize>(data.size()));
-  out.flush();
-  if (!out.good()) {
-    return Internal("fs: short write to " + path);
+  const std::string stem = name.substr(0, name.size() - kSuffix.size());
+  // Expect "<base>.<pid>-<nonce>" — find the final '.', then "<pid>-<nonce>".
+  const size_t dot = stem.rfind('.');
+  if (dot == std::string::npos || dot + 1 >= stem.size()) {
+    return -1;
   }
+  const std::string tag = stem.substr(dot + 1);
+  const size_t dash = tag.find('-');
+  if (dash == std::string::npos || dash == 0 || dash + 1 >= tag.size()) {
+    return -1;
+  }
+  const std::string pid_digits = tag.substr(0, dash);
+  const std::string nonce_digits = tag.substr(dash + 1);
+  const auto all_digits = [](const std::string& s) {
+    return !s.empty() && s.size() <= 18 &&
+           s.find_first_not_of("0123456789") == std::string::npos;
+  };
+  if (!all_digits(pid_digits) || !all_digits(nonce_digits)) {
+    return -1;
+  }
+  return static_cast<long>(std::stoll(pid_digits));
+}
+
+bool ProcessAlive(long pid) {
+  if (pid <= 0) {
+    return false;
+  }
+  if (::kill(static_cast<pid_t>(pid), 0) == 0) {
+    return true;
+  }
+  return errno == EPERM;  // exists but owned by someone else
+}
+
+std::string ParentDir(const std::string& path) {
+  const std::string parent =
+      std::filesystem::path(path).parent_path().string();
+  return parent.empty() ? "." : parent;
+}
+
+}  // namespace
+
+Result<std::string> ReadFileBytes(const std::string& path, StorageEnv* env) {
+  return EnvOrDefault(env)->ReadFile(path);
+}
+
+Status WriteFileBytes(const std::string& path, std::string_view data,
+                      StorageEnv* env) {
+  return EnvOrDefault(env)->WriteFile(path, data);
+}
+
+std::string MakeTempPath(const std::string& path) {
+  static std::atomic<uint64_t> nonce{0};
+  return path + "." + std::to_string(::getpid()) + "-" +
+         std::to_string(nonce.fetch_add(1, std::memory_order_relaxed)) +
+         ".tmp";
+}
+
+ScopedTempFile::ScopedTempFile(const std::string& final_path)
+    : temp_path_(MakeTempPath(final_path)) {
+  RegisterLiveTemp(temp_path_);
+}
+
+ScopedTempFile::~ScopedTempFile() { UnregisterLiveTemp(temp_path_); }
+
+bool TempFileIsLive(const std::string& temp_path) {
+  std::lock_guard<std::mutex> lock(LiveTempMutex());
+  return LiveTempSet().count(temp_path) > 0;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view data,
+                       StorageEnv* env) {
+  StorageEnv* e = EnvOrDefault(env);
+  const ScopedTempFile tmp(path);
+  if (Status s = e->WriteFile(tmp.path(), data); !s.ok()) {
+    // A failed (possibly torn) write must not leave a half-file behind.
+    (void)e->RemoveFile(tmp.path());
+    return s;
+  }
+  // Durability point 1: the temp's *data* is on stable storage before the
+  // rename makes it reachable — a reader can never see post-rename garbage.
+  if (Status s = e->SyncFile(tmp.path()); !s.ok()) {
+    (void)e->RemoveFile(tmp.path());
+    return s;
+  }
+  if (Status s = e->Rename(tmp.path(), path); !s.ok()) {
+    (void)e->RemoveFile(tmp.path());  // best effort cleanup
+    return s;
+  }
+  // Durability point 2: the directory entry for the new name. Without this
+  // a power cut after "commit" can resurrect the old file.
+  LOGGREP_RETURN_IF_ERROR(e->SyncDir(ParentDir(path)));
   return OkStatus();
 }
 
-Status WriteFileAtomic(const std::string& path, std::string_view data) {
-  const std::string tmp = path + ".tmp";
-  LOGGREP_RETURN_IF_ERROR(WriteFileBytes(tmp, data));
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);  // best effort cleanup
-    return Internal("fs: cannot rename " + tmp + " -> " + path);
-  }
-  return OkStatus();
-}
-
-std::vector<std::string> SweepTempFiles(const std::string& dir) {
+std::vector<std::string> SweepTempFiles(const std::string& dir,
+                                        StorageEnv* env) {
+  StorageEnv* e = EnvOrDefault(env);
   std::vector<std::string> removed;
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
@@ -49,11 +147,23 @@ std::vector<std::string> SweepTempFiles(const std::string& dir) {
       continue;
     }
     const std::string name = entry.path().filename().string();
-    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
-      std::error_code rm_ec;
-      if (std::filesystem::remove(entry.path(), rm_ec)) {
-        removed.push_back(entry.path().string());
-      }
+    if (name.size() <= 4 ||
+        name.compare(name.size() - 4, 4, ".tmp") != 0) {
+      continue;
+    }
+    const std::string full = entry.path().string();
+    if (TempFileIsLive(full)) {
+      continue;  // in-flight write by this process (e.g. streaming ingest)
+    }
+    const long owner = ParseTempOwnerPid(name);
+    if (owner > 0 && owner != static_cast<long>(::getpid()) &&
+        ProcessAlive(owner)) {
+      continue;  // in-flight write by a live concurrent process
+    }
+    // Legacy bare temps, dead-owner temps, and this process's abandoned
+    // (unregistered) temps are crash droppings.
+    if (e->RemoveFile(full).ok()) {
+      removed.push_back(full);
     }
   }
   return removed;

@@ -1,10 +1,21 @@
 // Filesystem helpers shared by the archive store and the ingest pipeline.
 //
 // All durable writes in the store go through WriteFileAtomic: bytes land in
-// `<path>.tmp` first and are renamed over `<path>` only after a successful
-// full write, so a crash at any instant leaves either the old file, the new
-// file, or the old file plus a stray `*.tmp` — never a torn file. Stray temps
-// are garbage-collected by SweepTempFiles on archive open.
+// a process-tagged temp file first (`<path>.<pid>-<nonce>.tmp`), are fsynced,
+// and are renamed over `<path>` only after a successful full write — followed
+// by an fsync of the parent directory so the *rename itself* survives power
+// loss, not just process death. A crash at any instant leaves either the old
+// file, the new file, or the old file plus a stray temp — never a torn file.
+//
+// Stray temps are garbage-collected by SweepTempFiles on archive open, with
+// a liveness check: a temp registered by this process (ScopedTempFile) or
+// named with the pid of another *live* process is an in-flight write by a
+// concurrent ingestor and must not be yanked; everything else (legacy bare
+// `*.tmp`, dead-pid temps, this process's abandoned temps) is a crash
+// dropping and is removed.
+//
+// Every function takes an optional StorageEnv (null = the real POSIX env),
+// so fault-injection tests drive these exact code paths.
 #ifndef SRC_STORE_FS_UTIL_H_
 #define SRC_STORE_FS_UTIL_H_
 
@@ -13,23 +24,61 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/store/storage_env.h"
 
 namespace loggrep {
 
-// Whole-file read; NotFound when the file cannot be opened.
-Result<std::string> ReadFileBytes(const std::string& path);
+// Whole-file read with errno-faithful errors: kNotFound only when the file
+// truly does not exist; kPermissionDenied / kIOError / kUnavailable
+// otherwise (the retry policy must not retry a true not-found, and recovery
+// must not drop a block that is merely unreadable right now).
+Result<std::string> ReadFileBytes(const std::string& path,
+                                  StorageEnv* env = nullptr);
 
 // Direct (non-atomic) whole-file write. Prefer WriteFileAtomic for anything
 // a reader may observe mid-write.
-Status WriteFileBytes(const std::string& path, std::string_view data);
+Status WriteFileBytes(const std::string& path, std::string_view data,
+                      StorageEnv* env = nullptr);
 
-// Crash-safe whole-file replace: write `<path>.tmp`, then rename over
-// `<path>`. The rename is atomic on POSIX filesystems.
-Status WriteFileAtomic(const std::string& path, std::string_view data);
+// Crash-safe whole-file replace: write a tagged temp, fsync it, rename over
+// `<path>`, fsync the parent directory. The rename is atomic on POSIX
+// filesystems; the syncs make "committed" mean "survives power loss".
+Status WriteFileAtomic(const std::string& path, std::string_view data,
+                       StorageEnv* env = nullptr);
 
-// Deletes every regular file in `dir` whose name ends with `.tmp` (the
-// droppings of interrupted WriteFileAtomic calls). Returns the paths removed.
-std::vector<std::string> SweepTempFiles(const std::string& dir);
+// In-flight temp bookkeeping -------------------------------------------------
+
+// Builds the tagged temp name for `path`: "<path>.<pid>-<nonce>.tmp". Each
+// call yields a fresh nonce.
+std::string MakeTempPath(const std::string& path);
+
+// Registers a temp path as live (in-flight) for this process until the guard
+// dies, so SweepTempFiles running concurrently in the same process (e.g. an
+// archive Open during streaming ingest) never yanks it.
+class ScopedTempFile {
+ public:
+  // Registers MakeTempPath(final_path).
+  explicit ScopedTempFile(const std::string& final_path);
+  ~ScopedTempFile();
+
+  ScopedTempFile(const ScopedTempFile&) = delete;
+  ScopedTempFile& operator=(const ScopedTempFile&) = delete;
+
+  const std::string& path() const { return temp_path_; }
+
+ private:
+  std::string temp_path_;
+};
+
+// True when `temp_path` is registered live in this process (exposed for
+// sweep + tests).
+bool TempFileIsLive(const std::string& temp_path);
+
+// Deletes stale `*.tmp` droppings of interrupted atomic writes in `dir`,
+// skipping temps that are live in this process or owned by another live
+// process (pid parsed from the tagged name). Returns the paths removed.
+std::vector<std::string> SweepTempFiles(const std::string& dir,
+                                        StorageEnv* env = nullptr);
 
 }  // namespace loggrep
 

@@ -1,6 +1,7 @@
 #include "src/store/log_archive.h"
 
 #include <algorithm>
+#include <ctime>
 #include <filesystem>
 #include <set>
 #include <unordered_map>
@@ -202,7 +203,7 @@ Result<LogArchive> LogArchive::Create(std::string dir, ArchiveOptions options) {
     return Internal("archive: cannot create directory " + dir);
   }
   LogArchive archive(std::move(dir), options);
-  if (std::filesystem::exists(archive.ManifestPath())) {
+  if (archive.storage_env()->FileExists(archive.ManifestPath())) {
     return InvalidArgument("archive: manifest already exists; use Open");
   }
   LOGGREP_RETURN_IF_ERROR(archive.WriteManifest());
@@ -296,7 +297,12 @@ Result<std::vector<BlockInfo>> ParseManifestBytes(std::string_view bytes) {
 
 Result<LogArchive> LogArchive::Open(std::string dir, ArchiveOptions options) {
   LogArchive archive(std::move(dir), options);
-  Result<std::string> bytes = ReadFileBytes(archive.ManifestPath());
+  StorageEnv* env = archive.storage_env();
+  Result<std::string> bytes =
+      options.retry.enabled()
+          ? RetryReadFile(env, options.retry, /*budget=*/nullptr,
+                          archive.ManifestPath(), options.metrics)
+          : ReadFileBytes(archive.ManifestPath(), env);
   if (!bytes.ok()) {
     return bytes.status();
   }
@@ -306,30 +312,80 @@ Result<LogArchive> LogArchive::Open(std::string dir, ArchiveOptions options) {
   }
   archive.blocks_ = std::move(*blocks);
 
+  // Degraded-query bookkeeping loads *before* recovery: a quarantined block
+  // is excused from the missing-file checks below (its hole is a known,
+  // reported condition — possibly a tombstone repair already accepted — not
+  // fresh corruption). A corrupt sidecar degrades to "nothing quarantined"
+  // (queries rediscover sick blocks) — Open must not fail over bookkeeping.
+  if (Status s = archive.ReloadQuarantine(); !s.ok()) {
+    if (options.metrics != nullptr) {
+      options.metrics->GetOrCreate("storage.quarantine.load_failures")->Add(1);
+    }
+  }
+
   // Crash recovery. A commit that died after the manifest tmp write but
   // before the rename leaves the *old* manifest in place — nothing to do
   // beyond sweeping. A manifest that somehow references a block whose file
   // never survived (e.g. manual tampering, partial restore) is repaired by
-  // dropping trailing entries; an interior hole is real corruption.
+  // dropping trailing entries; an interior hole is real corruption unless
+  // the quarantine already accounts for it.
   size_t dropped = 0;
   while (!archive.blocks_.empty() &&
-         !std::filesystem::exists(
-             archive.BlockPath(archive.blocks_.back().seq))) {
+         archive.quarantine_.Find(archive.blocks_.back().seq) == nullptr &&
+         !env->FileExists(archive.BlockPath(archive.blocks_.back().seq))) {
     archive.blocks_.pop_back();
     ++dropped;
   }
   for (const BlockInfo& block : archive.blocks_) {
-    if (!std::filesystem::exists(archive.BlockPath(block.seq))) {
+    if (archive.quarantine_.Find(block.seq) != nullptr) {
+      continue;  // known hole; queries skip it, repair adjudicates it
+    }
+    if (!env->FileExists(archive.BlockPath(block.seq))) {
       return CorruptData("archive: interior block file missing: " +
                          archive.BlockPath(block.seq));
     }
   }
   if (dropped > 0) {
     LOGGREP_RETURN_IF_ERROR(archive.WriteManifest());
+    // Entries for dropped trailing blocks are now stale; re-filter.
+    std::unordered_set<uint32_t> live;
+    live.reserve(archive.blocks_.size());
+    for (const BlockInfo& block : archive.blocks_) {
+      live.insert(block.seq);
+    }
+    auto& entries = archive.quarantine_.entries;
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [&live](const QuarantineEntry& e) {
+                                   return live.count(e.seq) == 0;
+                                 }),
+                  entries.end());
   }
-  SweepTempFiles(archive.dir_);
+  SweepTempFiles(archive.dir_, env);
   archive.SweepUnreferencedBlocks();
   return archive;
+}
+
+Status LogArchive::ReloadQuarantine() {
+  Result<QuarantineSet> loaded = LoadQuarantine(dir_, storage_env());
+  if (!loaded.ok()) {
+    quarantine_ = QuarantineSet{};
+    return loaded.status();
+  }
+  quarantine_ = std::move(*loaded);
+  // Stale entries (blocks no longer in the manifest, e.g. a recovered tail)
+  // must not report holes for data the archive no longer claims to hold.
+  std::unordered_set<uint32_t> live;
+  live.reserve(blocks_.size());
+  for (const BlockInfo& block : blocks_) {
+    live.insert(block.seq);
+  }
+  auto& entries = quarantine_.entries;
+  entries.erase(std::remove_if(entries.begin(), entries.end(),
+                               [&live](const QuarantineEntry& e) {
+                                 return live.count(e.seq) == 0;
+                               }),
+                entries.end());
+  return OkStatus();
 }
 
 std::string LogArchive::SerializeManifest() const {
@@ -352,7 +408,7 @@ std::string LogArchive::SerializeManifest() const {
 }
 
 Status LogArchive::WriteManifest() const {
-  return WriteFileAtomic(ManifestPath(), SerializeManifest());
+  return WriteFileAtomic(ManifestPath(), SerializeManifest(), storage_env());
 }
 
 void LogArchive::SweepUnreferencedBlocks() const {
@@ -390,8 +446,7 @@ void LogArchive::SweepUnreferencedBlocks() const {
     }
     const uint32_t seq = static_cast<uint32_t>(parsed);
     if (live.count(seq) == 0) {
-      std::error_code rm_ec;
-      std::filesystem::remove(entry.path(), rm_ec);
+      (void)storage_env()->RemoveFile(entry.path().string());
     }
   }
 }
@@ -417,19 +472,45 @@ Status LogArchive::CommitCompressedBlock(std::string_view box_bytes,
   }
   block.stored_bytes = box_bytes.size();
   block.stored_hash = Fnv1a64(box_bytes);
+  StorageEnv* env = storage_env();
 
-  // Step 1+2: block file via tmp + rename (kill points in between).
+  // Step 1+2: block file via tagged tmp + fsync + rename (kill points in
+  // between). The ScopedTempFile registers the temp as live, so a concurrent
+  // Open in this process (streaming ingest) never sweeps an in-flight write;
+  // a kill-point abort leaves the temp behind exactly like a crash would,
+  // and the next Open sweeps it (the guard has unregistered by then).
   const std::string path = BlockPath(block.seq);
-  const std::string block_tmp = path + ".tmp";
-  LOGGREP_RETURN_IF_ERROR(WriteFileBytes(block_tmp, box_bytes));
+  const ScopedTempFile block_tmp(path);
+  // Each commit-path op retries transient backend failures (a retried torn
+  // write simply rewrites the whole temp — the final name is untouched until
+  // the rename).
+  if (Status s = RetryStorage("commit.write_block",
+                              [&] {
+                                return env->WriteFile(block_tmp.path(),
+                                                      box_bytes);
+                              });
+      !s.ok()) {
+    (void)env->RemoveFile(block_tmp.path());  // never leave a torn temp
+    return s;
+  }
+  // Durability point: the block's bytes are on stable storage before the
+  // rename makes them reachable from the manifest.
+  if (Status s = RetryStorage(
+          "commit.sync_block", [&] { return env->SyncFile(block_tmp.path()); });
+      !s.ok()) {
+    (void)env->RemoveFile(block_tmp.path());
+    return s;
+  }
   if (hook && hook(CommitKillPoint::kBlockTmpWritten)) {
     return Internal(std::string("archive: commit aborted at ") +
                     CommitKillPointName(CommitKillPoint::kBlockTmpWritten));
   }
-  std::error_code ec;
-  std::filesystem::rename(block_tmp, path, ec);
-  if (ec) {
-    return Internal("archive: cannot rename " + block_tmp + " -> " + path);
+  if (Status s = RetryStorage(
+          "commit.rename_block",
+          [&] { return env->Rename(block_tmp.path(), path); });
+      !s.ok()) {
+    (void)env->RemoveFile(block_tmp.path());
+    return s;
   }
   if (hook && hook(CommitKillPoint::kBlockRenamed)) {
     return Internal(std::string("archive: commit aborted at ") +
@@ -440,8 +521,22 @@ Status LogArchive::CommitCompressedBlock(std::string_view box_bytes,
   // the already-renamed block file becomes an orphan swept at next Open.
   blocks_.push_back(std::move(block));
   const std::string manifest = SerializeManifest();
-  const std::string manifest_tmp = ManifestPath() + ".tmp";
-  if (Status s = WriteFileBytes(manifest_tmp, manifest); !s.ok()) {
+  const ScopedTempFile manifest_tmp(ManifestPath());
+  if (Status s = RetryStorage("commit.write_manifest",
+                              [&] {
+                                return env->WriteFile(manifest_tmp.path(),
+                                                      manifest);
+                              });
+      !s.ok()) {
+    (void)env->RemoveFile(manifest_tmp.path());
+    blocks_.pop_back();
+    return s;
+  }
+  if (Status s = RetryStorage(
+          "commit.sync_manifest",
+          [&] { return env->SyncFile(manifest_tmp.path()); });
+      !s.ok()) {
+    (void)env->RemoveFile(manifest_tmp.path());
     blocks_.pop_back();
     return s;
   }
@@ -450,13 +545,99 @@ Status LogArchive::CommitCompressedBlock(std::string_view box_bytes,
     return Internal(std::string("archive: commit aborted at ") +
                     CommitKillPointName(CommitKillPoint::kManifestTmpWritten));
   }
-  std::filesystem::rename(manifest_tmp, ManifestPath(), ec);
-  if (ec) {
+  if (Status s = RetryStorage(
+          "commit.rename_manifest",
+          [&] { return env->Rename(manifest_tmp.path(), ManifestPath()); });
+      !s.ok()) {
     blocks_.pop_back();
-    return Internal("archive: cannot rename " + manifest_tmp + " -> " +
-                    ManifestPath());
+    return s;
   }
+  // Directory-entry durability: both renames survive power loss, not just
+  // process death.
+  LOGGREP_RETURN_IF_ERROR(
+      RetryStorage("commit.sync_dir", [&] { return env->SyncDir(dir_); }));
   return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Degraded queries
+// ---------------------------------------------------------------------------
+
+Status LogArchive::RetryStorage(const char* op_name,
+                                const std::function<Status()>& op) const {
+  if (!options_.retry.enabled()) {
+    return op();
+  }
+  return RetryOp(storage_env(), options_.retry, /*budget=*/nullptr, op_name,
+                 options_.metrics, op);
+}
+
+Result<std::string> LogArchive::LoadBlockBytes(uint32_t seq,
+                                               const RetryBudget* budget) const {
+  if (!options_.retry.enabled()) {
+    return ReadFileBytes(BlockPath(seq), storage_env());
+  }
+  return RetryReadFile(storage_env(), options_.retry, budget, BlockPath(seq),
+                       options_.metrics);
+}
+
+void LogArchive::QuarantineBlock(const BlockInfo& block, const Status& cause) {
+  QuarantineEntry entry;
+  entry.seq = block.seq;
+  entry.code = StatusCodeName(cause.code());
+  entry.error = cause.message();
+  entry.quarantined_unix = static_cast<uint64_t>(::time(nullptr));
+  quarantine_.Add(std::move(entry));
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetOrCreate("storage.quarantine.added")->Add(1);
+  }
+  // Best effort: failing to persist the sidecar must not fail the query on
+  // top of the block failure — the in-memory set still protects this
+  // process, and the next failing query retries the write.
+  if (Status s = SaveQuarantine(dir_, quarantine_, storage_env()); !s.ok()) {
+    if (options_.metrics != nullptr) {
+      options_.metrics->GetOrCreate("storage.quarantine.persist_failures")
+          ->Add(1);
+    }
+  }
+}
+
+bool LogArchive::SkipIfQuarantined(const BlockInfo& block,
+                                   PartialReport* report) const {
+  const QuarantineEntry* entry = quarantine_.Find(block.seq);
+  if (entry == nullptr) {
+    return false;
+  }
+  BlockQueryFailure failure;
+  failure.seq = block.seq;
+  failure.first_line = block.first_line;
+  failure.line_count = block.line_count;
+  failure.error = entry->code.empty()
+                      ? entry->error
+                      : entry->code + ": " + entry->error;
+  failure.newly_quarantined = false;
+  failure.tombstoned = entry->tombstoned;
+  report->failures.push_back(std::move(failure));
+  return true;
+}
+
+bool LogArchive::DegradeOnFailure(const BlockInfo& block, const Status& cause,
+                                  PartialReport* report) {
+  // A malformed query is the caller's bug, not the block's: never degrade.
+  if (!options_.degraded_queries ||
+      cause.code() == StatusCode::kInvalidArgument) {
+    return false;
+  }
+  QuarantineBlock(block, cause);
+  BlockQueryFailure failure;
+  failure.seq = block.seq;
+  failure.first_line = block.first_line;
+  failure.line_count = block.line_count;
+  failure.error = cause.ToString();
+  failure.newly_quarantined = true;
+  failure.tombstoned = false;
+  report->failures.push_back(std::move(failure));
+  return true;
 }
 
 uint64_t LogArchive::PruneBlocks(const std::vector<std::string>& required,
@@ -504,18 +685,24 @@ Result<ArchiveQueryResult> LogArchive::Query(std::string_view command) {
   result.locator.prune_nanos =
       PruneBlocks(required, &to_query, &result.blocks_pruned);
 
+  const RetryBudget budget(storage_env(), options_.query_deadline_ns);
   for (const BlockInfo* block : to_query) {
+    if (SkipIfQuarantined(*block, &result.partial)) {
+      continue;  // standing hole; no retry storm on a known-sick block
+    }
     const TraceSpan block_span("archive.query_block", "query", "seq",
                                block->seq);
     // Warm blocks never touch the file: the loader only runs on a box-cache
     // miss (or when the archive runs without a cache).
-    const std::string path = BlockPath(block->seq);
-    auto loader = [&path]() -> Result<std::string> {
-      return ReadFileBytes(path);
+    auto loader = [this, block, &budget]() -> Result<std::string> {
+      return LoadBlockBytes(block->seq, &budget);
     };
     Result<QueryResult> block_result =
         engine_.QueryBox(KeyForBlock(block->seq), loader, command);
     if (!block_result.ok()) {
+      if (DegradeOnFailure(*block, block_result.status(), &result.partial)) {
+        continue;
+      }
       return block_result.status();
     }
     ++result.blocks_queried;
@@ -551,17 +738,27 @@ Result<ArchiveQueryResult> LogArchive::Explain(std::string_view command,
     slot_of_seq.emplace(explain->blocks[i].seq, i);
   }
 
+  const RetryBudget budget(storage_env(), options_.query_deadline_ns);
   for (const BlockInfo* block : to_query) {
+    BlockExplain* be = &explain->blocks[slot_of_seq.at(block->seq)];
+    if (SkipIfQuarantined(*block, &result.partial)) {
+      be->block_failed = true;
+      be->failure = result.partial.failures.back().error;
+      continue;
+    }
     const TraceSpan block_span("archive.query_block", "query", "seq",
                                block->seq);
-    const std::string path = BlockPath(block->seq);
-    auto loader = [&path]() -> Result<std::string> {
-      return ReadFileBytes(path);
+    auto loader = [this, block, &budget]() -> Result<std::string> {
+      return LoadBlockBytes(block->seq, &budget);
     };
-    BlockExplain* be = &explain->blocks[slot_of_seq.at(block->seq)];
     Result<QueryResult> block_result =
         engine_.ExplainBox(KeyForBlock(block->seq), loader, command, be);
     if (!block_result.ok()) {
+      if (DegradeOnFailure(*block, block_result.status(), &result.partial)) {
+        be->block_failed = true;
+        be->failure = result.partial.failures.back().error;
+        continue;
+      }
       return block_result.status();
     }
     ++result.blocks_queried;
@@ -587,18 +784,30 @@ Result<ArchiveQueryResult> LogArchive::ParallelQuery(std::string_view command,
   result.locator.prune_nanos =
       PruneBlocks(required, &to_query, &result.blocks_pruned);
 
+  // Known-sick blocks are skipped up front (a standing hole each); only
+  // healthy blocks are fanned out to workers.
+  std::vector<const BlockInfo*> submitted;
+  submitted.reserve(to_query.size());
+  for (const BlockInfo* block : to_query) {
+    if (!SkipIfQuarantined(*block, &result.partial)) {
+      submitted.push_back(block);
+    }
+  }
+
   struct PerBlock {
     Status status;
     QueryHits hits;
     LocatorStats locator;
   };
-  std::vector<PerBlock> slots(to_query.size());
+  std::vector<PerBlock> slots(submitted.size());
+  // One retry budget shared by every worker: the *query* has a deadline, not
+  // each block (Expired() is a lock-free read of the env clock).
+  const RetryBudget budget(storage_env(), options_.query_deadline_ns);
   {
     ThreadPool pool(num_threads);
-    for (size_t i = 0; i < to_query.size(); ++i) {
-      const BlockInfo* block = to_query[i];
+    for (size_t i = 0; i < submitted.size(); ++i) {
+      const BlockInfo* block = submitted[i];
       PerBlock* slot = &slots[i];
-      const std::string path = BlockPath(block->seq);
       const std::string command_copy(command);
       const BoxKey key = KeyForBlock(block->seq);
       EngineOptions opts = options_.engine;
@@ -607,15 +816,15 @@ Result<ArchiveQueryResult> LogArchive::ParallelQuery(std::string_view command,
       // one worker (or a prior serial query) is warm for every other.
       opts.box_cache = box_cache_.get();
       opts.use_box_cache = box_cache_ != nullptr;
-      pool.Submit([block, slot, path, command_copy, key, opts] {
+      pool.Submit([this, block, slot, command_copy, key, opts, &budget] {
         // ThreadPool installs the submitting span as parent, so this span
         // nests under archive.parallel_query in the exported trace even
         // though it runs on a worker thread.
         const TraceSpan block_span("archive.query_block", "query", "seq",
                                    block->seq);
         LogGrepEngine engine(opts);
-        auto loader = [&path]() -> Result<std::string> {
-          return ReadFileBytes(path);
+        auto loader = [this, block, &budget]() -> Result<std::string> {
+          return LoadBlockBytes(block->seq, &budget);
         };
         Result<QueryResult> r = engine.QueryBox(key, loader, command_copy);
         if (!r.ok()) {
@@ -630,8 +839,14 @@ Result<ArchiveQueryResult> LogArchive::ParallelQuery(std::string_view command,
     }
     pool.Wait();
   }
-  for (PerBlock& slot : slots) {
+  // Collection runs on the calling thread: quarantine mutation and sidecar
+  // persistence stay single-threaded.
+  for (size_t i = 0; i < submitted.size(); ++i) {
+    PerBlock& slot = slots[i];
     if (!slot.status.ok()) {
+      if (DegradeOnFailure(*submitted[i], slot.status, &result.partial)) {
+        continue;
+      }
       return slot.status;
     }
     ++result.blocks_queried;

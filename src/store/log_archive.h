@@ -25,6 +25,9 @@
 #include "src/query/box_cache.h"
 #include "src/query/locator.h"
 #include "src/query/query_parser.h"
+#include "src/store/quarantine.h"
+#include "src/store/retry.h"
+#include "src/store/storage_env.h"
 
 namespace loggrep {
 
@@ -36,6 +39,22 @@ struct ArchiveOptions {
   size_t box_cache_budget_bytes = 256ull << 20;
   // Optional registry for query/cache counters. Borrowed.
   MetricsRegistry* metrics = nullptr;
+  // Storage backend every durable read/write/rename goes through. Borrowed;
+  // null means the real POSIX filesystem. Tests plug in a
+  // FaultInjectingStorageEnv to exercise these exact code paths.
+  StorageEnv* env = nullptr;
+  // Retry policy for query-path block reads (transient backend failures are
+  // re-attempted with decorrelated-jitter backoff before a block is given up
+  // on). max_attempts = 1 disables retrying.
+  RetryPolicy retry;
+  // Per-query retry deadline: one Query/ParallelQuery/Explain call never
+  // spends more than this much wall time in backoff, no matter how many
+  // blocks fail. 0 means unlimited.
+  uint64_t query_deadline_ns = 0;
+  // When true (default), a block whose read or decode fails after retries is
+  // quarantined and the query degrades (hits from healthy blocks plus a
+  // PartialReport). When false, the first block failure fails the query.
+  bool degraded_queries = true;
 };
 
 struct BlockInfo {
@@ -66,15 +85,17 @@ uint64_t HashBlockContent(std::string_view text);
 Result<std::vector<BlockInfo>> ParseManifestBytes(std::string_view bytes);
 
 // Crash-safe block commit protocol (used by AppendBlock and the ingest
-// pipeline). Every step goes through tmp-file + atomic rename:
-//   1. write  block-N.lgc.tmp                      [kBlockTmpWritten]
-//   2. rename block-N.lgc.tmp -> block-N.lgc       [kBlockRenamed]
-//   3. write  archive.manifest.tmp                 [kManifestTmpWritten]
-//   4. rename archive.manifest.tmp -> archive.manifest
+// pipeline). Every step goes through a tagged tmp file (pid + nonce, see
+// MakeTempPath) + fsync + atomic rename, all via the injectable StorageEnv:
+//   1. write+fsync  block-N.lgc.<pid>-<n>.tmp      [kBlockTmpWritten]
+//   2. rename       tmp -> block-N.lgc             [kBlockRenamed]
+//   3. write+fsync  archive.manifest.<pid>-<n>.tmp [kManifestTmpWritten]
+//   4. rename       tmp -> archive.manifest, fsync the directory
 // A crash between any two steps leaves either the old archive state or the
 // new one plus sweepable garbage; `Open` recovers by trusting the manifest,
 // dropping trailing entries whose block file is missing, and sweeping
-// orphaned `*.tmp` / unreferenced block files.
+// orphaned `*.tmp` / unreferenced block files (skipping temps that belong to
+// a live in-flight write, this process's or another's).
 enum class CommitKillPoint {
   kBlockTmpWritten,    // block temp durable, final name absent
   kBlockRenamed,       // block durable, manifest still the old one
@@ -101,6 +122,10 @@ struct ArchiveQueryResult {
   QueryHits hits;
   uint32_t blocks_pruned = 0;
   uint32_t blocks_queried = 0;
+  // Blocks the query could not serve (quarantined before the query, or
+  // failed during it). Empty means the result is complete; otherwise `hits`
+  // is exact over every healthy block and `partial` names each hole.
+  PartialReport partial;
   LocatorStats locator;  // summed over queried blocks (+ prune stage time)
 };
 
@@ -112,7 +137,9 @@ class LogArchive {
   // Opens an existing archive (block summaries load from the manifest).
   // Recovery: trailing manifest entries whose block file is missing are
   // dropped (the manifest is re-persisted), interior holes are rejected as
-  // corruption, and orphaned `*.tmp` / unreferenced block files are swept.
+  // corruption — unless the block is quarantined, in which case the hole is
+  // a known, reported condition — and orphaned `*.tmp` / unreferenced block
+  // files are swept.
   static Result<LogArchive> Open(std::string dir, ArchiveOptions options = {});
 
   // Compresses `text` as the next block and persists it + the manifest
@@ -154,6 +181,14 @@ class LogArchive {
   const std::vector<BlockInfo>& blocks() const { return blocks_; }
   // The shared cache (null when box_cache_budget_bytes == 0).
   BoxCache* box_cache() const { return box_cache_.get(); }
+  // Blocks currently excluded from queries (loaded from quarantine.json at
+  // Open, grown by failed queries, shrunk by `loggrep_cli repair`).
+  const QuarantineSet& quarantine() const { return quarantine_; }
+  // Re-reads quarantine.json (picks up an external repair without reopening).
+  Status ReloadQuarantine();
+  // The storage backend in effect (never null).
+  StorageEnv* storage_env() const { return EnvOrDefault(options_.env); }
+  const std::string& dir() const { return dir_; }
   uint64_t total_lines() const;
   uint64_t total_raw_bytes() const;
   uint64_t total_stored_bytes() const;
@@ -165,6 +200,25 @@ class LogArchive {
   std::string ManifestPath() const;
   std::string SerializeManifest() const;
   Status WriteManifest() const;
+  // Retrying block read through the env (the query-path loader body).
+  Result<std::string> LoadBlockBytes(uint32_t seq,
+                                     const RetryBudget* budget) const;
+  // Runs one commit-path storage operation under the retry policy (no
+  // deadline budget: ingest durability beats latency).
+  Status RetryStorage(const char* op_name,
+                      const std::function<Status()>& op) const;
+  // Records `cause` in the quarantine set and persists the sidecar (best
+  // effort: a failing sidecar write must not fail the query on top of the
+  // block failure; it is counted in "storage.quarantine.persist_failures").
+  void QuarantineBlock(const BlockInfo& block, const Status& cause);
+  // Appends the failure of `block` to `report` (and quarantines it when the
+  // failure is fresh). Returns false when the failure must abort the query
+  // instead (degraded queries disabled, or a query-syntax error).
+  bool DegradeOnFailure(const BlockInfo& block, const Status& cause,
+                        PartialReport* report);
+  // When `block` is quarantined, appends the standing hole to `report` and
+  // returns true (the caller skips the block without touching storage).
+  bool SkipIfQuarantined(const BlockInfo& block, PartialReport* report) const;
   // Removes block-*.lgc files whose seq has no manifest entry (droppings of
   // commits that died after the block rename but before the manifest swap).
   void SweepUnreferencedBlocks() const;
@@ -186,6 +240,9 @@ class LogArchive {
   std::shared_ptr<BoxCache> box_cache_;
   LogGrepEngine engine_;
   std::vector<BlockInfo> blocks_;
+  // Mutated only on the calling thread (ParallelQuery quarantines during
+  // the serial collection phase, never from workers).
+  QuarantineSet quarantine_;
 };
 
 // Keywords every matching entry MUST contain, extracted from a parsed query

@@ -1,0 +1,139 @@
+#include "src/store/retry.h"
+
+#include <algorithm>
+
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+#include "src/common/trace.h"
+
+namespace loggrep {
+
+bool RetryableStatus(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kIOError;
+}
+
+uint64_t RetryBudget::RemainingNanos() const {
+  if (deadline_ns_ == 0) {
+    return UINT64_MAX;
+  }
+  const uint64_t now = env_->NowNanos();
+  return now >= deadline_ns_ ? 0 : deadline_ns_ - now;
+}
+
+namespace {
+
+struct RetryCounters {
+  Counter* attempts = nullptr;
+  Counter* retries = nullptr;
+  Counter* success_after_retry = nullptr;
+  Counter* exhausted = nullptr;
+  Counter* deadline_exceeded = nullptr;
+  Counter* backoff_ns = nullptr;
+};
+
+RetryCounters ResolveCounters(MetricsRegistry* metrics) {
+  RetryCounters c;
+  if (metrics != nullptr) {
+    c.attempts = metrics->GetOrCreate("storage.retry.attempts");
+    c.retries = metrics->GetOrCreate("storage.retry.retries");
+    c.success_after_retry =
+        metrics->GetOrCreate("storage.retry.success_after_retry");
+    c.exhausted = metrics->GetOrCreate("storage.retry.exhausted");
+    c.deadline_exceeded =
+        metrics->GetOrCreate("storage.retry.deadline_exceeded");
+    c.backoff_ns = metrics->GetOrCreate("storage.retry.backoff_ns");
+  }
+  return c;
+}
+
+inline void Bump(Counter* counter, uint64_t delta = 1) {
+  if (counter != nullptr) {
+    counter->Add(delta);
+  }
+}
+
+}  // namespace
+
+Status RetryOp(StorageEnv* env, const RetryPolicy& policy,
+               const RetryBudget* budget, const char* op_name,
+               MetricsRegistry* metrics, const std::function<Status()>& op) {
+  env = EnvOrDefault(env);
+  const RetryCounters counters = ResolveCounters(metrics);
+  const uint32_t max_attempts = std::max<uint32_t>(1, policy.max_attempts);
+  // Decorrelated jitter state. Seeded from the policy seed and the op name
+  // so two different op kinds never sleep in lockstep.
+  Rng rng(policy.seed ^ Fnv1a64(op_name));
+  uint64_t prev_sleep_ns = std::max<uint64_t>(1, policy.initial_backoff_ns);
+
+  Status last = OkStatus();
+  for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    Bump(counters.attempts);
+    {
+      const TraceSpan span("storage.op", "storage", "attempt", attempt);
+      last = op();
+    }
+    if (last.ok()) {
+      if (attempt > 1) {
+        Bump(counters.success_after_retry);
+      }
+      return last;
+    }
+    if (!RetryableStatus(last.code())) {
+      return last;  // deterministic answer; retrying cannot change it
+    }
+    if (attempt == max_attempts) {
+      break;
+    }
+    if (budget != nullptr && budget->Expired()) {
+      Bump(counters.deadline_exceeded);
+      return Status(last.code(),
+                    std::string(op_name) + ": retry budget exhausted after " +
+                        std::to_string(attempt) +
+                        " attempt(s); last error: " + last.ToString());
+    }
+    // Decorrelated jitter: sleep = min(cap, uniform[base, 3 * prev]).
+    const uint64_t base = std::max<uint64_t>(1, policy.initial_backoff_ns);
+    const uint64_t hi = std::max<uint64_t>(base + 1, 3 * prev_sleep_ns);
+    uint64_t sleep_ns = base + rng.NextBelow(hi - base);
+    sleep_ns = std::min(sleep_ns, std::max<uint64_t>(1, policy.max_backoff_ns));
+    if (budget != nullptr && !budget->unlimited()) {
+      sleep_ns = std::min(sleep_ns, budget->RemainingNanos());
+    }
+    prev_sleep_ns = sleep_ns;
+    Bump(counters.retries);
+    Bump(counters.backoff_ns, sleep_ns);
+    {
+      const TraceSpan span("storage.retry_backoff", "storage", "attempt",
+                           attempt);
+      env->SleepNanos(sleep_ns);
+    }
+  }
+  Bump(counters.exhausted);
+  return Status(last.code(), std::string(op_name) + ": " +
+                                 std::to_string(max_attempts) +
+                                 " attempt(s) exhausted; last error: " +
+                                 last.ToString());
+}
+
+Result<std::string> RetryReadFile(StorageEnv* env, const RetryPolicy& policy,
+                                  const RetryBudget* budget,
+                                  const std::string& path,
+                                  MetricsRegistry* metrics) {
+  env = EnvOrDefault(env);
+  std::string bytes;
+  Status s = RetryOp(env, policy, budget, "storage.read", metrics,
+                     [env, &path, &bytes]() -> Status {
+                       Result<std::string> r = env->ReadFile(path);
+                       if (!r.ok()) {
+                         return r.status();
+                       }
+                       bytes = std::move(*r);
+                       return OkStatus();
+                     });
+  if (!s.ok()) {
+    return s;
+  }
+  return bytes;
+}
+
+}  // namespace loggrep

@@ -1,0 +1,87 @@
+// RetryPolicy: bounded, jittered retries for StorageEnv operations.
+//
+// Cloud back-ends fail transiently all the time; the correct response is a
+// capped number of re-attempts with exponential backoff and *decorrelated
+// jitter* (each sleep is uniform in [base, 3 * previous], capped), which
+// avoids the synchronized thundering herds plain exponential backoff causes
+// across many workers. Two ceilings bound every retried operation:
+//
+//   * a per-op attempt cap (RetryPolicy::max_attempts), and
+//   * an optional per-query deadline budget (RetryBudget) shared by every
+//     storage operation a single query issues — a query never burns more
+//     than its budget waiting on a sick backend, no matter how many blocks
+//     it touches.
+//
+// Only kUnavailable and kIOError are retried. kNotFound and
+// kPermissionDenied are deterministic answers (retrying cannot change them),
+// and kCorruptData means the bytes arrived fine but are bad — retrying reads
+// the same bad bytes again.
+//
+// All sleeping and clock reads go through the StorageEnv, so tests with a
+// FaultInjectingStorageEnv virtual clock exercise backoff and deadlines in
+// zero wall time. Outcomes are mirrored to "storage.retry.*" metrics.
+#ifndef SRC_STORE_RETRY_H_
+#define SRC_STORE_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/common/metrics.h"
+#include "src/store/storage_env.h"
+
+namespace loggrep {
+
+struct RetryPolicy {
+  // Total tries per operation (1 = no retries).
+  uint32_t max_attempts = 4;
+  // First backoff; subsequent sleeps are decorrelated-jittered exponential.
+  uint64_t initial_backoff_ns = 1'000'000;  // 1 ms
+  uint64_t max_backoff_ns = 64'000'000;     // 64 ms
+  // Jitter stream seed (deterministic given the same call sequence).
+  uint64_t seed = 0x5EEDBACCull;
+
+  bool enabled() const { return max_attempts > 1; }
+};
+
+// True for codes a later attempt may not see again (kUnavailable, kIOError).
+bool RetryableStatus(StatusCode code);
+
+// A per-query wall-budget for retrying. Copyable-by-pointer into worker
+// threads; Expired() is a read of the env clock against a fixed deadline.
+class RetryBudget {
+ public:
+  // budget_ns == 0 means "no deadline".
+  RetryBudget(StorageEnv* env, uint64_t budget_ns)
+      : env_(EnvOrDefault(env)),
+        deadline_ns_(budget_ns == 0 ? 0 : env_->NowNanos() + budget_ns) {}
+
+  bool unlimited() const { return deadline_ns_ == 0; }
+  bool Expired() const {
+    return deadline_ns_ != 0 && env_->NowNanos() >= deadline_ns_;
+  }
+  // Nanoseconds left (UINT64_MAX when unlimited).
+  uint64_t RemainingNanos() const;
+
+ private:
+  StorageEnv* env_;
+  uint64_t deadline_ns_;
+};
+
+// Runs `op` under `policy`: retries retryable failures with backoff until
+// success, a non-retryable code, the attempt cap, or budget exhaustion
+// (`budget` may be null). `op_name` labels trace spans and error messages;
+// `metrics` (may be null) receives the "storage.retry.*" counters.
+Status RetryOp(StorageEnv* env, const RetryPolicy& policy,
+               const RetryBudget* budget, const char* op_name,
+               MetricsRegistry* metrics, const std::function<Status()>& op);
+
+// Retrying whole-file read through the env. The common query-path citizen.
+Result<std::string> RetryReadFile(StorageEnv* env, const RetryPolicy& policy,
+                                  const RetryBudget* budget,
+                                  const std::string& path,
+                                  MetricsRegistry* metrics);
+
+}  // namespace loggrep
+
+#endif  // SRC_STORE_RETRY_H_

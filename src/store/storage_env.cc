@@ -1,0 +1,501 @@
+#include "src/store/storage_env.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+namespace loggrep {
+
+const char* StorageOpName(StorageOp op) {
+  switch (op) {
+    case StorageOp::kRead:
+      return "read";
+    case StorageOp::kWrite:
+      return "write";
+    case StorageOp::kRename:
+      return "rename";
+    case StorageOp::kRemove:
+      return "remove";
+    case StorageOp::kSyncFile:
+      return "sync_file";
+    case StorageOp::kSyncDir:
+      return "sync_dir";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Maps an errno from an open/read/write failure to the storage taxonomy.
+Status ErrnoToStatus(int err, const std::string& op,
+                     const std::string& path) {
+  const std::string msg = "fs: " + op + " " + path + ": " +
+                          std::strerror(err);
+  switch (err) {
+    case ENOENT:
+    case ENOTDIR:
+      return NotFound(msg);
+    case EACCES:
+    case EPERM:
+      return PermissionDenied(msg);
+    case EAGAIN:
+    case EINTR:
+    case EBUSY:
+      return Unavailable(msg);
+    default:
+      return IOError(msg);
+  }
+}
+
+class FdCloser {
+ public:
+  explicit FdCloser(int fd) : fd_(fd) {}
+  ~FdCloser() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  int get() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+StorageEnv* DefaultStorageEnv() {
+  static PosixStorageEnv* env = new PosixStorageEnv();
+  return env;
+}
+
+// ---------------------------------------------------------------------------
+// PosixStorageEnv
+// ---------------------------------------------------------------------------
+
+Result<std::string> PosixStorageEnv::ReadFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return ErrnoToStatus(errno, "open", path);
+  }
+  FdCloser closer(fd);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoToStatus(errno, "read", path);
+    }
+    if (n == 0) {
+      break;
+    }
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+Status PosixStorageEnv::WriteFile(const std::string& path,
+                                  std::string_view data) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    return ErrnoToStatus(errno, "create", path);
+  }
+  FdCloser closer(fd);
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoToStatus(errno, "write", path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::close(closer.release()) != 0) {
+    return ErrnoToStatus(errno, "close", path);
+  }
+  return OkStatus();
+}
+
+Status PosixStorageEnv::Rename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoToStatus(errno, "rename", from + " -> " + to);
+  }
+  return OkStatus();
+}
+
+Status PosixStorageEnv::RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) {
+    return ErrnoToStatus(errno, "unlink", path);
+  }
+  return OkStatus();
+}
+
+Status PosixStorageEnv::SyncFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return ErrnoToStatus(errno, "open-for-sync", path);
+  }
+  FdCloser closer(fd);
+  if (::fsync(fd) != 0) {
+    return ErrnoToStatus(errno, "fsync", path);
+  }
+  return OkStatus();
+}
+
+Status PosixStorageEnv::SyncDir(const std::string& dir) {
+  const std::string target = dir.empty() ? "." : dir;
+  const int fd = ::open(target.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return ErrnoToStatus(errno, "open-dir-for-sync", target);
+  }
+  FdCloser closer(fd);
+  // Some filesystems reject fsync on directory fds (EINVAL); that is not a
+  // durability failure the caller can act on, so only hard errors surface.
+  if (::fsync(fd) != 0 && errno != EINVAL) {
+    return ErrnoToStatus(errno, "fsync-dir", target);
+  }
+  return OkStatus();
+}
+
+bool PosixStorageEnv::FileExists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+uint64_t PosixStorageEnv::NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void PosixStorageEnv::SleepNanos(uint64_t nanos) {
+  if (nanos > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LatencyStorageEnv
+// ---------------------------------------------------------------------------
+
+LatencyStorageEnv::LatencyStorageEnv(LatencyOptions options, StorageEnv* base)
+    : options_(options), base_(EnvOrDefault(base)), rng_(options.seed) {}
+
+void LatencyStorageEnv::Charge(uint64_t payload_bytes) {
+  uint64_t nanos = options_.per_op_nanos;
+  nanos += payload_bytes * options_.per_byte_picos / 1000;
+  if (options_.jitter_nanos > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    nanos += rng_.NextBelow(options_.jitter_nanos);
+  }
+  base_->SleepNanos(nanos);
+}
+
+Result<std::string> LatencyStorageEnv::ReadFile(const std::string& path) {
+  Result<std::string> r = base_->ReadFile(path);
+  Charge(r.ok() ? r->size() : 0);
+  return r;
+}
+
+Status LatencyStorageEnv::WriteFile(const std::string& path,
+                                    std::string_view data) {
+  Charge(data.size());
+  return base_->WriteFile(path, data);
+}
+
+Status LatencyStorageEnv::Rename(const std::string& from,
+                                 const std::string& to) {
+  Charge(0);
+  return base_->Rename(from, to);
+}
+
+Status LatencyStorageEnv::RemoveFile(const std::string& path) {
+  Charge(0);
+  return base_->RemoveFile(path);
+}
+
+Status LatencyStorageEnv::SyncFile(const std::string& path) {
+  Charge(0);
+  return base_->SyncFile(path);
+}
+
+Status LatencyStorageEnv::SyncDir(const std::string& dir) {
+  Charge(0);
+  return base_->SyncDir(dir);
+}
+
+bool LatencyStorageEnv::FileExists(const std::string& path) {
+  Charge(0);
+  return base_->FileExists(path);
+}
+
+uint64_t LatencyStorageEnv::NowNanos() { return base_->NowNanos(); }
+
+void LatencyStorageEnv::SleepNanos(uint64_t nanos) {
+  base_->SleepNanos(nanos);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingStorageEnv
+// ---------------------------------------------------------------------------
+
+FaultInjectingStorageEnv::FaultInjectingStorageEnv(FaultOptions options,
+                                                   StorageEnv* base)
+    : options_(options), base_(EnvOrDefault(base)), rng_(options.seed) {
+  if (options_.metrics != nullptr) {
+    for (size_t i = 0; i < kNumStorageOps; ++i) {
+      fault_counters_[i] = options_.metrics->GetOrCreate(
+          std::string("storage.fault.") +
+          StorageOpName(static_cast<StorageOp>(i)));
+    }
+  }
+}
+
+void FaultInjectingStorageEnv::CountFault(StorageOp op) {
+  ++faults_injected_;
+  if (fault_counters_[static_cast<size_t>(op)] != nullptr) {
+    fault_counters_[static_cast<size_t>(op)]->Increment();
+  }
+}
+
+Status FaultInjectingStorageEnv::PickFault(StorageOp op,
+                                           const std::string& path,
+                                           bool* torn) {
+  const size_t idx = static_cast<size_t>(op);
+  const uint64_t call = ++total_calls_[idx];
+  ++call_counts_[idx];
+  if (torn != nullptr) {
+    *torn = false;
+  }
+  if (options_.virtual_clock) {
+    virtual_now_ns_ += 1000;  // every op moves the virtual clock 1us
+  }
+
+  // Permanent faults dominate everything else.
+  for (const PermanentFault& fault : permanent_) {
+    if (path.find(fault.substring) != std::string::npos) {
+      CountFault(op);
+      return Status(fault.code, "fault-env: permanent fault on " + path +
+                                    " (" + StorageOpName(op) + ")");
+    }
+  }
+
+  // Scheduled faults: FailNth first (absolute call index), then FailNext.
+  Schedule& sched = schedules_[idx];
+  for (auto it = sched.fail_at_call.begin(); it != sched.fail_at_call.end();
+       ++it) {
+    if (it->first == call) {
+      const StatusCode code = it->second;
+      sched.fail_at_call.erase(it);
+      CountFault(op);
+      return Status(code, std::string("fault-env: scheduled fault on call ") +
+                              std::to_string(call) + " of " +
+                              StorageOpName(op) + " (" + path + ")");
+    }
+  }
+  if (sched.fail_next > 0) {
+    --sched.fail_next;
+    CountFault(op);
+    return Status(sched.fail_next_code,
+                  std::string("fault-env: scheduled fault on ") +
+                      StorageOpName(op) + " (" + path + ")");
+  }
+
+  // Probabilistic storm, capped per path so storms can be made transient.
+  double p = 0;
+  switch (op) {
+    case StorageOp::kRead:
+      p = options_.read_fail_p;
+      break;
+    case StorageOp::kWrite:
+      p = options_.write_fail_p;
+      break;
+    case StorageOp::kRename:
+      p = options_.rename_fail_p;
+      break;
+    case StorageOp::kSyncFile:
+    case StorageOp::kSyncDir:
+      p = options_.sync_fail_p;
+      break;
+    case StorageOp::kRemove:
+      p = 0;  // removes are best-effort cleanup; failing them only leaks
+      break;
+  }
+  if (p > 0 && rng_.NextBool(p)) {
+    uint32_t& count = faults_per_path_[path];
+    if (count < options_.max_faults_per_path) {
+      ++count;
+      CountFault(op);
+      if (torn != nullptr && op == StorageOp::kWrite &&
+          options_.torn_write_p > 0 && rng_.NextBool(options_.torn_write_p)) {
+        *torn = true;
+        ++torn_writes_;
+      }
+      return Status(options_.fault_code,
+                    std::string("fault-env: injected ") + StorageOpName(op) +
+                        " fault (" + path + ")");
+    }
+  }
+  return OkStatus();
+}
+
+Result<std::string> FaultInjectingStorageEnv::ReadFile(
+    const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Status fault = PickFault(StorageOp::kRead, path, nullptr);
+    if (!fault.ok()) {
+      return fault;
+    }
+  }
+  return base_->ReadFile(path);
+}
+
+Status FaultInjectingStorageEnv::WriteFile(const std::string& path,
+                                           std::string_view data) {
+  bool torn = false;
+  Status fault;
+  uint64_t tear_at = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fault = PickFault(StorageOp::kWrite, path, &torn);
+    if (torn && !data.empty()) {
+      tear_at = rng_.NextBelow(data.size());
+    }
+  }
+  if (!fault.ok()) {
+    if (torn && !data.empty()) {
+      // Torn write: a prefix lands on the backend, then the op "dies".
+      (void)base_->WriteFile(path, data.substr(0, tear_at));
+    }
+    return fault;
+  }
+  return base_->WriteFile(path, data);
+}
+
+Status FaultInjectingStorageEnv::Rename(const std::string& from,
+                                        const std::string& to) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Both endpoints are fault surfaces (permanent faults name either side).
+    Status fault = PickFault(StorageOp::kRename, from + "\n" + to, nullptr);
+    if (!fault.ok()) {
+      return fault;
+    }
+  }
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectingStorageEnv::RemoveFile(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Status fault = PickFault(StorageOp::kRemove, path, nullptr);
+    if (!fault.ok()) {
+      return fault;
+    }
+  }
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectingStorageEnv::SyncFile(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Status fault = PickFault(StorageOp::kSyncFile, path, nullptr);
+    if (!fault.ok()) {
+      return fault;
+    }
+  }
+  return base_->SyncFile(path);
+}
+
+Status FaultInjectingStorageEnv::SyncDir(const std::string& dir) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Status fault = PickFault(StorageOp::kSyncDir, dir, nullptr);
+    if (!fault.ok()) {
+      return fault;
+    }
+  }
+  return base_->SyncDir(dir);
+}
+
+bool FaultInjectingStorageEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+uint64_t FaultInjectingStorageEnv::NowNanos() {
+  if (!options_.virtual_clock) {
+    return base_->NowNanos();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return ++virtual_now_ns_;
+}
+
+void FaultInjectingStorageEnv::SleepNanos(uint64_t nanos) {
+  if (!options_.virtual_clock) {
+    base_->SleepNanos(nanos);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  virtual_now_ns_ += nanos;
+}
+
+void FaultInjectingStorageEnv::FailNext(StorageOp op, uint32_t count,
+                                        StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Schedule& sched = schedules_[static_cast<size_t>(op)];
+  sched.fail_next += count;
+  sched.fail_next_code = code;
+}
+
+void FaultInjectingStorageEnv::FailNth(StorageOp op, uint32_t nth,
+                                       StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Schedule& sched = schedules_[static_cast<size_t>(op)];
+  sched.fail_at_call.emplace_back(
+      total_calls_[static_cast<size_t>(op)] + nth, code);
+}
+
+void FaultInjectingStorageEnv::AddPermanentFault(std::string substring,
+                                                 StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  permanent_.push_back({std::move(substring), code});
+}
+
+void FaultInjectingStorageEnv::ClearPermanentFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  permanent_.clear();
+}
+
+uint64_t FaultInjectingStorageEnv::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_injected_;
+}
+
+uint64_t FaultInjectingStorageEnv::calls(StorageOp op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return call_counts_[static_cast<size_t>(op)];
+}
+
+uint64_t FaultInjectingStorageEnv::torn_writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return torn_writes_;
+}
+
+}  // namespace loggrep

@@ -1,5 +1,6 @@
 #include "src/store/verify.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "src/capsule/capsule_box.h"
@@ -9,11 +10,61 @@
 #include "src/store/fs_util.h"
 #include "src/store/log_archive.h"
 
+#include "src/store/quarantine.h"
+
 namespace loggrep {
 namespace {
 
 Status Corrupt(std::string message) {
   return CorruptData(std::move(message));
+}
+
+// The full per-block check battery shared by VerifyArchive (fsck over every
+// block) and RepairArchive (re-check of quarantined blocks only): stored
+// bytes readable, sized and hashed as the manifest says, every line
+// reconstructable, content hash matching the ingested text.
+BlockVerifyResult VerifyOneBlock(const std::string& dir,
+                                 const BlockInfo& block, StorageEnv* env) {
+  BlockVerifyResult result;
+  result.seq = block.seq;
+  result.line_count = block.line_count;
+  result.stored_bytes = block.stored_bytes;
+
+  const std::string path =
+      dir + "/block-" + std::to_string(block.seq) + ".lgc";
+  Result<std::string> bytes = ReadFileBytes(path, env);
+  if (!bytes.ok()) {
+    result.error = "block file unreadable: " + bytes.status().ToString();
+    return result;
+  }
+  if (bytes->size() != block.stored_bytes) {
+    result.error = "stored size mismatch: manifest says " +
+                   std::to_string(block.stored_bytes) + " bytes, file has " +
+                   std::to_string(bytes->size());
+    return result;
+  }
+  if (Fnv1a64(*bytes) != block.stored_hash) {
+    result.error = "stored bytes hash mismatch (at-rest corruption)";
+    return result;
+  }
+
+  Result<std::vector<std::string>> lines = ReconstructAllLines(*bytes);
+  if (!lines.ok()) {
+    result.error = "reconstruction failed: " + lines.status().ToString();
+    return result;
+  }
+  if (lines->size() != block.line_count) {
+    result.error = "line count mismatch: manifest says " +
+                   std::to_string(block.line_count) + ", box holds " +
+                   std::to_string(lines->size());
+    return result;
+  }
+  if (HashReconstructedLines(*lines) != block.content_hash) {
+    result.error =
+        "content hash mismatch: reconstructed text differs from ingested";
+    return result;
+  }
+  return result;  // ok(): error stays empty
 }
 
 }  // namespace
@@ -76,11 +127,13 @@ uint64_t HashReconstructedLines(const std::vector<std::string>& lines) {
   return h;
 }
 
-VerifyReport VerifyArchive(const std::string& dir) {
+VerifyReport VerifyArchive(const std::string& dir, StorageEnv* env) {
+  env = EnvOrDefault(env);
   VerifyReport report;
   report.dir = dir;
 
-  Result<std::string> manifest_bytes = ReadFileBytes(dir + "/archive.manifest");
+  Result<std::string> manifest_bytes =
+      ReadFileBytes(dir + "/archive.manifest", env);
   if (!manifest_bytes.ok()) {
     report.fatal = manifest_bytes.status();
     return report;
@@ -92,62 +145,94 @@ VerifyReport VerifyArchive(const std::string& dir) {
   }
 
   for (const BlockInfo& block : *blocks) {
-    BlockVerifyResult result;
-    result.seq = block.seq;
-    result.line_count = block.line_count;
-    result.stored_bytes = block.stored_bytes;
-
-    const std::string path =
-        dir + "/block-" + std::to_string(block.seq) + ".lgc";
-    Result<std::string> bytes = ReadFileBytes(path);
-    if (!bytes.ok()) {
-      result.error = "block file unreadable: " + bytes.status().ToString();
-      report.blocks.push_back(std::move(result));
+    BlockVerifyResult result = VerifyOneBlock(dir, block, env);
+    if (result.ok()) {
+      report.lines_verified += block.line_count;
+    } else {
       ++report.blocks_failed;
-      continue;
     }
-    if (bytes->size() != block.stored_bytes) {
-      result.error = "stored size mismatch: manifest says " +
-                     std::to_string(block.stored_bytes) + " bytes, file has " +
-                     std::to_string(bytes->size());
-      report.blocks.push_back(std::move(result));
-      ++report.blocks_failed;
-      continue;
-    }
-    if (Fnv1a64(*bytes) != block.stored_hash) {
-      result.error = "stored bytes hash mismatch (at-rest corruption)";
-      report.blocks.push_back(std::move(result));
-      ++report.blocks_failed;
-      continue;
-    }
-
-    Result<std::vector<std::string>> lines = ReconstructAllLines(*bytes);
-    if (!lines.ok()) {
-      result.error = "reconstruction failed: " + lines.status().ToString();
-      report.blocks.push_back(std::move(result));
-      ++report.blocks_failed;
-      continue;
-    }
-    if (lines->size() != block.line_count) {
-      result.error = "line count mismatch: manifest says " +
-                     std::to_string(block.line_count) + ", box holds " +
-                     std::to_string(lines->size());
-      report.blocks.push_back(std::move(result));
-      ++report.blocks_failed;
-      continue;
-    }
-    if (HashReconstructedLines(*lines) != block.content_hash) {
-      result.error =
-          "content hash mismatch: reconstructed text differs from ingested";
-      report.blocks.push_back(std::move(result));
-      ++report.blocks_failed;
-      continue;
-    }
-
-    report.lines_verified += lines->size();
     report.blocks.push_back(std::move(result));
   }
   return report;
+}
+
+RepairReport RepairArchive(const std::string& dir, StorageEnv* env) {
+  env = EnvOrDefault(env);
+  RepairReport report;
+  report.dir = dir;
+
+  Result<std::string> manifest_bytes =
+      ReadFileBytes(dir + "/archive.manifest", env);
+  if (!manifest_bytes.ok()) {
+    report.fatal = manifest_bytes.status();
+    return report;
+  }
+  Result<std::vector<BlockInfo>> blocks = ParseManifestBytes(*manifest_bytes);
+  if (!blocks.ok()) {
+    report.fatal = blocks.status();
+    return report;
+  }
+
+  Result<QuarantineSet> loaded = LoadQuarantine(dir, env);
+  QuarantineSet set;
+  if (loaded.ok()) {
+    set = std::move(*loaded);
+  } else if (loaded.status().code() != StatusCode::kCorruptData) {
+    report.fatal = loaded.status();
+    return report;
+  }
+  // An unparseable sidecar repairs to an empty one: every block the manifest
+  // still vouches for will be re-quarantined by the next failing query.
+
+  QuarantineSet repaired;
+  for (QuarantineEntry& entry : set.entries) {
+    const auto it = std::find_if(
+        blocks->begin(), blocks->end(),
+        [&entry](const BlockInfo& b) { return b.seq == entry.seq; });
+    if (it == blocks->end()) {
+      continue;  // stale entry: the manifest no longer claims this block
+    }
+    RepairAction action;
+    action.seq = entry.seq;
+    const BlockVerifyResult check = VerifyOneBlock(dir, *it, env);
+    if (check.ok()) {
+      action.reinstated = true;  // healthy again (possibly a restored file)
+      ++report.reinstated;
+    } else {
+      action.tombstoned = true;
+      action.detail = check.error;
+      ++report.tombstoned;
+      entry.tombstoned = true;
+      if (entry.error.empty()) {
+        entry.error = check.error;
+      }
+      repaired.Add(std::move(entry));
+    }
+    report.actions.push_back(std::move(action));
+  }
+
+  if (Status s = SaveQuarantine(dir, repaired, env); !s.ok()) {
+    report.fatal = s;
+  }
+  return report;
+}
+
+std::string RepairReport::Summary() const {
+  if (!fatal.ok()) {
+    return "repair " + dir + ": FATAL " + fatal.ToString();
+  }
+  std::string out = "repair " + dir + ": " +
+                    std::to_string(actions.size()) + " quarantined block(s), " +
+                    std::to_string(reinstated) + " reinstated, " +
+                    std::to_string(tombstoned) + " tombstoned";
+  for (const RepairAction& action : actions) {
+    out += "\n  block " + std::to_string(action.seq) + ": " +
+           (action.reinstated ? "reinstated" : "tombstoned");
+    if (!action.detail.empty()) {
+      out += " (" + action.detail + ")";
+    }
+  }
+  return out;
 }
 
 std::string VerifyReport::Summary() const {

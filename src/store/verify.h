@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/store/storage_env.h"
 
 namespace loggrep {
 
@@ -57,7 +58,42 @@ Result<std::vector<std::string>> ReconstructAllLines(std::string_view box_bytes)
 uint64_t HashReconstructedLines(const std::vector<std::string>& lines);
 
 // Verifies every block of the archive at `dir`. Never throws; never writes.
-VerifyReport VerifyArchive(const std::string& dir);
+// All reads go through `env` (null = real POSIX filesystem).
+VerifyReport VerifyArchive(const std::string& dir, StorageEnv* env = nullptr);
+
+// ---------------------------------------------------------------------------
+// Self-healing repair
+// ---------------------------------------------------------------------------
+
+// What RepairArchive did to one quarantined block.
+struct RepairAction {
+  uint32_t seq = 0;
+  bool reinstated = false;  // passed re-verification; serves queries again
+  bool tombstoned = false;  // still failing; the hole is accepted for now
+  std::string detail;       // the verification error (empty when reinstated)
+};
+
+struct RepairReport {
+  std::string dir;
+  std::vector<RepairAction> actions;  // one per quarantined block examined
+  size_t reinstated = 0;
+  size_t tombstoned = 0;
+  // Archive-level failure (unreadable manifest / unwritable sidecar).
+  Status fatal = OkStatus();
+
+  bool ok() const { return fatal.ok(); }
+  std::string Summary() const;
+};
+
+// `loggrep_cli repair`: re-verifies every block in quarantine.json against
+// the manifest v2 hashes (same checks as VerifyArchive) and rewrites the
+// sidecar — blocks that now pass are *reinstated* (entry removed), blocks
+// that still fail are *tombstoned* (kept, marked, so queries keep reporting
+// the hole without re-paying the retry storm). A previously tombstoned block
+// whose file was restored passes re-verification and is reinstated too.
+// Entries for blocks the manifest no longer references are dropped. The only
+// file repair ever writes is quarantine.json (atomically).
+RepairReport RepairArchive(const std::string& dir, StorageEnv* env = nullptr);
 
 }  // namespace loggrep
 

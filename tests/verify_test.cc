@@ -15,6 +15,7 @@
 #include "src/parser/template_miner.h"
 #include "src/store/fs_util.h"
 #include "src/store/log_archive.h"
+#include "src/store/quarantine.h"
 #include "src/workload/datasets.h"
 #include "src/workload/loggen.h"
 
@@ -169,6 +170,89 @@ TEST(VerifyArchiveTest, CorruptManifestIsFatalNotFatalCrash) {
 
 TEST(VerifyArchiveTest, MissingDirectoryIsFatal) {
   const VerifyReport report = VerifyArchive("/nonexistent/loggrep-archive");
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.fatal.ok());
+}
+
+// ---------------------------------------------------------------------------
+// RepairArchive (`loggrep_cli repair`): re-adjudicates quarantined blocks.
+// ---------------------------------------------------------------------------
+
+void QuarantineSeq(const std::string& dir, uint32_t seq) {
+  QuarantineSet set;
+  QuarantineEntry entry;
+  entry.seq = seq;
+  entry.code = "UNAVAILABLE";
+  entry.error = "injected by test";
+  set.Add(std::move(entry));
+  ASSERT_TRUE(SaveQuarantine(dir, set).ok());
+}
+
+TEST(RepairArchiveTest, ReinstatesHealthyQuarantinedBlocks) {
+  const std::string dir = BuildArchive("repair-reinstate");
+  // A transient outage quarantined block 1, but the bytes on disk are fine.
+  QuarantineSeq(dir, 1);
+
+  const RepairReport report = RepairArchive(dir);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.reinstated, 1u);
+  EXPECT_EQ(report.tombstoned, 0u);
+  ASSERT_EQ(report.actions.size(), 1u);
+  EXPECT_TRUE(report.actions[0].reinstated);
+  // An empty quarantine removes the sidecar entirely.
+  EXPECT_FALSE(fs::exists(QuarantinePath(dir)));
+  fs::remove_all(dir);
+}
+
+TEST(RepairArchiveTest, TombstonesBlocksThatStillFailVerification) {
+  const std::string dir = BuildArchive("repair-tombstone");
+  const std::string block_path = dir + "/block-1.lgc";
+  const size_t size = static_cast<size_t>(fs::file_size(block_path));
+  FlipByte(block_path, size / 2);
+  QuarantineSeq(dir, 1);
+
+  const RepairReport report = RepairArchive(dir);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.reinstated, 0u);
+  EXPECT_EQ(report.tombstoned, 1u);
+  ASSERT_EQ(report.actions.size(), 1u);
+  EXPECT_TRUE(report.actions[0].tombstoned);
+  EXPECT_NE(report.actions[0].detail.find("hash mismatch"), std::string::npos)
+      << report.actions[0].detail;
+
+  // The tombstone persists with the verification detail attached.
+  auto persisted = LoadQuarantine(dir);
+  ASSERT_TRUE(persisted.ok());
+  const QuarantineEntry* entry = persisted->Find(1);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->tombstoned);
+  fs::remove_all(dir);
+}
+
+TEST(RepairArchiveTest, DropsStaleEntriesForBlocksTheManifestNoLongerClaims) {
+  const std::string dir = BuildArchive("repair-stale");
+  QuarantineSeq(dir, 7);  // no such block
+  const RepairReport report = RepairArchive(dir);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_TRUE(report.actions.empty());
+  EXPECT_FALSE(fs::exists(QuarantinePath(dir)));
+  fs::remove_all(dir);
+}
+
+TEST(RepairArchiveTest, CorruptSidecarRepairsToEmptyNotFatal) {
+  const std::string dir = BuildArchive("repair-corrupt-sidecar");
+  ASSERT_TRUE(WriteFileBytes(QuarantinePath(dir), "not json at all").ok());
+  const RepairReport report = RepairArchive(dir);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_TRUE(report.actions.empty());
+  // The unparseable sidecar was replaced by an empty (removed) one; failing
+  // queries will re-quarantine anything genuinely sick.
+  EXPECT_FALSE(fs::exists(QuarantinePath(dir)));
+  fs::remove_all(dir);
+}
+
+TEST(RepairArchiveTest, MissingManifestIsFatal) {
+  const RepairReport report = RepairArchive("/nonexistent/loggrep-archive");
   EXPECT_FALSE(report.ok());
   EXPECT_FALSE(report.fatal.ok());
 }
