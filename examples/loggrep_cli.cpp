@@ -20,11 +20,21 @@
 //   loggrep_cli repair <dir>
 //       (re-verifies quarantined blocks; reinstates healthy ones,
 //        tombstones the rest)
+//   loggrep_cli serve <root-dir> [port] [threads] [max_inflight]
+//       (runs loggrepd: serves every archive under root-dir over HTTP;
+//        prints the bound port; SIGTERM/SIGINT drain gracefully)
+//   loggrep_cli remote-query <host:port> <archive> "<query>"
+//       (queries a running loggrepd; prints hits; exit code follows the
+//        same 0/3/1 contract as local queries — see
+//        src/server/archive_service.h for the HTTP mapping)
 //
 // Global flags (any subcommand):
 //   --stats-json     emit registry counters+histograms as sorted-key JSON
 //   --trace=<file>   enable span tracing, write Chrome trace_event JSON
 //                    (open in chrome://tracing or Perfetto)
+//   --no-degrade     strict complete-or-error queries: any failed or
+//                    quarantined block is exit 1 (local) / HTTP 500 (remote)
+//                    instead of a partial result
 //
 // Exit codes: 0 = success, 1 = error, 2 = usage, 3 = PARTIAL (the query
 // succeeded but one or more quarantined blocks left holes in the result —
@@ -33,9 +43,12 @@
 // Query commands follow §3: search strings joined by AND / OR / NOT,
 // wildcards ('*', '?') within a single token, e.g.
 //   loggrep_cli grep app.lgc "error AND dst:11.8.* NOT state:503"
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <thread>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -51,6 +64,8 @@
 #include "src/core/engine.h"
 #include "src/ingest/log_ingestor.h"
 #include "src/query/explain.h"
+#include "src/server/client.h"
+#include "src/server/daemon.h"
 #include "src/store/log_archive.h"
 #include "src/store/verify.h"
 #include "src/workload/datasets.h"
@@ -64,6 +79,11 @@ using namespace loggrep;
 // "query.box_cache.*"); exported by `metrics` / --stats-json.
 MetricsRegistry g_metrics;
 bool g_stats_json = false;
+// --no-degrade: strict complete-or-error queries. Locally this sets
+// ArchiveOptions::degraded_queries = false; against a daemon it sends
+// ?degrade=0 — the same contract either way (a block failure or standing
+// quarantined hole is exit 1 / HTTP 500 instead of exit 3 / HTTP 206).
+bool g_no_degrade = false;
 
 // Exit code for a query that succeeded but is missing quarantined blocks.
 constexpr int kExitPartial = 3;
@@ -88,6 +108,7 @@ ArchiveOptions CliArchiveOptions() {
   ArchiveOptions opts;
   opts.metrics = &g_metrics;
   opts.engine.metrics = &g_metrics;
+  opts.degraded_queries = !g_no_degrade;
   return opts;
 }
 
@@ -468,6 +489,87 @@ int Repair(const std::string& dir) {
   return report.tombstoned == 0 ? 0 : kExitPartial;
 }
 
+// Raised by the signal handler; the serve loop polls it. (A flag + poll is
+// the only async-signal-safe way to reach the daemon's mutex-using drain.)
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+void HandleShutdownSignal(int) { g_shutdown_requested = 1; }
+
+// Runs loggrepd over `root` until SIGTERM/SIGINT, then drains.
+int Serve(const std::string& root, uint16_t port, size_t threads,
+          size_t max_inflight) {
+  DaemonOptions options;
+  options.port = port;
+  options.num_threads = threads;
+  options.max_inflight_queries = max_inflight;
+  options.service.root = root;
+  options.metrics = &g_metrics;
+  LoggrepDaemon daemon(options);
+  auto bound = daemon.Start();
+  if (!bound.ok()) {
+    std::fprintf(stderr, "%s\n", bound.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loggrepd listening on %s:%u (root %s, %zu threads, "
+              "max %zu in-flight queries)\n",
+              options.host.c_str(), static_cast<unsigned>(*bound),
+              root.c_str(), threads, max_inflight);
+  std::fflush(stdout);
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::signal(SIGINT, HandleShutdownSignal);
+  while (g_shutdown_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "loggrepd: draining...\n");
+  daemon.Shutdown();
+  std::fprintf(stderr, "loggrepd: drained, bye\n");
+  return 0;
+}
+
+// Queries a running daemon; renders hits + partial report exactly like
+// archive-grep and exits by the shared contract (200 -> 0, 206 -> 3,
+// anything else -> 1).
+int RemoteQuery(const std::string& endpoint, const std::string& archive,
+                const std::string& command) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "endpoint must be host:port\n");
+    return 2;
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const int port = std::atoi(endpoint.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "bad port in %s\n", endpoint.c_str());
+    return 2;
+  }
+  DaemonClient client(host, static_cast<uint16_t>(port));
+  RemoteQueryOptions query_options;
+  query_options.degrade = !g_no_degrade;
+  auto result = client.Query(archive, command, query_options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "remote query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  if (!result->ok()) {
+    std::fprintf(stderr, "HTTP %d: %s\n", result->http_status,
+                 result->error.c_str());
+    return ExitCodeForHttpStatus(result->http_status);
+  }
+  for (const auto& [line, text] : result->hits) {
+    std::printf("%llu:%s\n", static_cast<unsigned long long>(line + 1),
+                text.c_str());
+  }
+  std::fprintf(stderr, "%zu hits (HTTP %d%s)\n", result->hits.size(),
+               result->http_status,
+               result->complete ? "" : ", PARTIAL");
+  if (!result->complete) {
+    std::fprintf(stderr, "lines missing: %llu\n",
+                 static_cast<unsigned long long>(result->lines_missing));
+  }
+  return ExitCodeForHttpStatus(result->http_status);
+}
+
 int ArchiveStat(const std::string& dir) {
   auto archive = LogArchive::Open(dir);
   if (!archive.ok()) {
@@ -512,9 +614,13 @@ int Usage() {
                "[threads]\n"
                "  loggrep_cli explain <block.lgc|archive-dir> \"<query>\"\n"
                "  loggrep_cli metrics <block.lgc|archive-dir> \"<query>\"\n"
-               "flags: --stats-json   --trace=<file>\n"
+               "  loggrep_cli serve <root-dir> [port] [threads] "
+               "[max_inflight]\n"
+               "  loggrep_cli remote-query <host:port> <archive> "
+               "\"<query>\"\n"
+               "flags: --stats-json   --trace=<file>   --no-degrade\n"
                "exit codes: 0 ok, 1 error, 2 usage, 3 partial result "
-               "(quarantined blocks)\n");
+               "(quarantined blocks; --no-degrade turns 3 into 1)\n");
   return 2;
 }
 
@@ -529,6 +635,8 @@ int main(int raw_argc, char** raw_argv) {
     const std::string_view arg = raw_argv[i];
     if (arg == "--stats-json") {
       g_stats_json = true;
+    } else if (arg == "--no-degrade") {
+      g_no_degrade = true;
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_path = arg.substr(8);
     } else {
@@ -584,6 +692,22 @@ int main(int raw_argc, char** raw_argv) {
   }
   if (cmd == "metrics" && argc == 4) {
     return finish(Metrics(argv[2], argv[3]));
+  }
+  if (cmd == "serve" && argc >= 3 && argc <= 6) {
+    const int port = argc >= 4 ? std::atoi(argv[3]) : 0;
+    const size_t threads =
+        argc >= 5 ? static_cast<size_t>(std::strtoul(argv[4], nullptr, 10)) : 8;
+    const size_t max_inflight =
+        argc >= 6 ? static_cast<size_t>(std::strtoul(argv[5], nullptr, 10)) : 16;
+    if (port < 0 || port > 65535 || threads == 0) {
+      std::fprintf(stderr, "bad port/threads\n");
+      return finish(2);
+    }
+    return finish(Serve(argv[2], static_cast<uint16_t>(port), threads,
+                        max_inflight));
+  }
+  if (cmd == "remote-query" && argc == 5) {
+    return finish(RemoteQuery(argv[2], argv[3], argv[4]));
   }
   if (cmd == "ingest" && argc >= 4 && argc <= 6) {
     const size_t block_mb =

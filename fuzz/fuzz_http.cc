@@ -1,0 +1,145 @@
+// Fuzz target: loggrepd's HTTP surface on arbitrary bytes. Properties:
+//   * HttpRequestParser never crashes, never over-consumes, and always makes
+//     progress while it reports kNeedMore (a zero-byte stall would livelock
+//     a connection thread);
+//   * the terminal outcome is chunking-invariant: feeding the same bytes one
+//     shot vs in small chunks reaches the same state, error status, consumed
+//     count and parsed request;
+//   * kError always carries an answerable 4xx/5xx status, kDone never does;
+//   * ParseResponseBytes (the client's half) and ParseJson on the same bytes
+//     return cleanly — reject or accept, never crash or over-read.
+//
+// Limits are shrunk far below production defaults so mutated inputs reach
+// the 413/414/431 limit paths within a few hundred bytes.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fuzz/fuzz_driver.h"
+#include "src/common/json.h"
+#include "src/server/http.h"
+
+namespace {
+
+loggrep::HttpLimits SmallLimits() {
+  loggrep::HttpLimits limits;
+  limits.max_request_line_bytes = 256;
+  limits.max_header_bytes = 1024;
+  limits.max_headers = 16;
+  limits.max_body_bytes = 4096;
+  return limits;
+}
+
+struct ParseOutcome {
+  loggrep::HttpRequestParser::State state =
+      loggrep::HttpRequestParser::State::kNeedMore;
+  int error_status = 0;
+  size_t consumed = 0;
+  std::string method;
+  std::string path;
+  std::string body;
+  size_t num_params = 0;
+  size_t num_headers = 0;
+};
+
+ParseOutcome RunParser(std::string_view input, size_t chunk) {
+  using State = loggrep::HttpRequestParser::State;
+  loggrep::HttpRequestParser parser(SmallLimits());
+  ParseOutcome outcome;
+  std::string_view rest = input;
+  while (!rest.empty() && parser.state() == State::kNeedMore) {
+    const size_t n = std::min(chunk, rest.size());
+    const size_t used = parser.Feed(rest.substr(0, n));
+    if (used > n) {
+      __builtin_trap();  // over-consumed: read past what it was given
+    }
+    if (used == 0 && parser.state() == State::kNeedMore) {
+      __builtin_trap();  // zero progress while asking for more: livelock
+    }
+    outcome.consumed += used;
+    rest.remove_prefix(used);
+  }
+  outcome.state = parser.state();
+  outcome.error_status = parser.error_status();
+  if (parser.state() == State::kDone) {
+    outcome.method = parser.request().method;
+    outcome.path = parser.request().path;
+    outcome.body = parser.request().body;
+    outcome.num_params = parser.request().params.size();
+    outcome.num_headers = parser.request().headers.size();
+  }
+  return outcome;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using State = loggrep::HttpRequestParser::State;
+  if (size == 0) {
+    return 0;
+  }
+  // First byte picks the drip-feed chunk size; the rest is the message.
+  const size_t chunk = 1 + (data[0] % 17);
+  const std::string_view input(reinterpret_cast<const char*>(data) + 1,
+                               size - 1);
+
+  const ParseOutcome one_shot = RunParser(input, input.size() + 1);
+  const ParseOutcome dripped = RunParser(input, chunk);
+  if (one_shot.state != dripped.state ||
+      one_shot.error_status != dripped.error_status) {
+    __builtin_trap();  // outcome depends on packet boundaries
+  }
+  // Consumed counts and the parsed request must agree on success. (On error
+  // they legitimately differ: a one-shot feed may swallow the whole buffer
+  // before tripping a limit that a drip-feed trips at a chunk boundary —
+  // irrelevant, since the connection closes without reusing the tail.)
+  if (one_shot.state == State::kDone &&
+      (one_shot.consumed != dripped.consumed ||
+       one_shot.method != dripped.method || one_shot.path != dripped.path ||
+       one_shot.body != dripped.body ||
+       one_shot.num_params != dripped.num_params ||
+       one_shot.num_headers != dripped.num_headers)) {
+    __builtin_trap();
+  }
+  if (one_shot.state == State::kError && (one_shot.error_status < 400 ||
+                                          one_shot.error_status > 599)) {
+    __builtin_trap();  // rejected without an answerable status
+  }
+  if (one_shot.state == State::kDone && one_shot.error_status != 0) {
+    __builtin_trap();
+  }
+
+  // Drain pipelined requests the way a connection thread does: fresh parser
+  // per request over the unconsumed tail, stopping at need-more/error.
+  std::string_view rest = input;
+  for (int i = 0; i < 8 && !rest.empty(); ++i) {
+    loggrep::HttpRequestParser parser(SmallLimits());
+    const size_t used = parser.Feed(rest);
+    if (used > rest.size()) {
+      __builtin_trap();
+    }
+    rest.remove_prefix(used);
+    if (parser.state() != State::kDone) {
+      break;
+    }
+  }
+
+  // The client's half on the same bytes: bounded, crash-free, over-read-free.
+  loggrep::ParsedResponse response;
+  size_t consumed = 0;
+  if (loggrep::ParseResponseBytes(input, &response, &consumed,
+                                  SmallLimits())) {
+    if (consumed > input.size()) {
+      __builtin_trap();
+    }
+  }
+  (void)loggrep::ParseJson(input);
+
+  // Url round-trip: encoding is always decodable back to the same bytes.
+  const std::string encoded = loggrep::UrlEncode(input);
+  if (loggrep::UrlDecode(encoded, /*plus_is_space=*/false) != input) {
+    __builtin_trap();
+  }
+  return 0;
+}

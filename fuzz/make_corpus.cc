@@ -136,6 +136,35 @@ int main(int argc, char** argv) {
     fs::remove_all(scratch);
   }
 
+  // --- http: request/response/json bytes behind the 1-byte chunk selector
+  // fuzz_http consumes (first byte picks the drip-feed size). ---------------
+  {
+    const std::string dir = root + "/http";
+    auto with_chunk = [](char chunk, std::string msg) {
+      return std::string(1, chunk) + std::move(msg);
+    };
+    WriteSeed(dir, with_chunk(3, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"));
+    WriteSeed(dir,
+              with_chunk(1,
+                         "POST /query?archive=arch&degrade=0 HTTP/1.1\r\n"
+                         "Host: x\r\nContent-Length: 5\r\n\r\nERROR"));
+    WriteSeed(dir,
+              with_chunk(7,
+                         "GET /metrics HTTP/1.1\r\n\r\n"
+                         "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n"));
+    WriteSeed(dir,
+              with_chunk(2,
+                         "HTTP/1.1 206 Partial Content\r\n"
+                         "content-type: application/json\r\n"
+                         "retry-after: 1\r\ncontent-length: 2\r\n\r\n{}"));
+    WriteSeed(dir,
+              with_chunk(5,
+                         "{\"complete\":false,\"hits\":[[1,\"a\"],[9,\"b\"]],"
+                         "\"stats\":{\"cache_hits\":2,\"blocks_from_cache\":1},"
+                         "\"partial\":{\"lines_missing\":120}}"));
+    WriteSeed(dir, with_chunk(4, "BOGUS \x01 HTTP/9.9\r\nX:\r\n\r\n"));
+  }
+
   std::printf("corpus written under %s\n", root.c_str());
   return 0;
 }

@@ -1,0 +1,83 @@
+// Minimal JSON support shared by the serving layer: string escaping for
+// writers and a small recursive-descent value parser for readers.
+//
+// The store already hand-rolls JSON in two places (quarantine sidecar,
+// metrics exporters); the daemon adds a third producer (query responses)
+// and the first in-process *consumer* (the blocking client used by tests
+// and the throughput bench). This header centralizes the escape rules and
+// gives consumers a proper tree instead of another one-off cursor.
+//
+// The parser is defensive, not fast: depth-capped, size comes from the
+// caller, malformed input yields kInvalidArgument, never a crash or
+// unbounded recursion. Numbers are kept as int64/double (JSON has no
+// integer type; uint64 values above 2^63 are not needed by any current
+// producer).
+#ifndef SRC_COMMON_JSON_H_
+#define SRC_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace loggrep {
+
+// Appends `s` as a quoted, escaped JSON string literal.
+void AppendJsonString(std::string* out, std::string_view s);
+inline std::string JsonQuote(std::string_view s) {
+  std::string out;
+  AppendJsonString(&out, s);
+  return out;
+}
+
+// One parsed JSON value. Object keys are sorted (std::map) which matches
+// every producer in this repo (all emit sorted keys already).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  // Typed accessors; defaults are returned on kind mismatch (callers in
+  // tests assert kinds explicitly where it matters).
+  bool AsBool(bool fallback = false) const;
+  int64_t AsInt(int64_t fallback = 0) const;
+  uint64_t AsUint(uint64_t fallback = 0) const;
+  double AsDouble(double fallback = 0) const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+  const std::map<std::string, JsonValue>& AsObject() const;
+
+  // Object member lookup; returns a shared null value when absent or when
+  // this is not an object. `Get("a.b")` does NOT split on dots.
+  const JsonValue& Get(const std::string& key) const;
+
+  static JsonValue Null();
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue Str(std::string s);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(std::map<std::string, JsonValue> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+// Parses one complete JSON document (trailing garbage is an error).
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace loggrep
+
+#endif  // SRC_COMMON_JSON_H_

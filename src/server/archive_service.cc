@@ -1,0 +1,286 @@
+#include "src/server/archive_service.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "src/common/json.h"
+#include "src/common/trace.h"
+#include "src/query/explain.h"
+
+namespace loggrep {
+
+namespace {
+
+void AppendUint(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendStatsJson(std::string* out, const ArchiveQueryResult& result) {
+  const LocatorStats& s = result.locator;
+  out->append("{\"blocks_pruned\":");
+  AppendUint(out, result.blocks_pruned);
+  out->append(",\"blocks_queried\":");
+  AppendUint(out, result.blocks_queried);
+  // Cached blocks replay the cost snapshot of the run that produced them;
+  // this count is how a caller tells replayed cost from fresh work.
+  out->append(",\"blocks_from_cache\":");
+  AppendUint(out, result.blocks_from_cache);
+  out->append(",\"bytes_decompressed\":");
+  AppendUint(out, s.bytes_decompressed);
+  out->append(",\"bytes_saved\":");
+  AppendUint(out, s.bytes_saved);
+  out->append(",\"cache_hits\":");
+  AppendUint(out, s.cache_hits);
+  out->append(",\"cache_misses\":");
+  AppendUint(out, s.cache_misses);
+  out->append(",\"capsules_decompressed\":");
+  AppendUint(out, s.capsules_decompressed);
+  out->append(",\"capsules_stamp_filtered\":");
+  AppendUint(out, s.capsules_stamp_filtered);
+  out->append(",\"decompress_ns\":");
+  AppendUint(out, s.decompress_nanos);
+  out->append(",\"open_ns\":");
+  AppendUint(out, s.open_nanos);
+  out->append(",\"prune_ns\":");
+  AppendUint(out, s.prune_nanos);
+  out->append(",\"reconstruct_ns\":");
+  AppendUint(out, s.reconstruct_nanos);
+  out->append(",\"scan_ns\":");
+  AppendUint(out, s.scan_nanos);
+  out->append(",\"stamp_filter_ns\":");
+  AppendUint(out, s.stamp_filter_nanos);
+  out->append("}");
+}
+
+void AppendPartialJson(std::string* out, const PartialReport& partial) {
+  out->append("{\"lines_missing\":");
+  AppendUint(out, partial.lines_missing());
+  out->append(",\"failures\":[");
+  bool first = true;
+  for (const BlockQueryFailure& f : partial.failures) {
+    if (!first) {
+      out->push_back(',');
+    }
+    first = false;
+    out->append("{\"seq\":");
+    AppendUint(out, f.seq);
+    out->append(",\"first_line\":");
+    AppendUint(out, f.first_line);
+    out->append(",\"line_count\":");
+    AppendUint(out, f.line_count);
+    out->append(",\"error\":");
+    AppendJsonString(out, f.error);
+    out->append(",\"newly_quarantined\":");
+    out->append(f.newly_quarantined ? "true" : "false");
+    out->append(",\"tombstoned\":");
+    out->append(f.tombstoned ? "true" : "false");
+    out->push_back('}');
+  }
+  out->append("]}");
+}
+
+// The /query (and /explain) success body. Shape:
+//   {"complete":bool,"hits":[[line,"text"],...],"stats":{...},
+//    "partial":{...},            -- only when degraded
+//    "explain":{"render":"...","invariant_ok":bool,"totals":{...}}}  -- /explain
+std::string RenderQueryJson(const ArchiveQueryResult& result,
+                            const QueryExplain* explain) {
+  std::string out;
+  out.reserve(4096 + result.hits.size() * 48);
+  out.append("{\"complete\":");
+  out.append(result.partial.partial() ? "false" : "true");
+  out.append(",\"hits\":[");
+  bool first = true;
+  for (const auto& [line, text] : result.hits) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out.append("[");
+    AppendUint(&out, line);
+    out.push_back(',');
+    AppendJsonString(&out, text);
+    out.push_back(']');
+  }
+  out.append("],\"stats\":");
+  AppendStatsJson(&out, result);
+  if (result.partial.partial()) {
+    out.append(",\"partial\":");
+    AppendPartialJson(&out, result.partial);
+  }
+  if (explain != nullptr) {
+    std::string detail;
+    const bool invariant_ok = explain->CheckInvariant(&detail);
+    const ExplainTotals totals = explain->Totals();
+    out.append(",\"explain\":{\"invariant_ok\":");
+    out.append(invariant_ok ? "true" : "false");
+    if (!invariant_ok) {
+      out.append(",\"invariant_detail\":");
+      AppendJsonString(&out, detail);
+    }
+    out.append(",\"totals\":{\"visited\":");
+    AppendUint(&out, totals.visited);
+    out.append(",\"pruned\":");
+    AppendUint(&out, totals.pruned);
+    out.append(",\"cached\":");
+    AppendUint(&out, totals.cached);
+    out.append(",\"decompressed\":");
+    AppendUint(&out, totals.decompressed);
+    out.append("},\"render\":");
+    AppendJsonString(&out, explain->Render());
+    out.append("}");
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string RenderErrorJson(const Status& status) {
+  std::string out("{\"error\":");
+  AppendJsonString(&out, status.ToString());
+  out.append(",\"code\":");
+  AppendJsonString(&out, StatusCodeName(status.code()));
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace
+
+std::string ResolveArchivePath(const std::string& root, std::string_view name) {
+  if (name.empty() || name == ".") {
+    return root;
+  }
+  if (name.front() == '/') {
+    return "";
+  }
+  // Reject any "." / ".." component (and backslash tricks; names here are
+  // plain POSIX relative paths).
+  std::string_view rest = name;
+  while (!rest.empty()) {
+    const size_t slash = rest.find('/');
+    const std::string_view part = rest.substr(0, slash);
+    if (part.empty() || part == "." || part == ".." ||
+        part.find('\\') != std::string_view::npos) {
+      return "";
+    }
+    if (slash == std::string_view::npos) {
+      break;
+    }
+    rest.remove_prefix(slash + 1);
+  }
+  return root + "/" + std::string(name);
+}
+
+int HttpStatusForQueryError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    default:
+      // Block failure with degrade disabled, corruption, I/O storms the
+      // retry budget could not ride out: the server failed to answer.
+      return 500;
+  }
+}
+
+int ExitCodeForHttpStatus(int http_status) {
+  if (http_status == 200) {
+    return 0;
+  }
+  if (http_status == 206) {
+    return 3;
+  }
+  return 1;
+}
+
+ArchiveService::ArchiveService(ServiceOptions options)
+    : options_(std::move(options)) {}
+
+Result<std::shared_ptr<ArchiveService::Handle>> ArchiveService::GetOrOpen(
+    const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = handles_.find(name);
+    if (it != handles_.end()) {
+      return it->second;
+    }
+  }
+  const std::string dir = ResolveArchivePath(options_.root, name);
+  if (dir.empty()) {
+    return InvalidArgument("archive name escapes the serving root: " + name);
+  }
+  // Open outside the map lock (cold opens read the manifest + quarantine
+  // from storage); racing openers adopt whichever handle lands first.
+  Result<LogArchive> archive = LogArchive::Open(dir, options_.archive);
+  if (!archive.ok()) {
+    return archive.status();
+  }
+  auto handle = std::make_shared<Handle>();
+  handle->archive = std::make_unique<LogArchive>(std::move(*archive));
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = handles_.emplace(name, handle);
+  if (!inserted) {
+    return it->second;  // another thread won the race; keep its warm handle
+  }
+  return handle;
+}
+
+ServiceResponse ArchiveService::Run(const ServiceRequest& request) {
+  const TraceSpan span("server.run_query", "server");
+  ServiceResponse response;
+  Result<std::shared_ptr<Handle>> handle = GetOrOpen(request.archive);
+  if (!handle.ok()) {
+    response.http_status = HttpStatusForQueryError(handle.status());
+    response.body = RenderErrorJson(handle.status());
+    return response;
+  }
+
+  std::lock_guard<std::mutex> lock((*handle)->mu);
+  LogArchive* archive = (*handle)->archive.get();
+  // Per-request knobs, applied under the archive lock so they only govern
+  // this execution. The deadline feeds the RetryBudget every storage retry
+  // in this query checks; restore the server defaults afterwards.
+  const uint64_t default_deadline = options_.archive.query_deadline_ns;
+  const bool default_degrade = options_.archive.degraded_queries;
+  if (request.deadline_ms > 0) {
+    archive->set_query_deadline_ns(request.deadline_ms * 1'000'000ull);
+  }
+  archive->set_degraded_queries(request.degrade);
+
+  QueryExplain explain;
+  Result<ArchiveQueryResult> result =
+      request.explain ? archive->Explain(request.command, &explain)
+                      : archive->Query(request.command);
+  archive->set_query_deadline_ns(default_deadline);
+  archive->set_degraded_queries(default_degrade);
+
+  if (!result.ok()) {
+    response.http_status = HttpStatusForQueryError(result.status());
+    response.body = RenderErrorJson(result.status());
+    return response;
+  }
+  response.http_status = result->partial.partial() ? 206 : 200;
+  response.body =
+      RenderQueryJson(*result, request.explain ? &explain : nullptr);
+  return response;
+}
+
+size_t ArchiveService::open_archives() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return handles_.size();
+}
+
+void ArchiveService::Clear() {
+  std::map<std::string, std::shared_ptr<Handle>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    doomed.swap(handles_);
+  }
+  // Destroy outside mu_; a straggling query holding a handle keeps its
+  // shared_ptr alive until it finishes.
+}
+
+}  // namespace loggrep

@@ -1,0 +1,117 @@
+// ArchiveService: the process-wide warm state behind loggrepd.
+//
+// The whole point of running LogGrep as a daemon (instead of the one-shot
+// CLI) is that open archives — manifests, quarantine sets, and above all the
+// sharded BoxCache of decompressed capsules (PR 2's 17.8x warm win) — live
+// as long as the process and are shared by *every* connection. The service
+// keeps one handle per archive directory: first request pays the cold open,
+// every later request from any client starts warm.
+//
+// Concurrency model: LogArchive is not safe for concurrent Query calls (the
+// embedded engine's command cache and the quarantine set are unsynchronized
+// by design — single-process library users own their threading). The
+// service therefore serializes queries *per archive* with one mutex per
+// handle, while different archives run fully in parallel and the BoxCache
+// inside each archive stays warm across all callers. Admission control
+// (how many queries may be in flight process-wide) lives in the daemon, not
+// here.
+//
+// This header is also the single home of the status contract shared by the
+// CLI and the HTTP API (see HttpStatusForQuery / ExitCodeForHttpStatus):
+//
+//   query outcome                      CLI exit     HTTP
+//   ------------------------------     --------     -----------------------
+//   complete result                    0            200
+//   degraded result (healthy-block     3            206 + "partial" JSON
+//     hits + PartialReport holes)
+//   bad query / bad request            1 (2 usage)  400
+//   archive missing                    1            404
+//   block failure, degrade disabled    1            500
+//   overload (admission control)       n/a          429 + Retry-After
+//
+// `--no-degrade` on the CLI and `?degrade=0` on POST /query are the same
+// switch: the first failing block aborts the query (HTTP 500) instead of
+// degrading to a 206.
+#ifndef SRC_SERVER_ARCHIVE_SERVICE_H_
+#define SRC_SERVER_ARCHIVE_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "src/store/log_archive.h"
+
+namespace loggrep {
+
+struct ServiceOptions {
+  // Base options for every archive the service opens (metrics registry,
+  // storage env, cache budget, retry policy). Per-request deadline/degrade
+  // overrides are applied on top, under the archive lock.
+  ArchiveOptions archive;
+  // Root directory archive names resolve under. A request's `archive`
+  // parameter is a relative path below this root; "" or "." is the root
+  // itself. Absolute paths and ".." components are rejected.
+  std::string root;
+};
+
+struct ServiceRequest {
+  std::string archive;   // relative to ServiceOptions::root
+  std::string command;   // query command (§3 syntax)
+  bool explain = false;  // run Explain() and include the decision tree
+  bool degrade = true;   // false = fail on first block failure (HTTP 500)
+  uint64_t deadline_ms = 0;  // per-query retry budget; 0 = server default
+};
+
+struct ServiceResponse {
+  int http_status = 200;
+  std::string body;  // JSON document (see RenderQueryJson)
+};
+
+// Resolves `name` under `root`, rejecting absolute paths and any ".."
+// component. Returns the joined path; empty string on rejection.
+std::string ResolveArchivePath(const std::string& root, std::string_view name);
+
+// Maps a failed query Status to the HTTP status in the table above.
+int HttpStatusForQueryError(const Status& status);
+// Maps an HTTP status back to the CLI exit-code contract (0 ok, 3 partial,
+// 1 error) — used by `loggrep_cli remote-query` so scripting against the
+// daemon and against local archives reads identically.
+int ExitCodeForHttpStatus(int http_status);
+
+class ArchiveService {
+ public:
+  explicit ArchiveService(ServiceOptions options);
+
+  // Executes one query/explain request end-to-end and renders the JSON
+  // response. Thread-safe; queries against the same archive serialize on
+  // that archive's lock.
+  ServiceResponse Run(const ServiceRequest& request);
+
+  // Number of archives currently held open (for /healthz and tests).
+  size_t open_archives() const;
+
+  // Drops every open handle (the daemon calls this on shutdown so archives
+  // release their caches before the process exits).
+  void Clear();
+
+ private:
+  struct Handle {
+    std::mutex mu;  // serializes queries on this archive
+    std::unique_ptr<LogArchive> archive;
+  };
+
+  // Returns the open handle for `name`, opening (and caching) it on first
+  // use. kNotFound when the directory has no manifest.
+  Result<std::shared_ptr<Handle>> GetOrOpen(const std::string& name);
+
+  ServiceOptions options_;
+  mutable std::mutex mu_;  // guards handles_ (not the archives themselves)
+  std::map<std::string, std::shared_ptr<Handle>> handles_;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_SERVER_ARCHIVE_SERVICE_H_

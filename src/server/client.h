@@ -1,0 +1,87 @@
+// Blocking HTTP client for loggrepd — the test/bench/CLI counterpart of the
+// daemon. One DaemonClient wraps one keep-alive connection (reconnecting
+// transparently when the server closed it) and speaks exactly the daemon's
+// API: Query/Explain return parsed hits plus the HTTP status so callers can
+// assert the 200/206/4xx contract, and Get() fetches raw endpoints
+// (/healthz, /metrics).
+//
+// Not thread-safe: one client per thread, matching how the bench and the
+// concurrency tests drive it (N clients == N threads == N connections).
+#ifndef SRC_SERVER_CLIENT_H_
+#define SRC_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/query/query_cache.h"  // QueryHits
+#include "src/server/http.h"
+
+namespace loggrep {
+
+struct RemoteQueryOptions {
+  bool degrade = true;
+  uint64_t deadline_ms = 0;
+  bool use_post = true;  // POST body vs GET ?q=
+};
+
+struct RemoteQueryResult {
+  int http_status = 0;
+  bool complete = true;       // JSON "complete" field
+  QueryHits hits;             // parsed from the JSON body
+  uint64_t lines_missing = 0; // from "partial" when degraded
+  uint64_t cache_hits = 0;    // from "stats" (warm-path assertions)
+  uint64_t bytes_decompressed = 0;
+  uint64_t blocks_queried = 0;
+  uint64_t blocks_from_cache = 0;  // blocks answered from the command cache
+  std::string error;          // server "error" field on 4xx/5xx
+  std::string body;           // raw JSON (explain render, extra fields)
+
+  bool ok() const { return http_status == 200 || http_status == 206; }
+};
+
+class DaemonClient {
+ public:
+  DaemonClient(std::string host, uint16_t port);
+  ~DaemonClient();
+
+  DaemonClient(const DaemonClient&) = delete;
+  DaemonClient& operator=(const DaemonClient&) = delete;
+
+  // Runs one query (or explain) and parses the response. A transport
+  // failure (connect/send/recv) is a non-ok Result; an HTTP error status is
+  // an *ok* Result carrying that status — the contract under test.
+  Result<RemoteQueryResult> Query(std::string_view archive,
+                                  std::string_view command,
+                                  const RemoteQueryOptions& options = {});
+  Result<RemoteQueryResult> Explain(std::string_view archive,
+                                    std::string_view command,
+                                    const RemoteQueryOptions& options = {});
+
+  // Raw GET; returns status + body.
+  Result<ParsedResponse> Get(std::string_view path);
+
+  // Closes the connection (next call reconnects).
+  void Disconnect();
+
+ private:
+  Result<ParsedResponse> RoundTrip(std::string_view request_bytes);
+  Status EnsureConnected();
+  Result<RemoteQueryResult> RunQueryRequest(std::string_view archive,
+                                            std::string_view command,
+                                            const RemoteQueryOptions& options,
+                                            bool explain);
+
+  std::string host_;
+  uint16_t port_;
+  int fd_ = -1;
+};
+
+// Parses a /query or /explain JSON body into the structured result (exposed
+// for tests that craft responses directly).
+Status ParseRemoteQueryBody(std::string_view body, RemoteQueryResult* out);
+
+}  // namespace loggrep
+
+#endif  // SRC_SERVER_CLIENT_H_

@@ -1,0 +1,368 @@
+#include "src/server/daemon.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "src/common/json.h"
+#include "src/common/metrics_export.h"
+#include "src/common/trace.h"
+
+namespace loggrep {
+
+namespace {
+
+// Poll granularity for blocking reads: how quickly an idle connection
+// notices a drain. Short enough that Shutdown() feels immediate, long
+// enough to cost nothing.
+constexpr uint64_t kReadPollMs = 100;
+
+// RAII decrement for the gauges tracked with atomics.
+class ScopedCount {
+ public:
+  explicit ScopedCount(std::atomic<size_t>* counter) : counter_(counter) {
+    counter_->fetch_add(1, std::memory_order_acq_rel);
+  }
+  ~ScopedCount() { counter_->fetch_sub(1, std::memory_order_acq_rel); }
+  ScopedCount(const ScopedCount&) = delete;
+  ScopedCount& operator=(const ScopedCount&) = delete;
+
+ private:
+  std::atomic<size_t>* counter_;
+};
+
+bool SendAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t sent =
+        ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    data.remove_prefix(static_cast<size_t>(sent));
+  }
+  return true;
+}
+
+HttpResponse TextResponse(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "text/plain; charset=utf-8";
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse JsonError(int status, std::string_view message) {
+  HttpResponse response;
+  response.status = status;
+  response.body = "{\"error\":";
+  AppendJsonString(&response.body, message);
+  response.body.push_back('}');
+  return response;
+}
+
+bool ParamIsFalse(const HttpRequest& request, const std::string& name) {
+  const auto it = request.params.find(name);
+  if (it == request.params.end()) {
+    return false;
+  }
+  return it->second == "0" || it->second == "false" || it->second == "no";
+}
+
+}  // namespace
+
+LoggrepDaemon::LoggrepDaemon(DaemonOptions options)
+    : options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  // The service's archives share the daemon registry unless the caller
+  // wired a different one in explicitly.
+  if (options_.service.archive.metrics == nullptr) {
+    options_.service.archive.metrics = metrics_;
+    options_.service.archive.engine.metrics = metrics_;
+  }
+  service_ = std::make_unique<ArchiveService>(options_.service);
+}
+
+LoggrepDaemon::~LoggrepDaemon() { Shutdown(); }
+
+Result<uint16_t> LoggrepDaemon::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Internal("daemon already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgument("bad listen address: " + options_.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return IOError("bind " + options_.host + ": " + err);
+  }
+  if (::listen(fd, 128) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return IOError("listen: " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return IOError("getsockname: " + err);
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return port_;
+}
+
+void LoggrepDaemon::Shutdown() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  stopping_.store(true, std::memory_order_release);
+  // Closing the listener unblocks accept(); shutdown() first for the case
+  // where accept() is mid-call on another thread.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  // Drain: every connection handler notices stopping_ within one read poll,
+  // finishes its in-flight request (responses still go out, tagged
+  // "Connection: close"), and exits.
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drained_.wait(lock, [this] {
+      return active_connections_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  pool_.reset();       // joins the workers
+  service_->Clear();   // releases archives + caches deterministically
+}
+
+void LoggrepDaemon::AcceptLoop() {
+  Tracer::Global().SetCurrentThreadName("loggrepd-accept");
+  Counter* accepted = metrics_->GetOrCreate("server.connections_accepted");
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // listener closed (shutdown) or fatal accept error
+    }
+    accepted->Increment();
+    // Count the connection *before* it enters the pool queue, so Shutdown
+    // waits for queued-but-unstarted connections too (they still own fds).
+    active_connections_.fetch_add(1, std::memory_order_acq_rel);
+    pool_->Submit([this, fd] {
+      HandleConnection(fd);
+      if (active_connections_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(drain_mu_);
+        drained_.notify_all();
+      }
+    });
+  }
+}
+
+void LoggrepDaemon::HandleConnection(int fd) {
+  // Bounded read poll so drains and idle timeouts are noticed promptly.
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(kReadPollMs / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((kReadPollMs % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  Counter* requests = metrics_->GetOrCreate("server.requests");
+  Counter* parse_errors = metrics_->GetOrCreate("server.parse_errors");
+  Histogram* request_ns =
+      metrics_->GetOrCreateHistogram("server.request_ns");
+
+  HttpRequestParser parser(options_.limits);
+  std::string pending;  // unconsumed bytes (pipelined next request)
+  char buf[16 * 1024];
+  uint64_t idle_ms = 0;
+  bool close_connection = false;
+
+  while (!close_connection) {
+    // Drive the parser from the pending buffer first, then the socket.
+    if (!pending.empty()) {
+      const size_t used = parser.Feed(pending);
+      pending.erase(0, used);
+    }
+    if (parser.state() == HttpRequestParser::State::kNeedMore) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        break;  // idle or mid-request during drain; drop the connection
+      }
+      const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+      if (got == 0) {
+        break;  // peer closed
+      }
+      if (got < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+          idle_ms += kReadPollMs;
+          if (idle_ms >= options_.idle_timeout_ms) {
+            break;
+          }
+          continue;
+        }
+        break;  // hard socket error
+      }
+      idle_ms = 0;
+      pending.append(buf, static_cast<size_t>(got));
+      continue;
+    }
+
+    if (parser.state() == HttpRequestParser::State::kError) {
+      parse_errors->Increment();
+      const HttpResponse response =
+          JsonError(parser.error_status(), parser.error());
+      SendAll(fd, SerializeResponse(response, /*keep_alive=*/false));
+      break;  // framing is unrecoverable; never try to resync a bad peer
+    }
+
+    // One complete request.
+    requests->Increment();
+    const uint64_t start_ns = Tracer::Global().NowNanos();
+    const HttpRequest& request = parser.request();
+    bool close_after = !request.KeepAlive();
+    HttpResponse response;
+    {
+      const TraceSpan span("server.request", "server");
+      response = Route(request, &close_after);
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      close_after = true;  // drain: answer, then hang up
+    }
+    metrics_
+        ->GetOrCreate("server.responses_" +
+                      std::to_string(response.status / 100) + "xx")
+        ->Increment();
+    request_ns->Record(Tracer::Global().NowNanos() - start_ns);
+    if (!SendAll(fd, SerializeResponse(response, !close_after))) {
+      break;
+    }
+    if (close_after) {
+      break;
+    }
+    parser.Reset();
+  }
+  ::close(fd);
+}
+
+HttpResponse LoggrepDaemon::Route(const HttpRequest& request,
+                                  bool* close_after) {
+  if (request.path == "/healthz") {
+    char body[128];
+    std::snprintf(body, sizeof(body),
+                  "ok\narchives_open %zu\ninflight_queries %zu\n",
+                  service_->open_archives(),
+                  inflight_queries_.load(std::memory_order_relaxed));
+    return TextResponse(200, body);
+  }
+  if (request.path == "/metrics") {
+    if (request.method != "GET") {
+      *close_after = true;
+      return JsonError(405, "use GET");
+    }
+    // The scrape runs concurrently with live queries by design; the
+    // registry's snapshot path is the synchronization (see
+    // tests/metrics_race_test.cc).
+    return TextResponse(200, ExportPrometheus(*metrics_));
+  }
+  if (request.path == "/query" || request.path == "/explain") {
+    const bool explain = request.path == "/explain";
+    if (request.method != "GET" && request.method != "POST") {
+      *close_after = true;
+      return JsonError(405, "use GET or POST");
+    }
+    return RunQuery(request, explain);
+  }
+  return JsonError(404, "no such endpoint: " + request.path);
+}
+
+HttpResponse LoggrepDaemon::RunQuery(const HttpRequest& request,
+                                     bool explain) {
+  // Admission gate, checked before any archive work. fetch_add + rollback
+  // keeps the gate exact under races (two latecomers can both bounce, never
+  // both enter past the limit).
+  if (inflight_queries_.fetch_add(1, std::memory_order_acq_rel) >=
+      options_.max_inflight_queries) {
+    inflight_queries_.fetch_sub(1, std::memory_order_acq_rel);
+    metrics_->GetOrCreate("server.admission_rejects")->Increment();
+    HttpResponse response = JsonError(
+        429, "query admission limit reached; retry after backoff");
+    response.headers.emplace_back(
+        "Retry-After", std::to_string(options_.retry_after_seconds));
+    return response;
+  }
+  struct Release {
+    std::atomic<size_t>* gate;
+    ~Release() { gate->fetch_sub(1, std::memory_order_acq_rel); }
+  } release{&inflight_queries_};
+  metrics_->GetOrCreate("server.inflight_hwm")
+      ->UpdateMax(inflight_queries_.load(std::memory_order_relaxed));
+
+  ServiceRequest sr;
+  const auto archive_it = request.params.find("archive");
+  if (archive_it != request.params.end()) {
+    sr.archive = archive_it->second;
+  }
+  // POST carries the command in the body; GET in ?q=. A POST with an empty
+  // body falls back to ?q= so curl one-liners stay convenient.
+  if (request.method == "POST" && !request.body.empty()) {
+    sr.command = request.body;
+  } else {
+    const auto q = request.params.find("q");
+    if (q == request.params.end() || q->second.empty()) {
+      return JsonError(400, "missing query: POST a command body or pass ?q=");
+    }
+    sr.command = q->second;
+  }
+  sr.explain = explain;
+  sr.degrade = !ParamIsFalse(request, "degrade");
+  const auto deadline = request.params.find("deadline_ms");
+  if (deadline != request.params.end()) {
+    sr.deadline_ms = std::strtoull(deadline->second.c_str(), nullptr, 10);
+  }
+
+  const ServiceResponse service_response = service_->Run(sr);
+  HttpResponse response;
+  response.status = service_response.http_status;
+  response.body = service_response.body;
+  return response;
+}
+
+}  // namespace loggrep

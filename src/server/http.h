@@ -1,0 +1,145 @@
+// Minimal HTTP/1.1 message layer for loggrepd: an *incremental* request
+// parser plus a response serializer, over plain byte buffers (no sockets in
+// here, so the whole layer is unit- and fuzz-testable without I/O).
+//
+// Scope is deliberately small — exactly what a query daemon needs:
+//   * request line + headers + Content-Length bodies (no chunked encoding,
+//     no multipart, no trailers; a chunked request is answered 501 by the
+//     daemon, not parsed here),
+//   * percent-decoded target split into path + query parameters,
+//   * keep-alive semantics (HTTP/1.1 default on, "Connection: close" off),
+//   * hard limits on every dimension (request line, header count/bytes,
+//     body bytes) so a hostile peer can make the parser fail, never grow.
+//
+// The parser is a push-style state machine: feed it bytes as they arrive;
+// it consumes at most one full request per Feed loop and reports
+// kNeedMore / kDone / kError. Pipelined requests are handled by the caller
+// re-feeding the unconsumed tail (Feed returns bytes consumed). Malformed
+// input of any shape yields kError with an HTTP status code to answer with
+// — never a crash — which the fuzz_http target enforces.
+#ifndef SRC_SERVER_HTTP_H_
+#define SRC_SERVER_HTTP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace loggrep {
+
+struct HttpLimits {
+  size_t max_request_line_bytes = 8 * 1024;
+  size_t max_header_bytes = 64 * 1024;  // all header lines together
+  size_t max_headers = 100;
+  size_t max_body_bytes = 4 * 1024 * 1024;
+};
+
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ... (verbatim, case-sensitive)
+  std::string target;   // raw request target ("/query?archive=a%2Fb")
+  std::string path;     // decoded path ("/query")
+  std::map<std::string, std::string> params;  // decoded query parameters
+  int version_minor = 1;  // HTTP/1.<minor>; only 0 and 1 are accepted
+  // Header names lowercased; values trimmed. Duplicate names keep the last
+  // value (sufficient for this API; no header here is list-valued).
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  // Keep-alive decision per HTTP/1.1 (default on) / 1.0 (default off),
+  // honoring an explicit Connection header either way.
+  bool KeepAlive() const;
+  // Lowercased header lookup; empty string when absent.
+  std::string_view Header(std::string_view name) const;
+};
+
+// Percent-decodes `in` ('+' becomes space when `plus_is_space`). Invalid
+// %-sequences are kept verbatim rather than rejected: a query command like
+// "100%" must survive a sloppy client.
+std::string UrlDecode(std::string_view in, bool plus_is_space = true);
+// Percent-encodes everything outside [A-Za-z0-9-._~].
+std::string UrlEncode(std::string_view in);
+
+// Splits "path?k=v&k2=v2" into decoded path + params.
+void SplitTarget(std::string_view target, std::string* path,
+                 std::map<std::string, std::string>* params);
+
+class HttpRequestParser {
+ public:
+  enum class State {
+    kNeedMore,  // feed more bytes
+    kDone,      // one complete request parsed; request() is valid
+    kError,     // irrecoverable; error_status()/error() say why
+  };
+
+  explicit HttpRequestParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  // Consumes bytes from `data`, returning how many were used. Stops
+  // consuming once a full request is parsed (state() == kDone), so the
+  // caller can hand the remainder to a fresh parser for the next pipelined
+  // request. After kError the parser consumes nothing further.
+  size_t Feed(std::string_view data);
+
+  State state() const { return state_; }
+  const HttpRequest& request() const { return request_; }
+  // HTTP status to answer a malformed request with (400, 413, 431, 501...).
+  int error_status() const { return error_status_; }
+  const std::string& error() const { return error_; }
+
+  // Resets to parse the next request on the same connection.
+  void Reset();
+
+ private:
+  enum class Phase { kRequestLine, kHeaders, kBody };
+
+  void Fail(int http_status, std::string message);
+  bool FinishRequestLine(std::string_view line);
+  bool FinishHeaderLine(std::string_view line);
+  // Called once headers are complete; validates framing (Content-Length vs
+  // Transfer-Encoding) and transitions to kBody or kDone.
+  void BeginBody();
+
+  HttpLimits limits_;
+  State state_ = State::kNeedMore;
+  Phase phase_ = Phase::kRequestLine;
+  std::string line_buffer_;   // current (partial) request/header line
+  size_t header_bytes_ = 0;   // running total across header lines
+  size_t body_wanted_ = 0;    // Content-Length remaining
+  HttpRequest request_;
+  int error_status_ = 0;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+struct HttpResponse {
+  int status = 200;
+  // Extra headers beyond the always-emitted Content-Length / Content-Type /
+  // Connection (e.g. {"Retry-After", "1"}).
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+const char* HttpStatusReason(int status);
+
+// Serializes status line + headers + body. `keep_alive` controls the
+// Connection header (the daemon closes after errors and during drain).
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
+
+// Parses a complete serialized response (the blocking client's half).
+// `data` must contain the full head; returns false on malformed bytes or a
+// body longer than `limits.max_body_bytes`.
+struct ParsedResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;  // lowercased names
+  std::string body;
+};
+bool ParseResponseBytes(std::string_view data, ParsedResponse* out,
+                        size_t* consumed, const HttpLimits& limits = {});
+
+}  // namespace loggrep
+
+#endif  // SRC_SERVER_HTTP_H_

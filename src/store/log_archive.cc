@@ -688,6 +688,16 @@ Result<ArchiveQueryResult> LogArchive::Query(std::string_view command) {
   const RetryBudget budget(storage_env(), options_.query_deadline_ns);
   for (const BlockInfo* block : to_query) {
     if (SkipIfQuarantined(*block, &result.partial)) {
+      // Strict mode is complete-or-error: a standing hole (even one a repair
+      // already tombstoned) makes the answer incomplete, so it must fail
+      // rather than silently narrow to the healthy blocks.
+      if (!options_.degraded_queries) {
+        return Status(StatusCode::kUnavailable,
+                      "block " + std::to_string(block->seq) +
+                          " is quarantined and degraded queries are "
+                          "disabled: " +
+                          result.partial.failures.back().error);
+      }
       continue;  // standing hole; no retry storm on a known-sick block
     }
     const TraceSpan block_span("archive.query_block", "query", "seq",
@@ -706,6 +716,9 @@ Result<ArchiveQueryResult> LogArchive::Query(std::string_view command) {
       return block_result.status();
     }
     ++result.blocks_queried;
+    if (block_result->from_cache) {
+      ++result.blocks_from_cache;
+    }
     for (auto& [line, text_line] : block_result->hits) {
       result.hits.emplace_back(block->first_line + line, std::move(text_line));
     }
@@ -742,6 +755,13 @@ Result<ArchiveQueryResult> LogArchive::Explain(std::string_view command,
   for (const BlockInfo* block : to_query) {
     BlockExplain* be = &explain->blocks[slot_of_seq.at(block->seq)];
     if (SkipIfQuarantined(*block, &result.partial)) {
+      if (!options_.degraded_queries) {
+        return Status(StatusCode::kUnavailable,
+                      "block " + std::to_string(block->seq) +
+                          " is quarantined and degraded queries are "
+                          "disabled: " +
+                          result.partial.failures.back().error);
+      }
       be->block_failed = true;
       be->failure = result.partial.failures.back().error;
       continue;

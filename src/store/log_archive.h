@@ -122,6 +122,12 @@ struct ArchiveQueryResult {
   QueryHits hits;
   uint32_t blocks_pruned = 0;
   uint32_t blocks_queried = 0;
+  // Of blocks_queried, how many were answered from the engine's command
+  // cache. Cached blocks echo the cost snapshot of the execution that
+  // produced them (see LogGrepEngine), so a reader of `locator` needs this
+  // to tell replayed cost from fresh work: blocks_from_cache ==
+  // blocks_queried means no fresh decompression happened at all.
+  uint32_t blocks_from_cache = 0;
   // Blocks the query could not serve (quarantined before the query, or
   // failed during it). Empty means the result is complete; otherwise `hits`
   // is exact over every healthy block and `partial` names each hole.
@@ -186,6 +192,13 @@ class LogArchive {
   const QuarantineSet& quarantine() const { return quarantine_; }
   // Re-reads quarantine.json (picks up an external repair without reopening).
   Status ReloadQuarantine();
+  // Per-query knobs the serving layer adjusts between requests: the retry
+  // deadline feeding each query's RetryBudget, and whether block failures
+  // degrade (206/PartialReport) or abort (the `?degrade=0` switch). NOT
+  // thread-safe — callers serialize with queries, as loggrepd does under
+  // its per-archive lock.
+  void set_query_deadline_ns(uint64_t ns) { options_.query_deadline_ns = ns; }
+  void set_degraded_queries(bool on) { options_.degraded_queries = on; }
   // The storage backend in effect (never null).
   StorageEnv* storage_env() const { return EnvOrDefault(options_.env); }
   const std::string& dir() const { return dir_; }

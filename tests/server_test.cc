@@ -1,0 +1,546 @@
+// End-to-end tests for loggrepd (src/server/daemon.h): a real daemon on an
+// ephemeral loopback port, driven through the blocking DaemonClient and raw
+// sockets. Every query answer is checked hit-for-hit against a serial
+// LogArchive opened on the same directory — the daemon must be a transport,
+// never a different engine.
+//
+// Covered contracts (single source: src/server/archive_service.h):
+//   200 complete / 206 degraded+partial / 400 bad query / 404 missing
+//   archive / 500 block failure with degrade=0 / 429 over admission limit,
+// plus process-wide cache warmth across connections, keep-alive reuse,
+// pipelining, per-request deadlines, and graceful drain under load.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/common/json.h"
+#include "src/server/archive_service.h"
+#include "src/server/client.h"
+#include "src/server/daemon.h"
+#include "src/store/log_archive.h"
+#include "src/store/storage_env.h"
+#include "src/workload/datasets.h"
+#include "src/workload/loggen.h"
+#include "src/workload/queries.h"
+
+namespace loggrep {
+namespace {
+
+constexpr size_t kBlocks = 3;
+constexpr size_t kLinesPerBlock = 120;
+constexpr uint64_t kSeed = 42;
+
+std::vector<std::string> SplitIntoLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    lines.emplace_back(text, pos, nl - pos);
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+// A keyword guaranteed to hit block `b` (its longest alphanumeric run in the
+// block's first line) so block pruning cannot excuse the block.
+std::string AnchorKeyword(const std::vector<std::string>& block_lines) {
+  const std::string& line = block_lines.front();
+  std::string best;
+  std::string cur;
+  for (char c : line) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      cur.push_back(c);
+    } else {
+      if (cur.size() > best.size()) best = cur;
+      cur.clear();
+    }
+  }
+  if (cur.size() > best.size()) best = cur;
+  return best;
+}
+
+void ExpectHitsEqual(const QueryHits& expected, const QueryHits& actual,
+                     const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label << ": hit count diverges";
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(expected[i].first, actual[i].first)
+        << label << ": hit " << i << " line number diverges";
+    ASSERT_EQ(expected[i].second, actual[i].second)
+        << label << ": line " << expected[i].first << " text diverges";
+  }
+}
+
+// Minimal raw-socket client for the byte-level cases (pipelining, 405) the
+// structured DaemonClient deliberately cannot emit.
+class RawConnection {
+ public:
+  explicit RawConnection(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawConnection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool ok() const { return fd_ >= 0; }
+
+  bool Send(std::string_view bytes) {
+    while (!bytes.empty()) {
+      const ssize_t sent = ::send(fd_, bytes.data(), bytes.size(), 0);
+      if (sent <= 0) return false;
+      bytes.remove_prefix(static_cast<size_t>(sent));
+    }
+    return true;
+  }
+
+  // Reads until `count` complete responses have been parsed.
+  bool ReadResponses(size_t count, std::vector<ParsedResponse>* out) {
+    std::string data;
+    char buf[8192];
+    while (out->size() < count) {
+      ParsedResponse response;
+      size_t consumed = 0;
+      if (ParseResponseBytes(data, &response, &consumed)) {
+        out->push_back(std::move(response));
+        data.erase(0, consumed);
+        continue;
+      }
+      const ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);
+      if (got <= 0) return false;
+      data.append(buf, static_cast<size_t>(got));
+    }
+    return true;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (std::filesystem::temp_directory_path() /
+             ("loggrep_server_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                .string();
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_);
+
+    DatasetSpec spec = AllDatasets().front();
+    for (size_t b = 0; b < kBlocks; ++b) {
+      spec.seed = kSeed * 1000003 + b + 1;
+      LogGenerator gen(spec);
+      block_texts_.push_back(gen.GenerateLines(kLinesPerBlock));
+      block_lines_.push_back(SplitIntoLines(block_texts_.back()));
+    }
+    commands_ = QuerySuiteForDataset(spec.name);
+    ASSERT_FALSE(commands_.empty());
+
+    Result<LogArchive> archive = LogArchive::Create(ArchiveDir(), {});
+    ASSERT_TRUE(archive.ok()) << archive.status().ToString();
+    for (const std::string& text : block_texts_) {
+      ASSERT_TRUE(archive->AppendBlock(text).ok());
+    }
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::string ArchiveDir() const { return root_ + "/arch"; }
+
+  DaemonOptions BaseOptions() {
+    DaemonOptions options;
+    options.service.root = root_;
+    options.num_threads = 4;
+    return options;
+  }
+
+  // Serial oracle: a private LogArchive on the same files.
+  QueryHits OracleHits(const std::string& command) {
+    Result<LogArchive> archive = LogArchive::Open(ArchiveDir());
+    EXPECT_TRUE(archive.ok()) << archive.status().ToString();
+    Result<ArchiveQueryResult> r = archive->Query(command);
+    EXPECT_TRUE(r.ok()) << command << ": " << r.status().ToString();
+    return r->hits;
+  }
+
+  std::string root_;
+  std::vector<std::string> block_texts_;
+  std::vector<std::vector<std::string>> block_lines_;
+  std::vector<std::string> commands_;
+};
+
+TEST_F(ServerTest, HealthzMetricsAndUnknownEndpoints) {
+  LoggrepDaemon daemon(BaseOptions());
+  Result<uint16_t> port = daemon.Start();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  ASSERT_GT(*port, 0);
+
+  DaemonClient client("127.0.0.1", *port);
+  Result<ParsedResponse> health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->status, 200);
+  EXPECT_EQ(health->body.rfind("ok\n", 0), 0u) << health->body;
+
+  Result<ParsedResponse> metrics = client.Get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_NE(metrics->body.find("loggrep_server_requests"), std::string::npos)
+      << metrics->body.substr(0, 400);
+
+  Result<ParsedResponse> missing = client.Get("/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+}
+
+TEST_F(ServerTest, QueryAndExplainMatchTheSerialOracleHitForHit) {
+  LoggrepDaemon daemon(BaseOptions());
+  Result<uint16_t> port = daemon.Start();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  DaemonClient client("127.0.0.1", *port);
+  for (const std::string& command : commands_) {
+    const QueryHits expected = OracleHits(command);
+
+    Result<RemoteQueryResult> post = client.Query("arch", command);
+    ASSERT_TRUE(post.ok()) << command << ": " << post.status().ToString();
+    EXPECT_EQ(post->http_status, 200) << post->body;
+    EXPECT_TRUE(post->complete);
+    ExpectHitsEqual(expected, post->hits, command + " [POST]");
+
+    RemoteQueryOptions get_options;
+    get_options.use_post = false;
+    Result<RemoteQueryResult> get = client.Query("arch", command, get_options);
+    ASSERT_TRUE(get.ok()) << command << ": " << get.status().ToString();
+    EXPECT_EQ(get->http_status, 200);
+    ExpectHitsEqual(expected, get->hits, command + " [GET]");
+
+    Result<RemoteQueryResult> explain = client.Explain("arch", command);
+    ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+    EXPECT_EQ(explain->http_status, 200);
+    ExpectHitsEqual(expected, explain->hits, command + " [explain]");
+    Result<JsonValue> doc = ParseJson(explain->body);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    const JsonValue& ex = doc->Get("explain");
+    ASSERT_TRUE(ex.is_object()) << explain->body.substr(0, 200);
+    EXPECT_TRUE(ex.Get("invariant_ok").AsBool())
+        << ex.Get("invariant_detail").AsString();
+    EXPECT_FALSE(ex.Get("render").AsString().empty());
+  }
+  EXPECT_EQ(daemon.service().open_archives(), 1u);
+}
+
+TEST_F(ServerTest, ArchiveStaysWarmAcrossConnections) {
+  LoggrepDaemon daemon(BaseOptions());
+  Result<uint16_t> port = daemon.Start();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  const std::string command = AnchorKeyword(block_lines_[0]);
+
+  // Cold: first client pays the decompression (nothing cached yet).
+  uint64_t cold_bytes = 0;
+  {
+    DaemonClient first("127.0.0.1", *port);
+    Result<RemoteQueryResult> cold = first.Query("arch", command);
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+    ASSERT_EQ(cold->http_status, 200);
+    cold_bytes = cold->bytes_decompressed;
+    EXPECT_GT(cold_bytes, 0u) << "cold query should decompress";
+    EXPECT_EQ(cold->blocks_from_cache, 0u);
+  }
+
+  // Warm: a *different* connection reuses the process-wide archive handle —
+  // every block answers from the command cache (stats echo the cold run's
+  // cost snapshot; blocks_from_cache is the honest "no fresh work" signal).
+  DaemonClient second("127.0.0.1", *port);
+  Result<RemoteQueryResult> warm = second.Query("arch", command);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ASSERT_EQ(warm->http_status, 200);
+  EXPECT_GT(warm->blocks_queried, 0u);
+  EXPECT_EQ(warm->blocks_from_cache, warm->blocks_queried)
+      << "a repeat of the same command must be fully cache-served";
+  EXPECT_LT(warm->bytes_decompressed, cold_bytes + 1);
+  ExpectHitsEqual(OracleHits(command), warm->hits, command + " [warm]");
+}
+
+TEST_F(ServerTest, DegradedQueryReturns206WithPartialReport) {
+  FaultInjectingStorageEnv fault(FaultOptions{.seed = kSeed});
+  fault.AddPermanentFault("block-1.lgc", StatusCode::kIOError);
+
+  DaemonOptions options = BaseOptions();
+  options.service.archive.env = &fault;
+  options.service.archive.retry.max_attempts = 2;
+  options.service.archive.box_cache_budget_bytes = 0;
+  LoggrepDaemon daemon(options);
+  Result<uint16_t> port = daemon.Start();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  // An anchor from the sick block forces the degraded path.
+  const std::string command = AnchorKeyword(block_lines_[1]);
+  // Expected: the full oracle minus the sick block's line range.
+  QueryHits expected;
+  for (const auto& [line, text] : OracleHits(command)) {
+    if (line < kLinesPerBlock || line >= 2 * kLinesPerBlock) {
+      expected.emplace_back(line, text);
+    }
+  }
+
+  DaemonClient client("127.0.0.1", *port);
+  Result<RemoteQueryResult> degraded = client.Query("arch", command);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_EQ(degraded->http_status, 206) << degraded->body;
+  EXPECT_FALSE(degraded->complete);
+  EXPECT_EQ(degraded->lines_missing, kLinesPerBlock);
+  ExpectHitsEqual(expected, degraded->hits, command + " [degraded]");
+  EXPECT_EQ(ExitCodeForHttpStatus(degraded->http_status), 3);
+
+  // The structured failure names the sick block.
+  Result<JsonValue> doc = ParseJson(degraded->body);
+  ASSERT_TRUE(doc.ok());
+  const auto& failures = doc->Get("partial").Get("failures").AsArray();
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].Get("seq").AsUint(), 1u);
+  EXPECT_FALSE(failures[0].Get("error").AsString().empty());
+
+  // ?degrade=0 flips the same query to a hard 500.
+  RemoteQueryOptions no_degrade;
+  no_degrade.degrade = false;
+  Result<RemoteQueryResult> strict = client.Query("arch", command, no_degrade);
+  ASSERT_TRUE(strict.ok()) << strict.status().ToString();
+  EXPECT_EQ(strict->http_status, 500) << strict->body;
+  EXPECT_FALSE(strict->error.empty());
+  EXPECT_EQ(ExitCodeForHttpStatus(strict->http_status), 1);
+}
+
+TEST_F(ServerTest, PerRequestDeadlineBoundsRetryStorms) {
+  FaultInjectingStorageEnv fault(FaultOptions{.seed = kSeed});
+  // Retryable failures forever: without a deadline the retry policy grinds
+  // through max_attempts per block (virtual clock, so no wall time either
+  // way — the assertion is on the *outcome*).
+  fault.AddPermanentFault(".lgc", StatusCode::kUnavailable);
+
+  DaemonOptions options = BaseOptions();
+  options.service.archive.env = &fault;
+  options.service.archive.retry.max_attempts = 100;
+  options.service.archive.box_cache_budget_bytes = 0;
+  LoggrepDaemon daemon(options);
+  Result<uint16_t> port = daemon.Start();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  DaemonClient client("127.0.0.1", *port);
+  RemoteQueryOptions with_deadline;
+  with_deadline.deadline_ms = 50;
+  Result<RemoteQueryResult> r =
+      client.Query("arch", AnchorKeyword(block_lines_[0]), with_deadline);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->http_status, 206) << r->body;
+  EXPECT_TRUE(r->hits.empty()) << "every block is sick";
+  EXPECT_GT(
+      daemon.metrics().GetOrCreate("storage.retry.deadline_exceeded")->value(),
+      0u);
+}
+
+TEST_F(ServerTest, BadRequestsMapOntoTheStatusContract) {
+  LoggrepDaemon daemon(BaseOptions());
+  Result<uint16_t> port = daemon.Start();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  DaemonClient client("127.0.0.1", *port);
+
+  // Missing command entirely.
+  Result<ParsedResponse> no_query = client.Get("/query?archive=arch");
+  ASSERT_TRUE(no_query.ok());
+  EXPECT_EQ(no_query->status, 400);
+
+  // Unparseable query command.
+  Result<RemoteQueryResult> bad = client.Query("arch", "x and and y");
+  ASSERT_TRUE(bad.ok()) << bad.status().ToString();
+  EXPECT_EQ(bad->http_status, 400) << bad->body;
+  EXPECT_FALSE(bad->error.empty());
+  EXPECT_EQ(ExitCodeForHttpStatus(bad->http_status), 1);
+
+  // Archive that does not exist under the root.
+  Result<RemoteQueryResult> missing = client.Query("no-such-archive", "x");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->http_status, 404) << missing->body;
+
+  // Escape attempts are rejected before touching the filesystem.
+  for (const char* name : {"../etc", "a/../../b", "/abs/path"}) {
+    Result<RemoteQueryResult> escape = client.Query(name, "x");
+    ASSERT_TRUE(escape.ok()) << name;
+    EXPECT_EQ(escape->http_status, 400) << name << ": " << escape->body;
+  }
+}
+
+TEST_F(ServerTest, ResolveArchivePathAndContractHelpers) {
+  EXPECT_EQ(ResolveArchivePath("/root", "a/b"), "/root/a/b");
+  EXPECT_EQ(ResolveArchivePath("/root", ""), "/root");
+  EXPECT_EQ(ResolveArchivePath("/root", "."), "/root");
+  EXPECT_EQ(ResolveArchivePath("/root", "/abs"), "");
+  EXPECT_EQ(ResolveArchivePath("/root", ".."), "");
+  EXPECT_EQ(ResolveArchivePath("/root", "a/../b"), "");
+  EXPECT_EQ(ResolveArchivePath("/root", "a//b"), "");
+  EXPECT_EQ(ResolveArchivePath("/root", "a\\b"), "");
+
+  EXPECT_EQ(ExitCodeForHttpStatus(200), 0);
+  EXPECT_EQ(ExitCodeForHttpStatus(206), 3);
+  for (int status : {400, 404, 429, 500, 503}) {
+    EXPECT_EQ(ExitCodeForHttpStatus(status), 1) << status;
+  }
+
+  EXPECT_EQ(HttpStatusForQueryError(InvalidArgument("x")), 400);
+  EXPECT_EQ(HttpStatusForQueryError(NotFound("x")), 404);
+  EXPECT_EQ(HttpStatusForQueryError(IOError("x")), 500);
+  EXPECT_EQ(HttpStatusForQueryError(CorruptData("x")), 500);
+}
+
+TEST_F(ServerTest, AdmissionControlShedsLoadWith429) {
+  DaemonOptions options = BaseOptions();
+  // 0 is honored literally: every query bounces. This pins the overload
+  // path deterministically (no timing games).
+  options.max_inflight_queries = 0;
+  options.retry_after_seconds = 7;
+  LoggrepDaemon daemon(options);
+  Result<uint16_t> port = daemon.Start();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  DaemonClient client("127.0.0.1", *port);
+  Result<ParsedResponse> bounced =
+      client.Get("/query?archive=arch&q=" + UrlEncode("x"));
+  ASSERT_TRUE(bounced.ok()) << bounced.status().ToString();
+  EXPECT_EQ(bounced->status, 429);
+  EXPECT_EQ(bounced->headers.at("retry-after"), "7");
+
+  // Health and metrics stay reachable under overload — admission control
+  // only covers query execution.
+  Result<ParsedResponse> health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 200);
+  EXPECT_GT(
+      daemon.metrics().GetOrCreate("server.admission_rejects")->value(), 0u);
+}
+
+TEST_F(ServerTest, KeepAliveReusesOneConnection) {
+  LoggrepDaemon daemon(BaseOptions());
+  Result<uint16_t> port = daemon.Start();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  DaemonClient client("127.0.0.1", *port);
+  const std::string command = commands_.front();
+  const QueryHits expected = OracleHits(command);
+  for (int i = 0; i < 5; ++i) {
+    Result<RemoteQueryResult> r = client.Query("arch", command);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->http_status, 200);
+    ExpectHitsEqual(expected, r->hits, command + " [reuse]");
+  }
+  EXPECT_EQ(
+      daemon.metrics().GetOrCreate("server.connections_accepted")->value(),
+      1u)
+      << "five keep-alive queries must ride one connection";
+}
+
+TEST_F(ServerTest, PipelinedRequestsAnswerInOrder) {
+  LoggrepDaemon daemon(BaseOptions());
+  Result<uint16_t> port = daemon.Start();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  RawConnection raw(*port);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(raw.Send(
+      "GET /healthz HTTP/1.1\r\n\r\n"
+      "POST /metrics HTTP/1.1\r\n\r\n"   // wrong method: 405, closes
+      ));
+  std::vector<ParsedResponse> responses;
+  ASSERT_TRUE(raw.ReadResponses(2, &responses));
+  EXPECT_EQ(responses[0].status, 200);
+  EXPECT_EQ(responses[1].status, 405);
+  EXPECT_EQ(responses[1].headers.at("connection"), "close");
+}
+
+TEST_F(ServerTest, MalformedBytesGetA4xxNeverACrash) {
+  LoggrepDaemon daemon(BaseOptions());
+  Result<uint16_t> port = daemon.Start();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  {
+    RawConnection raw(*port);
+    ASSERT_TRUE(raw.ok());
+    ASSERT_TRUE(raw.Send("THIS IS NOT HTTP\r\n\r\n"));
+    std::vector<ParsedResponse> responses;
+    ASSERT_TRUE(raw.ReadResponses(1, &responses));
+    EXPECT_GE(responses[0].status, 400);
+    EXPECT_EQ(responses[0].headers.at("connection"), "close");
+  }
+
+  // The daemon survives and keeps serving.
+  DaemonClient client("127.0.0.1", *port);
+  Result<ParsedResponse> health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 200);
+  EXPECT_GT(daemon.metrics().GetOrCreate("server.parse_errors")->value(), 0u);
+}
+
+TEST_F(ServerTest, ShutdownDrainsInflightWorkThenStops) {
+  LoggrepDaemon daemon(BaseOptions());
+  Result<uint16_t> port = daemon.Start();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  const std::string command = commands_.front();
+  const QueryHits expected = OracleHits(command);
+
+  // Clients hammer the daemon while the main thread shuts it down. Every
+  // *answered* query must be a correct answer — a drain finishes work, it
+  // never truncates it. Transport errors after the drain are expected.
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> answered{0};
+  std::atomic<size_t> wrong{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 4; ++i) {
+    clients.emplace_back([&] {
+      DaemonClient client("127.0.0.1", *port);
+      while (!stop.load(std::memory_order_acquire)) {
+        Result<RemoteQueryResult> r = client.Query("arch", command);
+        if (!r.ok()) {
+          break;  // daemon gone
+        }
+        if (r->http_status != 200 || r->hits != expected) {
+          wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+        answered.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Let the clients get some answers, then pull the plug mid-storm.
+  while (answered.load(std::memory_order_acquire) < 8) {
+    std::this_thread::yield();
+  }
+  daemon.Shutdown();
+  EXPECT_FALSE(daemon.running());
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_GE(answered.load(), 8u);
+  EXPECT_EQ(daemon.inflight_queries(), 0u);
+  EXPECT_EQ(daemon.service().open_archives(), 0u) << "Clear() after drain";
+
+  // Idempotent: a second Shutdown (and the destructor's) is a no-op.
+  daemon.Shutdown();
+}
+
+}  // namespace
+}  // namespace loggrep
