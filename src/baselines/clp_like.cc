@@ -384,6 +384,7 @@ Result<QueryHits> ClpLikeBackend::Query(std::string_view stored,
   const std::set<uint32_t> candidates = CandidatesForExpr(*store, **expr);
 
   QueryHits hits;
+  LineMatcher matcher;
   std::vector<std::string_view> vars;
   for (uint32_t s : candidates) {
     const SegmentInfo& info = store->segments[s];
@@ -421,7 +422,7 @@ Result<QueryHits> ClpLikeBackend::Query(std::string_view stored,
         }
         line = tmpl.Render(vars);
       }
-      if (LineMatchesQuery(line, **expr)) {
+      if (matcher.MatchesQuery(line, **expr)) {
         hits.emplace_back(info.first_line + i, std::move(line));
       }
     }

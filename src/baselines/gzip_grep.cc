@@ -22,9 +22,10 @@ Result<QueryHits> GzipGrepBackend::Query(std::string_view stored,
     return text.status();
   }
   QueryHits hits;
+  LineMatcher matcher;
   const std::vector<std::string_view> lines = SplitLines(*text);
   for (uint32_t ln = 0; ln < lines.size(); ++ln) {
-    if (LineMatchesQuery(lines[ln], **expr)) {
+    if (matcher.MatchesQuery(lines[ln], **expr)) {
       hits.emplace_back(ln, std::string(lines[ln]));
     }
   }

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/common/simd.h"
+
 namespace loggrep {
 
 std::string BuildPaddedBlob(const std::vector<std::string_view>& values,
@@ -17,7 +19,7 @@ std::string BuildPaddedBlob(const std::vector<std::string_view>& values,
 }
 
 std::string_view TrimCell(std::string_view cell) {
-  const size_t pad = cell.find(kPadChar);
+  const size_t pad = FindByte(cell, 0, kPadChar);
   return pad == std::string_view::npos ? cell : cell.substr(0, pad);
 }
 
@@ -39,11 +41,17 @@ std::string BuildDelimitedBlob(const std::vector<std::string_view>& values) {
 std::vector<std::string_view> SplitDelimitedBlob(std::string_view blob) {
   std::vector<std::string_view> values;
   size_t start = 0;
-  for (size_t i = 0; i < blob.size(); ++i) {
-    if (blob[i] == '\n') {
-      values.push_back(blob.substr(start, i - start));
-      start = i + 1;
-    }
+  size_t pos = FindByte(blob, 0, '\n');
+  while (pos != std::string_view::npos) {
+    values.push_back(blob.substr(start, pos - start));
+    start = pos + 1;
+    pos = FindByte(blob, start, '\n');
+  }
+  // Producers always '\n'-terminate (BuildDelimitedBlob), but a truncated
+  // Capsule can end mid-value; keep the trailing cell so every consumer
+  // (splits, SearchDelimitedColumn) sees the same row count.
+  if (start < blob.size()) {
+    values.push_back(blob.substr(start));
   }
   return values;
 }

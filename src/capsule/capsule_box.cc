@@ -66,6 +66,17 @@ bool ValidCapsuleRef(uint32_t id, size_t capsule_count) {
   return id == kNoCapsule || id < capsule_count;
 }
 
+// Varint fields that land in uint32 metadata slots. The encoder only ever
+// writes 32-bit values, so anything wider is corruption — fail loudly
+// instead of silently truncating to a wrong (small) number.
+Result<uint32_t> CheckedU32(uint64_t v, const char* what) {
+  if (v > 0xFFFFFFFFull) {
+    return CorruptData(std::string("capsule_box: ") + what +
+                       " exceeds 32-bit range");
+  }
+  return static_cast<uint32_t>(v);
+}
+
 // Referential-integrity validation of freshly parsed metadata. Everything
 // the query path indexes with (template ids, capsule ids, sub-variable
 // ordinals, row/line counts) is checked once here so the locator and
@@ -247,7 +258,11 @@ Result<VarMeta> ReadVarMeta(ByteReader& in) {
         if (!count.ok()) {
           return count.status();
         }
-        p.count = static_cast<uint32_t>(*count);
+        Result<uint32_t> count32 = CheckedU32(*count, "nominal section count");
+        if (!count32.ok()) {
+          return count32.status();
+        }
+        p.count = *count32;
         nv.patterns.push_back(std::move(p));
       }
       Result<uint32_t> dict = in.ReadU32();
@@ -264,7 +279,11 @@ Result<VarMeta> ReadVarMeta(ByteReader& in) {
       if (!width.ok()) {
         return width.status();
       }
-      nv.index_width = static_cast<uint32_t>(*width);
+      Result<uint32_t> width32 = CheckedU32(*width, "nominal index width");
+      if (!width32.ok()) {
+        return width32.status();
+      }
+      nv.index_width = *width32;
       var.repr = std::move(nv);
       return var;
     }
@@ -370,7 +389,11 @@ Result<CapsuleBox> CapsuleBox::Open(std::string_view bytes) {
   if (!total.ok()) {
     return total.status();
   }
-  box.meta_.total_lines = static_cast<uint32_t>(*total);
+  Result<uint32_t> total32 = CheckedU32(*total, "total line count");
+  if (!total32.ok()) {
+    return total32.status();
+  }
+  box.meta_.total_lines = *total32;
 
   Result<uint64_t> num_templates = mr.ReadVarint();
   if (!num_templates.ok()) {
@@ -399,7 +422,11 @@ Result<CapsuleBox> CapsuleBox::Open(std::string_view bytes) {
     if (!rows.ok()) {
       return rows.status();
     }
-    g.row_count = static_cast<uint32_t>(*rows);
+    Result<uint32_t> rows32 = CheckedU32(*rows, "group row count");
+    if (!rows32.ok()) {
+      return rows32.status();
+    }
+    g.row_count = *rows32;
     Result<std::vector<uint32_t>> line_numbers = ReadDeltaRows(mr);
     if (!line_numbers.ok()) {
       return line_numbers.status();

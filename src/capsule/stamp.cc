@@ -4,6 +4,24 @@
 
 namespace loggrep {
 
+StampProbe ProbeForFragment(std::string_view fragment) {
+  return {TypeMaskOf(fragment), static_cast<uint32_t>(fragment.size())};
+}
+
+StampProbe ProbeForKeyword(std::string_view keyword) {
+  StampProbe probe;
+  for (char c : keyword) {
+    if (c == '*') {
+      continue;
+    }
+    ++probe.min_len;  // '?' consumes one character of unknown class
+    if (c != '?') {
+      probe.mask |= CharClassOf(c);
+    }
+  }
+  return probe;
+}
+
 CapsuleStamp CapsuleStamp::Of(const std::vector<std::string_view>& values) {
   CapsuleStamp s;
   for (std::string_view v : values) {

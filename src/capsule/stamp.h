@@ -17,6 +17,22 @@
 
 namespace loggrep {
 
+// A keyword's side of the stamp check, precomputed once so that testing one
+// keyword against many Capsule stamps (every sub-variable of every group, or
+// every dictionary section of a nominal variable) batches down to two integer
+// compares per stamp instead of re-classifying the keyword's characters.
+struct StampProbe {
+  TypeMask mask = 0;     // classes of the keyword's literal characters
+  uint32_t min_len = 0;  // shortest possible expansion length
+};
+
+// Probe for a literal fragment (no wildcards).
+StampProbe ProbeForFragment(std::string_view fragment);
+
+// Wildcard-aware probe: '*' adds nothing, '?' consumes one character of
+// unknown class, literals contribute their class.
+StampProbe ProbeForKeyword(std::string_view keyword);
+
 struct CapsuleStamp {
   TypeMask mask = 0;
   uint32_t max_len = 0;
@@ -26,7 +42,12 @@ struct CapsuleStamp {
 
   // The §5.1 check: K&C == K and |fragment| <= max_len.
   bool AdmitsFragment(std::string_view fragment) const {
-    return fragment.size() <= max_len && MaskSubsumes(mask, TypeMaskOf(fragment));
+    return AdmitsProbe(ProbeForFragment(fragment));
+  }
+
+  // The same check against a precomputed probe (the batched form).
+  bool AdmitsProbe(const StampProbe& probe) const {
+    return probe.min_len <= max_len && MaskSubsumes(mask, probe.mask);
   }
 
   // Cell width of the padded layout. All-empty columns still get 1-byte

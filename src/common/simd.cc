@@ -1,0 +1,334 @@
+#include "src/common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define LOGGREP_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define LOGGREP_SIMD_X86 0
+#endif
+
+namespace loggrep {
+namespace {
+
+constexpr size_t kNpos = std::string_view::npos;
+
+SimdTier DetectTier() {
+#if LOGGREP_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) {
+    return SimdTier::kAvx2;
+  }
+#if defined(__x86_64__)
+  return SimdTier::kSse2;  // architectural baseline on x86-64
+#else
+  return __builtin_cpu_supports("sse2") ? SimdTier::kSse2 : SimdTier::kScalar;
+#endif
+#else
+  return SimdTier::kScalar;
+#endif
+}
+
+SimdTier HardwareTier() {
+  static const SimdTier tier = DetectTier();
+  return tier;
+}
+
+std::atomic<SimdTier>& TierSlot() {
+  static std::atomic<SimdTier> tier = [] {
+    const char* force = std::getenv("LOGGREP_FORCE_SCALAR");
+    if (force != nullptr && force[0] != '\0' && force[0] != '0') {
+      return SimdTier::kScalar;
+    }
+    return HardwareTier();
+  }();
+  return tier;
+}
+
+// ---- scalar tier -----------------------------------------------------------
+
+size_t FindByteScalar(const char* p, size_t n, size_t from, char byte) {
+  for (size_t i = from; i < n; ++i) {
+    if (p[i] == byte) {
+      return i;
+    }
+  }
+  return kNpos;
+}
+
+bool BlocksEqualScalar(const char* a, const char* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+#if LOGGREP_SIMD_X86
+
+// ---- SSE2 tier -------------------------------------------------------------
+
+size_t FindByteSse2(const char* p, size_t n, size_t from, char byte) {
+  const __m128i needle = _mm_set1_epi8(byte);
+  size_t i = from;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i chunk =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    const int mask = _mm_movemask_epi8(_mm_cmpeq_epi8(chunk, needle));
+    if (mask != 0) {
+      return i + static_cast<size_t>(__builtin_ctz(static_cast<unsigned>(mask)));
+    }
+  }
+  return FindByteScalar(p, n, i, byte);
+}
+
+bool BlocksEqualSse2(const char* a, const char* b, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    if (_mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)) != 0xFFFF) {
+      return false;
+    }
+  }
+  if (i < n && n >= 16) {
+    // Overlap the final (unaligned) 16 bytes instead of a scalar tail.
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + n - 16));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + n - 16));
+    return _mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)) == 0xFFFF;
+  }
+  return BlocksEqualScalar(a + i, b + i, n - i);
+}
+
+// First+last-byte candidate filter (the "generic SIMD memmem" shape): a
+// position is a candidate only when needle[0] matches at i and
+// needle[k-1] matches at i + k - 1; candidates are then verified bytewise.
+void FindAllSse2(std::string_view haystack, std::string_view needle,
+                 std::vector<size_t>& hits) {
+  const char* p = haystack.data();
+  const size_t n = haystack.size();
+  const size_t k = needle.size();
+  const __m128i first = _mm_set1_epi8(needle.front());
+  const __m128i last = _mm_set1_epi8(needle.back());
+  size_t i = 0;
+  while (i + 16 + k - 1 <= n) {
+    const __m128i block_first =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    const __m128i block_last =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i + k - 1));
+    unsigned mask = static_cast<unsigned>(
+        _mm_movemask_epi8(_mm_and_si128(_mm_cmpeq_epi8(block_first, first),
+                                        _mm_cmpeq_epi8(block_last, last))));
+    while (mask != 0) {
+      const size_t pos = i + static_cast<size_t>(__builtin_ctz(mask));
+      mask &= mask - 1;
+      if (BlocksEqualSse2(p + pos + 1, needle.data() + 1, k - 2)) {
+        hits.push_back(pos);
+      }
+    }
+    i += 16;
+  }
+  for (; i + k <= n; ++i) {
+    if (p[i] == needle.front() && p[i + k - 1] == needle.back() &&
+        BlocksEqualScalar(p + i + 1, needle.data() + 1, k - 2)) {
+      hits.push_back(i);
+    }
+  }
+}
+
+// ---- AVX2 tier -------------------------------------------------------------
+
+__attribute__((target("avx2"))) size_t FindByteAvx2(const char* p, size_t n,
+                                                    size_t from, char byte) {
+  const __m256i needle = _mm256_set1_epi8(byte);
+  size_t i = from;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i chunk =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    const unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(chunk, needle)));
+    if (mask != 0) {
+      return i + static_cast<size_t>(__builtin_ctz(mask));
+    }
+  }
+  return FindByteSse2(p, n, i, byte);
+}
+
+__attribute__((target("avx2"))) bool BlocksEqualAvx2(const char* a,
+                                                     const char* b, size_t n) {
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    if (_mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)) != -1) {
+      return false;
+    }
+  }
+  if (i < n && n >= 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + n - 32));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + n - 32));
+    return _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)) == -1;
+  }
+  return BlocksEqualSse2(a + i, b + i, n - i);
+}
+
+__attribute__((target("avx2"))) void FindAllAvx2(std::string_view haystack,
+                                                 std::string_view needle,
+                                                 std::vector<size_t>& hits) {
+  const char* p = haystack.data();
+  const size_t n = haystack.size();
+  const size_t k = needle.size();
+  const __m256i first = _mm256_set1_epi8(needle.front());
+  const __m256i last = _mm256_set1_epi8(needle.back());
+  size_t i = 0;
+  while (i + 32 + k - 1 <= n) {
+    const __m256i block_first =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    const __m256i block_last =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i + k - 1));
+    unsigned mask = static_cast<unsigned>(_mm256_movemask_epi8(
+        _mm256_and_si256(_mm256_cmpeq_epi8(block_first, first),
+                         _mm256_cmpeq_epi8(block_last, last))));
+    while (mask != 0) {
+      const size_t pos = i + static_cast<size_t>(__builtin_ctz(mask));
+      mask &= mask - 1;
+      if (BlocksEqualAvx2(p + pos + 1, needle.data() + 1, k - 2)) {
+        hits.push_back(pos);
+      }
+    }
+    i += 32;
+  }
+  for (; i + k <= n; ++i) {
+    if (p[i] == needle.front() && p[i + k - 1] == needle.back() &&
+        BlocksEqualScalar(p + i + 1, needle.data() + 1, k - 2)) {
+      hits.push_back(i);
+    }
+  }
+}
+
+#endif  // LOGGREP_SIMD_X86
+
+void FindAllScalar(std::string_view haystack, std::string_view needle,
+                   std::vector<size_t>& hits) {
+  const size_t k = needle.size();
+  for (size_t i = 0; i + k <= haystack.size(); ++i) {
+    if (haystack[i] == needle.front() && haystack[i + k - 1] == needle.back() &&
+        BlocksEqualScalar(haystack.data() + i + 1, needle.data() + 1, k - 2)) {
+      hits.push_back(i);
+    }
+  }
+}
+
+void FindAllBytes(std::string_view haystack, char byte,
+                  std::vector<size_t>& hits) {
+  size_t pos = FindByte(haystack, 0, byte);
+  while (pos != kNpos) {
+    hits.push_back(pos);
+    pos = FindByte(haystack, pos + 1, byte);
+  }
+}
+
+}  // namespace
+
+SimdTier ActiveSimdTier() {
+  return TierSlot().load(std::memory_order_relaxed);
+}
+
+std::vector<SimdTier> SupportedSimdTiers() {
+  std::vector<SimdTier> tiers = {SimdTier::kScalar};
+  if (HardwareTier() >= SimdTier::kSse2) {
+    tiers.push_back(SimdTier::kSse2);
+  }
+  if (HardwareTier() >= SimdTier::kAvx2) {
+    tiers.push_back(SimdTier::kAvx2);
+  }
+  return tiers;
+}
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kSse2:
+      return "sse2";
+    case SimdTier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+ScopedSimdTier::ScopedSimdTier(SimdTier tier)
+    : prev_(TierSlot().exchange(tier, std::memory_order_relaxed)) {}
+
+ScopedSimdTier::~ScopedSimdTier() {
+  TierSlot().store(prev_, std::memory_order_relaxed);
+}
+
+size_t FindByte(std::string_view haystack, size_t from, char byte) {
+  if (from >= haystack.size()) {
+    return kNpos;
+  }
+#if LOGGREP_SIMD_X86
+  switch (ActiveSimdTier()) {
+    case SimdTier::kAvx2:
+      return FindByteAvx2(haystack.data(), haystack.size(), from, byte);
+    case SimdTier::kSse2:
+      return FindByteSse2(haystack.data(), haystack.size(), from, byte);
+    case SimdTier::kScalar:
+      break;
+  }
+#endif
+  return FindByteScalar(haystack.data(), haystack.size(), from, byte);
+}
+
+bool BlocksEqual(const char* a, const char* b, size_t n) {
+  if (n == 0) {
+    return true;
+  }
+#if LOGGREP_SIMD_X86
+  switch (ActiveSimdTier()) {
+    case SimdTier::kAvx2:
+      return BlocksEqualAvx2(a, b, n);
+    case SimdTier::kSse2:
+      return BlocksEqualSse2(a, b, n);
+    case SimdTier::kScalar:
+      break;
+  }
+#endif
+  return BlocksEqualScalar(a, b, n);
+}
+
+void FindAll(std::string_view haystack, std::string_view needle,
+             std::vector<size_t>& hits) {
+  if (needle.empty() || needle.size() > haystack.size()) {
+    return;
+  }
+  if (needle.size() == 1) {
+    FindAllBytes(haystack, needle.front(), hits);
+    return;
+  }
+#if LOGGREP_SIMD_X86
+  switch (ActiveSimdTier()) {
+    case SimdTier::kAvx2:
+      FindAllAvx2(haystack, needle, hits);
+      return;
+    case SimdTier::kSse2:
+      FindAllSse2(haystack, needle, hits);
+      return;
+    case SimdTier::kScalar:
+      break;
+  }
+#endif
+  FindAllScalar(haystack, needle, hits);
+}
+
+}  // namespace loggrep

@@ -1,0 +1,77 @@
+// Runtime-dispatched SIMD primitives for the hot scan path.
+//
+// The query kernel (§5.2 fixed-length matching) spends its time in three
+// byte-level operations: finding a byte (pad-char trim, first-byte skip),
+// comparing short blocks (fragment verification), and enumerating substring
+// occurrences across a padded column. This header provides exactly those
+// three primitives with one implementation per tier:
+//
+//   kScalar — portable C++ loops, selectable at runtime via the
+//             LOGGREP_FORCE_SCALAR=1 environment variable (checked once).
+//   kSse2   — 16-byte blocks; baseline on x86-64, always compiled there.
+//   kAvx2   — 32-byte blocks; compiled with a per-function target attribute
+//             and selected only when CPUID reports AVX2.
+//
+// Dispatch is a single relaxed atomic load per call; the tier is detected
+// once at first use. Tests and benches pin a tier with ScopedSimdTier to
+// difference the vector paths against the scalar oracle on the same build.
+//
+// All three primitives are exact: a tier change can never change results,
+// only speed. That property is enforced by tests/fixed_matcher_property_test.
+#ifndef SRC_COMMON_SIMD_H_
+#define SRC_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace loggrep {
+
+enum class SimdTier : uint8_t {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+// Highest tier supported by this CPU and build, minus the
+// LOGGREP_FORCE_SCALAR override. Detected once, then cached.
+SimdTier ActiveSimdTier();
+
+// Tiers worth testing on this machine: kScalar up to ActiveSimdTier()
+// ignoring the environment override (so a forced-scalar CI leg still
+// exercises the vector code paths it is meant to difference against).
+std::vector<SimdTier> SupportedSimdTiers();
+
+const char* SimdTierName(SimdTier tier);  // "scalar" / "sse2" / "avx2"
+
+// Pins the active tier for the lifetime of the object (tests/benches only;
+// not thread-safe against concurrent scans in other threads).
+class ScopedSimdTier {
+ public:
+  explicit ScopedSimdTier(SimdTier tier);
+  ~ScopedSimdTier();
+  ScopedSimdTier(const ScopedSimdTier&) = delete;
+  ScopedSimdTier& operator=(const ScopedSimdTier&) = delete;
+
+ private:
+  SimdTier prev_;
+};
+
+// Index of the first occurrence of `byte` at or after `from`;
+// std::string_view::npos when absent. The memchr of the scan kernel.
+size_t FindByte(std::string_view haystack, size_t from, char byte);
+
+// True when [a, a+n) and [b, b+n) hold the same bytes (n may be 0).
+bool BlocksEqual(const char* a, const char* b, size_t n);
+
+// Appends every (possibly overlapping) occurrence of `needle` in `haystack`
+// to `hits`, in ascending order. Empty needles produce no hits, matching
+// BoyerMooreSearch/KmpSearch. Uses a first+last-byte skip loop with block
+// verification on the vector tiers.
+void FindAll(std::string_view haystack, std::string_view needle,
+             std::vector<size_t>& hits);
+
+}  // namespace loggrep
+
+#endif  // SRC_COMMON_SIMD_H_

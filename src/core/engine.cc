@@ -299,13 +299,13 @@ Result<QueryResult> LogGrepEngine::QueryInternal(const BoxKey& key,
   const CapsuleBoxMeta& meta = box->meta();
   for (uint32_t g = 0; g < ev.groups.size(); ++g) {
     for (uint32_t row : ev.groups[g].ToRows()) {
-      result.hits.emplace_back(meta.groups[g].line_numbers[row],
-                               reconstructor.RenderRow(g, row));
+      result.hits.emplace_back(meta.groups[g].line_numbers[row], std::string());
+      reconstructor.RenderRowTo(g, row, &result.hits.back().second);
     }
   }
   for (uint32_t i : ev.outliers.ToRows()) {
-    result.hits.emplace_back(meta.outlier_line_numbers[i],
-                             reconstructor.RenderOutlier(i));
+    result.hits.emplace_back(meta.outlier_line_numbers[i], std::string());
+    reconstructor.RenderOutlierTo(i, &result.hits.back().second);
   }
   if (!querier.status().ok()) {
     return querier.status();

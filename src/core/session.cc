@@ -64,8 +64,9 @@ Result<SessionQueryResult> QuerySession::Query(std::string_view command) {
     }
     if (pure_and) {
       out.refined_incrementally = true;
+      LineMatcher matcher;
       for (const auto& [line, text] : last_hits_) {
-        if (LineMatchesQuery(text, **appended)) {
+        if (matcher.MatchesQuery(text, **appended)) {
           out.hits.emplace_back(line, text);
         }
       }

@@ -98,21 +98,26 @@ bool StaticPattern::Match(const TokenizedLine& line,
 
 std::string StaticPattern::Render(const std::vector<std::string_view>& vars) const {
   std::string out;
+  RenderTo(vars, &out);
+  return out;
+}
+
+void StaticPattern::RenderTo(const std::vector<std::string_view>& vars,
+                             std::string* out) const {
   size_t slot = 0;
   for (size_t i = 0; i < tokens_.size(); ++i) {
-    out += seps_[i];
+    *out += seps_[i];
     if (tokens_[i].is_var) {
       assert(slot < vars.size());
       if (slot < vars.size()) {  // defensive: never index OOB
-        out += vars[slot];
+        *out += vars[slot];
       }
       ++slot;
     } else {
-      out += tokens_[i].text;
+      *out += tokens_[i].text;
     }
   }
-  out += seps_.back();
-  return out;
+  *out += seps_.back();
 }
 
 std::string StaticPattern::ToString() const {

@@ -53,6 +53,11 @@ class StaticPattern {
   // Inverse of Match: substitutes `vars` into the slots.
   std::string Render(const std::vector<std::string_view>& vars) const;
 
+  // Appending form of Render: substitutes into `*out` without allocating a
+  // fresh string, so callers can reuse one output buffer across rows.
+  void RenderTo(const std::vector<std::string_view>& vars,
+                std::string* out) const;
+
   // Human-readable form, e.g. "write to file:<*>".
   std::string ToString() const;
 

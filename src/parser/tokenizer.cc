@@ -21,6 +21,13 @@ bool IsSeparatorChar(char c) { return kIsSep[static_cast<unsigned char>(c)]; }
 
 TokenizedLine TokenizeLine(std::string_view line) {
   TokenizedLine out;
+  TokenizeLineInto(line, &out);
+  return out;
+}
+
+void TokenizeLineInto(std::string_view line, TokenizedLine* out) {
+  out->seps.clear();
+  out->tokens.clear();
   size_t i = 0;
   while (true) {
     // Separator run (possibly empty).
@@ -28,7 +35,7 @@ TokenizedLine TokenizeLine(std::string_view line) {
     while (i < line.size() && kIsSep[static_cast<unsigned char>(line[i])]) {
       ++i;
     }
-    out.seps.push_back(line.substr(sep_start, i - sep_start));
+    out->seps.push_back(line.substr(sep_start, i - sep_start));
     if (i >= line.size()) {
       break;
     }
@@ -42,9 +49,8 @@ TokenizedLine TokenizeLine(std::string_view line) {
         break;  // split "key=value": ':'/'=' stays with the key
       }
     }
-    out.tokens.push_back(line.substr(tok_start, i - tok_start));
+    out->tokens.push_back(line.substr(tok_start, i - tok_start));
   }
-  return out;
 }
 
 std::vector<std::string_view> TokenizeKeywords(std::string_view text) {

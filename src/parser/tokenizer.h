@@ -30,6 +30,11 @@ bool IsSeparatorChar(char c);
 
 TokenizedLine TokenizeLine(std::string_view line);
 
+// Scratch-reusing form: clears and refills `*out` without giving up its
+// vectors' capacity, so per-line tokenization in hot loops stops allocating
+// after the first few lines.
+void TokenizeLineInto(std::string_view line, TokenizedLine* out);
+
 // Tokens only (separators dropped): used for query keywords.
 std::vector<std::string_view> TokenizeKeywords(std::string_view text);
 

@@ -82,17 +82,22 @@ std::optional<std::vector<std::string_view>> RuntimePattern::MatchValue(
 std::string RuntimePattern::Render(
     const std::vector<std::string_view>& subvalues) const {
   std::string out;
+  RenderTo(subvalues, &out);
+  return out;
+}
+
+void RuntimePattern::RenderTo(const std::vector<std::string_view>& subvalues,
+                              std::string* out) const {
   for (const PatternElement& e : elements_) {
     if (e.is_subvar) {
       assert(e.subvar < subvalues.size());
       if (e.subvar < subvalues.size()) {  // defensive: never index OOB
-        out += subvalues[e.subvar];
+        *out += subvalues[e.subvar];
       }
     } else {
-      out += e.constant;
+      *out += e.constant;
     }
   }
-  return out;
 }
 
 std::string RuntimePattern::ToString() const {

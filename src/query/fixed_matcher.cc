@@ -1,10 +1,73 @@
 #include "src/query/fixed_matcher.h"
 
+#include <algorithm>
 #include <array>
 
 #include "src/capsule/capsule.h"
+#include "src/common/simd.h"
 
 namespace loggrep {
+namespace {
+
+// Validates raw-blob hit positions against per-cell trim semantics and
+// appends the surviving rows. A hit at byte `pos` lands in row pos/width at
+// cell offset pos%width; it counts only when the matched bytes lie entirely
+// inside the cell's *value* (the cell up to its first pad byte), and — for
+// the anchored modes — at the right place in that value. This is what makes
+// the whole-blob scan exactly equivalent to checking TrimCell(cell) per row,
+// even on adversarial blobs with garbage after an interior pad byte.
+void AppendHitRows(std::string_view blob, uint32_t width, uint32_t count,
+                   FragmentMode mode, size_t frag_size,
+                   const std::vector<size_t>& hits,
+                   std::vector<uint32_t>& rows) {
+  uint64_t prev_row = kMaxColumnRows + 1;
+  for (size_t pos : hits) {
+    const uint64_t row = pos / width;
+    if (row >= count) {
+      break;  // clamped region or partial trailing cell: not a real row
+    }
+    if (row == prev_row) {
+      continue;  // overlapping kSub hits in one cell
+    }
+    const size_t off = pos % width;
+    const size_t end = off + frag_size;
+    if (end > width) {
+      continue;  // straddles into the next cell
+    }
+    const std::string_view cell = blob.substr(row * width, width);
+    bool ok = false;
+    switch (mode) {
+      case FragmentMode::kExact:
+        // value == fragment: starts the cell and is terminated right after.
+        ok = off == 0 && (end == width || cell[end] == kPadChar);
+        break;
+      case FragmentMode::kPrefix:
+        // Fragment bytes are pad-free, so a hit at offset 0 is inside the
+        // value by construction.
+        ok = off == 0;
+        break;
+      case FragmentMode::kSuffix: {
+        // Fragment must end the value: terminated right after, and no pad
+        // byte before it (else the value ended earlier).
+        const bool terminated = end == width || cell[end] == kPadChar;
+        ok = terminated && FindByte(cell.substr(0, off), 0, kPadChar) ==
+                               std::string_view::npos;
+        break;
+      }
+      case FragmentMode::kSub:
+        // Inside the value: no pad byte before the hit.
+        ok = FindByte(cell.substr(0, off), 0, kPadChar) ==
+             std::string_view::npos;
+        break;
+    }
+    if (ok) {
+      rows.push_back(static_cast<uint32_t>(row));
+      prev_row = row;
+    }
+  }
+}
+
+}  // namespace
 
 std::vector<size_t> BoyerMooreSearch(std::string_view haystack,
                                      std::string_view needle) {
@@ -83,39 +146,65 @@ bool ValueMatchesFragment(std::string_view value, FragmentMode mode,
 
 std::vector<uint32_t> SearchPaddedColumn(std::string_view blob, uint32_t width,
                                          FragmentMode mode,
-                                         std::string_view fragment, bool use_bm) {
+                                         std::string_view fragment, bool use_bm,
+                                         uint32_t zero_width_rows) {
   std::vector<uint32_t> rows;
   if (width == 0) {
-    // Zero-width column: every value is empty.
-    if (fragment.empty() && mode != FragmentMode::kExact) {
-      return rows;  // caller treats empty fragments before reaching here
+    // Zero-width column: every value is empty; the caller supplies the row
+    // count (see header contract).
+    if (ValueMatchesFragment(std::string_view(), mode, fragment)) {
+      rows.reserve(zero_width_rows);
+      for (uint32_t row = 0; row < zero_width_rows; ++row) {
+        rows.push_back(row);
+      }
     }
     return rows;
   }
-  const uint32_t count = static_cast<uint32_t>(blob.size() / width);
+  const uint32_t count = static_cast<uint32_t>(
+      std::min<uint64_t>(blob.size() / width, kMaxColumnRows));
   if (fragment.size() > width) {
     return rows;
   }
-  if (mode == FragmentMode::kSub && fragment.size() > 1) {
-    // Whole-blob scan; a hit is valid when it lies inside a single cell
-    // (fragments never contain the pad byte, so padding cannot match).
-    const std::vector<size_t> hits = use_bm ? BoyerMooreSearch(blob, fragment)
-                                            : KmpSearch(blob, fragment);
-    uint32_t prev_row = UINT32_MAX;
-    for (size_t hit : hits) {
-      const uint32_t row = static_cast<uint32_t>(hit / width);
-      if (row == prev_row) {
-        continue;
-      }
-      if ((hit + fragment.size() - 1) / width == row) {
+  if (fragment.empty()) {
+    if (mode != FragmentMode::kExact) {
+      // Empty fragment: trivially contained in / a prefix / a suffix of
+      // every value.
+      rows.reserve(count);
+      for (uint32_t row = 0; row < count; ++row) {
         rows.push_back(row);
-        prev_row = row;
+      }
+    } else {
+      // kExact "": exactly the empty values (cell starts with a pad byte).
+      for (uint32_t row = 0; row < count; ++row) {
+        if (blob[static_cast<size_t>(row) * width] == kPadChar) {
+          rows.push_back(row);
+        }
       }
     }
     return rows;
   }
-  // Per-cell check path (prefix/suffix/exact, and single-char substrings where
-  // a full scan buys nothing).
+  if (fragment.find(kPadChar) != std::string_view::npos) {
+    return rows;  // values end at the first pad byte, so no value matches
+  }
+
+  if (ActiveSimdTier() != SimdTier::kScalar) {
+    // Vector tiers: one whole-blob candidate scan for every mode; anchoring
+    // and trim semantics are enforced per hit.
+    std::vector<size_t> hits;
+    FindAll(blob, fragment, hits);
+    AppendHitRows(blob, width, count, mode, fragment.size(), hits, rows);
+    return rows;
+  }
+
+  if (mode == FragmentMode::kSub && fragment.size() > 1) {
+    // Scalar whole-blob scan (Boyer-Moore or KMP per the ablation switch).
+    const std::vector<size_t> hits = use_bm ? BoyerMooreSearch(blob, fragment)
+                                            : KmpSearch(blob, fragment);
+    AppendHitRows(blob, width, count, mode, fragment.size(), hits, rows);
+    return rows;
+  }
+  // Scalar per-cell check path (prefix/suffix/exact, and single-char
+  // substrings where a full scan buys nothing).
   for (uint32_t row = 0; row < count; ++row) {
     const std::string_view value = TrimCell(PaddedCell(blob, width, row));
     if (ValueMatchesFragment(value, mode, fragment)) {
@@ -130,9 +219,15 @@ std::vector<uint32_t> CheckPaddedRows(std::string_view blob, uint32_t width,
                                       const std::vector<uint32_t>& candidates) {
   std::vector<uint32_t> rows;
   if (width == 0) {
+    // Zero-width column: every candidate row holds an empty value (no row
+    // bound is derivable from the blob), so filter on the fragment alone.
+    if (ValueMatchesFragment(std::string_view(), mode, fragment)) {
+      rows = candidates;
+    }
     return rows;
   }
-  const uint32_t count = static_cast<uint32_t>(blob.size() / width);
+  const uint32_t count = static_cast<uint32_t>(
+      std::min<uint64_t>(blob.size() / width, kMaxColumnRows));
   for (uint32_t row : candidates) {
     if (row >= count) {
       continue;
@@ -149,13 +244,9 @@ std::vector<uint32_t> SearchDelimitedColumn(std::string_view blob,
                                             FragmentMode mode,
                                             std::string_view fragment) {
   std::vector<uint32_t> rows;
-  uint32_t row = 0;
+  uint64_t row = 0;
   size_t start = 0;
-  for (size_t i = 0; i < blob.size(); ++i) {
-    if (blob[i] != '\n') {
-      continue;
-    }
-    const std::string_view value = blob.substr(start, i - start);
+  const auto check = [&](std::string_view value) {
     bool match = false;
     if (mode == FragmentMode::kSub && fragment.size() > 1) {
       match = !KmpSearch(value, fragment).empty();
@@ -163,10 +254,20 @@ std::vector<uint32_t> SearchDelimitedColumn(std::string_view blob,
       match = ValueMatchesFragment(value, mode, fragment);
     }
     if (match) {
-      rows.push_back(row);
+      rows.push_back(static_cast<uint32_t>(row));
     }
     ++row;
-    start = i + 1;
+  };
+  for (size_t i = 0; i < blob.size() && row <= kMaxColumnRows; ++i) {
+    if (blob[i] == '\n') {
+      check(blob.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  // A blob that does not end in '\n' (truncated Capsule) still carries a
+  // final value; scan it instead of silently dropping it.
+  if (start < blob.size() && row <= kMaxColumnRows) {
+    check(blob.substr(start));
   }
   return rows;
 }

@@ -1,9 +1,22 @@
 // Fixed-length matching inside decompressed Capsules (§5.2).
 //
-// Padded columns are scanned with Boyer-Moore(-Horspool): because every cell
-// has the same width, a hit position divides by the width to give the row.
+// Padded columns are scanned with a whole-blob substring pass: because every
+// cell has the same width, a hit position divides by the width to give the
+// row. On the scalar tier the pass is Boyer-Moore(-Horspool) or KMP; on the
+// SSE2/AVX2 tiers (src/common/simd.h) it is a first+last-byte skip loop with
+// block verification. All tiers are exact and hit-for-hit identical — the
+// property suite (tests/fixed_matcher_property_test.cc) differences every
+// tier against a naive per-cell reference.
+//
+// Empty-fragment contract (all entry points): an empty fragment matches
+// every value under kPrefix / kSuffix / kSub, and exactly the empty values
+// under kExact. Fragments containing the pad byte ('\0') can never match a
+// padded cell, because a cell's value ends at its first pad byte.
+//
 // The delimited layout (the "w/o fixed" ablation) falls back to per-value
-// KMP scanning, exactly as the paper describes.
+// scanning. A delimited blob whose final value is not '\n'-terminated (a
+// truncated Capsule) still has its trailing cell scanned, mirroring
+// SplitDelimitedBlob.
 #ifndef SRC_QUERY_FIXED_MATCHER_H_
 #define SRC_QUERY_FIXED_MATCHER_H_
 
@@ -20,6 +33,11 @@ enum class FragmentMode : uint8_t {
   kSub,     // fragment occurs anywhere in the value
 };
 
+// Row ids are uint32_t; a blob describing more cells than this is clamped —
+// the excess is unreachable anyway because CapsuleBox metadata validation
+// rejects row counts that do not fit (see capsule_box.cc).
+inline constexpr uint64_t kMaxColumnRows = 0xFFFFFFFFull;
+
 // Raw Boyer-Moore-Horspool substring scan; returns all match positions.
 std::vector<size_t> BoyerMooreSearch(std::string_view haystack,
                                      std::string_view needle);
@@ -28,24 +46,36 @@ std::vector<size_t> BoyerMooreSearch(std::string_view haystack,
 std::vector<size_t> KmpSearch(std::string_view haystack, std::string_view needle);
 
 // True when `value` satisfies (mode, fragment); fragment must be literal
-// (wildcard keywords are handled at a higher level).
+// (wildcard keywords are handled at a higher level). Follows the
+// empty-fragment contract above.
 bool ValueMatchesFragment(std::string_view value, FragmentMode mode,
                           std::string_view fragment);
 
 // All rows of a padded column whose value satisfies (mode, fragment).
-// `use_bm` selects Boyer-Moore (true) or KMP (false) for the kSub scan.
+// `use_bm` selects Boyer-Moore (true) or KMP (false) for the scalar-tier
+// kSub scan; the vector tiers ignore it.
+//
+// Zero-width columns: every value is empty, but the row count cannot be
+// derived from the (empty) blob, so callers must pass it explicitly via
+// `zero_width_rows`; rows [0, zero_width_rows) are then matched per the
+// empty-fragment contract (all rows for an empty fragment under
+// kExact/kPrefix/kSuffix/kSub, no rows for a non-empty fragment).
 std::vector<uint32_t> SearchPaddedColumn(std::string_view blob, uint32_t width,
                                          FragmentMode mode,
                                          std::string_view fragment,
-                                         bool use_bm = true);
+                                         bool use_bm = true,
+                                         uint32_t zero_width_rows = 0);
 
 // Direct row checking (§5.2): filters `candidates` to rows whose padded cell
 // satisfies (mode, fragment), without scanning the whole column.
+// Zero-width columns have no derivable row bound, so every candidate row
+// exists (with an empty value) and is filtered on the fragment alone.
 std::vector<uint32_t> CheckPaddedRows(std::string_view blob, uint32_t width,
                                       FragmentMode mode, std::string_view fragment,
                                       const std::vector<uint32_t>& candidates);
 
-// Sequential scan of a '\n'-delimited column with KMP (variable-length path).
+// Sequential scan of a '\n'-delimited column (variable-length path). A
+// trailing unterminated value (truncated blob) is scanned as the final cell.
 std::vector<uint32_t> SearchDelimitedColumn(std::string_view blob,
                                             FragmentMode mode,
                                             std::string_view fragment);

@@ -1,15 +1,13 @@
 #include "src/query/line_match.h"
 
-#include "src/parser/tokenizer.h"
 #include "src/query/wildcard.h"
 
 namespace loggrep {
 
-bool LineMatchesTerm(std::string_view line, const SearchTerm& term) {
-  const std::vector<std::string_view> tokens = TokenizeKeywords(line);
+bool LineMatcher::TermHitsTokens(const SearchTerm& term) const {
   for (const std::string& keyword : term.keywords) {
     bool hit = false;
-    for (std::string_view token : tokens) {
+    for (std::string_view token : scratch_.tokens) {
       if (KeywordHitsToken(keyword, token)) {
         hit = true;
         break;
@@ -22,21 +20,39 @@ bool LineMatchesTerm(std::string_view line, const SearchTerm& term) {
   return true;
 }
 
-bool LineMatchesQuery(std::string_view line, const QueryExpr& expr) {
+bool LineMatcher::EvalExpr(const QueryExpr& expr) const {
   switch (expr.kind) {
     case QueryExpr::Kind::kTerm:
-      return LineMatchesTerm(line, expr.term);
+      return TermHitsTokens(expr.term);
     case QueryExpr::Kind::kAnd:
-      return LineMatchesQuery(line, *expr.left) &&
-             LineMatchesQuery(line, *expr.right);
+      return EvalExpr(*expr.left) && EvalExpr(*expr.right);
     case QueryExpr::Kind::kOr:
-      return LineMatchesQuery(line, *expr.left) ||
-             LineMatchesQuery(line, *expr.right);
+      return EvalExpr(*expr.left) || EvalExpr(*expr.right);
     case QueryExpr::Kind::kNot:
-      return (expr.left == nullptr || LineMatchesQuery(line, *expr.left)) &&
-             !LineMatchesQuery(line, *expr.right);
+      return (expr.left == nullptr || EvalExpr(*expr.left)) &&
+             !EvalExpr(*expr.right);
   }
   return false;
+}
+
+bool LineMatcher::MatchesTerm(std::string_view line, const SearchTerm& term) {
+  TokenizeLineInto(line, &scratch_);
+  return TermHitsTokens(term);
+}
+
+bool LineMatcher::MatchesQuery(std::string_view line, const QueryExpr& expr) {
+  TokenizeLineInto(line, &scratch_);
+  return EvalExpr(expr);
+}
+
+bool LineMatchesTerm(std::string_view line, const SearchTerm& term) {
+  LineMatcher matcher;
+  return matcher.MatchesTerm(line, term);
+}
+
+bool LineMatchesQuery(std::string_view line, const QueryExpr& expr) {
+  LineMatcher matcher;
+  return matcher.MatchesQuery(line, expr);
 }
 
 }  // namespace loggrep

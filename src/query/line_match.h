@@ -10,14 +10,31 @@
 
 #include <string_view>
 
+#include "src/parser/tokenizer.h"
 #include "src/query/query_parser.h"
 
 namespace loggrep {
 
-// True when every keyword of `term` hits some token of `line`.
-bool LineMatchesTerm(std::string_view line, const SearchTerm& term);
+// Stateful matcher for hot loops: tokenizes each line ONCE (even when the
+// query has several terms) into reusable scratch, so per-line evaluation
+// stops allocating after warm-up. One instance per thread; not thread-safe.
+class LineMatcher {
+ public:
+  // True when every keyword of `term` hits some token of `line`.
+  bool MatchesTerm(std::string_view line, const SearchTerm& term);
 
-// Full boolean evaluation of a parsed query over one line.
+  // Full boolean evaluation of a parsed query over one line.
+  bool MatchesQuery(std::string_view line, const QueryExpr& expr);
+
+ private:
+  bool TermHitsTokens(const SearchTerm& term) const;
+  bool EvalExpr(const QueryExpr& expr) const;
+
+  TokenizedLine scratch_;  // tokens of the line currently being evaluated
+};
+
+// One-shot conveniences (construct a matcher per call).
+bool LineMatchesTerm(std::string_view line, const SearchTerm& term);
 bool LineMatchesQuery(std::string_view line, const QueryExpr& expr);
 
 }  // namespace loggrep

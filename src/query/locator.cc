@@ -5,6 +5,7 @@
 #include "src/capsule/capsule.h"
 #include "src/common/timer.h"
 #include "src/common/trace.h"
+#include "src/query/fixed_matcher.h"
 #include "src/query/wildcard.h"
 
 namespace loggrep {
@@ -38,25 +39,35 @@ bool StampAdmitsKeyword(const CapsuleStamp& stamp, std::string_view keyword) {
   if (!HasWildcards(keyword)) {
     return stamp.AdmitsFragment(keyword);
   }
-  TypeMask literal_mask = 0;
-  uint32_t min_len = 0;
-  for (char c : keyword) {
-    if (c == '*') {
-      continue;
-    }
-    ++min_len;  // '?' consumes one character of unknown class
-    if (c != '?') {
-      literal_mask |= CharClassOf(c);
-    }
+  return stamp.AdmitsProbe(ProbeForKeyword(keyword));
+}
+
+void BatchStampCheck(const std::vector<CapsuleStamp>& stamps,
+                     const StampProbe& probe, std::vector<bool>& admits) {
+  admits.resize(stamps.size());
+  for (size_t i = 0; i < stamps.size(); ++i) {
+    admits[i] = stamps[i].AdmitsProbe(probe);
   }
-  return min_len <= stamp.max_len && MaskSubsumes(stamp.mask, literal_mask);
+}
+
+const StampProbe& BoxQuerier::ProbeFor(std::string_view keyword,
+                                       bool wildcard_aware) {
+  auto& cache =
+      wildcard_aware && HasWildcards(keyword) ? wildcard_probes_ : literal_probes_;
+  const auto it = cache.find(keyword);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  const StampProbe probe = wildcard_aware && HasWildcards(keyword)
+                               ? ProbeForKeyword(keyword)
+                               : ProbeForFragment(keyword);
+  return cache.emplace(std::string(keyword), probe).first->second;
 }
 
 bool BoxQuerier::StampAdmits(const CapsuleStamp& stamp,
                              std::string_view keyword, bool wildcard_aware) {
   const WallTimer timer;
-  const bool admits = wildcard_aware ? StampAdmitsKeyword(stamp, keyword)
-                                     : stamp.AdmitsFragment(keyword);
+  const bool admits = stamp.AdmitsProbe(ProbeFor(keyword, wildcard_aware));
   stats_.stamp_filter_nanos += ElapsedNanos(timer);
   return admits;
 }
@@ -276,7 +287,8 @@ RowSet BoxQuerier::MatchInWhole(const GroupMeta& group, const WholeVarMeta& wv,
     const std::string_view blob = CapsuleBlob(wv.capsule);
     const uint32_t width = wv.stamp.PadWidth();
     if (wild) {
-      const uint32_t count = static_cast<uint32_t>(blob.size() / width);
+      const uint32_t count = static_cast<uint32_t>(
+          std::min<uint64_t>(blob.size() / width, kMaxColumnRows));
       for (uint32_t row = 0; row < count; ++row) {
         if (KeywordHitsToken(keyword, TrimCell(PaddedCell(blob, width, row)))) {
           hits.push_back(row);
@@ -462,21 +474,35 @@ RowSet BoxQuerier::MatchInNominal(const GroupMeta& group,
       have_prune_fate = true;
     }
   };
-  for (const NominalPatternMeta& pm : nv.patterns) {
+  // Batched stamp evaluation: the keyword is classified once (memoized
+  // probe), then every section stamp is tested in one timed pass — two
+  // integer compares per section instead of a re-classification each.
+  if (options_.use_stamps) {
+    const StampProbe& probe = ProbeFor(keyword, /*wildcard_aware=*/wild);
+    const WallTimer timer;
+    stamp_admits_.resize(nv.patterns.size());
+    for (size_t i = 0; i < nv.patterns.size(); ++i) {
+      stamp_admits_[i] = nv.patterns[i].stamp.AdmitsProbe(probe);
+    }
+    stats_.stamp_filter_nanos += ElapsedNanos(timer);
+  }
+  for (size_t pm_idx = 0; pm_idx < nv.patterns.size(); ++pm_idx) {
+    const NominalPatternMeta& pm = nv.patterns[pm_idx];
     const uint32_t width = pm.stamp.PadWidth();
+    const bool stamp_admits = !options_.use_stamps || stamp_admits_[pm_idx];
     bool candidate = true;
+    // The stamp-filter counter and explain fates keep the original order:
+    // a section pruned by its runtime pattern is never charged to the stamp.
     if (!wild) {
       if (MatchKeywordOnPattern(pm.pattern, keyword).empty()) {
         note_prune(CapsuleFate::kPatternMiss);
         candidate = false;
-      } else if (options_.use_stamps &&
-                 !StampAdmits(pm.stamp, keyword, /*wildcard_aware=*/false)) {
+      } else if (!stamp_admits) {
         ++stats_.capsules_stamp_filtered;
         note_prune(StampRejectFate(pm.stamp, keyword, false));
         candidate = false;
       }
-    } else if (options_.use_stamps &&
-               !StampAdmits(pm.stamp, keyword, /*wildcard_aware=*/true)) {
+    } else if (!stamp_admits) {
       ++stats_.capsules_stamp_filtered;
       note_prune(StampRejectFate(pm.stamp, keyword, true));
       candidate = false;
@@ -551,7 +577,8 @@ RowSet BoxQuerier::MatchInNominal(const GroupMeta& group,
   if (box_.meta().padded) {
     const std::string_view index_blob = CapsuleBlob(nv.index_capsule);
     const uint32_t width = nv.index_width == 0 ? 1 : nv.index_width;
-    const uint32_t count = static_cast<uint32_t>(index_blob.size() / width);
+    const uint32_t count = static_cast<uint32_t>(
+        std::min<uint64_t>(index_blob.size() / width, kMaxColumnRows));
     for (uint32_t row = 0; row < count; ++row) {
       const uint32_t id = parse_id(PaddedCell(index_blob, width, row));
       if (id < wanted.size() && wanted[id]) {

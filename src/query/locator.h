@@ -78,6 +78,11 @@ struct LocatorStats {
 // the minimum possible expansion length.
 bool StampAdmitsKeyword(const CapsuleStamp& stamp, std::string_view keyword);
 
+// Batched stamp evaluation: admits[i] = stamps[i] admits `probe`. One probe
+// classification serves every Capsule; each stamp costs two integer compares.
+void BatchStampCheck(const std::vector<CapsuleStamp>& stamps,
+                     const StampProbe& probe, std::vector<bool>& admits);
+
 class BoxQuerier {
  public:
   BoxQuerier(const CapsuleBox& box, LocatorOptions options)
@@ -134,6 +139,11 @@ class BoxQuerier {
   bool StampAdmits(const CapsuleStamp& stamp, std::string_view keyword,
                    bool wildcard_aware);
 
+  // Memoized keyword-side of the stamp check: classifying a keyword's
+  // characters happens once per querier, not once per Capsule, so stamp
+  // evaluation batches across capsules (and across groups).
+  const StampProbe& ProbeFor(std::string_view keyword, bool wildcard_aware);
+
   // Fetches (and pins) the capsule through the shared cache. Only called
   // when cache_ != nullptr.
   const CachedCapsule* FetchCachedCapsule(uint32_t id);
@@ -165,6 +175,21 @@ class BoxQuerier {
       capsule_pins_;
   std::unordered_map<uint64_t, std::vector<uint32_t>> present_rows_cache_;
   std::vector<std::string_view> empty_values_;
+
+  // Keyword-side stamp probes, memoized per (keyword, wildcard-awareness).
+  // Transparent hashing so the hot lookup path never allocates.
+  struct TransparentHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  using ProbeCache =
+      std::unordered_map<std::string, StampProbe, TransparentHash,
+                         std::equal_to<>>;
+  ProbeCache literal_probes_;
+  ProbeCache wildcard_probes_;
+  std::vector<bool> stamp_admits_;  // scratch for batched section checks
 };
 
 }  // namespace loggrep

@@ -20,8 +20,9 @@ uint32_t ParseDecimal(std::string_view cell) {
 
 }  // namespace
 
-std::string Reconstructor::VariableValue(uint32_t group_idx, uint32_t slot,
-                                         uint32_t row) {
+std::string_view Reconstructor::VariableValueView(uint32_t group_idx,
+                                                  uint32_t slot,
+                                                  uint32_t row) {
   const CapsuleBoxMeta& meta = querier_->box().meta();
   const GroupMeta& group = meta.groups[group_idx];
   const VarMeta& var = group.vars[slot];
@@ -31,11 +32,11 @@ std::string Reconstructor::VariableValue(uint32_t group_idx, uint32_t slot,
     const WholeVarMeta& wv = var.whole();
     if (padded) {
       const std::string_view blob = querier_->CapsuleBlob(wv.capsule);
-      return std::string(TrimCell(PaddedCell(blob, wv.stamp.PadWidth(), row)));
+      return TrimCell(PaddedCell(blob, wv.stamp.PadWidth(), row));
     }
     const std::vector<std::string_view>& values =
         querier_->DelimitedValues(wv.capsule);
-    return row < values.size() ? std::string(values[row]) : std::string();
+    return row < values.size() ? values[row] : std::string_view();
   }
 
   if (var.is_real()) {
@@ -48,29 +49,33 @@ std::string Reconstructor::VariableValue(uint32_t group_idx, uint32_t slot,
           static_cast<size_t>(out_it - rv.outlier_rows.begin());
       const std::vector<std::string_view>& outliers =
           querier_->DelimitedValues(rv.outlier_capsule);
-      return outlier_idx < outliers.size() ? std::string(outliers[outlier_idx])
-                                           : std::string();
+      return outlier_idx < outliers.size() ? outliers[outlier_idx]
+                                           : std::string_view();
     }
     // Present row: rank within non-outlier rows.
     const uint32_t skipped = static_cast<uint32_t>(
         out_it - rv.outlier_rows.begin());
     const uint32_t present_idx = row - skipped;
     const uint32_t num_subvars = rv.pattern.SubVarCount();
-    std::vector<std::string_view> subvalues(num_subvars);
+    subvalue_views_.assign(num_subvars, std::string_view());
     for (uint32_t sv = 0; sv < num_subvars; ++sv) {
       if (padded) {
         const std::string_view blob =
             querier_->CapsuleBlob(rv.subvar_capsules[sv]);
-        subvalues[sv] = TrimCell(
+        subvalue_views_[sv] = TrimCell(
             PaddedCell(blob, rv.subvar_stamps[sv].PadWidth(), present_idx));
       } else {
         const std::vector<std::string_view>& col =
             querier_->DelimitedValues(rv.subvar_capsules[sv]);
-        subvalues[sv] = present_idx < col.size() ? col[present_idx]
-                                                 : std::string_view();
+        subvalue_views_[sv] = present_idx < col.size() ? col[present_idx]
+                                                       : std::string_view();
       }
     }
-    return rv.pattern.Render(subvalues);
+    // The only copy on this path: splice sub-variables into the pattern,
+    // parked in the arena so the view outlives the scratch buffer's reuse.
+    render_scratch_.clear();
+    rv.pattern.RenderTo(subvalue_views_, &render_scratch_);
+    return arena_.Store(render_scratch_);
   }
 
   const NominalVarMeta& nv = var.nominal();
@@ -98,12 +103,11 @@ std::string Reconstructor::VariableValue(uint32_t group_idx, uint32_t slot,
         if (cell_off >= dict_blob.size()) {
           return {};  // truncated/corrupt dictionary Capsule
         }
-        return std::string(TrimCell(dict_blob.substr(cell_off, width)));
+        return TrimCell(dict_blob.substr(cell_off, width));
       }
       const std::vector<std::string_view>& values =
           querier_->DelimitedValues(nv.dict_capsule);
-      return dict_id < values.size() ? std::string(values[dict_id])
-                                     : std::string();
+      return dict_id < values.size() ? values[dict_id] : std::string_view();
     }
     first_id += pm.count;
     byte_offset += static_cast<uint64_t>(pm.count) * pm.stamp.PadWidth();
@@ -111,28 +115,42 @@ std::string Reconstructor::VariableValue(uint32_t group_idx, uint32_t slot,
   return {};
 }
 
-std::string Reconstructor::RenderRow(uint32_t group_idx, uint32_t row) {
+void Reconstructor::RenderRowTo(uint32_t group_idx, uint32_t row,
+                                std::string* out) {
   const CapsuleBoxMeta& meta = querier_->box().meta();
   const GroupMeta& group = meta.groups[group_idx];
   const StaticPattern& tmpl = meta.templates[group.template_id];
-  std::vector<std::string> values;
-  values.reserve(static_cast<size_t>(tmpl.VarCount()));
+  arena_.Reset();  // invalidates the previous row's pattern-rendered values
+  value_views_.clear();
+  value_views_.reserve(group.vars.size());
   for (uint32_t slot = 0; slot < group.vars.size(); ++slot) {
-    values.push_back(VariableValue(group_idx, slot, row));
+    value_views_.push_back(VariableValueView(group_idx, slot, row));
   }
-  std::vector<std::string_view> views(values.begin(), values.end());
-  return tmpl.Render(views);
+  tmpl.RenderTo(value_views_, out);
 }
 
-std::string Reconstructor::RenderOutlier(uint32_t outlier_idx) {
+void Reconstructor::RenderOutlierTo(uint32_t outlier_idx, std::string* out) {
   const CapsuleBoxMeta& meta = querier_->box().meta();
   if (meta.outlier_capsule == kNoCapsule) {
-    return {};
+    return;
   }
   const std::vector<std::string_view>& lines =
       querier_->DelimitedValues(meta.outlier_capsule);
-  return outlier_idx < lines.size() ? std::string(lines[outlier_idx])
-                                    : std::string();
+  if (outlier_idx < lines.size()) {
+    out->append(lines[outlier_idx]);
+  }
+}
+
+std::string Reconstructor::RenderRow(uint32_t group_idx, uint32_t row) {
+  std::string out;
+  RenderRowTo(group_idx, row, &out);
+  return out;
+}
+
+std::string Reconstructor::RenderOutlier(uint32_t outlier_idx) {
+  std::string out;
+  RenderOutlierTo(outlier_idx, &out);
+  return out;
 }
 
 }  // namespace loggrep

@@ -91,8 +91,7 @@ Result<std::vector<std::string>> ReconstructAllLines(
                        ")");
       }
       covered[line_no] = 1;
-      lines[line_no] =
-          recon.RenderRow(static_cast<uint32_t>(g), row);
+      recon.RenderRowTo(static_cast<uint32_t>(g), row, &lines[line_no]);
     }
   }
   for (size_t i = 0; i < meta.outlier_line_numbers.size(); ++i) {
@@ -102,7 +101,7 @@ Result<std::vector<std::string>> ReconstructAllLines(
                      " reconstructed twice");
     }
     covered[line_no] = 1;
-    lines[line_no] = recon.RenderOutlier(static_cast<uint32_t>(i));
+    recon.RenderOutlierTo(static_cast<uint32_t>(i), &lines[line_no]);
   }
   if (Status s = querier.status(); !s.ok()) {
     return s;  // capsule decompression / decode failure

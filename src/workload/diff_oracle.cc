@@ -115,8 +115,9 @@ std::string RandomCommand(Rng& rng, const std::vector<std::string>& lines) {
 QueryHits ReferenceHits(const std::vector<std::string>& lines,
                         const QueryExpr& expr) {
   QueryHits hits;
+  LineMatcher matcher;
   for (size_t i = 0; i < lines.size(); ++i) {
-    if (LineMatchesQuery(lines[i], expr)) {
+    if (matcher.MatchesQuery(lines[i], expr)) {
       hits.emplace_back(static_cast<uint64_t>(i), lines[i]);
     }
   }

@@ -1,0 +1,368 @@
+// Property suite for the fixed-length scan kernel (§5.2).
+//
+// The implementation under test runs on three tiers (scalar / SSE2 / AVX2,
+// src/common/simd.h) and two scalar substring algorithms (Boyer-Moore and
+// KMP). Every combination is differenced against one naive per-cell
+// reference — TrimCell each cell, match the fragment with std::string_view
+// operations — over seeded random and adversarial blobs: values built by
+// BuildPaddedBlob, raw byte soup with interior pad bytes, partial trailing
+// cells, fragments that straddle cell boundaries or touch padding.
+// Failures shrink: width-aligned chunks of the blob are greedily removed
+// while the disagreement persists, and the minimal reproducer is reported
+// with its seed.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/capsule/capsule.h"
+#include "src/common/rng.h"
+#include "src/common/simd.h"
+#include "src/query/fixed_matcher.h"
+
+namespace loggrep {
+namespace {
+
+// Independent re-statement of the matching semantics (deliberately not
+// calling ValueMatchesFragment, which is part of the code under test).
+bool NaiveMatches(std::string_view value, FragmentMode mode,
+                  std::string_view frag) {
+  switch (mode) {
+    case FragmentMode::kExact:
+      return value == frag;
+    case FragmentMode::kPrefix:
+      return value.size() >= frag.size() &&
+             value.substr(0, frag.size()) == frag;
+    case FragmentMode::kSuffix:
+      return value.size() >= frag.size() &&
+             value.substr(value.size() - frag.size()) == frag;
+    case FragmentMode::kSub:
+      return value.find(frag) != std::string_view::npos;
+  }
+  return false;
+}
+
+std::string_view NaiveTrim(std::string_view cell) {
+  const size_t nul = cell.find(kPadChar);
+  return nul == std::string_view::npos ? cell : cell.substr(0, nul);
+}
+
+std::vector<uint32_t> NaivePaddedSearch(std::string_view blob, uint32_t width,
+                                        FragmentMode mode,
+                                        std::string_view frag) {
+  std::vector<uint32_t> rows;
+  const size_t count = blob.size() / width;
+  for (size_t row = 0; row < count; ++row) {
+    if (NaiveMatches(NaiveTrim(blob.substr(row * width, width)), mode, frag)) {
+      rows.push_back(static_cast<uint32_t>(row));
+    }
+  }
+  return rows;
+}
+
+std::vector<uint32_t> NaiveDelimitedSearch(std::string_view blob,
+                                           FragmentMode mode,
+                                           std::string_view frag) {
+  std::vector<uint32_t> rows;
+  uint32_t row = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= blob.size(); ++i) {
+    const bool at_end = i == blob.size();
+    if (at_end && start == i) {
+      break;  // terminated blob: no trailing cell
+    }
+    if (at_end || blob[i] == '\n') {
+      if (NaiveMatches(blob.substr(start, i - start), mode, frag)) {
+        rows.push_back(row);
+      }
+      ++row;
+      start = i + 1;
+    }
+  }
+  return rows;
+}
+
+const FragmentMode kAllModes[] = {FragmentMode::kExact, FragmentMode::kPrefix,
+                                  FragmentMode::kSuffix, FragmentMode::kSub};
+
+const char* ModeName(FragmentMode mode) {
+  switch (mode) {
+    case FragmentMode::kExact:
+      return "exact";
+    case FragmentMode::kPrefix:
+      return "prefix";
+    case FragmentMode::kSuffix:
+      return "suffix";
+    case FragmentMode::kSub:
+      return "sub";
+  }
+  return "?";
+}
+
+std::string HexPrefix(std::string_view bytes, size_t limit = 64) {
+  std::string hex;
+  for (size_t i = 0; i < bytes.size() && i < limit; ++i) {
+    char buf[4];
+    std::snprintf(buf, sizeof(buf), "%02x", static_cast<uint8_t>(bytes[i]));
+    hex += buf;
+  }
+  return hex;
+}
+
+// One padded-scan configuration disagreeing with the reference?
+bool PaddedDisagrees(const std::string& blob, uint32_t width, FragmentMode mode,
+                     const std::string& frag, bool use_bm, SimdTier tier) {
+  const ScopedSimdTier pin(tier);
+  return SearchPaddedColumn(blob, width, mode, frag, use_bm) !=
+         NaivePaddedSearch(blob, width, mode, frag);
+}
+
+// Greedy width-aligned chunk removal while the disagreement persists.
+std::string ShrinkPaddedFailure(std::string blob, uint32_t width,
+                                FragmentMode mode, const std::string& frag,
+                                bool use_bm, SimdTier tier) {
+  for (size_t chunk = (blob.size() / width) / 2; chunk >= 1; chunk /= 2) {
+    bool removed = true;
+    while (removed && blob.size() > chunk * width) {
+      removed = false;
+      for (size_t row = 0; (row + chunk) * width <= blob.size(); row += chunk) {
+        std::string candidate = blob;
+        candidate.erase(row * width, chunk * width);
+        if (PaddedDisagrees(candidate, width, mode, frag, use_bm, tier)) {
+          blob = std::move(candidate);
+          removed = true;
+          break;
+        }
+      }
+    }
+  }
+  return blob;
+}
+
+void CheckPaddedAgainstNaive(const std::string& blob, uint32_t width,
+                             const std::string& frag, uint64_t seed) {
+  for (const SimdTier tier : SupportedSimdTiers()) {
+    for (const FragmentMode mode : kAllModes) {
+      for (const bool use_bm : {true, false}) {
+        if (!PaddedDisagrees(blob, width, mode, frag, use_bm, tier)) {
+          continue;
+        }
+        const std::string minimal =
+            ShrinkPaddedFailure(blob, width, mode, frag, use_bm, tier);
+        FAIL() << "SearchPaddedColumn(" << SimdTierName(tier)
+               << ", bm=" << use_bm << ", mode=" << ModeName(mode)
+               << ", width=" << width << ") disagrees with naive reference"
+               << " (seed=" << seed << ", frag=" << HexPrefix(frag)
+               << "); shrunk blob " << minimal.size()
+               << " bytes, hex: " << HexPrefix(minimal);
+      }
+    }
+  }
+}
+
+std::string RandomValue(Rng& rng, size_t max_len, bool allow_pad) {
+  static const char kAlphabet[] = {'a', 'b', 'c', '0', '1', 'F', ':', '\0'};
+  const size_t n = rng.NextBelow(max_len + 1);
+  std::string v;
+  for (size_t i = 0; i < n; ++i) {
+    v += kAlphabet[rng.NextBelow(allow_pad ? 8 : 7)];
+  }
+  return v;
+}
+
+// Fragments biased toward the hard cases: empty, pad bytes, substrings of
+// the blob (including ones that straddle a cell boundary), and near-misses.
+std::string RandomFragment(Rng& rng, const std::string& blob, uint32_t width) {
+  switch (rng.NextBelow(6)) {
+    case 0:
+      return {};
+    case 1:
+      return std::string(1, kPadChar);
+    case 2: {  // substring of the blob, often straddling a boundary
+      if (blob.empty()) {
+        return "a";
+      }
+      const size_t len = 1 + rng.NextBelow(width + 2);
+      const size_t pos = rng.NextBelow(blob.size());
+      return std::string(blob.substr(pos, len));
+    }
+    case 3: {  // cell-boundary straddle by construction
+      if (blob.size() < width + 2) {
+        return "ab";
+      }
+      const size_t boundary = width * (1 + rng.NextBelow(blob.size() / width));
+      const size_t lead = 1 + rng.NextBelow(width);
+      const size_t pos = boundary >= lead ? boundary - lead : 0;
+      return std::string(blob.substr(pos, lead + 1 + rng.NextBelow(width)));
+    }
+    case 4:
+      return RandomValue(rng, width, /*allow_pad=*/false);
+    default:
+      return RandomValue(rng, width + 2, /*allow_pad=*/true);
+  }
+}
+
+TEST(FixedMatcherPropertyTest, PaddedColumnsBuiltFromValues) {
+  constexpr uint64_t kSeed = 0xF1EDC0DEull;
+  Rng rng(kSeed);
+  for (int iter = 0; iter < 200; ++iter) {
+    const uint32_t width = 1 + static_cast<uint32_t>(rng.NextBelow(8));
+    const size_t rows = rng.NextBelow(50);
+    std::vector<std::string> values;
+    values.reserve(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      // BuildPaddedBlob expects values that fit the width; no interior pad.
+      std::string v = RandomValue(rng, width, /*allow_pad=*/false);
+      v.resize(std::min(v.size(), static_cast<size_t>(width)));
+      values.push_back(std::move(v));
+    }
+    std::vector<std::string_view> views(values.begin(), values.end());
+    const std::string blob = BuildPaddedBlob(views, width);
+    for (int f = 0; f < 6; ++f) {
+      CheckPaddedAgainstNaive(blob, width, RandomFragment(rng, blob, width),
+                              kSeed);
+    }
+  }
+}
+
+TEST(FixedMatcherPropertyTest, AdversarialRawBlobs) {
+  constexpr uint64_t kSeed = 0xBADB10B5ull;
+  Rng rng(kSeed);
+  for (int iter = 0; iter < 200; ++iter) {
+    const uint32_t width = 1 + static_cast<uint32_t>(rng.NextBelow(8));
+    // Raw byte soup: interior pad bytes, garbage after NUL, and (often) a
+    // partial trailing cell the scanner must not report as a row.
+    std::string blob;
+    const size_t n = rng.NextBelow(40 * width) + rng.NextBelow(width + 1);
+    blob.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      static const char kBytes[] = {'a', 'b', '0', '\0', '\0', 'F', '\xff'};
+      blob += kBytes[rng.NextBelow(7)];
+    }
+    for (int f = 0; f < 6; ++f) {
+      CheckPaddedAgainstNaive(blob, width, RandomFragment(rng, blob, width),
+                              kSeed);
+    }
+  }
+}
+
+TEST(FixedMatcherPropertyTest, CheckPaddedRowsAgreesWithReference) {
+  constexpr uint64_t kSeed = 0xC4EC4EEDull;
+  Rng rng(kSeed);
+  for (int iter = 0; iter < 150; ++iter) {
+    const uint32_t width = 1 + static_cast<uint32_t>(rng.NextBelow(6));
+    std::string blob;
+    const size_t n = rng.NextBelow(30 * width);
+    for (size_t i = 0; i < n; ++i) {
+      static const char kBytes[] = {'a', 'b', '0', '\0'};
+      blob += kBytes[rng.NextBelow(4)];
+    }
+    const uint32_t count = static_cast<uint32_t>(blob.size() / width);
+    // Candidate sets: full, random subset, and rows past the end (which do
+    // not exist and must be dropped).
+    std::vector<uint32_t> candidates;
+    for (uint32_t row = 0; row < count + 3; ++row) {
+      if (rng.NextBool(0.7)) {
+        candidates.push_back(row);
+      }
+    }
+    const std::string frag = RandomFragment(rng, blob, width);
+    for (const SimdTier tier : SupportedSimdTiers()) {
+      const ScopedSimdTier pin(tier);
+      for (const FragmentMode mode : kAllModes) {
+        std::vector<uint32_t> expected;
+        for (uint32_t row : candidates) {
+          if (row < count &&
+              NaiveMatches(NaiveTrim(blob.substr(row * width, width)), mode,
+                           frag)) {
+            expected.push_back(row);
+          }
+        }
+        EXPECT_EQ(CheckPaddedRows(blob, width, mode, frag, candidates),
+                  expected)
+            << "tier=" << SimdTierName(tier) << " mode=" << ModeName(mode)
+            << " width=" << width << " seed=" << kSeed << " iter=" << iter
+            << " frag=" << HexPrefix(frag) << " blob=" << HexPrefix(blob);
+      }
+    }
+  }
+}
+
+TEST(FixedMatcherPropertyTest, DelimitedColumnsTerminatedAndNot) {
+  constexpr uint64_t kSeed = 0xDE1141EDull;
+  Rng rng(kSeed);
+  for (int iter = 0; iter < 150; ++iter) {
+    const size_t rows = rng.NextBelow(40);
+    std::string blob;
+    for (size_t i = 0; i < rows; ++i) {
+      blob += RandomValue(rng, 6, /*allow_pad=*/true);  // '\0' inside values
+      blob += '\n';
+    }
+    if (!blob.empty() && rng.NextBool(0.5)) {
+      blob.pop_back();  // truncated: final value loses its terminator
+    }
+    const std::string frag = RandomFragment(rng, blob, 4);
+    if (frag.find('\n') != std::string::npos) {
+      continue;  // a fragment spanning the delimiter is not a column value
+    }
+    for (const FragmentMode mode : kAllModes) {
+      EXPECT_EQ(SearchDelimitedColumn(blob, mode, frag),
+                NaiveDelimitedSearch(blob, mode, frag))
+          << "mode=" << ModeName(mode) << " seed=" << kSeed << " iter=" << iter
+          << " frag=" << HexPrefix(frag) << " blob=" << HexPrefix(blob);
+    }
+  }
+}
+
+TEST(FixedMatcherPropertyTest, ZeroWidthColumnContract) {
+  // Zero-width columns carry no bytes; the caller supplies the row count.
+  // Empty fragment: every row under every mode (the empty value matches).
+  const std::vector<uint32_t> all = {0, 1, 2, 3, 4};
+  for (const FragmentMode mode : kAllModes) {
+    EXPECT_EQ(SearchPaddedColumn("", 0, mode, "", true, 5), all)
+        << ModeName(mode);
+    // Non-empty fragments can never match an empty value.
+    EXPECT_TRUE(SearchPaddedColumn("", 0, mode, "x", true, 5).empty())
+        << ModeName(mode);
+  }
+  // CheckPaddedRows: zero-width rows all exist with empty values.
+  const std::vector<uint32_t> candidates = {1, 3};
+  EXPECT_EQ(CheckPaddedRows("", 0, FragmentMode::kExact, "", candidates),
+            candidates);
+  EXPECT_TRUE(
+      CheckPaddedRows("", 0, FragmentMode::kSub, "x", candidates).empty());
+}
+
+TEST(FixedMatcherPropertyTest, EmptyFragmentContract) {
+  // "ab\0c\0\0xy\0z" as three width-3 cells: "ab", "c", "xy".
+  const std::string blob("ab\0c\0\0xy\0", 9);
+  const std::vector<uint32_t> all = {0, 1, 2};
+  EXPECT_EQ(SearchPaddedColumn(blob, 3, FragmentMode::kSub, ""), all);
+  EXPECT_EQ(SearchPaddedColumn(blob, 3, FragmentMode::kPrefix, ""), all);
+  EXPECT_EQ(SearchPaddedColumn(blob, 3, FragmentMode::kSuffix, ""), all);
+  // kExact with empty fragment: only empty values.
+  EXPECT_TRUE(SearchPaddedColumn(blob, 3, FragmentMode::kExact, "").empty());
+  const std::string with_empty(std::string("a\0\0", 3) + std::string(3, '\0'));
+  EXPECT_EQ(SearchPaddedColumn(with_empty, 3, FragmentMode::kExact, ""),
+            (std::vector<uint32_t>{1}));
+}
+
+TEST(FixedMatcherPropertyTest, PadByteFragmentsNeverMatch) {
+  const std::string blob("ab\0c\0\0xy\0", 9);
+  for (const SimdTier tier : SupportedSimdTiers()) {
+    const ScopedSimdTier pin(tier);
+    for (const FragmentMode mode : kAllModes) {
+      EXPECT_TRUE(
+          SearchPaddedColumn(blob, 3, mode, std::string(1, '\0')).empty())
+          << SimdTierName(tier) << "/" << ModeName(mode);
+      EXPECT_TRUE(
+          SearchPaddedColumn(blob, 3, mode, std::string("b\0", 2)).empty())
+          << SimdTierName(tier) << "/" << ModeName(mode);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace loggrep
