@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 
 #include "src/baselines/clp_like.h"
 #include "src/baselines/es_like.h"
@@ -19,6 +20,16 @@ size_t DatasetBytes() {
   const char* env = std::getenv("LOGGREP_BENCH_KB");
   const long kb = env != nullptr ? std::atol(env) : 768;
   return static_cast<size_t>(kb > 0 ? kb : 768) * 1024;
+}
+
+std::string BenchOutputPath(const std::string& filename) {
+  const char* dir = std::getenv("LOGGREP_BENCH_OUT_DIR");
+  if (dir == nullptr || *dir == '\0') {
+    return filename;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return (std::filesystem::path(dir) / filename).string();
 }
 
 const std::vector<System>& AllSystems() {

@@ -18,6 +18,12 @@ namespace bench {
 // be scaled up on larger machines.
 size_t DatasetBytes();
 
+// Where a bench writes its BENCH_<name>.json result file: joined under
+// $LOGGREP_BENCH_OUT_DIR when set (created if missing), else the working
+// directory. Every bench emits through this so CI collects all artifacts
+// from one place.
+std::string BenchOutputPath(const std::string& filename);
+
 // All five evaluated systems, in presentation order:
 // gzip+grep, CLP-like, ES-like, LogGrep-SP, LogGrep.
 struct System {

@@ -217,7 +217,7 @@ int Run() {
   }
 
   {
-    std::ofstream out("BENCH_daemon.json");
+    std::ofstream out(BenchOutputPath("BENCH_daemon.json"));
     char buf[512];
     std::snprintf(
         buf, sizeof(buf),

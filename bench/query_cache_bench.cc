@@ -491,9 +491,10 @@ int main() {
               kernel.scalar_ms, SimdTierName(ActiveSimdTier()),
               kernel.active_ms, kernel.speedup, kernel.hits);
 
-  WriteBenchJson("BENCH_query.json", rounds, cold_p50, warm_p50, cold_stages,
+  const std::string bench_json = bench::BenchOutputPath("BENCH_query.json");
+  WriteBenchJson(bench_json.c_str(), rounds, cold_p50, warm_p50, cold_stages,
                  kernel);
-  std::printf("wrote BENCH_query.json\n");
+  std::printf("wrote %s\n", bench_json.c_str());
 
   // Kernel-speedup gate: only meaningful when the vector tier is actually
   // active and timings are undistorted (no sanitizer, no forced scalar).

@@ -489,6 +489,11 @@ int Repair(const std::string& dir) {
   return report.tombstoned == 0 ? 0 : kExitPartial;
 }
 
+// serve-only flags: structured access-log destination and the slow-query
+// capture threshold (0 keeps the daemon default).
+std::string g_access_log_path;
+uint64_t g_slow_ms = 0;
+
 // Raised by the signal handler; the serve loop polls it. (A flag + poll is
 // the only async-signal-safe way to reach the daemon's mutex-using drain.)
 volatile std::sig_atomic_t g_shutdown_requested = 0;
@@ -504,6 +509,12 @@ int Serve(const std::string& root, uint16_t port, size_t threads,
   options.max_inflight_queries = max_inflight;
   options.service.root = root;
   options.metrics = &g_metrics;
+  if (!g_access_log_path.empty()) {
+    options.access_log.path = g_access_log_path;
+  }
+  if (g_slow_ms > 0) {
+    options.slow_query_threshold_ns = g_slow_ms * 1'000'000ull;
+  }
   LoggrepDaemon daemon(options);
   auto bound = daemon.Start();
   if (!bound.ok()) {
@@ -619,6 +630,8 @@ int Usage() {
                "  loggrep_cli remote-query <host:port> <archive> "
                "\"<query>\"\n"
                "flags: --stats-json   --trace=<file>   --no-degrade\n"
+               "serve flags: --access-log=<path> (JSON-lines per-request "
+               "log)   --slow-ms=<n> (slow-query capture threshold)\n"
                "exit codes: 0 ok, 1 error, 2 usage, 3 partial result "
                "(quarantined blocks; --no-degrade turns 3 into 1)\n");
   return 2;
@@ -639,6 +652,10 @@ int main(int raw_argc, char** raw_argv) {
       g_no_degrade = true;
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_path = arg.substr(8);
+    } else if (arg.rfind("--access-log=", 0) == 0) {
+      g_access_log_path = arg.substr(13);
+    } else if (arg.rfind("--slow-ms=", 0) == 0) {
+      g_slow_ms = std::strtoull(arg.substr(10).data(), nullptr, 10);
     } else {
       args.push_back(raw_argv[i]);
     }

@@ -1,0 +1,67 @@
+#include "src/common/build_info.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "src/common/simd.h"
+
+namespace loggrep {
+
+namespace {
+
+#ifndef LOGGREP_GIT_SHA
+#define LOGGREP_GIT_SHA "unknown"
+#endif
+
+uint64_t SteadyNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* BuildVersion() { return "0.8.0"; }
+
+const char* BuildGitSha() { return LOGGREP_GIT_SHA; }
+
+uint64_t ProcessUptimeNanos() {
+  static const uint64_t epoch = SteadyNowNanos();
+  const uint64_t now = SteadyNowNanos();
+  return now > epoch ? now - epoch : 0;
+}
+
+void AppendBuildInfoMetrics(std::string* out) {
+  out->append("# TYPE loggrep_build_info gauge\n");
+  out->append("loggrep_build_info{version=\"");
+  out->append(BuildVersion());
+  out->append("\",git_sha=\"");
+  out->append(BuildGitSha());
+  out->append("\",simd=\"");
+  out->append(SimdTierName(ActiveSimdTier()));
+  out->append("\"} 1\n");
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(ProcessUptimeNanos()) / 1e9);
+  out->append("# TYPE loggrep_process_uptime_seconds gauge\n");
+  out->append("loggrep_process_uptime_seconds ");
+  out->append(buf);
+  out->push_back('\n');
+}
+
+void AppendBuildInfoJsonFields(std::string* out) {
+  out->append("\"version\":\"");
+  out->append(BuildVersion());
+  out->append("\",\"git_sha\":\"");
+  out->append(BuildGitSha());
+  out->append("\",\"simd\":\"");
+  out->append(SimdTierName(ActiveSimdTier()));
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(ProcessUptimeNanos()) / 1e9);
+  out->append("\",\"uptime_seconds\":");
+  out->append(buf);
+}
+
+}  // namespace loggrep

@@ -1,0 +1,37 @@
+// Build identity for the serving layer: version, git revision, active SIMD
+// tier, and process uptime. /metrics exports these as a Prometheus
+// `build_info`-style gauge (value 1, identity in labels — the convention
+// scrapers join against), /healthz and /statusz embed them directly.
+#ifndef SRC_COMMON_BUILD_INFO_H_
+#define SRC_COMMON_BUILD_INFO_H_
+
+#include <cstdint>
+#include <string>
+
+namespace loggrep {
+
+// Semantic version of this build (bumped per serving-layer milestone).
+const char* BuildVersion();
+
+// Git revision baked in at configure time (LOGGREP_GIT_SHA compile
+// definition); "unknown" when built outside a git checkout.
+const char* BuildGitSha();
+
+// Nanoseconds since the process first asked (first call wins the epoch, so
+// construct-early callers like the daemon see true process age).
+uint64_t ProcessUptimeNanos();
+
+// Prometheus exposition lines:
+//   # TYPE loggrep_build_info gauge
+//   loggrep_build_info{version="...",git_sha="...",simd="..."} 1
+//   # TYPE loggrep_process_uptime_seconds gauge
+//   loggrep_process_uptime_seconds 12.345
+void AppendBuildInfoMetrics(std::string* out);
+
+// JSON fragment (no surrounding braces):
+//   "version":"...","git_sha":"...","simd":"...","uptime_seconds":12.345
+void AppendBuildInfoJsonFields(std::string* out);
+
+}  // namespace loggrep
+
+#endif  // SRC_COMMON_BUILD_INFO_H_

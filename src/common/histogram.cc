@@ -66,6 +66,15 @@ void Histogram::Reset() {
   max_.store(0, std::memory_order_relaxed);
 }
 
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    buckets[b] += other.buckets[b];
+  }
+}
+
 uint64_t HistogramSnapshot::Percentile(double q) const {
   if (count == 0) {
     return 0;

@@ -35,7 +35,12 @@ struct HistogramSnapshot {
   uint64_t p90() const { return Percentile(90); }
   uint64_t p95() const { return Percentile(95); }
   uint64_t p99() const { return Percentile(99); }
+  uint64_t p999() const { return Percentile(99.9); }
   double mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / count; }
+
+  // Accumulates `other` into this snapshot (bucket-wise sum, max of max).
+  // Rolling windows merge their live slots through this.
+  void Merge(const HistogramSnapshot& other);
 };
 
 class Histogram {

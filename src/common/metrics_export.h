@@ -14,13 +14,21 @@ namespace loggrep {
 // sanitized ('.'/'-' and any other non [a-zA-Z0-9_] byte become '_').
 // Counters export as `counter`; histograms as native Prometheus histograms
 // with cumulative power-of-two `le` buckets (only non-empty boundaries plus
-// `+Inf`), `_sum` and `_count` series.
+// `+Inf`), `_sum` and `_count` series — the form external scrapers can
+// aggregate correctly across processes — followed by `_p50`/`_p99`/`_p999`
+// point-estimate gauges for single-scrape reading.
 std::string ExportPrometheus(const MetricsRegistry& registry);
+
+// Appends one `# TYPE <name> gauge` exposition line carrying a double value
+// (fixed 6-decimal formatting). Used by the daemon for windowed SLO gauges
+// that have no uint64 registry cell.
+void AppendPrometheusGauge(std::string* out, const std::string& name,
+                           double value);
 
 // JSON document:
 //   {"counters":{"a.b":1,...},
 //    "histograms":{"x_ns":{"count":..,"sum":..,"max":..,
-//                           "p50":..,"p90":..,"p95":..,"p99":..},...}}
+//                           "p50":..,"p90":..,"p95":..,"p99":..,"p999":..},...}}
 // Keys are sorted; numbers are plain integers.
 std::string ExportJson(const MetricsRegistry& registry);
 

@@ -263,8 +263,25 @@ ServiceResponse ArchiveService::Run(const ServiceRequest& request) {
     return response;
   }
   response.http_status = result->partial.partial() ? 206 : 200;
+  response.degraded = result->partial.partial();
   response.body =
       RenderQueryJson(*result, request.explain ? &explain : nullptr);
+  const LocatorStats& s = result->locator;
+  response.stats.hits = result->hits.size();
+  response.stats.blocks_queried = result->blocks_queried;
+  response.stats.blocks_from_cache = result->blocks_from_cache;
+  response.stats.cache_hits = s.cache_hits;
+  response.stats.cache_misses = s.cache_misses;
+  response.stats.bytes_decompressed = s.bytes_decompressed;
+  response.stats.prune_ns = s.prune_nanos;
+  response.stats.open_ns = s.open_nanos;
+  response.stats.stamp_filter_ns = s.stamp_filter_nanos;
+  response.stats.decompress_ns = s.decompress_nanos;
+  response.stats.scan_ns = s.scan_nanos;
+  response.stats.reconstruct_ns = s.reconstruct_nanos;
+  if (request.explain) {
+    response.explain_render = explain.Render();
+  }
   return response;
 }
 

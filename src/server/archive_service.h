@@ -65,9 +65,32 @@ struct ServiceRequest {
   uint64_t deadline_ms = 0;  // per-query retry budget; 0 = server default
 };
 
+// Flat stats mirror for the access log: the JSON body already carries all
+// of this, but the daemon's per-request telemetry must not pay a JSON
+// re-parse per request to log it.
+struct ServiceQueryStats {
+  uint64_t hits = 0;
+  uint64_t blocks_queried = 0;
+  uint64_t blocks_from_cache = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t bytes_decompressed = 0;
+  uint64_t prune_ns = 0;
+  uint64_t open_ns = 0;
+  uint64_t stamp_filter_ns = 0;
+  uint64_t decompress_ns = 0;
+  uint64_t scan_ns = 0;
+  uint64_t reconstruct_ns = 0;
+};
+
 struct ServiceResponse {
   int http_status = 200;
   std::string body;  // JSON document (see RenderQueryJson)
+  bool degraded = false;  // true on 206 (PartialReport in the body)
+  ServiceQueryStats stats;  // zeros on error responses
+  // Rendered explain fate tree; filled only when the request asked for
+  // explain (the slow-query log re-runs with explain=true to capture it).
+  std::string explain_render;
 };
 
 // Resolves `name` under `root`, rejecting absolute paths and any ".."

@@ -160,6 +160,9 @@ Result<RemoteQueryResult> DaemonClient::RunQueryRequest(
   std::string request;
   request.append(post ? "POST " : "GET ").append(target);
   request.append(" HTTP/1.1\r\nHost: ").append(host_).append("\r\n");
+  if (!options.request_id.empty()) {
+    request.append("X-Request-Id: ").append(options.request_id).append("\r\n");
+  }
   if (post) {
     request.append("Content-Length: ")
         .append(std::to_string(command.size()))
@@ -175,6 +178,10 @@ Result<RemoteQueryResult> DaemonClient::RunQueryRequest(
   }
   RemoteQueryResult result;
   result.http_status = response->status;
+  const auto rid = response->headers.find("x-request-id");
+  if (rid != response->headers.end()) {
+    result.request_id = rid->second;
+  }
   result.body = std::move(response->body);
   if (Status s = ParseRemoteQueryBody(result.body, &result); !s.ok()) {
     return s;

@@ -24,10 +24,15 @@ struct RemoteQueryOptions {
   bool degrade = true;
   uint64_t deadline_ms = 0;
   bool use_post = true;  // POST body vs GET ?q=
+  // Sent as the X-Request-Id header so the daemon's access log, slow-query
+  // log, and trace spans join against this caller's id. "" = let the daemon
+  // mint one (echoed back in RemoteQueryResult::request_id either way).
+  std::string request_id;
 };
 
 struct RemoteQueryResult {
   int http_status = 0;
+  std::string request_id;     // X-Request-Id the daemon echoed
   bool complete = true;       // JSON "complete" field
   QueryHits hits;             // parsed from the JSON body
   uint64_t lines_missing = 0; // from "partial" when degraded

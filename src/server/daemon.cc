@@ -7,10 +7,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <utility>
 
+#include "src/common/build_info.h"
 #include "src/common/json.h"
 #include "src/common/metrics_export.h"
 #include "src/common/trace.h"
@@ -18,6 +20,12 @@
 namespace loggrep {
 
 namespace {
+
+void AppendUint(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
 
 // Poll granularity for blocking reads: how quickly an idle connection
 // notices a drain. Short enough that Shutdown() feels immediate, long
@@ -95,6 +103,18 @@ LoggrepDaemon::LoggrepDaemon(DaemonOptions options)
     options_.service.archive.engine.metrics = metrics_;
   }
   service_ = std::make_unique<ArchiveService>(options_.service);
+  telemetry_ = std::make_unique<ServerTelemetry>(options_.telemetry);
+  access_log_ = std::make_unique<AccessLog>(options_.access_log);
+  slow_log_ = std::make_unique<SlowQueryLog>(options_.slow_log_capacity);
+  start_ns_ = Tracer::Global().NowNanos();
+  // Prime the process-uptime epoch now; its first caller wins it, and that
+  // should be daemon construction, not the first /healthz scrape.
+  ProcessUptimeNanos();
+}
+
+uint64_t LoggrepDaemon::uptime_ns() const {
+  const uint64_t now = Tracer::Global().NowNanos();
+  return now > start_ns_ ? now - start_ns_ : 0;
 }
 
 LoggrepDaemon::~LoggrepDaemon() { Shutdown(); }
@@ -169,6 +189,7 @@ void LoggrepDaemon::Shutdown() {
   }
   pool_.reset();       // joins the workers
   service_->Clear();   // releases archives + caches deterministically
+  access_log_->Flush();  // every served request's line reaches the sinks
 }
 
 void LoggrepDaemon::AcceptLoop() {
@@ -247,8 +268,16 @@ void LoggrepDaemon::HandleConnection(int fd) {
 
     if (parser.state() == HttpRequestParser::State::kError) {
       parse_errors->Increment();
-      const HttpResponse response =
+      // Even a malformed request gets a request id (generated — the headers
+      // may not have parsed), a telemetry sample, and an access-log line.
+      RequestRecord rec;
+      rec.request_id = GenerateRequestId();
+      rec.rid64 = RequestIdHash(rec.request_id);
+      HttpResponse response =
           JsonError(parser.error_status(), parser.error());
+      response.headers.emplace_back("X-Request-Id", rec.request_id);
+      const uint64_t now_ns = Tracer::Global().NowNanos();
+      FinishRequest(nullptr, response, &rec, now_ns, now_ns);
       SendAll(fd, SerializeResponse(response, /*keep_alive=*/false));
       break;  // framing is unrecoverable; never try to resync a bad peer
     }
@@ -258,11 +287,20 @@ void LoggrepDaemon::HandleConnection(int fd) {
     const uint64_t start_ns = Tracer::Global().NowNanos();
     const HttpRequest& request = parser.request();
     bool close_after = !request.KeepAlive();
+    // Propagate the client's X-Request-Id; mint one when absent. rid64 is
+    // the FNV-1a of the id — the join key across spans and logs.
+    RequestRecord rec;
+    rec.request_id = std::string(request.Header("x-request-id"));
+    if (rec.request_id.empty()) {
+      rec.request_id = GenerateRequestId();
+    }
+    rec.rid64 = RequestIdHash(rec.request_id);
     HttpResponse response;
     {
-      const TraceSpan span("server.request", "server");
-      response = Route(request, &close_after);
+      const TraceSpan span("server.request", "server", "rid", rec.rid64);
+      response = Route(request, &close_after, &rec);
     }
+    response.headers.emplace_back("X-Request-Id", rec.request_id);
     if (stopping_.load(std::memory_order_acquire)) {
       close_after = true;  // drain: answer, then hang up
     }
@@ -270,7 +308,9 @@ void LoggrepDaemon::HandleConnection(int fd) {
         ->GetOrCreate("server.responses_" +
                       std::to_string(response.status / 100) + "xx")
         ->Increment();
-    request_ns->Record(Tracer::Global().NowNanos() - start_ns);
+    const uint64_t end_ns = Tracer::Global().NowNanos();
+    request_ns->Record(end_ns - start_ns);
+    FinishRequest(&request, response, &rec, start_ns, end_ns);
     if (!SendAll(fd, SerializeResponse(response, !close_after))) {
       break;
     }
@@ -283,14 +323,20 @@ void LoggrepDaemon::HandleConnection(int fd) {
 }
 
 HttpResponse LoggrepDaemon::Route(const HttpRequest& request,
-                                  bool* close_after) {
+                                  bool* close_after, RequestRecord* rec) {
   if (request.path == "/healthz") {
-    char body[128];
-    std::snprintf(body, sizeof(body),
-                  "ok\narchives_open %zu\ninflight_queries %zu\n",
-                  service_->open_archives(),
-                  inflight_queries_.load(std::memory_order_relaxed));
-    return TextResponse(200, body);
+    HttpResponse response;
+    response.body = RenderHealthz();
+    return response;
+  }
+  if (request.path == "/statusz") {
+    return TextResponse(200,
+                        RenderStatuszPage(Tracer::Global().NowNanos()));
+  }
+  if (request.path == "/debug/slow") {
+    HttpResponse response;
+    response.body = slow_log_->RenderJson(options_.slow_query_threshold_ns);
+    return response;
   }
   if (request.path == "/metrics") {
     if (request.method != "GET") {
@@ -300,7 +346,12 @@ HttpResponse LoggrepDaemon::Route(const HttpRequest& request,
     // The scrape runs concurrently with live queries by design; the
     // registry's snapshot path is the synchronization (see
     // tests/metrics_race_test.cc).
-    return TextResponse(200, ExportPrometheus(*metrics_));
+    std::string body = ExportPrometheus(*metrics_);
+    telemetry_->AppendWindowedMetrics(&body, Tracer::Global().NowNanos());
+    AppendPrometheusGauge(&body, "loggrep_access_log_dropped",
+                          static_cast<double>(access_log_->dropped()));
+    AppendBuildInfoMetrics(&body);
+    return TextResponse(200, std::move(body));
   }
   if (request.path == "/query" || request.path == "/explain") {
     const bool explain = request.path == "/explain";
@@ -308,13 +359,13 @@ HttpResponse LoggrepDaemon::Route(const HttpRequest& request,
       *close_after = true;
       return JsonError(405, "use GET or POST");
     }
-    return RunQuery(request, explain);
+    return RunQuery(request, explain, rec);
   }
   return JsonError(404, "no such endpoint: " + request.path);
 }
 
 HttpResponse LoggrepDaemon::RunQuery(const HttpRequest& request,
-                                     bool explain) {
+                                     bool explain, RequestRecord* rec) {
   // Admission gate, checked before any archive work. fetch_add + rollback
   // keeps the gate exact under races (two latecomers can both bounce, never
   // both enter past the limit).
@@ -322,6 +373,7 @@ HttpResponse LoggrepDaemon::RunQuery(const HttpRequest& request,
       options_.max_inflight_queries) {
     inflight_queries_.fetch_sub(1, std::memory_order_acq_rel);
     metrics_->GetOrCreate("server.admission_rejects")->Increment();
+    rec->shed = true;
     HttpResponse response = JsonError(
         429, "query admission limit reached; retry after backoff");
     response.headers.emplace_back(
@@ -357,12 +409,148 @@ HttpResponse LoggrepDaemon::RunQuery(const HttpRequest& request,
   if (deadline != request.params.end()) {
     sr.deadline_ms = std::strtoull(deadline->second.c_str(), nullptr, 10);
   }
+  rec->archive = sr.archive;
+  rec->command = sr.command;
 
-  const ServiceResponse service_response = service_->Run(sr);
+  ServiceResponse service_response = service_->Run(sr);
+  if (service_response.http_status == 206) {
+    metrics_->GetOrCreate("server.degraded_responses")->Increment();
+  }
+  rec->degraded = service_response.degraded;
+  rec->stats = service_response.stats;
+  rec->explain_render = std::move(service_response.explain_render);
   HttpResponse response;
   response.status = service_response.http_status;
-  response.body = service_response.body;
+  response.body = std::move(service_response.body);
   return response;
+}
+
+void LoggrepDaemon::FinishRequest(const HttpRequest* request,
+                                  const HttpResponse& response,
+                                  RequestRecord* rec, uint64_t start_ns,
+                                  uint64_t end_ns) {
+  const uint64_t dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
+  telemetry_->RecordRequest(response.status, dur_ns, end_ns);
+
+  const uint64_t ts_ms =
+      (end_ns > start_ns_ ? end_ns - start_ns_ : 0) / 1'000'000ull;
+  std::string line;
+  line.reserve(512);
+  line.append("{\"ts_ms\":");
+  AppendUint(&line, ts_ms);
+  line.append(",\"rid\":");
+  AppendJsonString(&line, rec->request_id);
+  // String, not number: rid64 spans the full uint64 range and JSON readers
+  // that go through doubles would round ids above 2^53, breaking the join.
+  line.append(",\"rid64\":\"");
+  AppendUint(&line, rec->rid64);
+  line.push_back('"');
+  line.append(",\"method\":");
+  AppendJsonString(&line, request != nullptr ? request->method : "");
+  line.append(",\"path\":");
+  AppendJsonString(&line, request != nullptr ? request->path : "");
+  line.append(",\"archive\":");
+  AppendJsonString(&line, rec->archive);
+  line.append(",\"status\":");
+  AppendUint(&line, static_cast<uint64_t>(response.status));
+  line.append(",\"bytes\":");
+  AppendUint(&line, response.body.size());
+  line.append(",\"dur_ns\":");
+  AppendUint(&line, dur_ns);
+  line.append(",\"hits\":");
+  AppendUint(&line, rec->stats.hits);
+  line.append(",\"blocks_queried\":");
+  AppendUint(&line, rec->stats.blocks_queried);
+  line.append(",\"blocks_from_cache\":");
+  AppendUint(&line, rec->stats.blocks_from_cache);
+  line.append(",\"cache_hits\":");
+  AppendUint(&line, rec->stats.cache_hits);
+  line.append(",\"cache_misses\":");
+  AppendUint(&line, rec->stats.cache_misses);
+  line.append(",\"bytes_decompressed\":");
+  AppendUint(&line, rec->stats.bytes_decompressed);
+  line.append(",\"stage_ns\":{\"prune\":");
+  AppendUint(&line, rec->stats.prune_ns);
+  line.append(",\"open\":");
+  AppendUint(&line, rec->stats.open_ns);
+  line.append(",\"stamp\":");
+  AppendUint(&line, rec->stats.stamp_filter_ns);
+  line.append(",\"decompress\":");
+  AppendUint(&line, rec->stats.decompress_ns);
+  line.append(",\"scan\":");
+  AppendUint(&line, rec->stats.scan_ns);
+  line.append(",\"reconstruct\":");
+  AppendUint(&line, rec->stats.reconstruct_ns);
+  line.append("},\"degraded\":");
+  line.append(rec->degraded ? "true" : "false");
+  line.append(",\"shed\":");
+  line.append(rec->shed ? "true" : "false");
+  line.push_back('}');
+  access_log_->Write(std::move(line));
+
+  // Slow-query capture. Shed requests never qualify (they did no archive
+  // work); requests with no command (metrics scrapes, health checks) have
+  // no fate tree to capture.
+  if (options_.slow_query_threshold_ns == 0 ||
+      dur_ns < options_.slow_query_threshold_ns || rec->command.empty() ||
+      rec->shed) {
+    return;
+  }
+  SlowQueryEntry entry;
+  entry.ts_ms = ts_ms;
+  entry.request_id = rec->request_id;
+  entry.rid64 = rec->rid64;
+  entry.archive = rec->archive;
+  entry.command = rec->command;
+  entry.dur_ns = dur_ns;
+  entry.status = response.status;
+  if (!rec->explain_render.empty()) {
+    entry.explain_render = std::move(rec->explain_render);
+  } else {
+    // Re-run with explain to get the fate tree. The slow run just warmed
+    // the caches this re-run reads, so capture is cheap; what debugging
+    // needs is the tree's *structure* (visited/pruned/cached), which the
+    // warm re-run preserves.
+    ServiceRequest sr;
+    sr.archive = rec->archive;
+    sr.command = rec->command;
+    sr.explain = true;
+    entry.explain_render = service_->Run(sr).explain_render;
+  }
+  slow_log_->Record(std::move(entry));
+  metrics_->GetOrCreate("server.slow_queries")->Increment();
+}
+
+std::string LoggrepDaemon::RenderHealthz() const {
+  std::string body("{\"status\":\"ok\",");
+  AppendBuildInfoJsonFields(&body);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                ",\"daemon_uptime_seconds\":%.3f,\"archives_open\":%zu,"
+                "\"inflight_queries\":%zu}",
+                static_cast<double>(uptime_ns()) / 1e9,
+                service_->open_archives(),
+                inflight_queries_.load(std::memory_order_relaxed));
+  body.append(buf);
+  return body;
+}
+
+std::string LoggrepDaemon::RenderStatuszPage(uint64_t now_ns) const {
+  StatuszInfo info;
+  info.uptime_ns = uptime_ns();
+  info.archives_open = service_->open_archives();
+  info.inflight_queries = inflight_queries_.load(std::memory_order_relaxed);
+  info.max_inflight_queries = options_.max_inflight_queries;
+  info.requests_total = metrics_->GetOrCreate("server.requests")->value();
+  info.admission_rejects_total =
+      metrics_->GetOrCreate("server.admission_rejects")->value();
+  info.degraded_total =
+      metrics_->GetOrCreate("server.degraded_responses")->value();
+  info.access_log_written = access_log_->written();
+  info.access_log_dropped = access_log_->dropped();
+  info.slow_queries_captured = slow_log_->captured();
+  info.slow_threshold_ns = options_.slow_query_threshold_ns;
+  return RenderStatusz(*telemetry_, info, now_ns);
 }
 
 }  // namespace loggrep

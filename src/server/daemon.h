@@ -18,8 +18,20 @@
 //   POST /query?archive=<rel>[&degrade=0][&deadline_ms=N]   body = command
 //   GET  /query?archive=<rel>&q=<command>[&...]             (same, in URL)
 //   GET  /explain?archive=<rel>&q=<command>[&...]
-//   GET  /metrics      Prometheus exposition of the server's registry
-//   GET  /healthz      liveness + open-archive / in-flight counts
+//   GET  /metrics      Prometheus exposition: registry counters/histograms,
+//                      windowed SLO gauges, build_info + uptime
+//   GET  /healthz      liveness JSON: version, uptime, open-archive /
+//                      in-flight counts
+//   GET  /statusz      human-readable service state (src/server/telemetry.h)
+//   GET  /debug/slow   bounded slow-query log with explain fate trees
+//
+// Per-request telemetry: every response carries an X-Request-Id header —
+// the client's own (X-Request-Id request header) or a generated 16-hex id.
+// The id's FNV-1a hash is attached to the request's trace spans ("rid" arg)
+// and emitted as "rid64" in the JSON-lines access log, so one value joins
+// the access log, the slow-query log, and the exported trace. Requests
+// slower than `slow_query_threshold_ns` are re-run with explain to capture
+// their fate tree into the slow-query log (bounded, served by /debug/slow).
 //
 // Status contract (single source of truth: src/server/archive_service.h):
 // 200 complete, 206 degraded (PartialReport in the body), 400 bad query,
@@ -51,6 +63,8 @@
 #include "src/common/thread_pool.h"
 #include "src/server/archive_service.h"
 #include "src/server/http.h"
+#include "src/server/request_log.h"
+#include "src/server/telemetry.h"
 
 namespace loggrep {
 
@@ -85,6 +99,19 @@ struct DaemonOptions {
   // Registry for "server.*" counters and the /metrics endpoint. Borrowed;
   // null = daemon-private registry.
   MetricsRegistry* metrics = nullptr;
+
+  // Rolling-window geometry + SLO targets for /metrics gauges + /statusz.
+  TelemetryOptions telemetry;
+
+  // Access log destination + ring sizing. Always on (the in-memory ring is
+  // cheap); set `access_log.path` to persist JSON lines to a file.
+  AccessLogOptions access_log;
+
+  // Queries at least this slow get their explain fate tree captured into
+  // the slow-query log (GET /debug/slow). 0 disables capture.
+  uint64_t slow_query_threshold_ns = 1'000'000'000ull;  // 1 s
+  // Entries the slow-query log retains (oldest evicted first).
+  size_t slow_log_capacity = 64;
 };
 
 class LoggrepDaemon {
@@ -110,19 +137,50 @@ class LoggrepDaemon {
   }
   ArchiveService& service() { return *service_; }
   MetricsRegistry& metrics() { return *metrics_; }
+  ServerTelemetry& telemetry() { return *telemetry_; }
+  AccessLog& access_log() { return *access_log_; }
+  SlowQueryLog& slow_log() { return *slow_log_; }
+  // Nanoseconds since this daemon object was constructed.
+  uint64_t uptime_ns() const;
 
  private:
+  // Everything one request contributes to the access log beyond what the
+  // HttpRequest/HttpResponse pair already carries. Route/RunQuery fill it;
+  // HandleConnection emits the line and runs slow-query capture.
+  struct RequestRecord {
+    std::string request_id;
+    uint64_t rid64 = 0;
+    std::string archive;
+    std::string command;
+    bool shed = false;      // bounced by admission control (429)
+    bool degraded = false;  // 206 partial
+    ServiceQueryStats stats;
+    std::string explain_render;  // filled when the request was /explain
+  };
+
   void AcceptLoop();
   void HandleConnection(int fd);
   // Routes one parsed request. Sets `close_after` when the response must be
   // the connection's last (errors, drain).
-  HttpResponse Route(const HttpRequest& request, bool* close_after);
-  HttpResponse RunQuery(const HttpRequest& request, bool explain);
+  HttpResponse Route(const HttpRequest& request, bool* close_after,
+                     RequestRecord* rec);
+  HttpResponse RunQuery(const HttpRequest& request, bool explain,
+                        RequestRecord* rec);
+  // Access-log emission + telemetry + slow-query capture for one finished
+  // request. `request` may be null (parse errors have no parsed request).
+  void FinishRequest(const HttpRequest* request, const HttpResponse& response,
+                     RequestRecord* rec, uint64_t start_ns, uint64_t end_ns);
+  std::string RenderHealthz() const;
+  std::string RenderStatuszPage(uint64_t now_ns) const;
 
   DaemonOptions options_;
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<ArchiveService> service_;
+  std::unique_ptr<ServerTelemetry> telemetry_;
+  std::unique_ptr<AccessLog> access_log_;
+  std::unique_ptr<SlowQueryLog> slow_log_;
+  uint64_t start_ns_ = 0;  // construction time (uptime + ts_ms base)
   std::unique_ptr<ThreadPool> pool_;
   std::thread accept_thread_;
   int listen_fd_ = -1;

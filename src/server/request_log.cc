@@ -1,0 +1,250 @@
+#include "src/server/request_log.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+
+#include "src/common/json.h"
+
+namespace loggrep {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 2;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LogLineRing
+// ---------------------------------------------------------------------------
+
+LogLineRing::LogLineRing(size_t capacity)
+    : cells_(RoundUpPow2(capacity < 2 ? 2 : capacity)),
+      mask_(cells_.size() - 1) {
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+}
+
+bool LogLineRing::TryPush(std::string&& line) {
+  uint64_t pos = head_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    const int64_t dif = static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+    if (dif == 0) {
+      if (head_.compare_exchange_weak(pos, pos + 1,
+                                      std::memory_order_relaxed)) {
+        cell.line = std::move(line);
+        cell.seq.store(pos + 1, std::memory_order_release);
+        return true;
+      }
+      // CAS refreshed `pos`; retry with the new claim point.
+    } else if (dif < 0) {
+      return false;  // full: the consumer has not recycled this cell yet
+    } else {
+      pos = head_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool LogLineRing::TryPop(std::string* out) {
+  uint64_t pos = tail_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    const int64_t dif =
+        static_cast<int64_t>(seq) - static_cast<int64_t>(pos + 1);
+    if (dif == 0) {
+      if (tail_.compare_exchange_weak(pos, pos + 1,
+                                      std::memory_order_relaxed)) {
+        *out = std::move(cell.line);
+        cell.line.clear();
+        cell.seq.store(pos + cells_.size(), std::memory_order_release);
+        return true;
+      }
+    } else if (dif < 0) {
+      return false;  // empty
+    } else {
+      pos = tail_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AccessLog
+// ---------------------------------------------------------------------------
+
+AccessLog::AccessLog(AccessLogOptions options)
+    : options_(std::move(options)), ring_(options_.ring_capacity) {
+  if (!options_.path.empty()) {
+    file_ = std::fopen(options_.path.c_str(), "a");
+    // A path that cannot be opened degrades to sink-only (counted lines
+    // still flow); the daemon reports the failure at startup.
+  }
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+AccessLog::~AccessLog() {
+  stopping_.store(true, std::memory_order_release);
+  if (flusher_.joinable()) {
+    flusher_.join();
+  }
+  DrainOnce();  // final drain after the flusher stopped
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+void AccessLog::Write(std::string&& line) {
+  line.push_back('\n');
+  if (ring_.TryPush(std::move(line))) {
+    written_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+size_t AccessLog::DrainOnce() {
+  size_t drained = 0;
+  std::string line;
+  while (ring_.TryPop(&line)) {
+    if (file_ != nullptr) {
+      std::fwrite(line.data(), 1, line.size(), file_);
+    }
+    if (options_.sink) {
+      options_.sink(line);
+    }
+    ++drained;
+  }
+  if (drained > 0 && file_ != nullptr) {
+    std::fflush(file_);
+  }
+  flushed_.fetch_add(drained, std::memory_order_release);
+  return drained;
+}
+
+void AccessLog::FlusherLoop() {
+  const auto interval = std::chrono::milliseconds(
+      options_.flush_interval_ms == 0 ? 1 : options_.flush_interval_ms);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    DrainOnce();
+    std::this_thread::sleep_for(interval);
+  }
+}
+
+void AccessLog::Flush() {
+  const uint64_t target = written_.load(std::memory_order_acquire);
+  while (flushed_.load(std::memory_order_acquire) < target &&
+         !stopping_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SlowQueryLog
+// ---------------------------------------------------------------------------
+
+std::string SlowQueryEntry::ToJson() const {
+  std::string out("{\"ts_ms\":");
+  out.append(std::to_string(ts_ms));
+  out.append(",\"rid\":");
+  AppendJsonString(&out, request_id);
+  // As a string: rid64 spans the full uint64 range, and JSON consumers that
+  // parse numbers as doubles would silently round ids above 2^53.
+  out.append(",\"rid64\":\"");
+  out.append(std::to_string(rid64));
+  out.push_back('"');
+  out.append(",\"archive\":");
+  AppendJsonString(&out, archive);
+  out.append(",\"command\":");
+  AppendJsonString(&out, command);
+  out.append(",\"dur_ns\":");
+  out.append(std::to_string(dur_ns));
+  out.append(",\"status\":");
+  out.append(std::to_string(status));
+  out.append(",\"explain\":");
+  AppendJsonString(&out, explain_render);
+  out.push_back('}');
+  return out;
+}
+
+void SlowQueryLog::Record(SlowQueryEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++captured_;
+  entries_.push_back(std::move(entry));
+  while (entries_.size() > capacity_) {
+    entries_.pop_front();
+  }
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {entries_.rbegin(), entries_.rend()};
+}
+
+std::string SlowQueryLog::RenderJson(uint64_t threshold_ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out("{\"threshold_ns\":");
+  out.append(std::to_string(threshold_ns));
+  out.append(",\"captured\":");
+  out.append(std::to_string(captured_));
+  out.append(",\"entries\":[");
+  bool first = true;
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out.append(it->ToJson());
+  }
+  out.append("]}");
+  return out;
+}
+
+uint64_t SlowQueryLog::captured() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return captured_;
+}
+
+// ---------------------------------------------------------------------------
+// Request ids
+// ---------------------------------------------------------------------------
+
+uint64_t RequestIdHash(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string GenerateRequestId() {
+  // splitmix64 over (per-process random base + counter): unique in-process,
+  // different across runs, no coordination.
+  static const uint64_t base = [] {
+    const uint64_t t = static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    return t ^ (static_cast<uint64_t>(::getpid()) << 32);
+  }();
+  static std::atomic<uint64_t> counter{0};
+  uint64_t z = base + 0x9e3779b97f4a7c15ull *
+                          (counter.fetch_add(1, std::memory_order_relaxed) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(z));
+  return buf;
+}
+
+}  // namespace loggrep

@@ -1,0 +1,179 @@
+// Per-request logging for loggrepd: a structured JSON-lines access log
+// behind a lock-free writer, and a bounded slow-query log that keeps the
+// explain fate tree of the worst offenders.
+//
+// Access log design: request handlers must never block on log I/O — a slow
+// disk under the access log must not become tail latency for every tenant.
+// Producers therefore format their line and push it into a bounded
+// Vyukov-style MPMC ring (one CAS + one release store per push, no mutex);
+// a dedicated flusher thread drains the ring to the sink every few
+// milliseconds. When the ring is full the line is *dropped and counted*
+// (`dropped()` / the server.access_log_dropped counter), never queued
+// unboundedly and never waited for — the same shed-don't-queue stance as
+// admission control.
+//
+// One line per request, one JSON object per line (jq-able), e.g.:
+//   {"ts_ms":123,"rid":"5f3a...","rid64":123456,"method":"POST",
+//    "path":"/query","archive":"arch","status":200,"bytes":512,
+//    "dur_ns":18343210,"blocks_queried":4,"blocks_from_cache":4,
+//    "cache_hits":12,"cache_misses":0,"bytes_decompressed":0,
+//    "stage_ns":{"prune":..,"open":..,"stamp":..,"decompress":..,
+//                "scan":..,"reconstruct":..},
+//    "degraded":false,"shed":false}
+// `rid64` is the FNV-1a hash of the request id — the exact value attached
+// to the request's trace spans, so log lines join against spans (and the
+// slow-query log) on one integer.
+//
+// The slow-query log is a cold-path mutex-protected ring (capturing is rare
+// by construction): the daemon records requests over its latency threshold
+// together with the re-run explain fate tree, served by GET /debug/slow.
+#ifndef SRC_SERVER_REQUEST_LOG_H_
+#define SRC_SERVER_REQUEST_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace loggrep {
+
+// Bounded lock-free ring of formatted lines (Vyukov MPMC sequence scheme,
+// used MPSC here: many request handlers push, one flusher pops).
+class LogLineRing {
+ public:
+  // `capacity` is rounded up to a power of two, minimum 2.
+  explicit LogLineRing(size_t capacity);
+
+  LogLineRing(const LogLineRing&) = delete;
+  LogLineRing& operator=(const LogLineRing&) = delete;
+
+  // Lock-free; returns false (and leaves `line` untouched) when full.
+  bool TryPush(std::string&& line);
+  // Single-consumer pop; returns false when empty.
+  bool TryPop(std::string* out);
+
+  size_t capacity() const { return cells_.size(); }
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> seq;
+    std::string line;
+  };
+
+  std::vector<Cell> cells_;
+  size_t mask_;
+  alignas(64) std::atomic<uint64_t> head_{0};  // producers
+  alignas(64) std::atomic<uint64_t> tail_{0};  // consumer
+};
+
+struct AccessLogOptions {
+  // Ring capacity in lines; pushes beyond it are dropped and counted.
+  size_t ring_capacity = 4096;
+  // Flusher wake interval.
+  uint64_t flush_interval_ms = 20;
+  // Destination file ("" = no file; a sink function may still be set).
+  std::string path;
+  // Optional extra sink (tests, /debug endpoints). Called from the flusher
+  // thread only, one '\n'-terminated line per call.
+  std::function<void(std::string_view)> sink;
+};
+
+class AccessLog {
+ public:
+  explicit AccessLog(AccessLogOptions options);
+  ~AccessLog();  // stops the flusher after a final drain
+
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  // Lock-free append of one line (a complete JSON object, no trailing
+  // newline — Write adds it). Dropped (and counted) when the ring is full.
+  void Write(std::string&& line);
+
+  // Blocks until every line written before the call has reached the sinks
+  // (tests; the destructor drains implicitly).
+  void Flush();
+
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  uint64_t written() const {
+    return written_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void FlusherLoop();
+  // Drains the ring to the sinks; returns lines drained.
+  size_t DrainOnce();
+
+  AccessLogOptions options_;
+  LogLineRing ring_;
+  std::FILE* file_ = nullptr;
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> written_{0};   // pushed successfully
+  std::atomic<uint64_t> flushed_{0};   // drained to sinks
+  std::atomic<bool> stopping_{false};
+  std::thread flusher_;
+};
+
+// One captured slow request, with the explain fate tree re-run after the
+// slow execution (re-runs are usually warm, so capture is cheap; the tree's
+// *structure* — what was visited, pruned, cached — is what debugging needs).
+struct SlowQueryEntry {
+  uint64_t ts_ms = 0;        // capture time (ms since daemon start)
+  std::string request_id;
+  uint64_t rid64 = 0;        // FNV-1a of request_id (joins log + spans)
+  std::string archive;
+  std::string command;
+  uint64_t dur_ns = 0;       // the slow execution's latency
+  int status = 0;
+  std::string explain_render;  // fate tree; "" when re-explain failed
+
+  // Renders this entry as a JSON object.
+  std::string ToJson() const;
+};
+
+// Bounded ring of the most recent slow queries. Mutex-protected: entries
+// arrive at slow-query rate, not request rate.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(size_t capacity) : capacity_(capacity) {}
+
+  void Record(SlowQueryEntry entry);
+
+  // Newest first.
+  std::vector<SlowQueryEntry> Snapshot() const;
+
+  // JSON body for GET /debug/slow:
+  //   {"threshold_ns":N,"captured":N,"entries":[...newest first...]}
+  std::string RenderJson(uint64_t threshold_ns) const;
+
+  uint64_t captured() const;
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<SlowQueryEntry> entries_;
+  uint64_t captured_ = 0;
+};
+
+// FNV-1a 64-bit over `s` — the request-id hash attached to trace spans and
+// emitted as `rid64` in the access log.
+uint64_t RequestIdHash(std::string_view s);
+
+// Generates a 16-hex-char request id, unique within the process and
+// non-guessable across runs. When the daemon generated the id itself,
+// RequestIdHash(id) is still the join key — ids are opaque strings either
+// way (clients may supply their own via X-Request-Id).
+std::string GenerateRequestId();
+
+}  // namespace loggrep
+
+#endif  // SRC_SERVER_REQUEST_LOG_H_

@@ -1,0 +1,150 @@
+// SLO workload harness: many simulated tenants issuing Zipf-skewed queries
+// open-loop against a *live* loggrepd, with concurrent ingest publishing new
+// archives mid-run and seeded storage faults injected underneath — the
+// closest thing in this repo to the paper's shared-cloud-service setting
+// (§5: one daemon, many users, caches amortizing across them).
+//
+// Shape (after the memcached-style load generators: per-tenant arrival
+// schedules, a skewed key popularity distribution, windowed tail latency):
+//
+//   ingest thread ──► publishes live-<k> archives while tenants run
+//   tenant threads ─► open-loop: arrivals follow a fixed schedule derived
+//                     from the target rate, *not* from response times — a
+//                     slow server makes latency pile up instead of silently
+//                     throttling the offered load (coordinated omission is
+//                     the classic closed-loop lie this avoids)
+//   target pick ────► Zipf(s) over the query catalog: a few hot queries
+//                     dominate, so the daemon's command/box caches should
+//                     absorb the head while the tail stays cold
+//   checking ───────► every 200 is compared hit-for-hit against a serial
+//                     oracle computed before the daemon saw the archive;
+//                     every 206 must be a strict subset of its oracle
+//
+// Measured per rolling window (client side, by arrival time): p50/p99,
+// request count — so the report shows cold-start convergence, not one
+// blended number. Plus run-wide cache hit rate, shed rate (429), degraded
+// rate (206), error rate, and the daemon's own /metrics, /statusz and
+// /debug/slow views at the end of the run.
+//
+// Gates (RunSloHarness fails them, bench/workload_slo.cc turns them into a
+// nonzero exit for CI): zero oracle mismatches, and warm p99 (second half
+// of the run) strictly below cold p99 (first window).
+#ifndef SRC_WORKLOAD_SLO_HARNESS_H_
+#define SRC_WORKLOAD_SLO_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace loggrep {
+
+// Zipf(s) sampler over ranks [0, n): P(rank k) proportional to 1/(k+1)^s.
+// Precomputed CDF + binary search; deterministic given the caller's Rng
+// stream. Ranks map to catalog entries, so rank 0 is the hottest query.
+class ZipfPicker {
+ public:
+  ZipfPicker(size_t n, double s);
+
+  // Returns a rank in [0, limit) given a uniform u in [0,1). `limit` lets
+  // callers sample only the published prefix of a growing catalog (the CDF
+  // is renormalized over the prefix).
+  size_t Pick(double u, size_t limit) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // unnormalized cumulative weights
+};
+
+struct SloHarnessOptions {
+  uint64_t seed = 42;
+
+  // Scale.
+  size_t tenants = 4;              // client threads, one connection each
+  size_t static_archives = 2;      // archives built before the daemon starts
+  size_t live_archives = 2;        // archives published mid-run by ingest
+  size_t blocks_per_archive = 3;
+  size_t lines_per_block = 300;
+
+  // Load shape.
+  double zipf_s = 1.1;             // catalog skew exponent
+  double offered_qps = 150;        // aggregate open-loop arrival rate
+  uint64_t duration_ms = 4000;     // driving time
+  uint64_t window_ms = 500;        // client-side latency window width
+
+  // Chaos. Probabilistic faults are capped per path so they stay transient
+  // (the retry layer rides them out); the permanent fault makes queries on
+  // archive 0 degrade to 206 — the degraded-rate signal under test.
+  bool inject_faults = true;
+  double read_fail_p = 0.02;
+  uint32_t max_faults_per_path = 2;
+  bool permanent_fault = true;
+
+  // Daemon sizing. 0 = derived from `tenants`.
+  size_t daemon_threads = 0;
+  size_t max_inflight = 0;
+  uint64_t slow_query_threshold_ns = 1'000'000;  // 1 ms: /debug/slow fills
+
+  // Working directory; "" = fresh temp dir (removed on success).
+  std::string root;
+};
+
+struct SloWindow {
+  uint64_t start_ms = 0;   // window start, relative to run start
+  uint64_t requests = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+struct SloHarnessReport {
+  // Run-wide tallies.
+  uint64_t requests = 0;
+  uint64_t ok_200 = 0;
+  uint64_t degraded_206 = 0;
+  uint64_t shed_429 = 0;
+  uint64_t errors = 0;       // 5xx or transport failures
+  uint64_t mismatches = 0;   // oracle disagreements (the zero-tolerance gate)
+  double achieved_qps = 0;
+  double shed_rate = 0;
+  double degraded_rate = 0;
+  double error_rate = 0;
+
+  // Cache behavior under skew: blocks answered from the command cache over
+  // blocks queried, across every 200/206 response.
+  uint64_t blocks_queried = 0;
+  uint64_t blocks_from_cache = 0;
+  double cache_hit_rate = 0;
+
+  // Windowed client-side latency (by arrival time).
+  std::vector<SloWindow> windows;
+  double cold_p99_ms = 0;   // first window
+  double warm_p99_ms = 0;   // aggregate over the second half of the run
+
+  // Server-side views captured after the drive.
+  uint64_t slow_queries_captured = 0;
+  double server_window_p99_ms = 0;  // loggrep_window_request_p99_ns / 1e6
+  uint64_t access_log_dropped = 0;
+  std::string statusz;              // the full /statusz page (for artifacts)
+
+  // Working directory the run used. Removed on a clean (gates-pass) run
+  // when the harness created it; kept for post-mortem when gates fail.
+  std::string root;
+
+  // Gate evaluation: zero mismatches and warm p99 < cold p99. `why` gets a
+  // one-line explanation on failure.
+  bool GatesPass(std::string* why) const;
+
+  std::string ToJson() const;
+};
+
+// Builds the corpus, computes oracles, starts an in-process daemon (with
+// fault injection under it when asked), drives the tenants + live ingest,
+// and tears everything down. Non-ok only on harness setup failure — gate
+// violations are reported in the returned report, not as a Status.
+Result<SloHarnessReport> RunSloHarness(const SloHarnessOptions& options);
+
+}  // namespace loggrep
+
+#endif  // SRC_WORKLOAD_SLO_HARNESS_H_

@@ -187,7 +187,13 @@ TEST(MetricsExportTest, PrometheusGolden) {
       "loggrep_lat_ns_bucket{le=\"3\"} 2\n"
       "loggrep_lat_ns_bucket{le=\"+Inf\"} 2\n"
       "loggrep_lat_ns_sum 4\n"
-      "loggrep_lat_ns_count 2\n";
+      "loggrep_lat_ns_count 2\n"
+      "# TYPE loggrep_lat_ns_p50 gauge\n"
+      "loggrep_lat_ns_p50 1\n"
+      "# TYPE loggrep_lat_ns_p99 gauge\n"
+      "loggrep_lat_ns_p99 3\n"
+      "# TYPE loggrep_lat_ns_p999 gauge\n"
+      "loggrep_lat_ns_p999 3\n";
   EXPECT_EQ(ExportPrometheus(registry), expected);
 }
 
@@ -203,7 +209,7 @@ TEST(MetricsExportTest, JsonGolden) {
   const std::string expected =
       "{\"counters\":{\"a.count\":1,\"b.count\":3},"
       "\"histograms\":{\"lat_ns\":{\"count\":2,\"sum\":4,\"max\":3,"
-      "\"p50\":1,\"p90\":3,\"p95\":3,\"p99\":3}}}";
+      "\"p50\":1,\"p90\":3,\"p95\":3,\"p99\":3,\"p999\":3}}}";
   EXPECT_EQ(ExportJson(registry), expected);
 }
 

@@ -195,7 +195,11 @@ TEST_F(ServerTest, HealthzMetricsAndUnknownEndpoints) {
   Result<ParsedResponse> health = client.Get("/healthz");
   ASSERT_TRUE(health.ok()) << health.status().ToString();
   EXPECT_EQ(health->status, 200);
-  EXPECT_EQ(health->body.rfind("ok\n", 0), 0u) << health->body;
+  EXPECT_NE(health->body.find("\"status\":\"ok\""), std::string::npos)
+      << health->body;
+  EXPECT_NE(health->body.find("\"version\":"), std::string::npos);
+  EXPECT_NE(health->body.find("\"uptime_seconds\":"), std::string::npos);
+  EXPECT_NE(health->body.find("\"archives_open\":"), std::string::npos);
 
   Result<ParsedResponse> metrics = client.Get("/metrics");
   ASSERT_TRUE(metrics.ok());

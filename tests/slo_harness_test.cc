@@ -1,0 +1,89 @@
+// SLO workload harness: Zipf sampler properties and a tiny pinned-seed
+// end-to-end run (live daemon + ingest + faults) asserting the
+// zero-wrong-answers invariant and a fully populated report.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/slo_harness.h"
+
+namespace loggrep {
+namespace {
+
+TEST(ZipfPickerTest, HeadRanksDominate) {
+  const size_t n = 16;
+  ZipfPicker zipf(n, 1.1);
+  ASSERT_EQ(zipf.size(), n);
+  // Sweep a deterministic grid of uniforms and histogram the picks: mass
+  // must be monotonically non-increasing in rank, with rank 0 strictly
+  // hottest (that's the whole point of the skew).
+  std::vector<size_t> counts(n, 0);
+  const size_t kSamples = 100'000;
+  for (size_t i = 0; i < kSamples; ++i) {
+    const double u = (i + 0.5) / kSamples;
+    const size_t rank = zipf.Pick(u, n);
+    ASSERT_LT(rank, n);
+    ++counts[rank];
+  }
+  EXPECT_GT(counts[0], counts[1]);
+  for (size_t r = 1; r < n; ++r) {
+    EXPECT_GE(counts[r - 1], counts[r]) << "rank " << r;
+  }
+  // Zipf(1.1) over 16 ranks puts roughly a third of the mass on rank 0.
+  EXPECT_GT(counts[0], kSamples / 4);
+}
+
+TEST(ZipfPickerTest, LimitRenormalizesOverThePrefix) {
+  ZipfPicker zipf(32, 1.1);
+  // Every pick respects the published prefix, including u right at the top
+  // of the range — the CDF is renormalized, not clamped.
+  for (size_t limit = 1; limit <= 32; limit *= 2) {
+    EXPECT_EQ(zipf.Pick(0.0, limit), 0u);
+    EXPECT_LT(zipf.Pick(0.999999, limit), limit);
+    EXPECT_EQ(zipf.Pick(0.999999, 1), 0u);
+  }
+  // Renormalization shifts mass: a u that lands mid-catalog with the full
+  // range must land strictly earlier when only a prefix is published.
+  EXPECT_LE(zipf.Pick(0.9, 4), zipf.Pick(0.9, 32));
+}
+
+TEST(SloHarnessTest, TinyPinnedRunHasZeroMismatches) {
+  // Default corpus shape (the pinned-seed catalog is known to produce
+  // non-pruned queries), shrunk drive so the test stays around a second.
+  SloHarnessOptions options;
+  options.seed = 42;
+  options.tenants = 2;
+  options.live_archives = 1;
+  options.offered_qps = 80;
+  options.duration_ms = 1200;
+  options.window_ms = 300;
+  options.inject_faults = true;
+  options.permanent_fault = true;
+
+  Result<SloHarnessReport> report = RunSloHarness(options);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+
+  // The zero-tolerance gate: every 200 matched its oracle exactly and every
+  // 206 was an ordered subset.
+  EXPECT_EQ(report->mismatches, 0u);
+  EXPECT_GT(report->requests, 0u);
+  EXPECT_EQ(report->ok_200 + report->degraded_206 + report->shed_429 +
+                report->errors + report->mismatches,
+            report->requests);
+  // The permanent fault on archive 0 plus Zipf skew toward it means some
+  // queries must have come back degraded.
+  EXPECT_GT(report->degraded_206, 0u);
+  EXPECT_FALSE(report->windows.empty());
+  uint64_t windowed = 0;
+  for (const SloWindow& w : report->windows) {
+    windowed += w.requests;
+  }
+  EXPECT_EQ(windowed, report->requests);
+  EXPECT_GT(report->blocks_queried, 0u);
+  EXPECT_FALSE(report->statusz.empty());
+  EXPECT_FALSE(report->ToJson().empty());
+}
+
+}  // namespace
+}  // namespace loggrep
