@@ -20,6 +20,16 @@
 //   loggrep_cli repair <dir>
 //       (re-verifies quarantined blocks; reinstates healthy ones,
 //        tombstones the rest)
+//   loggrep_cli set-ingest <root> <tenant> <input.log> [ts_ns]
+//       (appends to the tenant's active shard of the ArchiveSet at root,
+//        creating the set / rolling shards as needed)
+//   loggrep_cli set-query <root> "<query>" [tenant|-] [from_ns] [to_ns]
+//       (federated query across shards; tenant "-" = all tenants; the
+//        time range prunes whole shards before the scatter)
+//   loggrep_cli set-repair <root>
+//       (fleet-level repair: re-verifies quarantined blocks in every shard)
+//   loggrep_cli set-stat <root>
+//       (per-shard table: tenant, window, lines, bytes, sealed/expired)
 //   loggrep_cli serve <root-dir> [port] [threads] [max_inflight]
 //       (runs loggrepd: serves every archive under root-dir over HTTP;
 //        prints the bound port; SIGTERM/SIGINT drain gracefully)
@@ -66,7 +76,9 @@
 #include "src/query/explain.h"
 #include "src/server/client.h"
 #include "src/server/daemon.h"
+#include "src/store/archive_set.h"
 #include "src/store/log_archive.h"
+#include "src/store/shard_router.h"
 #include "src/store/verify.h"
 #include "src/workload/datasets.h"
 #include "src/workload/loggen.h"
@@ -489,6 +501,134 @@ int Repair(const std::string& dir) {
   return report.tombstoned == 0 ? 0 : kExitPartial;
 }
 
+Result<std::unique_ptr<ArchiveSet>> OpenOrCreateSet(const std::string& root) {
+  ArchiveSetOptions options;
+  options.archive = CliArchiveOptions();
+  if (std::filesystem::exists(ArchiveSet::SetManifestPath(root))) {
+    return ArchiveSet::Open(root, options);
+  }
+  return ArchiveSet::Create(root, options);
+}
+
+int SetIngest(const std::string& root, const std::string& tenant,
+              const std::string& in_path, uint64_t ts_ns) {
+  std::string raw;
+  if (!ReadFile(in_path, &raw)) {
+    return 1;
+  }
+  auto set = OpenOrCreateSet(root);
+  if (!set.ok()) {
+    std::fprintf(stderr, "%s\n", set.status().ToString().c_str());
+    return 1;
+  }
+  auto receipt = (*set)->Append(tenant, raw, ts_ns);
+  if (!receipt.ok()) {
+    std::fprintf(stderr, "%s\n", receipt.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("shard %llu (%s%s): %llu lines at global line %llu; "
+              "set now %zu live shards, %llu lines\n",
+              static_cast<unsigned long long>(receipt->shard_id),
+              tenant.c_str(),
+              receipt->rolled
+                  ? (std::string(", rolled: ") +
+                     RollReasonName(receipt->roll_reason)).c_str()
+                  : "",
+              static_cast<unsigned long long>(receipt->lines),
+              static_cast<unsigned long long>(receipt->first_global_line),
+              (*set)->live_shard_count(),
+              static_cast<unsigned long long>((*set)->total_lines()));
+  return 0;
+}
+
+int SetQuery(const std::string& root, const std::string& command,
+             const std::string& tenant, uint64_t from_ns, uint64_t to_ns) {
+  ArchiveSetOptions options;
+  options.archive = CliArchiveOptions();
+  auto set = ArchiveSet::Open(root, options);
+  if (!set.ok()) {
+    std::fprintf(stderr, "%s\n", set.status().ToString().c_str());
+    return 1;
+  }
+  SetQueryPredicate pred;
+  if (!tenant.empty() && tenant != "-") {
+    pred.tenant = tenant;
+  }
+  pred.from_ns = from_ns;
+  pred.to_ns = to_ns;
+  auto result = (*set)->Query(command, pred);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& [line, text] : result->hits) {
+    std::printf("%llu:%s\n", static_cast<unsigned long long>(line + 1),
+                text.c_str());
+  }
+  std::fprintf(stderr,
+               "%zu hits; shards: %llu pruned, %llu visited, %llu failed "
+               "of %llu; blocks: %u pruned, %u queried\n",
+               result->hits.size(),
+               static_cast<unsigned long long>(result->shards_pruned),
+               static_cast<unsigned long long>(result->shards_visited),
+               static_cast<unsigned long long>(result->shards_failed),
+               static_cast<unsigned long long>(result->shards_total),
+               result->blocks_pruned, result->blocks_queried);
+  MaybePrintStatsJson();
+  if (!result->complete()) {
+    std::fprintf(stderr, "%s", result->RenderPartial().c_str());
+    return kExitPartial;
+  }
+  return 0;
+}
+
+int SetRepair(const std::string& root) {
+  ArchiveSetOptions options;
+  options.archive = CliArchiveOptions();
+  auto set = ArchiveSet::Open(root, options);
+  if (!set.ok()) {
+    std::fprintf(stderr, "%s\n", set.status().ToString().c_str());
+    return 1;
+  }
+  const SetRepairReport report = (*set)->RepairAll();
+  std::printf("%s\n", report.Summary().c_str());
+  if (!report.ok()) {
+    return 1;
+  }
+  return report.tombstoned == 0 ? 0 : kExitPartial;
+}
+
+int SetStat(const std::string& root) {
+  ArchiveSetOptions options;
+  options.archive = CliArchiveOptions();
+  auto set = ArchiveSet::Open(root, options);
+  if (!set.ok()) {
+    std::fprintf(stderr, "%s\n", set.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = (*set)->RefreshStats(); !s.ok()) {
+    std::fprintf(stderr, "warning: stale stats: %s\n", s.ToString().c_str());
+  }
+  std::printf("shards: %zu live (%zu tenants)  lines: %llu  raw: %.1f MB  "
+              "stored: %.1f MB\n",
+              (*set)->live_shard_count(), (*set)->tenant_count(),
+              static_cast<unsigned long long>((*set)->total_lines()),
+              (*set)->total_raw_bytes() / 1e6,
+              (*set)->total_stored_bytes() / 1e6);
+  for (const ShardInfo& s : (*set)->shards()) {
+    std::printf("  shard %-4llu %-20s window [%llu, %llu)  %8llu lines  "
+                "%8.1f KB  %s%s\n",
+                static_cast<unsigned long long>(s.id), s.tenant.c_str(),
+                static_cast<unsigned long long>(s.window_start_ns),
+                static_cast<unsigned long long>(s.window_end_ns),
+                static_cast<unsigned long long>(s.lines),
+                s.stored_bytes / 1e3, s.sealed ? "sealed" : "active",
+                s.expired ? " EXPIRED" : "");
+  }
+  return 0;
+}
+
 // serve-only flags: structured access-log destination and the slow-query
 // capture threshold (0 keeps the daemon default).
 std::string g_access_log_path;
@@ -621,6 +761,12 @@ int Usage() {
                "  loggrep_cli archive-stat <dir>\n"
                "  loggrep_cli verify <dir>\n"
                "  loggrep_cli repair <dir>\n"
+               "  loggrep_cli set-ingest <root> <tenant> <input.log> "
+               "[ts_ns]\n"
+               "  loggrep_cli set-query <root> \"<query>\" [tenant|-] "
+               "[from_ns] [to_ns]\n"
+               "  loggrep_cli set-repair <root>\n"
+               "  loggrep_cli set-stat <root>\n"
                "  loggrep_cli ingest <dir> <input.log|-> [block_mb] "
                "[threads]\n"
                "  loggrep_cli explain <block.lgc|archive-dir> \"<query>\"\n"
@@ -703,6 +849,25 @@ int main(int raw_argc, char** raw_argv) {
   }
   if (cmd == "repair" && argc == 3) {
     return finish(Repair(argv[2]));
+  }
+  if (cmd == "set-ingest" && (argc == 5 || argc == 6)) {
+    const uint64_t ts_ns =
+        argc == 6 ? std::strtoull(argv[5], nullptr, 10) : 0;
+    return finish(SetIngest(argv[2], argv[3], argv[4], ts_ns));
+  }
+  if (cmd == "set-query" && argc >= 4 && argc <= 7) {
+    const std::string tenant = argc >= 5 ? argv[4] : "-";
+    const uint64_t from_ns =
+        argc >= 6 ? std::strtoull(argv[5], nullptr, 10) : 0;
+    const uint64_t to_ns =
+        argc >= 7 ? std::strtoull(argv[6], nullptr, 10) : UINT64_MAX;
+    return finish(SetQuery(argv[2], argv[3], tenant, from_ns, to_ns));
+  }
+  if (cmd == "set-repair" && argc == 3) {
+    return finish(SetRepair(argv[2]));
+  }
+  if (cmd == "set-stat" && argc == 3) {
+    return finish(SetStat(argv[2]));
   }
   if (cmd == "explain" && argc == 4) {
     return finish(Explain(argv[2], argv[3]));

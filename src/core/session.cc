@@ -100,4 +100,9 @@ void QuerySession::Reset() {
   engine_->ClearCache();
 }
 
+void QuerySession::Rebind(std::string_view box_bytes) {
+  Reset();
+  box_ = box_bytes;
+}
+
 }  // namespace loggrep

@@ -40,8 +40,19 @@ class QuerySession {
 
   // Forget the refinement state and memoized results (e.g. the engineer
   // starts a new hypothesis). Also clears the engine-level command cache the
-  // memo fronts, so a reset can never serve pre-reset hits.
+  // memo fronts, so a reset can never serve pre-reset hits. The bound box is
+  // unchanged: Reset is "same data, new hypothesis".
   void Reset();
+
+  // Point the session at different box bytes ("same hypothesis, new data"):
+  // the serving layer calls this when the archive set rolls the shard a
+  // session was following mid-session. Defined as Reset + swap: every
+  // refinement/memo shortcut is dropped, so no post-rebind query can ever be
+  // answered from the previous box's hits. The new view must outlive the
+  // session, like the constructor argument.
+  void Rebind(std::string_view box_bytes);
+
+  std::string_view box() const { return box_; }
 
  private:
   LogGrepEngine* engine_;

@@ -146,6 +146,101 @@ std::string RenderErrorJson(const Status& status) {
   return out;
 }
 
+// The federated success body. Same top-level shape as RenderQueryJson so
+// clients parse both, plus a "shards" accounting object and per-shard holes:
+//   {"complete":bool,"hits":[[line,"text"],...],"stats":{...},
+//    "shards":{"total":n,"pruned":n,"visited":n,"failed":n},
+//    "partial":{...},"shard_failures":[...],   -- only when degraded
+//    "explain":{...}}                          -- /explain
+std::string RenderSetQueryJson(const SetQueryResult& result,
+                               const SetExplain* explain) {
+  std::string out;
+  out.reserve(4096 + result.hits.size() * 48);
+  out.append("{\"complete\":");
+  out.append(result.complete() ? "true" : "false");
+  out.append(",\"hits\":[");
+  bool first = true;
+  for (const auto& [line, text] : result.hits) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out.append("[");
+    AppendUint(&out, line);
+    out.push_back(',');
+    AppendJsonString(&out, text);
+    out.push_back(']');
+  }
+  out.append("],\"stats\":");
+  // The block/locator counters share the single-archive schema; mirror them
+  // into an ArchiveQueryResult so the JSON field set stays identical.
+  ArchiveQueryResult stats;
+  stats.blocks_pruned = result.blocks_pruned;
+  stats.blocks_queried = result.blocks_queried;
+  stats.blocks_from_cache = result.blocks_from_cache;
+  stats.locator = result.locator;
+  AppendStatsJson(&out, stats);
+  out.append(",\"shards\":{\"total\":");
+  AppendUint(&out, result.shards_total);
+  out.append(",\"pruned\":");
+  AppendUint(&out, result.shards_pruned);
+  out.append(",\"visited\":");
+  AppendUint(&out, result.shards_visited);
+  out.append(",\"failed\":");
+  AppendUint(&out, result.shards_failed);
+  out.push_back('}');
+  if (result.partial.partial()) {
+    out.append(",\"partial\":");
+    AppendPartialJson(&out, result.partial);
+  }
+  if (!result.shard_failures.empty()) {
+    out.append(",\"shard_failures\":[");
+    first = true;
+    for (const SetShardFailure& f : result.shard_failures) {
+      if (!first) {
+        out.push_back(',');
+      }
+      first = false;
+      out.append("{\"shard\":");
+      AppendUint(&out, f.shard_id);
+      out.append(",\"tenant\":");
+      AppendJsonString(&out, f.tenant);
+      out.append(",\"first_line\":");
+      AppendUint(&out, f.line_base);
+      out.append(",\"line_count\":");
+      AppendUint(&out, f.lines);
+      out.append(",\"error\":");
+      AppendJsonString(&out, f.error);
+      out.push_back('}');
+    }
+    out.push_back(']');
+  }
+  if (explain != nullptr) {
+    std::string detail;
+    const bool invariant_ok = explain->CheckInvariant(&detail);
+    const ExplainTotals totals = explain->Totals();
+    out.append(",\"explain\":{\"invariant_ok\":");
+    out.append(invariant_ok ? "true" : "false");
+    if (!invariant_ok) {
+      out.append(",\"invariant_detail\":");
+      AppendJsonString(&out, detail);
+    }
+    out.append(",\"totals\":{\"visited\":");
+    AppendUint(&out, totals.visited);
+    out.append(",\"pruned\":");
+    AppendUint(&out, totals.pruned);
+    out.append(",\"cached\":");
+    AppendUint(&out, totals.cached);
+    out.append(",\"decompressed\":");
+    AppendUint(&out, totals.decompressed);
+    out.append("},\"render\":");
+    AppendJsonString(&out, explain->Render());
+    out.append("}");
+  }
+  out.push_back('}');
+  return out;
+}
+
 }  // namespace
 
 std::string ResolveArchivePath(const std::string& root, std::string_view name) {
@@ -213,13 +308,25 @@ Result<std::shared_ptr<ArchiveService::Handle>> ArchiveService::GetOrOpen(
     return InvalidArgument("archive name escapes the serving root: " + name);
   }
   // Open outside the map lock (cold opens read the manifest + quarantine
-  // from storage); racing openers adopt whichever handle lands first.
-  Result<LogArchive> archive = LogArchive::Open(dir, options_.archive);
-  if (!archive.ok()) {
-    return archive.status();
-  }
+  // from storage); racing openers adopt whichever handle lands first. A
+  // set_manifest.json marks the directory as a federated ArchiveSet root.
   auto handle = std::make_shared<Handle>();
-  handle->archive = std::make_unique<LogArchive>(std::move(*archive));
+  StorageEnv* env = EnvOrDefault(options_.archive.env);
+  if (env->FileExists(ArchiveSet::SetManifestPath(dir))) {
+    ArchiveSetOptions set_options;
+    set_options.archive = options_.archive;
+    Result<std::unique_ptr<ArchiveSet>> set = ArchiveSet::Open(dir, set_options);
+    if (!set.ok()) {
+      return set.status();
+    }
+    handle->set = std::move(*set);
+  } else {
+    Result<LogArchive> archive = LogArchive::Open(dir, options_.archive);
+    if (!archive.ok()) {
+      return archive.status();
+    }
+    handle->archive = std::make_unique<LogArchive>(std::move(*archive));
+  }
   std::lock_guard<std::mutex> lock(mu_);
   const auto [it, inserted] = handles_.emplace(name, handle);
   if (!inserted) {
@@ -239,6 +346,9 @@ ServiceResponse ArchiveService::Run(const ServiceRequest& request) {
   }
 
   std::lock_guard<std::mutex> lock((*handle)->mu);
+  if ((*handle)->set != nullptr) {
+    return RunOnSet(request, handle->get());
+  }
   LogArchive* archive = (*handle)->archive.get();
   // Per-request knobs, applied under the archive lock so they only govern
   // this execution. The deadline feeds the RetryBudget every storage retry
@@ -266,6 +376,68 @@ ServiceResponse ArchiveService::Run(const ServiceRequest& request) {
   response.degraded = result->partial.partial();
   response.body =
       RenderQueryJson(*result, request.explain ? &explain : nullptr);
+  const LocatorStats& s = result->locator;
+  response.stats.hits = result->hits.size();
+  response.stats.blocks_queried = result->blocks_queried;
+  response.stats.blocks_from_cache = result->blocks_from_cache;
+  response.stats.cache_hits = s.cache_hits;
+  response.stats.cache_misses = s.cache_misses;
+  response.stats.bytes_decompressed = s.bytes_decompressed;
+  response.stats.prune_ns = s.prune_nanos;
+  response.stats.open_ns = s.open_nanos;
+  response.stats.stamp_filter_ns = s.stamp_filter_nanos;
+  response.stats.decompress_ns = s.decompress_nanos;
+  response.stats.scan_ns = s.scan_nanos;
+  response.stats.reconstruct_ns = s.reconstruct_nanos;
+  if (request.explain) {
+    response.explain_render = explain.Render();
+  }
+  return response;
+}
+
+// Federated execution: predicates prune shards, the rest scatters across
+// the set's shards under this handle's lock (caller holds it).
+ServiceResponse ArchiveService::RunOnSet(const ServiceRequest& request,
+                                         Handle* handle) {
+  ServiceResponse response;
+  ArchiveSet* set = handle->set.get();
+
+  SetQueryPredicate pred;
+  if (!request.tenant.empty()) {
+    pred.tenant = request.tenant;
+  }
+  pred.from_ns = request.from_ns;
+  pred.to_ns = request.to_ns;
+  if (pred.from_ns > pred.to_ns) {
+    const Status bad = InvalidArgument("empty time range: from > to");
+    response.http_status = HttpStatusForQueryError(bad);
+    response.body = RenderErrorJson(bad);
+    return response;
+  }
+
+  const uint64_t default_deadline = options_.archive.query_deadline_ns;
+  const bool default_degrade = options_.archive.degraded_queries;
+  if (request.deadline_ms > 0) {
+    set->set_query_deadline_ns(request.deadline_ms * 1'000'000ull);
+  }
+  set->set_degraded_queries(request.degrade);
+
+  SetExplain explain;
+  Result<SetQueryResult> result =
+      request.explain ? set->Explain(request.command, pred, &explain)
+                      : set->Query(request.command, pred);
+  set->set_query_deadline_ns(default_deadline);
+  set->set_degraded_queries(default_degrade);
+
+  if (!result.ok()) {
+    response.http_status = HttpStatusForQueryError(result.status());
+    response.body = RenderErrorJson(result.status());
+    return response;
+  }
+  response.http_status = result->complete() ? 200 : 206;
+  response.degraded = !result->complete();
+  response.body =
+      RenderSetQueryJson(*result, request.explain ? &explain : nullptr);
   const LocatorStats& s = result->locator;
   response.stats.hits = result->hits.size();
   response.stats.blocks_queried = result->blocks_queried;

@@ -32,6 +32,14 @@
 // `--no-degrade` on the CLI and `?degrade=0` on POST /query are the same
 // switch: the first failing block aborts the query (HTTP 500) instead of
 // degrading to a 206.
+//
+// Federation: a served directory that contains a set_manifest.json is an
+// ArchiveSet root (src/store/archive_set.h) — the service opens it as one
+// warm federated handle and honors the `tenant=` / `from=` / `to=` request
+// predicates, which prune whole shards before the scatter. A quarantined
+// block or an unopenable shard degrades the federated answer to the same
+// 206 + partial contract as above; shard-level holes are listed under
+// "shard_failures" in the body.
 #ifndef SRC_SERVER_ARCHIVE_SERVICE_H_
 #define SRC_SERVER_ARCHIVE_SERVICE_H_
 
@@ -42,7 +50,9 @@
 #include <string>
 #include <string_view>
 
+#include "src/store/archive_set.h"
 #include "src/store/log_archive.h"
+#include "src/store/shard_router.h"
 
 namespace loggrep {
 
@@ -63,6 +73,13 @@ struct ServiceRequest {
   bool explain = false;  // run Explain() and include the decision tree
   bool degrade = true;   // false = fail on first block failure (HTTP 500)
   uint64_t deadline_ms = 0;  // per-query retry budget; 0 = server default
+
+  // Federation predicates (HTTP `tenant=` / `from=` / `to=`), honored when
+  // the resolved directory is an ArchiveSet root (it has a
+  // set_manifest.json). Ignored for plain single-archive directories.
+  std::string tenant;         // empty = all tenants
+  uint64_t from_ns = 0;       // inclusive event-time lower bound
+  uint64_t to_ns = UINT64_MAX;  // inclusive event-time upper bound
 };
 
 // Flat stats mirror for the access log: the JSON body already carries all
@@ -121,14 +138,20 @@ class ArchiveService {
   void Clear();
 
  private:
+  // A handle is either a plain archive or a federated ArchiveSet — the
+  // service sniffs set_manifest.json at open time. Exactly one of the two
+  // pointers is set.
   struct Handle {
-    std::mutex mu;  // serializes queries on this archive
+    std::mutex mu;  // serializes queries on this archive / set
     std::unique_ptr<LogArchive> archive;
+    std::unique_ptr<ArchiveSet> set;
   };
 
   // Returns the open handle for `name`, opening (and caching) it on first
   // use. kNotFound when the directory has no manifest.
   Result<std::shared_ptr<Handle>> GetOrOpen(const std::string& name);
+
+  ServiceResponse RunOnSet(const ServiceRequest& request, Handle* handle);
 
   ServiceOptions options_;
   mutable std::mutex mu_;  // guards handles_ (not the archives themselves)

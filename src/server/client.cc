@@ -152,6 +152,15 @@ Result<RemoteQueryResult> DaemonClient::RunQueryRequest(
   if (options.deadline_ms > 0) {
     target.append("&deadline_ms=").append(std::to_string(options.deadline_ms));
   }
+  if (!options.tenant.empty()) {
+    target.append("&tenant=").append(UrlEncode(options.tenant));
+  }
+  if (options.from_ns > 0) {
+    target.append("&from=").append(std::to_string(options.from_ns));
+  }
+  if (options.to_ns != UINT64_MAX) {
+    target.append("&to=").append(std::to_string(options.to_ns));
+  }
   const bool post = options.use_post && !explain;
   if (!post) {
     target.append("&q=").append(UrlEncode(command));

@@ -24,6 +24,11 @@ struct RemoteQueryOptions {
   bool degrade = true;
   uint64_t deadline_ms = 0;
   bool use_post = true;  // POST body vs GET ?q=
+  // Federation predicates, forwarded as tenant= / from= / to= — honored
+  // when the served directory is an ArchiveSet root, ignored otherwise.
+  std::string tenant;
+  uint64_t from_ns = 0;
+  uint64_t to_ns = UINT64_MAX;
   // Sent as the X-Request-Id header so the daemon's access log, slow-query
   // log, and trace spans join against this caller's id. "" = let the daemon
   // mint one (echoed back in RemoteQueryResult::request_id either way).

@@ -409,6 +409,20 @@ HttpResponse LoggrepDaemon::RunQuery(const HttpRequest& request,
   if (deadline != request.params.end()) {
     sr.deadline_ms = std::strtoull(deadline->second.c_str(), nullptr, 10);
   }
+  // Federation predicates (honored when the archive is an ArchiveSet root):
+  // tenant name plus an inclusive [from, to] event-time window in ns.
+  const auto tenant = request.params.find("tenant");
+  if (tenant != request.params.end()) {
+    sr.tenant = tenant->second;
+  }
+  const auto from = request.params.find("from");
+  if (from != request.params.end()) {
+    sr.from_ns = std::strtoull(from->second.c_str(), nullptr, 10);
+  }
+  const auto to = request.params.find("to");
+  if (to != request.params.end()) {
+    sr.to_ns = std::strtoull(to->second.c_str(), nullptr, 10);
+  }
   rec->archive = sr.archive;
   rec->command = sr.command;
 

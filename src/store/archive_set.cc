@@ -1,0 +1,1037 @@
+#include "src/store/archive_set.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <utility>
+
+#include "src/common/json.h"
+#include "src/common/thread_pool.h"
+#include "src/query/query_parser.h"
+#include "src/store/fs_util.h"
+
+namespace loggrep {
+
+namespace {
+
+constexpr int kSetManifestVersion = 1;
+
+// u64 values (line bases, nanosecond timestamps) exceed the 2^53 exact-integer
+// range of the JSON parser's double representation, so the manifest stores
+// them as decimal strings.
+void AppendU64Field(std::string* out, const char* key, uint64_t value,
+                    bool* first) {
+  if (!*first) {
+    out->append(",");
+  }
+  *first = false;
+  AppendJsonString(out, key);
+  out->append(":\"");
+  out->append(std::to_string(value));
+  out->append("\"");
+}
+
+void AppendStrField(std::string* out, const char* key, std::string_view value,
+                    bool* first) {
+  if (!*first) {
+    out->append(",");
+  }
+  *first = false;
+  AppendJsonString(out, key);
+  out->append(":");
+  AppendJsonString(out, value);
+}
+
+void AppendBoolField(std::string* out, const char* key, bool value,
+                     bool* first) {
+  if (!*first) {
+    out->append(",");
+  }
+  *first = false;
+  AppendJsonString(out, key);
+  out->append(value ? ":true" : ":false");
+}
+
+// Reads a u64 that may be a decimal string (current writer) or a plain
+// number (tolerated for hand-edited manifests).
+bool ReadU64(const JsonValue& obj, const std::string& key, uint64_t* out) {
+  const JsonValue& v = obj.Get(key);
+  if (v.kind() == JsonValue::Kind::kString) {
+    const std::string& s = v.AsString();
+    if (s.empty()) {
+      return false;
+    }
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long parsed = std::strtoull(s.c_str(), &end, 10);
+    if (errno != 0 || end != s.c_str() + s.size()) {
+      return false;
+    }
+    *out = parsed;
+    return true;
+  }
+  if (v.kind() == JsonValue::Kind::kNumber) {
+    *out = v.AsUint();
+    return true;
+  }
+  return false;
+}
+
+uint64_t ReadU64Or(const JsonValue& obj, const std::string& key,
+                   uint64_t fallback) {
+  uint64_t out = fallback;
+  if (!ReadU64(obj, key, &out)) {
+    return fallback;
+  }
+  return out;
+}
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty() || dir.back() == '/') {
+    return dir + name;
+  }
+  return dir + "/" + name;
+}
+
+uint64_t CountLines(std::string_view text) {
+  if (text.empty()) {
+    return 0;
+  }
+  uint64_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') {
+      ++lines;
+    }
+  }
+  if (text.back() != '\n') {
+    ++lines;
+  }
+  return lines;
+}
+
+}  // namespace
+
+const char* SetKillPointName(SetKillPoint point) {
+  switch (point) {
+    case SetKillPoint::kShardCreated:
+      return "shard-created";
+    case SetKillPoint::kRollManifestWritten:
+      return "roll-manifest-written";
+    case SetKillPoint::kAppendManifestWritten:
+      return "append-manifest-written";
+    case SetKillPoint::kRetentionManifestWritten:
+      return "retention-manifest-written";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Manifest serialization
+// ---------------------------------------------------------------------------
+
+std::string ArchiveSet::SetManifestPath(const std::string& root) {
+  return JoinPath(root, "set_manifest.json");
+}
+
+std::string ArchiveSet::SerializeSetManifest(
+    uint64_t window_span_ns, uint64_t next_shard_id, uint64_t next_line_base,
+    const std::vector<ShardInfo>& shards) {
+  std::string out = "{\"version\":" + std::to_string(kSetManifestVersion);
+  bool first = false;
+  AppendU64Field(&out, "window_span_ns", window_span_ns, &first);
+  AppendU64Field(&out, "next_shard_id", next_shard_id, &first);
+  AppendU64Field(&out, "next_line_base", next_line_base, &first);
+  out.append(",\"shards\":[");
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const ShardInfo& s = shards[i];
+    if (i > 0) {
+      out.append(",");
+    }
+    out.append("{");
+    bool sf = true;
+    AppendU64Field(&out, "id", s.id, &sf);
+    AppendStrField(&out, "tenant", s.tenant, &sf);
+    AppendStrField(&out, "dir", s.dir_name, &sf);
+    AppendU64Field(&out, "window_start_ns", s.window_start_ns, &sf);
+    AppendU64Field(&out, "window_end_ns", s.window_end_ns, &sf);
+    AppendU64Field(&out, "line_base", s.line_base, &sf);
+    AppendU64Field(&out, "lines", s.lines, &sf);
+    AppendU64Field(&out, "raw_bytes", s.raw_bytes, &sf);
+    AppendU64Field(&out, "stored_bytes", s.stored_bytes, &sf);
+    AppendU64Field(&out, "min_ts_ns", s.min_ts_ns, &sf);
+    AppendU64Field(&out, "max_ts_ns", s.max_ts_ns, &sf);
+    AppendBoolField(&out, "sealed", s.sealed, &sf);
+    AppendBoolField(&out, "expired", s.expired, &sf);
+    out.append("}");
+  }
+  out.append("]}\n");
+  return out;
+}
+
+Result<std::vector<ShardInfo>> ArchiveSet::ParseSetManifest(
+    std::string_view bytes, uint64_t* window_span_ns, uint64_t* next_shard_id,
+    uint64_t* next_line_base) {
+  Result<JsonValue> doc = ParseJson(bytes);
+  if (!doc.ok()) {
+    return CorruptData("set manifest: " + doc.status().message());
+  }
+  const JsonValue& root = *doc;
+  if (!root.is_object()) {
+    return CorruptData("set manifest: not a JSON object");
+  }
+  if (root.Get("version").AsInt() != kSetManifestVersion) {
+    return CorruptData("set manifest: unsupported version");
+  }
+  *window_span_ns = ReadU64Or(root, "window_span_ns", 0);
+  *next_shard_id = ReadU64Or(root, "next_shard_id", 0);
+  *next_line_base = ReadU64Or(root, "next_line_base", 0);
+
+  std::vector<ShardInfo> shards;
+  const JsonValue& arr = root.Get("shards");
+  if (!arr.is_array()) {
+    return CorruptData("set manifest: 'shards' missing or not an array");
+  }
+  for (const JsonValue& item : arr.AsArray()) {
+    if (!item.is_object()) {
+      return CorruptData("set manifest: shard entry not an object");
+    }
+    ShardInfo s;
+    if (!ReadU64(item, "id", &s.id)) {
+      return CorruptData("set manifest: shard entry without id");
+    }
+    s.tenant = item.Get("tenant").AsString();
+    s.dir_name = item.Get("dir").AsString();
+    if (s.dir_name.empty() || s.dir_name.find('/') != std::string::npos ||
+        s.dir_name.find("..") != std::string::npos) {
+      return CorruptData("set manifest: shard " + std::to_string(s.id) +
+                         " has a missing or unsafe dir name");
+    }
+    s.window_start_ns = ReadU64Or(item, "window_start_ns", 0);
+    s.window_end_ns = ReadU64Or(item, "window_end_ns", UINT64_MAX);
+    s.line_base = ReadU64Or(item, "line_base", 0);
+    s.lines = ReadU64Or(item, "lines", 0);
+    s.raw_bytes = ReadU64Or(item, "raw_bytes", 0);
+    s.stored_bytes = ReadU64Or(item, "stored_bytes", 0);
+    s.min_ts_ns = ReadU64Or(item, "min_ts_ns", UINT64_MAX);
+    s.max_ts_ns = ReadU64Or(item, "max_ts_ns", 0);
+    s.sealed = item.Get("sealed").AsBool();
+    s.expired = item.Get("expired").AsBool();
+    if (s.expired && !s.sealed) {
+      return CorruptData("set manifest: shard " + std::to_string(s.id) +
+                         " expired but not sealed");
+    }
+    if (!shards.empty()) {
+      const ShardInfo& prev = shards.back();
+      if (s.id <= prev.id) {
+        return CorruptData("set manifest: shard ids not strictly increasing");
+      }
+      if (s.line_base <= prev.line_base) {
+        return CorruptData(
+            "set manifest: shard line bases not strictly increasing");
+      }
+    }
+    shards.push_back(std::move(s));
+  }
+  if (!shards.empty()) {
+    if (*next_shard_id <= shards.back().id) {
+      return CorruptData("set manifest: next_shard_id not past the last shard");
+    }
+    if (*next_line_base <= shards.back().line_base) {
+      return CorruptData(
+          "set manifest: next_line_base not past the last shard");
+    }
+  }
+  return shards;
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+ArchiveSet::ArchiveSet(std::string root, ArchiveSetOptions options)
+    : root_(std::move(root)), options_(std::move(options)) {}
+
+ArchiveSet::~ArchiveSet() { StopJanitor(); }
+
+Result<std::unique_ptr<ArchiveSet>> ArchiveSet::Create(
+    std::string root, ArchiveSetOptions options) {
+  StorageEnv* env = EnvOrDefault(options.archive.env);
+  std::error_code ec;
+  std::filesystem::create_directories(root, ec);
+  if (ec) {
+    return IOError("create set root " + root + ": " + ec.message());
+  }
+  if (env->FileExists(SetManifestPath(root))) {
+    return InvalidArgument("set root " + root +
+                           " already holds a set manifest");
+  }
+  std::unique_ptr<ArchiveSet> set(
+      new ArchiveSet(std::move(root), std::move(options)));
+  {
+    std::lock_guard<std::mutex> lock(set->mu_);
+    LOGGREP_RETURN_IF_ERROR(set->WriteSetManifestLocked());
+  }
+  return set;
+}
+
+Result<std::unique_ptr<ArchiveSet>> ArchiveSet::Open(
+    std::string root, ArchiveSetOptions options) {
+  StorageEnv* env = EnvOrDefault(options.archive.env);
+  Result<std::string> bytes = ReadFileBytes(SetManifestPath(root), env);
+  if (!bytes.ok()) {
+    return Status(bytes.status().code(),
+                  "open archive set " + root + ": " + bytes.status().message());
+  }
+  uint64_t span = 0, next_id = 0, next_base = 0;
+  Result<std::vector<ShardInfo>> shards =
+      ParseSetManifest(*bytes, &span, &next_id, &next_base);
+  if (!shards.ok()) {
+    return shards.status();
+  }
+
+  std::unique_ptr<ArchiveSet> set(
+      new ArchiveSet(std::move(root), std::move(options)));
+  // The persisted span wins over the option (a set's partitioning is fixed
+  // at Create time; reopening with a different span must not re-route).
+  set->options_.window_span_ns = span;
+  set->next_shard_id_ = next_id;
+  set->next_line_base_ = next_base;
+  set->shards_ = std::move(*shards);
+
+  // Recovery, in order:
+  //   1. stray atomic-write temps of the set manifest itself;
+  //   2. finish interrupted retention (entry expired, dir still present);
+  //   3. sweep orphan shard dirs (roll died before its manifest rewrite —
+  //      the dir holds no committed appends by protocol order);
+  //   4. mark unsealed shards' stats stale (recomputed from their archives
+  //      on first open — the manifest's unsealed stats are advisory).
+  SweepTempFiles(set->root_, env);
+  for (size_t i = 0; i < set->shards_.size(); ++i) {
+    ShardInfo& s = set->shards_[i];
+    std::string dir = JoinPath(set->root_, s.dir_name);
+    if (s.expired) {
+      std::error_code ec;
+      if (std::filesystem::exists(dir, ec)) {
+        std::filesystem::remove_all(dir, ec);
+      }
+      continue;
+    }
+    if (!s.sealed) {
+      set->stats_stale_[s.id] = true;
+      set->active_[s.tenant] = i;
+    }
+  }
+  {
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(set->root_, ec)) {
+      if (!entry.is_directory()) {
+        continue;
+      }
+      std::string name = entry.path().filename().string();
+      if (!LooksLikeShardDir(name)) {
+        continue;
+      }
+      bool referenced = false;
+      for (const ShardInfo& s : set->shards_) {
+        if (s.dir_name == name) {
+          referenced = true;
+          break;
+        }
+      }
+      if (!referenced) {
+        std::error_code rm_ec;
+        std::filesystem::remove_all(entry.path(), rm_ec);
+      }
+    }
+  }
+  return set;
+}
+
+Status ArchiveSet::WriteSetManifestLocked() const {
+  return WriteFileAtomic(
+      SetManifestPath(root_),
+      SerializeSetManifest(options_.window_span_ns, next_shard_id_,
+                           next_line_base_, shards_),
+      options_.archive.env);
+}
+
+Status ArchiveSet::MaybeKill(SetKillPoint point) const {
+  if (hook_ && hook_(point)) {
+    return Internal(std::string("killed at ") + SetKillPointName(point));
+  }
+  return OkStatus();
+}
+
+Result<LogArchive*> ArchiveSet::OpenShardLocked(size_t index) {
+  ShardInfo& info = shards_[index];
+  auto it = open_.find(info.id);
+  if (it != open_.end()) {
+    return it->second.get();
+  }
+  Result<LogArchive> arch =
+      LogArchive::Open(JoinPath(root_, info.dir_name), options_.archive);
+  if (!arch.ok()) {
+    return Status(arch.status().code(),
+                  "shard " + std::to_string(info.id) + " (" + info.tenant +
+                      "): " + arch.status().message());
+  }
+  auto handle = std::make_unique<LogArchive>(std::move(*arch));
+  LogArchive* raw = handle.get();
+  if (!info.sealed && stats_stale_.count(info.id) != 0) {
+    info.lines = raw->total_lines();
+    info.raw_bytes = raw->total_raw_bytes();
+    info.stored_bytes = raw->total_stored_bytes();
+    stats_stale_.erase(info.id);
+  }
+  open_[info.id] = std::move(handle);
+  return raw;
+}
+
+// ---------------------------------------------------------------------------
+// Ingest
+// ---------------------------------------------------------------------------
+
+Result<size_t> ArchiveSet::RollShardLocked(const std::string& tenant,
+                                           uint64_t ts_ns) {
+  // 1. Shard dir + empty archive land on disk first. A crash from here to
+  //    the manifest rewrite leaves an orphan dir with no committed data;
+  //    Open sweeps it.
+  uint64_t id = next_shard_id_;
+  std::string dir_name = ShardDirName(id, tenant);
+  std::string dir = JoinPath(root_, dir_name);
+  Result<LogArchive> created = LogArchive::Create(dir, options_.archive);
+  if (!created.ok()) {
+    return Status(created.status().code(),
+                  "roll shard for tenant '" + tenant +
+                      "': " + created.status().message());
+  }
+  LOGGREP_RETURN_IF_ERROR(MaybeKill(SetKillPoint::kShardCreated));
+
+  // 2. Seal the tenant's previous active shard (its stats are exact in
+  //    memory: refreshed on open, updated on every append) and add the new
+  //    one, in ONE manifest rewrite — the commit point of the roll.
+  auto prev_active = active_.find(tenant);
+  size_t sealed_index = shards_.size();
+  ShardInfo sealed_backup;
+  if (prev_active != active_.end()) {
+    sealed_index = prev_active->second;
+    // A stale-stat shard must consult its archive before the seal freezes
+    // the numbers (min/max ts stay as recorded: conservative, thus sound).
+    if (stats_stale_.count(shards_[sealed_index].id) != 0) {
+      Result<LogArchive*> opened = OpenShardLocked(sealed_index);
+      if (!opened.ok()) {
+        return opened.status();
+      }
+    }
+    sealed_backup = shards_[sealed_index];
+    shards_[sealed_index].sealed = true;
+  }
+
+  ShardInfo next;
+  next.id = id;
+  next.tenant = tenant;
+  next.dir_name = dir_name;
+  if (options_.window_span_ns != 0) {
+    next.window_start_ns = WindowStartFor(ts_ns, options_.window_span_ns);
+    next.window_end_ns = next.window_start_ns + options_.window_span_ns;
+  }
+  next.line_base = next_line_base_;
+  shards_.push_back(next);
+  next_shard_id_ = id + 1;
+  next_line_base_ += kShardLineSpan;
+
+  Status wrote = WriteSetManifestLocked();
+  if (!wrote.ok()) {
+    // Roll back the in-memory mutation and drop the never-committed dir so a
+    // retry can recreate it (a crash instead of a clean failure leaves the
+    // dir behind; Open sweeps it).
+    shards_.pop_back();
+    next_shard_id_ = id;
+    next_line_base_ -= kShardLineSpan;
+    if (sealed_index < shards_.size()) {
+      shards_[sealed_index] = sealed_backup;
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    return wrote;
+  }
+
+  size_t new_index = shards_.size() - 1;
+  active_[tenant] = new_index;
+  open_[id] = std::make_unique<LogArchive>(std::move(*created));
+  LOGGREP_RETURN_IF_ERROR(MaybeKill(SetKillPoint::kRollManifestWritten));
+  return new_index;
+}
+
+Result<AppendReceipt> ArchiveSet::Append(std::string_view tenant,
+                                         std::string_view text,
+                                         uint64_t ts_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ts_ns == 0) {
+    ts_ns = storage_env()->NowNanos();
+  }
+  uint64_t lines = CountLines(text);
+  if (lines == 0) {
+    return InvalidArgument("append of empty text");
+  }
+
+  std::string tenant_key(tenant);
+  const ShardInfo* active = nullptr;
+  auto it = active_.find(tenant_key);
+  if (it != active_.end()) {
+    // A stale active shard's line/byte counters must be real before the
+    // roll decision reads them.
+    if (stats_stale_.count(shards_[it->second].id) != 0) {
+      Result<LogArchive*> opened = OpenShardLocked(it->second);
+      if (!opened.ok()) {
+        return opened.status();
+      }
+    }
+    active = &shards_[it->second];
+  }
+
+  AppendReceipt receipt;
+  RollReason roll =
+      DecideRoll(active, ts_ns, lines, options_.window_span_ns,
+                 options_.max_shard_bytes, kShardLineSpan);
+  size_t index;
+  if (roll != RollReason::kNone) {
+    Result<size_t> rolled = RollShardLocked(tenant_key, ts_ns);
+    if (!rolled.ok()) {
+      return rolled.status();
+    }
+    index = *rolled;
+    receipt.rolled = true;
+    receipt.roll_reason = roll;
+  } else {
+    index = active_[tenant_key];
+  }
+
+  Result<LogArchive*> arch = OpenShardLocked(index);
+  if (!arch.ok()) {
+    return arch.status();
+  }
+
+  // Widen the recorded event range BEFORE committing the block: a crash
+  // between the two leaves the range too wide (pruning stays sound), never
+  // too narrow (which would let a time predicate skip real hits).
+  ShardInfo& info = shards_[index];
+  uint64_t prev_min = info.min_ts_ns, prev_max = info.max_ts_ns;
+  info.min_ts_ns = std::min(info.min_ts_ns, ts_ns);
+  info.max_ts_ns = std::max(info.max_ts_ns, ts_ns);
+  if (info.min_ts_ns != prev_min || info.max_ts_ns != prev_max) {
+    Status wrote = WriteSetManifestLocked();
+    if (!wrote.ok()) {
+      info.min_ts_ns = prev_min;
+      info.max_ts_ns = prev_max;
+      return wrote;
+    }
+  }
+  LOGGREP_RETURN_IF_ERROR(MaybeKill(SetKillPoint::kAppendManifestWritten));
+
+  receipt.shard_id = info.id;
+  receipt.first_global_line = info.line_base + (*arch)->total_lines();
+  receipt.lines = lines;
+  LOGGREP_RETURN_IF_ERROR((*arch)->AppendBlock(text));
+  info.lines = (*arch)->total_lines();
+  info.raw_bytes = (*arch)->total_raw_bytes();
+  info.stored_bytes = (*arch)->total_stored_bytes();
+  return receipt;
+}
+
+// ---------------------------------------------------------------------------
+// Query
+// ---------------------------------------------------------------------------
+
+std::string SetQueryResult::RenderPartial() const {
+  std::string out;
+  for (const SetShardFailure& f : shard_failures) {
+    out += "shard " + std::to_string(f.shard_id) + " (tenant '" + f.tenant +
+           "') unavailable: " + f.error + "\n";
+  }
+  if (partial.partial()) {
+    out += partial.Render();
+  }
+  return out;
+}
+
+Result<SetQueryResult> ArchiveSet::Query(std::string_view command,
+                                         const SetQueryPredicate& pred) {
+  return QueryImpl(command, pred, /*num_threads=*/0, /*explain=*/nullptr);
+}
+
+Result<SetQueryResult> ArchiveSet::ParallelQuery(std::string_view command,
+                                                 const SetQueryPredicate& pred,
+                                                 size_t num_threads) {
+  if (num_threads == 0) {
+    return InvalidArgument("ParallelQuery needs at least one thread");
+  }
+  return QueryImpl(command, pred, num_threads, /*explain=*/nullptr);
+}
+
+Result<SetQueryResult> ArchiveSet::Explain(std::string_view command,
+                                           const SetQueryPredicate& pred,
+                                           SetExplain* explain) {
+  return QueryImpl(command, pred, /*num_threads=*/0, explain);
+}
+
+Result<SetQueryResult> ArchiveSet::QueryImpl(std::string_view command,
+                                             const SetQueryPredicate& pred,
+                                             size_t num_threads,
+                                             SetExplain* explain) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A malformed command must fail even when every shard is pruned (the
+  // answer "no hits" would be a lie about a query that has no meaning).
+  {
+    Result<std::unique_ptr<QueryExpr>> parsed = ParseQuery(command);
+    if (!parsed.ok()) {
+      return parsed.status();
+    }
+  }
+  if (explain != nullptr) {
+    explain->command = std::string(command);
+    explain->shards.clear();
+  }
+
+  SetQueryResult result;
+  struct Visit {
+    size_t index;            // into shards_
+    LogArchive* archive;     // open handle
+    size_t explain_index;    // into explain->shards (or SIZE_MAX)
+  };
+  std::vector<Visit> visits;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const ShardInfo& s = shards_[i];
+    if (s.expired) {
+      continue;  // tombstone: data gone by design, not a hole to report
+    }
+    ++result.shards_total;
+    std::string reason = ShardPruneReason(s, pred);
+    if (!reason.empty()) {
+      ++result.shards_pruned;
+      if (explain != nullptr) {
+        ShardExplain se;
+        se.id = s.id;
+        se.tenant = s.tenant;
+        se.pruned = true;
+        se.prune_reason = std::move(reason);
+        explain->shards.push_back(std::move(se));
+      }
+      continue;
+    }
+    ++result.shards_visited;
+    size_t explain_index = SIZE_MAX;
+    if (explain != nullptr) {
+      ShardExplain se;
+      se.id = s.id;
+      se.tenant = s.tenant;
+      explain->shards.push_back(std::move(se));
+      explain_index = explain->shards.size() - 1;
+    }
+    Result<LogArchive*> arch = OpenShardLocked(i);
+    if (!arch.ok()) {
+      if (!options_.archive.degraded_queries) {
+        return arch.status();
+      }
+      ++result.shards_failed;
+      SetShardFailure failure;
+      failure.shard_id = s.id;
+      failure.tenant = s.tenant;
+      failure.line_base = s.line_base;
+      failure.lines = s.lines;
+      failure.error = arch.status().ToString();
+      if (explain_index != SIZE_MAX) {
+        explain->shards[explain_index].failed = true;
+        explain->shards[explain_index].failure = failure.error;
+      }
+      result.shard_failures.push_back(std::move(failure));
+      continue;
+    }
+    visits.push_back(Visit{i, *arch, explain_index});
+  }
+
+  // Scatter. Each visit queries a distinct LogArchive, so parallel workers
+  // never share mutable state (they do share the env and, per archive, a
+  // BoxCache — both thread-safe).
+  struct Slot {
+    bool done = false;
+    Status status = OkStatus();
+    ArchiveQueryResult result;
+  };
+  std::vector<Slot> slots(visits.size());
+  auto run_one = [&](size_t v) {
+    Slot& slot = slots[v];
+    Result<ArchiveQueryResult> r =
+        explain != nullptr
+            ? visits[v].archive->Explain(
+                  command, &explain->shards[visits[v].explain_index].archive)
+            : visits[v].archive->Query(command);
+    if (r.ok()) {
+      slot.result = std::move(*r);
+      slot.done = true;
+    } else {
+      slot.status = r.status();
+    }
+  };
+  if (num_threads > 1 && visits.size() > 1) {
+    ThreadPool pool(std::min(num_threads, visits.size()));
+    for (size_t v = 0; v < visits.size(); ++v) {
+      pool.Submit([&, v] { run_one(v); });
+    }
+    pool.Wait();
+  } else {
+    for (size_t v = 0; v < visits.size(); ++v) {
+      run_one(v);
+    }
+  }
+
+  // Gather in id order (visits preserve it), rebasing shard-local line
+  // numbers onto each shard's global base.
+  for (size_t v = 0; v < visits.size(); ++v) {
+    const ShardInfo& s = shards_[visits[v].index];
+    Slot& slot = slots[v];
+    if (!slot.done) {
+      // A whole-shard query failure. Query-syntax errors never degrade
+      // (same rule as LogArchive) — but the upfront parse already caught
+      // those, so any InvalidArgument here is real and must surface.
+      if (!options_.archive.degraded_queries ||
+          slot.status.code() == StatusCode::kInvalidArgument) {
+        return slot.status;
+      }
+      ++result.shards_failed;
+      SetShardFailure failure;
+      failure.shard_id = s.id;
+      failure.tenant = s.tenant;
+      failure.line_base = s.line_base;
+      failure.lines = s.lines;
+      failure.error = slot.status.ToString();
+      if (visits[v].explain_index != SIZE_MAX) {
+        explain->shards[visits[v].explain_index].failed = true;
+        explain->shards[visits[v].explain_index].failure = failure.error;
+      }
+      result.shard_failures.push_back(std::move(failure));
+      continue;
+    }
+    ArchiveQueryResult& r = slot.result;
+    for (auto& hit : r.hits) {
+      result.hits.emplace_back(s.line_base + hit.first,
+                               std::move(hit.second));
+    }
+    result.blocks_pruned += r.blocks_pruned;
+    result.blocks_queried += r.blocks_queried;
+    result.blocks_from_cache += r.blocks_from_cache;
+    result.locator.Accumulate(r.locator);
+    for (BlockQueryFailure& f : r.partial.failures) {
+      f.first_line += s.line_base;
+      result.partial.failures.push_back(std::move(f));
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Set explain
+// ---------------------------------------------------------------------------
+
+ExplainTotals SetExplain::Totals() const {
+  ExplainTotals totals;
+  for (const ShardExplain& s : shards) {
+    if (!s.pruned && !s.failed) {
+      totals.Accumulate(s.archive.Totals());
+    }
+  }
+  return totals;
+}
+
+bool SetExplain::CheckInvariant(std::string* detail) const {
+  for (const ShardExplain& s : shards) {
+    if (s.pruned || s.failed) {
+      continue;
+    }
+    if (!s.archive.CheckInvariant(detail)) {
+      if (detail != nullptr) {
+        *detail = "shard " + std::to_string(s.id) + ": " + *detail;
+      }
+      return false;
+    }
+  }
+  if (!Totals().Balanced()) {
+    if (detail != nullptr) {
+      *detail = "set-level totals imbalanced";
+    }
+    return false;
+  }
+  return true;
+}
+
+std::string SetExplain::Render() const {
+  std::string out = "federated query: " + command + "\n";
+  for (const ShardExplain& s : shards) {
+    out += "shard " + std::to_string(s.id) + " tenant '" + s.tenant + "': ";
+    if (s.pruned) {
+      out += "pruned (" + s.prune_reason + ")\n";
+      continue;
+    }
+    if (s.failed) {
+      out += "failed (" + s.failure + ")\n";
+      continue;
+    }
+    ExplainTotals t = s.archive.Totals();
+    out += "visited (capsules " + std::to_string(t.visited) + " = pruned " +
+           std::to_string(t.pruned) + " + cached " + std::to_string(t.cached) +
+           " + decompressed " + std::to_string(t.decompressed) + ")\n";
+  }
+  ExplainTotals t = Totals();
+  out += "total: capsules " + std::to_string(t.visited) + " = pruned " +
+         std::to_string(t.pruned) + " + cached " + std::to_string(t.cached) +
+         " + decompressed " + std::to_string(t.decompressed) + "\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Retention + repair
+// ---------------------------------------------------------------------------
+
+std::string SetRetentionReport::Summary() const {
+  if (!fatal.ok()) {
+    return "retention failed: " + fatal.ToString();
+  }
+  return "expired " + std::to_string(expired_ids.size()) + " shard(s), removed " +
+         std::to_string(dirs_removed) + " dir(s)";
+}
+
+Result<SetRetentionReport> ArchiveSet::RunRetention(uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SetRetentionReport report;
+  if (options_.retention_ns == 0) {
+    return report;
+  }
+  uint64_t cut =
+      now_ns > options_.retention_ns ? now_ns - options_.retention_ns : 0;
+  std::vector<size_t> expiring;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const ShardInfo& s = shards_[i];
+    if (s.expired || !s.sealed) {
+      continue;  // the active shard never expires
+    }
+    if (s.empty() || s.max_ts_ns < cut) {
+      expiring.push_back(i);
+    }
+  }
+  if (expiring.empty()) {
+    return report;
+  }
+
+  // Commit point: one manifest rewrite marks every expiring shard. The
+  // entries stay in the manifest forever — dropping one would shift nothing
+  // (line bases are explicit), but keeping it preserves lineage and lets
+  // Open distinguish "expired by design" from "lost".
+  for (size_t i : expiring) {
+    shards_[i].expired = true;
+  }
+  Status wrote = WriteSetManifestLocked();
+  if (!wrote.ok()) {
+    for (size_t i : expiring) {
+      shards_[i].expired = false;
+    }
+    report.fatal = wrote;
+    return report;
+  }
+  for (size_t i : expiring) {
+    report.expired_ids.push_back(shards_[i].id);
+  }
+  Status killed = MaybeKill(SetKillPoint::kRetentionManifestWritten);
+  if (!killed.ok()) {
+    return killed;  // dirs linger; Open finishes the removal
+  }
+
+  for (size_t i : expiring) {
+    open_.erase(shards_[i].id);
+    stats_stale_.erase(shards_[i].id);
+    std::error_code ec;
+    std::filesystem::remove_all(JoinPath(root_, shards_[i].dir_name), ec);
+    if (!ec) {
+      ++report.dirs_removed;
+    }
+  }
+  return report;
+}
+
+std::string SetRepairReport::Summary() const {
+  if (!fatal.ok()) {
+    return "set repair failed: " + fatal.ToString();
+  }
+  return "repaired " + std::to_string(shards.size()) + " shard(s): " +
+         std::to_string(reinstated) + " reinstated, " +
+         std::to_string(tombstoned) + " tombstoned";
+}
+
+Status ArchiveSet::RefreshStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status first_error = OkStatus();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].expired || stats_stale_.count(shards_[i].id) == 0) {
+      continue;
+    }
+    Result<LogArchive*> opened = OpenShardLocked(i);
+    if (!opened.ok() && first_error.ok()) {
+      first_error = opened.status();
+    }
+  }
+  return first_error;
+}
+
+void ArchiveSet::set_degraded_queries(bool degraded) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.archive.degraded_queries = degraded;
+  for (auto& [id, archive] : open_) {
+    archive->set_degraded_queries(degraded);
+  }
+}
+
+void ArchiveSet::set_query_deadline_ns(uint64_t deadline_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.archive.query_deadline_ns = deadline_ns;
+  for (auto& [id, archive] : open_) {
+    archive->set_query_deadline_ns(deadline_ns);
+  }
+}
+
+SetRepairReport ArchiveSet::RepairAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  SetRepairReport report;
+  for (const ShardInfo& s : shards_) {
+    if (s.expired) {
+      continue;
+    }
+    RepairReport shard_report =
+        RepairArchive(JoinPath(root_, s.dir_name), options_.archive.env);
+    if (!shard_report.ok()) {
+      report.fatal = shard_report.fatal;
+    }
+    report.reinstated += shard_report.reinstated;
+    report.tombstoned += shard_report.tombstoned;
+    if (!shard_report.actions.empty() || !shard_report.ok()) {
+      report.shards.emplace_back(s.id, std::move(shard_report));
+    }
+    auto it = open_.find(s.id);
+    if (it != open_.end()) {
+      // Best effort: a reinstated block should serve without reopening.
+      (void)it->second->ReloadQuarantine();
+    }
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Janitor
+// ---------------------------------------------------------------------------
+
+void ArchiveSet::StartJanitor(uint64_t interval_ns) {
+  std::lock_guard<std::mutex> lock(janitor_mu_);
+  if (janitor_running_) {
+    return;
+  }
+  janitor_stop_ = false;
+  janitor_running_ = true;
+  janitor_ = std::thread([this, interval_ns] {
+    std::unique_lock<std::mutex> lock(janitor_mu_);
+    while (!janitor_stop_) {
+      janitor_cv_.wait_for(lock, std::chrono::nanoseconds(interval_ns),
+                           [this] { return janitor_stop_; });
+      if (janitor_stop_) {
+        break;
+      }
+      lock.unlock();
+      (void)RunRetention(storage_env()->NowNanos());
+      (void)RepairAll();
+      lock.lock();
+    }
+  });
+}
+
+void ArchiveSet::StopJanitor() {
+  {
+    std::lock_guard<std::mutex> lock(janitor_mu_);
+    if (!janitor_running_) {
+      return;
+    }
+    janitor_stop_ = true;
+  }
+  janitor_cv_.notify_all();
+  janitor_.join();
+  std::lock_guard<std::mutex> lock(janitor_mu_);
+  janitor_running_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+std::vector<ShardInfo> ArchiveSet::shards() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_;
+}
+
+size_t ArchiveSet::live_shard_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const ShardInfo& s : shards_) {
+    if (!s.expired) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+size_t ArchiveSet::tenant_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> tenants;
+  for (const ShardInfo& s : shards_) {
+    if (s.expired) {
+      continue;
+    }
+    if (std::find(tenants.begin(), tenants.end(), s.tenant) == tenants.end()) {
+      tenants.push_back(s.tenant);
+    }
+  }
+  return tenants.size();
+}
+
+uint64_t ArchiveSet::total_lines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const ShardInfo& s : shards_) {
+    if (!s.expired) {
+      n += s.lines;
+    }
+  }
+  return n;
+}
+
+uint64_t ArchiveSet::total_raw_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const ShardInfo& s : shards_) {
+    if (!s.expired) {
+      n += s.raw_bytes;
+    }
+  }
+  return n;
+}
+
+uint64_t ArchiveSet::total_stored_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const ShardInfo& s : shards_) {
+    if (!s.expired) {
+      n += s.stored_bytes;
+    }
+  }
+  return n;
+}
+
+}  // namespace loggrep

@@ -1,0 +1,343 @@
+// ArchiveSet: a federation of LogArchive shards under one root directory,
+// partitioned by (tenant, time-window).
+//
+// One LogArchive is one directory — MB-to-GB scale. The paper's setting is
+// TB/day across many streams (§2, §8), which needs one more dimension:
+// ArchiveSet owns many shards, routes every append to the active shard of
+// its tenant (rolling to a new shard when the time window moves or the shard
+// hits its size cut), and scatter-gathers queries across the shards that
+// survive tenant/time-range pruning, merging per-shard results into one
+// globally line-numbered answer.
+//
+// Crash safety follows the store's one discipline, lifted a level: the
+// manifest-of-manifests `set_manifest.json` is the single commit point and
+// every rewrite goes through WriteFileAtomic (tmp + fsync + rename + parent
+// fsync, via the injectable StorageEnv). Ordering makes each transition safe:
+//
+//   roll       create shard dir + archive FIRST        [kShardCreated]
+//              then one manifest rewrite (seal old +
+//              add new)                                [kRollManifestWritten]
+//              — a crash between the two leaves an orphan dir holding no
+//                committed appends; Open sweeps it.
+//   append     widen the shard's recorded ts range
+//              in the manifest FIRST                   [kAppendManifestWritten]
+//              then commit the block into the shard
+//              — a crash between the two leaves the range too wide (pruning
+//                stays sound) and stale advisory stats (Open recomputes
+//                unsealed shard stats from the archive itself).
+//   retention  mark entries expired in the manifest    [kRetentionManifest-
+//              (THE commit point), then remove dirs     Written]
+//              — a crash mid-removal is finished by Open; an expired entry
+//                is never resurrected, and is kept in the manifest forever
+//                so later shards' global line bases never shift.
+//
+// Global line numbering: shard `i` owns the half-open line range
+// [line_base_i, line_base_i + kShardLineSpan); bases are allocated from a
+// persisted counter and never reused. A hit at shard-local line L reports
+// global line line_base + L — stable across retention, compaction, and
+// reopen, and safely summable into 64 bits (2^24 shards of 2^40 lines).
+//
+// Degradation composes: one failing block inside a shard degrades that
+// shard's result (PartialReport, PR 5); one failing *shard* degrades the
+// federation the same way — the set answer carries exact hits from every
+// healthy shard plus a report naming each hole, and the serving layer maps
+// it to HTTP 206 exactly as for a single archive.
+//
+// Thread-safety: public methods serialize on one internal mutex (so the
+// background janitor can run against live traffic); ParallelQuery fans the
+// *per-shard* work across a ThreadPool while holding it — distinct shards
+// are distinct archives, so workers never contend.
+#ifndef SRC_STORE_ARCHIVE_SET_H_
+#define SRC_STORE_ARCHIVE_SET_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <condition_variable>
+#include <vector>
+
+#include "src/query/explain.h"
+#include "src/store/log_archive.h"
+#include "src/store/shard_router.h"
+#include "src/store/verify.h"
+
+namespace loggrep {
+
+struct ArchiveSetOptions {
+  // Per-shard archive options (storage env, retry policy, cache budget,
+  // metrics registry, degraded-query switch — all apply to every shard).
+  ArchiveOptions archive;
+  // Time-window span for shard partitioning. 0 = one unbounded window per
+  // tenant (shards then roll on size only).
+  uint64_t window_span_ns = 0;
+  // Raw-byte size cut: an active shard at or past this many ingested bytes
+  // rolls before the next append. 0 disables the size cut.
+  uint64_t max_shard_bytes = 64ull << 20;
+  // Retention TTL for sealed shards, measured against event timestamps:
+  // RunRetention(now) expires sealed shards whose newest event is older
+  // than now - retention_ns. 0 = keep forever.
+  uint64_t retention_ns = 0;
+};
+
+// What one Append did — enough for a caller (or an oracle) to know exactly
+// which global lines its text received without re-deriving routing.
+struct AppendReceipt {
+  uint64_t shard_id = 0;
+  uint64_t first_global_line = 0;  // global line of the appended text's
+                                   // first entry
+  uint64_t lines = 0;              // entries appended
+  bool rolled = false;             // this append opened a new shard
+  RollReason roll_reason = RollReason::kNone;
+};
+
+// A shard the federated query could not serve at all (archive failed to
+// open, or the whole per-shard query failed). Block-level holes inside
+// shards that *did* answer land in SetQueryResult::partial instead.
+struct SetShardFailure {
+  uint64_t shard_id = 0;
+  std::string tenant;
+  uint64_t line_base = 0;
+  uint64_t lines = 0;  // advisory line count of the hole
+  std::string error;
+};
+
+struct SetQueryResult {
+  // Global line numbers (shard line_base + shard-local line), ascending —
+  // shards are visited in id order and bases increase with id.
+  QueryHits hits;
+  uint32_t shards_total = 0;    // live (non-expired) shards considered
+  uint32_t shards_pruned = 0;   // rejected by tenant/time predicates
+  uint32_t shards_visited = 0;  // actually queried (pruned+visited==total)
+  uint32_t shards_failed = 0;   // of visited, how many failed entirely
+  // Summed over visited shards.
+  uint32_t blocks_pruned = 0;
+  uint32_t blocks_queried = 0;
+  uint32_t blocks_from_cache = 0;
+  LocatorStats locator;
+  // Block-level holes, concatenated across shards with first_line rebased
+  // to global numbering.
+  PartialReport partial;
+  // Whole-shard holes.
+  std::vector<SetShardFailure> shard_failures;
+
+  bool complete() const {
+    return !partial.partial() && shard_failures.empty();
+  }
+  // Human-readable degradation report covering both hole kinds.
+  std::string RenderPartial() const;
+};
+
+// Set-level explain: one entry per live shard, each either pruned (with the
+// rejecting predicate), failed, or carrying the full per-block QueryExplain
+// of the shard's execution.
+struct ShardExplain {
+  uint64_t id = 0;
+  std::string tenant;
+  bool pruned = false;
+  std::string prune_reason;
+  bool failed = false;
+  std::string failure;
+  QueryExplain archive;  // visited shards only
+};
+
+struct SetExplain {
+  std::string command;
+  std::vector<ShardExplain> shards;
+
+  ExplainTotals Totals() const;  // summed over visited shards
+  // Shard accounting (pruned + visited == total) plus every visited shard's
+  // own capsule invariant (pruned + cached + decompressed == visited).
+  bool CheckInvariant(std::string* detail = nullptr) const;
+  std::string Render() const;
+};
+
+struct SetRetentionReport {
+  std::vector<uint64_t> expired_ids;
+  size_t dirs_removed = 0;
+  Status fatal = OkStatus();
+
+  bool ok() const { return fatal.ok(); }
+  std::string Summary() const;
+};
+
+struct SetRepairReport {
+  // One RepairArchive report per live shard with a non-empty quarantine.
+  std::vector<std::pair<uint64_t, RepairReport>> shards;
+  size_t reinstated = 0;
+  size_t tombstoned = 0;
+  Status fatal = OkStatus();
+
+  bool ok() const { return fatal.ok(); }
+  std::string Summary() const;
+};
+
+// Kill points for the set-level commit protocols (mirrors CommitKillPoint
+// one level down). The hook returns true to abort as if the process died at
+// that instant; the interrupted operation returns an error and the on-disk
+// state is whatever the protocol guarantees for that point.
+enum class SetKillPoint {
+  kShardCreated,             // roll: new shard dir + archive exist, manifest
+                             // does not mention them yet
+  kRollManifestWritten,      // roll: manifest rewrite committed
+  kAppendManifestWritten,    // append: ts-range widening committed, block
+                             // not yet in the shard
+  kRetentionManifestWritten, // retention: entries marked expired, dirs not
+                             // yet removed
+};
+const char* SetKillPointName(SetKillPoint point);
+using SetCommitHook = std::function<bool(SetKillPoint)>;
+
+class ArchiveSet {
+ public:
+  // Global line-number span owned by one shard (2^40 lines). line_base
+  // allocation strides by this; DecideRoll cuts a shard before it overflows.
+  static constexpr uint64_t kShardLineSpan = 1ull << 40;
+
+  // Creates an empty set at `root` (created if missing; must not already
+  // hold a set manifest).
+  static Result<std::unique_ptr<ArchiveSet>> Create(std::string root,
+                                                    ArchiveSetOptions options = {});
+  // Opens an existing set. Recovery: finishes interrupted retention
+  // removals, sweeps orphan shard dirs (a roll that died before its
+  // manifest rewrite) and stray manifest temps, and marks unsealed shards'
+  // stats for recomputation from their own archives. Never loses a shard
+  // the manifest committed; never resurrects an expired one.
+  static Result<std::unique_ptr<ArchiveSet>> Open(std::string root,
+                                                  ArchiveSetOptions options = {});
+
+  ~ArchiveSet();
+  ArchiveSet(const ArchiveSet&) = delete;
+  ArchiveSet& operator=(const ArchiveSet&) = delete;
+
+  // Appends one block of text for `tenant` at event time `ts_ns` (0 = the
+  // storage env's clock). Routes to the tenant's active shard, rolling
+  // first when the router says so.
+  Result<AppendReceipt> Append(std::string_view tenant, std::string_view text,
+                               uint64_t ts_ns = 0);
+
+  // Federated query over every live shard surviving `pred`. Serial
+  // (shard-at-a-time) scatter.
+  Result<SetQueryResult> Query(std::string_view command,
+                               const SetQueryPredicate& pred = {});
+  // Same result; surviving shards are queried concurrently on
+  // `num_threads` pool workers.
+  Result<SetQueryResult> ParallelQuery(std::string_view command,
+                                       const SetQueryPredicate& pred,
+                                       size_t num_threads);
+  // Query with the full shard-level decision record (pruned shards carry
+  // the rejecting predicate; visited shards carry their per-block
+  // QueryExplain). Serial, like LogArchive::Explain.
+  Result<SetQueryResult> Explain(std::string_view command,
+                                 const SetQueryPredicate& pred,
+                                 SetExplain* explain);
+
+  // Expires sealed shards whose newest event timestamp is older than
+  // now_ns - retention_ns (plus sealed empty shards). No-op when
+  // retention_ns == 0.
+  Result<SetRetentionReport> RunRetention(uint64_t now_ns);
+
+  // Fleet-level janitor pass: RepairArchive over every live shard that has
+  // quarantined blocks, then reloads the quarantine of any open handle so
+  // reinstated blocks serve immediately.
+  SetRepairReport RepairAll();
+
+  // Background janitor: every interval_ns (storage-env clock), runs
+  // retention (at the env's NowNanos) and RepairAll. Idempotent start;
+  // StopJanitor joins the thread (also called by the destructor).
+  void StartJanitor(uint64_t interval_ns);
+  void StopJanitor();
+
+  // Fault-injection hook for the set-level kill points above. Not
+  // thread-safe; set before driving traffic.
+  void set_commit_hook(SetCommitHook hook) { hook_ = std::move(hook); }
+
+  // Per-request knobs for the serving layer: applied to every shard archive
+  // currently open and to every shard opened afterwards. Thread-safe (takes
+  // the set lock); the caller restores the defaults after its query.
+  void set_degraded_queries(bool degraded);
+  void set_query_deadline_ns(uint64_t deadline_ns);
+
+  // Opens every live shard whose persisted stats are stale (unsealed at the
+  // last crash/close) and refreshes lines/bytes from its archive, so
+  // shards()/total_*() report exact numbers. Best-effort per shard: an
+  // unopenable shard keeps its advisory stats and its error is returned
+  // (the first one), but the sweep continues.
+  Status RefreshStats();
+
+  // Snapshot of the manifest (includes expired tombstones).
+  std::vector<ShardInfo> shards() const;
+  // Live = not expired.
+  size_t live_shard_count() const;
+  size_t tenant_count() const;
+  const std::string& root() const { return root_; }
+  uint64_t window_span_ns() const { return options_.window_span_ns; }
+  // Sums over live shards (advisory for shards not yet touched since Open).
+  uint64_t total_lines() const;
+  uint64_t total_raw_bytes() const;
+  uint64_t total_stored_bytes() const;
+  StorageEnv* storage_env() const { return EnvOrDefault(options_.archive.env); }
+
+  // `<root>/set_manifest.json`.
+  static std::string SetManifestPath(const std::string& root);
+  // Serialization, exposed for tests and fuzzing: hostile bytes yield a
+  // clean status, never a crash.
+  static std::string SerializeSetManifest(uint64_t window_span_ns,
+                                          uint64_t next_shard_id,
+                                          uint64_t next_line_base,
+                                          const std::vector<ShardInfo>& shards);
+  static Result<std::vector<ShardInfo>> ParseSetManifest(
+      std::string_view bytes, uint64_t* window_span_ns,
+      uint64_t* next_shard_id, uint64_t* next_line_base);
+
+ private:
+  ArchiveSet(std::string root, ArchiveSetOptions options);
+
+  // Shared scatter-gather body. When `explain` is non-null the per-shard
+  // queries run through LogArchive::Explain. num_threads == 0 => serial.
+  Result<SetQueryResult> QueryImpl(std::string_view command,
+                                   const SetQueryPredicate& pred,
+                                   size_t num_threads, SetExplain* explain);
+
+  Status WriteSetManifestLocked() const;
+  // Opens (and caches) the archive of shard `index` in shards_. For an
+  // unsealed shard opened for the first time since Open, refreshes the
+  // advisory stats from the archive itself.
+  Result<LogArchive*> OpenShardLocked(size_t index);
+  // Rolls `tenant` to a fresh shard for window_start; returns its index.
+  Result<size_t> RollShardLocked(const std::string& tenant, uint64_t ts_ns);
+  // Runs the hook at `point`; non-null return aborts the caller.
+  Status MaybeKill(SetKillPoint point) const;
+
+  std::string root_;
+  ArchiveSetOptions options_;
+  SetCommitHook hook_;
+
+  mutable std::mutex mu_;
+  uint64_t next_shard_id_ = 0;
+  uint64_t next_line_base_ = 0;
+  std::vector<ShardInfo> shards_;  // manifest order == id order
+  // tenant -> index into shards_ of the active (unsealed) shard.
+  std::map<std::string, size_t> active_;
+  // shard id -> open archive handle (lazy; sealed shards open on first
+  // query, unsealed ones on first append/query).
+  std::map<uint64_t, std::unique_ptr<LogArchive>> open_;
+  // Unsealed shard ids whose manifest stats are stale until the archive is
+  // opened and consulted (set by Open after a crash or plain restart).
+  std::map<uint64_t, bool> stats_stale_;
+
+  // Janitor thread.
+  std::thread janitor_;
+  std::mutex janitor_mu_;
+  std::condition_variable janitor_cv_;
+  bool janitor_stop_ = false;
+  bool janitor_running_ = false;
+};
+
+}  // namespace loggrep
+
+#endif  // SRC_STORE_ARCHIVE_SET_H_

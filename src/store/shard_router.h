@@ -1,0 +1,118 @@
+// ShardRouter: the pure routing/pruning arithmetic of the ArchiveSet layer.
+//
+// An ArchiveSet partitions ingest by (tenant, time-window): every appended
+// block lands in the active shard of its tenant, and a shard covers one
+// aligned time window. This header holds the side-effect-free half of that
+// story — tenant name sanitization (tenant strings become directory-name
+// components), window alignment math, the roll decision, and the shard-level
+// predicate pruning a query runs before any shard directory is even opened.
+// Keeping it free of I/O makes the routing rules unit-testable in
+// microseconds and keeps ArchiveSet's crash-safety logic separate from its
+// arithmetic.
+#ifndef SRC_STORE_SHARD_ROUTER_H_
+#define SRC_STORE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace loggrep {
+
+// One shard's routing-relevant identity, as recorded in set_manifest.json.
+// (ArchiveSet keeps richer state; the router only sees what pruning needs.)
+struct ShardInfo {
+  uint64_t id = 0;
+  std::string tenant;       // raw tenant name (pre-sanitization)
+  std::string dir_name;     // directory under the set root ("shard-...")
+  uint64_t window_start_ns = 0;
+  uint64_t window_end_ns = UINT64_MAX;  // exclusive; UINT64_MAX = unbounded
+  // Global line-number base: shard-local line L is global line
+  // line_base + L. Bases are allocated once, strictly increase with id, and
+  // are never reused — so global line numbers stay stable after retention
+  // removes interior shards.
+  uint64_t line_base = 0;
+  // Stats. For sealed shards these are final and exact; for the active
+  // shard they are advisory (refreshed on append, recomputed from the
+  // archive itself after a crash).
+  uint64_t lines = 0;
+  uint64_t raw_bytes = 0;
+  uint64_t stored_bytes = 0;
+  // Observed event-timestamp range, inclusive. Maintained conservatively:
+  // the manifest write that widens the range happens *before* the append it
+  // covers, so a crash can only leave the range too wide, never too narrow —
+  // which keeps time pruning sound. Empty shards keep the
+  // (UINT64_MAX, 0) sentinel.
+  uint64_t min_ts_ns = UINT64_MAX;
+  uint64_t max_ts_ns = 0;
+  bool sealed = false;   // no further appends; stats and ts range are final
+  bool expired = false;  // retention tombstone: data removed, entry kept
+                         // forever so line bases of later shards never shift
+
+  bool empty() const { return lines == 0; }
+};
+
+// Optional shard-level predicates a federated query carries. Absent fields
+// impose nothing. The time range is inclusive on both ends and matches
+// against the shard's *event-timestamp* range, not its window bounds (the
+// window is where data was routed; min/max_ts is what is actually there).
+struct SetQueryPredicate {
+  std::optional<std::string> tenant;
+  uint64_t from_ns = 0;
+  uint64_t to_ns = UINT64_MAX;
+
+  bool constrains_time() const { return from_ns > 0 || to_ns < UINT64_MAX; }
+};
+
+// Tenant string -> directory-safe component: [A-Za-z0-9_-] pass through,
+// every other byte becomes '_', the result is truncated to 48 bytes, and an
+// empty tenant maps to "default". Distinct tenants may collide after
+// sanitization; shard directories stay unique regardless because the shard
+// id is part of the name.
+std::string SanitizeTenant(std::string_view tenant);
+
+// "shard-<id, 6+ digits>-<sanitized tenant>".
+std::string ShardDirName(uint64_t id, std::string_view tenant);
+
+// True when `name` looks like a shard directory this layer created (used by
+// the orphan sweep on Open; never matches set_manifest.json or foreign
+// files).
+bool LooksLikeShardDir(std::string_view name);
+
+// Aligned window start for an event timestamp. span_ns == 0 means a single
+// unbounded window (all time routes to one shard per tenant).
+uint64_t WindowStartFor(uint64_t ts_ns, uint64_t span_ns);
+
+// Why Route() decided a new shard is needed (also the explain vocabulary
+// for roll decisions in tests).
+enum class RollReason {
+  kNone,          // append goes to the existing active shard
+  kNoActive,      // tenant has no active shard yet
+  kWindowMoved,   // ts falls outside the active shard's window
+  kSizeCut,       // active shard reached max_shard_bytes of raw input
+  kLineSpanFull,  // active shard would overflow its global line-number span
+};
+const char* RollReasonName(RollReason reason);
+
+// Decides whether an append of `append_lines` lines at event time `ts_ns`
+// may land in `active` (the tenant's current unsealed shard; null when the
+// tenant has none). `max_shard_bytes` == 0 disables the size cut;
+// `line_span` is the per-shard global line budget (ArchiveSet passes
+// kShardLineSpan).
+RollReason DecideRoll(const ShardInfo* active, uint64_t ts_ns,
+                      uint64_t append_lines, uint64_t span_ns,
+                      uint64_t max_shard_bytes, uint64_t line_span);
+
+// Shard-level pruning: returns an empty string when the query must visit
+// `shard`, otherwise a human-readable reason naming the rejecting predicate
+// (surfaced verbatim in SetExplain). Soundness: a shard is only pruned on
+// evidence that is exact-or-conservative — the tenant label, the sealed
+// emptiness, or a sealed shard's conservative [min_ts, max_ts] range. An
+// unsealed shard is never time-pruned (its recorded range may predate a
+// crash).
+std::string ShardPruneReason(const ShardInfo& shard,
+                             const SetQueryPredicate& pred);
+
+}  // namespace loggrep
+
+#endif  // SRC_STORE_SHARD_ROUTER_H_

@@ -93,6 +93,66 @@ struct OracleReport {
 // same workload, so any mismatch is replayable from (seed, config).
 OracleReport RunDifferentialOracle(const OracleOptions& options);
 
+// ---------------------------------------------------------------------------
+// Federation oracle
+// ---------------------------------------------------------------------------
+//
+// The same differential methodology, one architectural layer up: a seeded
+// multi-tenant multi-window workload is ingested through an ArchiveSet and
+// every (command, predicate) pair is evaluated three ways —
+//   * reference: in-memory lines tagged (tenant, event ts, shard), with the
+//     shard-granular predicate semantics re-derived from first principles
+//     (tenant pruning is exact; time pruning skips sealed shards whose
+//     event range misses the predicate, and never skips the active shard);
+//   * monolith: one LogArchive holding the same blocks in the same global
+//     order (full-scatter commands must agree hit text for hit text, and
+//     cold-for-cold on the deterministic count stats);
+//   * federation: ArchiveSet::Query / ParallelQuery / Explain across modes,
+//     including a corrupt-shard -> degraded 206 -> repair -> exact
+//     convergence cycle.
+// Zero mismatches over pinned seeds is the federation's correctness gate.
+
+enum class FederationMode {
+  kCold,       // fresh ArchiveSet::Open per command, empty caches
+  kWarm,       // persistent set, second execution compared
+  kParallel,   // ArchiveSet::ParallelQuery scatter on a worker pool
+  kPostRepair, // corrupt one shard, expect exact degraded hits, repair,
+               // expect exact convergence
+};
+
+const char* FederationModeName(FederationMode mode);
+std::vector<FederationMode> AllFederationModes();
+
+struct FederationOracleOptions {
+  uint64_t seed = 1;
+
+  // Workload shape: num_tenants x num_windows shards, each holding
+  // blocks_per_window appended blocks. Tenant names include
+  // directory-unsafe bytes on purpose (sanitization is under test).
+  size_t num_tenants = 3;
+  size_t num_windows = 3;
+  size_t blocks_per_window = 2;
+  size_t lines_per_block = 120;
+  size_t random_queries = 6;
+  size_t parallel_threads = 4;
+
+  // Per-command probability of attaching a tenant / time-range predicate
+  // (independently; both can apply).
+  double tenant_predicate_p = 0.4;
+  double time_predicate_p = 0.5;
+
+  std::vector<FederationMode> modes = AllFederationModes();
+  bool check_explain = true;   // set-level Explain + invariant per command
+  bool check_monolith = true;  // also diff vs the monolithic archive
+
+  ArchiveOptions archive;
+  std::string scratch_dir;
+};
+
+// Runs the federation oracle for one seed; reuses OracleReport (mode names
+// are prefixed "fed-").
+OracleReport RunFederationOracle(const FederationOracleOptions& options);
+
 }  // namespace loggrep
 
 #endif  // SRC_WORKLOAD_DIFF_ORACLE_H_

@@ -34,9 +34,11 @@
 #include "src/common/rng.h"
 #include "src/query/line_match.h"
 #include "src/query/query_parser.h"
+#include "src/store/archive_set.h"
 #include "src/store/fs_util.h"
 #include "src/store/log_archive.h"
 #include "src/store/quarantine.h"
+#include "src/store/shard_router.h"
 #include "src/store/storage_env.h"
 #include "src/store/verify.h"
 #include "src/workload/datasets.h"
@@ -617,6 +619,118 @@ TEST_F(ChaosTest, QueryDeadlineBoundsRetryStormsAndDegradesInsteadOfHanging) {
   // The virtual clock absorbed the backoff: 100 attempts * blocks at real
   // 1ms+ backoff would take seconds; budget accounting must not leak into
   // wall time (generously bounded for sanitizer runs).
+}
+
+// ---------------------------------------------------------------------------
+// Federation chaos: the same contracts one layer up. One permanently broken
+// shard inside an ArchiveSet must degrade the federated answer to exactly
+// the healthy shards' lines (206 semantics), predicate pruning must route
+// around the sick shard entirely, and fleet-level repair must converge the
+// set back to exact full results.
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, FederationDegradesToHealthyShardsThenRepairsExactly) {
+  for (uint64_t seed : ChaosSeeds()) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const ChaosWorkload w = BuildWorkload(seed);
+
+    // One tenant per workload block: three single-block shards whose global
+    // line bases stride by kShardLineSpan in append order.
+    const std::vector<std::string> tenants = {"alpha", "bravo", "charlie"};
+    ASSERT_GE(w.block_texts.size(), tenants.size());
+
+    std::filesystem::remove_all(dir_);
+    MetricsRegistry metrics;
+    FaultInjectingStorageEnv fault(FaultOptions{.seed = seed,
+                                                .metrics = &metrics});
+    ArchiveSetOptions set_options;
+    set_options.archive.env = &fault;
+    set_options.archive.metrics = &metrics;
+    set_options.archive.retry.max_attempts = 2;
+    set_options.archive.box_cache_budget_bytes = 0;  // nothing masks faults
+
+    Result<std::unique_ptr<ArchiveSet>> created =
+        ArchiveSet::Create(dir_, set_options);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    std::unique_ptr<ArchiveSet> set = std::move(*created);
+    std::vector<AppendReceipt> receipts;
+    for (size_t t = 0; t < tenants.size(); ++t) {
+      Result<AppendReceipt> r =
+          set->Append(tenants[t], w.block_texts[t], /*ts_ns=*/1000 + t);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      receipts.push_back(*r);
+    }
+
+    // Reference hits at the set level: every tenant's lines, rebased by the
+    // shard's line base, optionally excluding the sick tenant.
+    const auto set_reference = [&](const std::string& command,
+                                   int excluded_tenant) {
+      Result<std::unique_ptr<QueryExpr>> expr = ParseQuery(command);
+      EXPECT_TRUE(expr.ok()) << command;
+      QueryHits hits;
+      for (size_t t = 0; t < tenants.size(); ++t) {
+        if (static_cast<int>(t) == excluded_tenant) continue;
+        uint64_t line = receipts[t].first_global_line;
+        for (const std::string& text : w.block_lines[t]) {
+          if (LineMatchesQuery(text, **expr)) hits.emplace_back(line, text);
+          ++line;
+        }
+      }
+      return hits;
+    };
+
+    // Break tenant bravo's only block file, permanently.
+    constexpr size_t kSick = 1;
+    const std::string sick_dir = ShardDirName(receipts[kSick].shard_id,
+                                              tenants[kSick]);
+    fault.AddPermanentFault(sick_dir + "/block-0.lgc", StatusCode::kIOError);
+
+    // An anchor keyword from the sick tenant's block forces the federated
+    // query to actually need the broken bytes.
+    const std::string anchor = AnchorKeyword(w, kSick);
+    Result<SetQueryResult> degraded = set->Query(anchor, {});
+    ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+    EXPECT_FALSE(degraded->complete()) << degraded->RenderPartial();
+    ExpectHitsEqual(set_reference(anchor, kSick), degraded->hits,
+                    anchor + " [federated degraded]");
+
+    // The whole command suite keeps 206 semantics: exactly the healthy
+    // shards' lines, serial and parallel.
+    for (const std::string& command : w.commands) {
+      const QueryHits expected = set_reference(command, kSick);
+      Result<SetQueryResult> r = set->Query(command, {});
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      ExpectHitsEqual(expected, r->hits, command + " [federated hole]");
+      Result<SetQueryResult> par = set->ParallelQuery(command, {}, 3);
+      ASSERT_TRUE(par.ok()) << par.status().ToString();
+      ExpectHitsEqual(expected, par->hits,
+                      command + " [federated hole, parallel]");
+    }
+
+    // Predicate pruning routes around the fault: a query pinned to a healthy
+    // tenant never touches the sick shard and stays complete.
+    SetQueryPredicate healthy_only;
+    healthy_only.tenant = tenants[0];
+    Result<SetQueryResult> routed = set->Query(w.commands.front(),
+                                               healthy_only);
+    ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+    EXPECT_TRUE(routed->complete()) << routed->RenderPartial();
+    EXPECT_EQ(routed->shards_visited, 1u);
+
+    // The backend recovers; fleet-level repair reinstates the quarantined
+    // block and the federation converges to exact full results.
+    fault.ClearPermanentFaults();
+    SetRepairReport repaired = set->RepairAll();
+    ASSERT_TRUE(repaired.ok()) << repaired.Summary();
+    EXPECT_EQ(repaired.reinstated, 1u) << repaired.Summary();
+    for (const std::string& command : w.commands) {
+      Result<SetQueryResult> r = set->Query(command, {});
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_TRUE(r->complete()) << r->RenderPartial();
+      ExpectHitsEqual(set_reference(command, -1), r->hits,
+                      command + " [federated healed]");
+    }
+  }
 }
 
 }  // namespace

@@ -26,7 +26,9 @@
 #include "src/server/archive_service.h"
 #include "src/server/client.h"
 #include "src/server/daemon.h"
+#include "src/store/archive_set.h"
 #include "src/store/log_archive.h"
+#include "src/store/shard_router.h"
 #include "src/store/storage_env.h"
 #include "src/workload/datasets.h"
 #include "src/workload/loggen.h"
@@ -409,6 +411,206 @@ TEST_F(ServerTest, ResolveArchivePathAndContractHelpers) {
   EXPECT_EQ(HttpStatusForQueryError(NotFound("x")), 404);
   EXPECT_EQ(HttpStatusForQueryError(IOError("x")), 500);
   EXPECT_EQ(HttpStatusForQueryError(CorruptData("x")), 500);
+}
+
+// Builds a 2-tenant x 2-window ArchiveSet under `dir` (window span 1000 ns,
+// no size cut) and returns the append receipts + per-row line texts so the
+// caller can compute exact global line numbers. Rows land in shard-id order
+// 0..3: a@w0, b@w0, a@w1 (seals shard 0), b@w1 (seals shard 1).
+struct FedRow {
+  const char* tenant;
+  const char* tag;
+  uint64_t ts;
+};
+constexpr FedRow kFedRows[] = {{"a", "alphaearly", 100},
+                               {"b", "bravoearly", 150},
+                               {"a", "alphalate", 1100},
+                               {"b", "bravolate", 1150}};
+constexpr size_t kFedLinesPerRow = 3;
+
+void BuildFederatedSet(const std::string& dir,
+                       std::vector<AppendReceipt>* receipts,
+                       std::vector<std::vector<std::string>>* row_lines,
+                       StorageEnv* env = nullptr) {
+  ArchiveSetOptions set_options;
+  set_options.window_span_ns = 1000;
+  set_options.max_shard_bytes = 0;
+  if (env != nullptr) set_options.archive.env = env;
+  Result<std::unique_ptr<ArchiveSet>> set = ArchiveSet::Create(dir, set_options);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  for (const FedRow& row : kFedRows) {
+    std::string text;
+    for (size_t i = 0; i < kFedLinesPerRow; ++i) {
+      text += std::string(row.tag) + " event-" + std::to_string(i) +
+              " shared-token\n";
+    }
+    Result<AppendReceipt> receipt = (*set)->Append(row.tenant, text, row.ts);
+    ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+    receipts->push_back(*receipt);
+    row_lines->push_back(SplitIntoLines(text));
+  }
+}
+
+// Expected global hits for a subset of rows: receipt line_base + local line.
+QueryHits FedExpected(const std::vector<AppendReceipt>& receipts,
+                      const std::vector<std::vector<std::string>>& row_lines,
+                      std::initializer_list<size_t> rows) {
+  QueryHits expected;
+  for (size_t r : rows) {
+    for (size_t i = 0; i < row_lines[r].size(); ++i) {
+      expected.emplace_back(receipts[r].first_global_line + i,
+                            row_lines[r][i]);
+    }
+  }
+  return expected;
+}
+
+TEST_F(ServerTest, FederatedSetServesPredicatedQueriesOverHttp) {
+  std::vector<AppendReceipt> receipts;
+  std::vector<std::vector<std::string>> row_lines;
+  ASSERT_NO_FATAL_FAILURE(
+      BuildFederatedSet(root_ + "/fedset", &receipts, &row_lines));
+
+  LoggrepDaemon daemon(BaseOptions());
+  Result<uint16_t> port = daemon.Start();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  DaemonClient client("127.0.0.1", *port);
+
+  // Unpredicated: every shard answers, hits carry global line numbers.
+  Result<RemoteQueryResult> full = client.Query("fedset", "shared-token");
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_EQ(full->http_status, 200) << full->body;
+  EXPECT_TRUE(full->complete);
+  ExpectHitsEqual(FedExpected(receipts, row_lines, {0, 1, 2, 3}), full->hits,
+                  "fedset [full]");
+  {
+    Result<JsonValue> doc = ParseJson(full->body);
+    ASSERT_TRUE(doc.ok());
+    const JsonValue& shards = doc->Get("shards");
+    EXPECT_EQ(shards.Get("total").AsUint(), 4u) << full->body;
+    EXPECT_EQ(shards.Get("pruned").AsUint(), 0u);
+    EXPECT_EQ(shards.Get("visited").AsUint(), 4u);
+    EXPECT_EQ(shards.Get("failed").AsUint(), 0u);
+  }
+
+  // Tenant predicate: the other tenant's shards are pruned, not scanned.
+  RemoteQueryOptions tenant_a;
+  tenant_a.tenant = "a";
+  Result<RemoteQueryResult> only_a =
+      client.Query("fedset", "shared-token", tenant_a);
+  ASSERT_TRUE(only_a.ok()) << only_a.status().ToString();
+  EXPECT_EQ(only_a->http_status, 200) << only_a->body;
+  ExpectHitsEqual(FedExpected(receipts, row_lines, {0, 2}), only_a->hits,
+                  "fedset [tenant=a]");
+  {
+    Result<JsonValue> doc = ParseJson(only_a->body);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_EQ(doc->Get("shards").Get("pruned").AsUint(), 2u) << only_a->body;
+    EXPECT_EQ(doc->Get("shards").Get("visited").AsUint(), 2u);
+  }
+
+  // Time predicate: from= past window 0 prunes the two sealed early shards.
+  RemoteQueryOptions late_only;
+  late_only.from_ns = 1000;
+  Result<RemoteQueryResult> late =
+      client.Query("fedset", "shared-token", late_only);
+  ASSERT_TRUE(late.ok()) << late.status().ToString();
+  EXPECT_EQ(late->http_status, 200) << late->body;
+  ExpectHitsEqual(FedExpected(receipts, row_lines, {2, 3}), late->hits,
+                  "fedset [from=1000]");
+  {
+    Result<JsonValue> doc = ParseJson(late->body);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_EQ(doc->Get("shards").Get("pruned").AsUint(), 2u) << late->body;
+  }
+
+  // An empty time range is a client error, not an empty answer.
+  RemoteQueryOptions inverted;
+  inverted.from_ns = 2000;
+  inverted.to_ns = 1000;
+  Result<RemoteQueryResult> bad =
+      client.Query("fedset", "shared-token", inverted);
+  ASSERT_TRUE(bad.ok()) << bad.status().ToString();
+  EXPECT_EQ(bad->http_status, 400) << bad->body;
+  EXPECT_FALSE(bad->error.empty());
+
+  // Explain over the set: same hits, shard accounting invariant holds.
+  Result<RemoteQueryResult> explain =
+      client.Explain("fedset", "shared-token", tenant_a);
+  ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+  EXPECT_EQ(explain->http_status, 200) << explain->body;
+  ExpectHitsEqual(FedExpected(receipts, row_lines, {0, 2}), explain->hits,
+                  "fedset [explain tenant=a]");
+  {
+    Result<JsonValue> doc = ParseJson(explain->body);
+    ASSERT_TRUE(doc.ok());
+    const JsonValue& ex = doc->Get("explain");
+    ASSERT_TRUE(ex.is_object()) << explain->body.substr(0, 200);
+    EXPECT_TRUE(ex.Get("invariant_ok").AsBool())
+        << ex.Get("invariant_detail").AsString();
+    EXPECT_FALSE(ex.Get("render").AsString().empty());
+  }
+
+  // The same daemon keeps serving the plain (non-set) archive: one process,
+  // both handle kinds.
+  const std::string mono_command = commands_.front();
+  Result<RemoteQueryResult> mono = client.Query("arch", mono_command);
+  ASSERT_TRUE(mono.ok()) << mono.status().ToString();
+  EXPECT_EQ(mono->http_status, 200);
+  ExpectHitsEqual(OracleHits(mono_command), mono->hits,
+                  mono_command + " [mono beside set]");
+  EXPECT_EQ(daemon.service().open_archives(), 2u);
+}
+
+TEST_F(ServerTest, FederatedBrokenShardMapsTo206WithShardFailures) {
+  FaultInjectingStorageEnv fault(FaultOptions{.seed = kSeed});
+  std::vector<AppendReceipt> receipts;
+  std::vector<std::vector<std::string>> row_lines;
+  ASSERT_NO_FATAL_FAILURE(
+      BuildFederatedSet(root_ + "/fedset", &receipts, &row_lines, &fault));
+
+  // Every file of shard 1 (tenant b, early window) fails: the daemon's cold
+  // open of that shard dies, so the federation degrades to the other three.
+  const size_t kSick = 1;
+  fault.AddPermanentFault(
+      ShardDirName(receipts[kSick].shard_id, kFedRows[kSick].tenant),
+      StatusCode::kIOError);
+
+  DaemonOptions options = BaseOptions();
+  options.service.archive.env = &fault;
+  options.service.archive.retry.max_attempts = 2;
+  options.service.archive.box_cache_budget_bytes = 0;
+  LoggrepDaemon daemon(options);
+  Result<uint16_t> port = daemon.Start();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  DaemonClient client("127.0.0.1", *port);
+
+  Result<RemoteQueryResult> degraded = client.Query("fedset", "shared-token");
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_EQ(degraded->http_status, 206) << degraded->body;
+  EXPECT_FALSE(degraded->complete);
+  ExpectHitsEqual(FedExpected(receipts, row_lines, {0, 2, 3}), degraded->hits,
+                  "fedset [degraded]");
+  EXPECT_EQ(ExitCodeForHttpStatus(degraded->http_status), 3);
+
+  // The body names the sick shard.
+  Result<JsonValue> doc = ParseJson(degraded->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("shards").Get("failed").AsUint(), 1u) << degraded->body;
+  const auto& failures = doc->Get("shard_failures").AsArray();
+  ASSERT_EQ(failures.size(), 1u) << degraded->body;
+  EXPECT_EQ(failures[0].Get("shard").AsUint(), receipts[kSick].shard_id);
+  EXPECT_EQ(failures[0].Get("tenant").AsString(), kFedRows[kSick].tenant);
+  EXPECT_FALSE(failures[0].Get("error").AsString().empty());
+
+  // Strict mode refuses the partial answer outright.
+  RemoteQueryOptions no_degrade;
+  no_degrade.degrade = false;
+  Result<RemoteQueryResult> strict =
+      client.Query("fedset", "shared-token", no_degrade);
+  ASSERT_TRUE(strict.ok()) << strict.status().ToString();
+  EXPECT_EQ(strict->http_status, 500) << strict->body;
+  EXPECT_FALSE(strict->error.empty());
 }
 
 TEST_F(ServerTest, AdmissionControlShedsLoadWith429) {
