@@ -9,12 +9,18 @@
 //   time-pruned    from= the last window's start — sealed earlier windows
 //                  are pruned by the shard-granular time predicate
 //
+// A third leg measures what compaction buys back: a 16-window set is
+// queried full-scatter, compacted (default policy: 15 sealed shards merge
+// into two, the active shard stays), and queried again with the identical
+// command sequence.
+//
 // Prints a QPS/p50/p99 row per (shard count, mode) and writes
 // BENCH_federation.json (via LOGGREP_BENCH_OUT_DIR like every bench).
 // Exits non-zero when a gate fails: for every shard count > 1 the pruned
 // pass must visit strictly fewer shards AND take strictly less wall-clock
 // than the full scatter, and both modes must agree hit-for-hit on the
-// pruned window's lines.
+// pruned window's lines; the compacted set must answer the full scatter
+// with strictly fewer shard visits and hit-for-hit identical results.
 //
 // Scale knobs (env): LOGGREP_FED_LINES (lines per shard, default 400),
 // LOGGREP_FED_ITERS (requests per mode, default 24), LOGGREP_FED_THREADS
@@ -237,6 +243,93 @@ int Run() {
                  ",\"lines\":" + std::to_string(shard_count * lines_per_shard) +
                  ",\"full\":" + ModeJson(full) +
                  ",\"time_pruned\":" + ModeJson(pruned) + "}";
+  }
+  // --- Compaction leg: same shape as the 16-shard set, queried before and
+  // after one Compact() pass over identical commands. ---
+  {
+    const size_t window_count = 16;
+    const std::string dir = root + "/set_compaction";
+    ArchiveSetOptions options;
+    options.window_span_ns = kWindowSpanNs;
+    options.max_shard_bytes = 0;
+    options.archive.box_cache_budget_bytes = 0;
+    Result<std::unique_ptr<ArchiveSet>> set = ArchiveSet::Create(dir, options);
+    if (!set.ok()) {
+      std::fprintf(stderr, "create %s: %s\n", dir.c_str(),
+                   set.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t w = 0; w < window_count; ++w) {
+      spec.seed = 2000003ull + w;
+      LogGenerator gen(spec);
+      Result<AppendReceipt> receipt = (*set)->Append(
+          "tenant", gen.GenerateLines(lines_per_shard),
+          w * kWindowSpanNs + 1);
+      if (!receipt.ok()) {
+        std::fprintf(stderr, "append window %zu: %s\n", w,
+                     receipt.status().ToString().c_str());
+        return 1;
+      }
+    }
+
+    // Exact full-scatter answers before the merge, one per command.
+    std::vector<QueryHits> before_hits;
+    for (const std::string& command : commands) {
+      Result<SetQueryResult> result = (*set)->Query(command, {});
+      if (!result.ok()) {
+        std::fprintf(stderr, "pre-compaction query failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      before_hits.push_back(result->hits);
+    }
+
+    ModeStats wide, compacted;
+    if (!DriveMode(set->get(), commands, {}, iters, threads, &wide)) {
+      std::filesystem::remove_all(root);
+      return 1;
+    }
+    const SetCompactionReport report = (*set)->Compact();
+    if (!report.ok() || report.merges_committed == 0) {
+      gates_pass = false;
+      gate_detail = "compaction pass failed: " + report.Summary();
+    }
+    if (!DriveMode(set->get(), commands, {}, iters, threads, &compacted)) {
+      std::filesystem::remove_all(root);
+      return 1;
+    }
+
+    std::printf("%-8zu %-12s %10.1f %10.3f %10.3f %10" PRIu64 "\n",
+                window_count, "pre_compact", wide.qps, wide.p50_ms,
+                wide.p99_ms, wide.shards_visited);
+    std::printf("%-8zu %-12s %10.1f %10.3f %10.3f %10" PRIu64 "\n",
+                window_count, "compacted", compacted.qps, compacted.p50_ms,
+                compacted.p99_ms, compacted.shards_visited);
+
+    if (gates_pass && compacted.shards_visited >= wide.shards_visited) {
+      gates_pass = false;
+      gate_detail = "compaction did not reduce shards visited (" +
+                    std::to_string(compacted.shards_visited) + " vs " +
+                    std::to_string(wide.shards_visited) + ")";
+    }
+    // Soundness: the merged set answers every command hit-for-hit
+    // identically — same lines, same global line numbers.
+    for (size_t i = 0; gates_pass && i < commands.size(); ++i) {
+      Result<SetQueryResult> result = (*set)->Query(commands[i], {});
+      if (!result.ok() || result->hits != before_hits[i]) {
+        gates_pass = false;
+        gate_detail =
+            "compacted answers diverge for '" + commands[i] + "'";
+      }
+    }
+
+    rows_json += ",{\"shards\":" + std::to_string(window_count) +
+                 ",\"lines\":" +
+                 std::to_string(window_count * lines_per_shard) +
+                 ",\"merges\":" + std::to_string(report.merges_committed) +
+                 ",\"shards_merged\":" + std::to_string(report.shards_merged) +
+                 ",\"pre_compact\":" + ModeJson(wide) +
+                 ",\"compacted\":" + ModeJson(compacted) + "}";
   }
   std::filesystem::remove_all(root);
 

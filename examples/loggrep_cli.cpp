@@ -599,6 +599,19 @@ int SetRepair(const std::string& root) {
   return report.tombstoned == 0 ? 0 : kExitPartial;
 }
 
+int SetCompact(const std::string& root) {
+  ArchiveSetOptions options;
+  options.archive = CliArchiveOptions();
+  auto set = ArchiveSet::Open(root, options);
+  if (!set.ok()) {
+    std::fprintf(stderr, "%s\n", set.status().ToString().c_str());
+    return 1;
+  }
+  const SetCompactionReport report = (*set)->Compact();
+  std::printf("%s\n", report.Summary().c_str());
+  return report.ok() ? 0 : 1;
+}
+
 int SetStat(const std::string& root) {
   ArchiveSetOptions options;
   options.archive = CliArchiveOptions();
@@ -616,15 +629,39 @@ int SetStat(const std::string& root) {
               static_cast<unsigned long long>((*set)->total_lines()),
               (*set)->total_raw_bytes() / 1e6,
               (*set)->total_stored_bytes() / 1e6);
+  // Per-tenant compaction debt: sealed live shards are exactly what a
+  // `set-compact` pass would merge, so their count and bytes measure how
+  // much scatter width compaction can still buy back.
+  struct Debt {
+    size_t sealed_shards = 0;
+    uint64_t raw_bytes = 0;
+    uint64_t stored_bytes = 0;
+  };
+  std::map<std::string, Debt> debt;
   for (const ShardInfo& s : (*set)->shards()) {
     std::printf("  shard %-4llu %-20s window [%llu, %llu)  %8llu lines  "
-                "%8.1f KB  %s%s\n",
+                "%8.1f KB  %s%s%s\n",
                 static_cast<unsigned long long>(s.id), s.tenant.c_str(),
                 static_cast<unsigned long long>(s.window_start_ns),
                 static_cast<unsigned long long>(s.window_end_ns),
                 static_cast<unsigned long long>(s.lines),
                 s.stored_bytes / 1e3, s.sealed ? "sealed" : "active",
-                s.expired ? " EXPIRED" : "");
+                s.expired ? " EXPIRED" : "",
+                s.superseded() ? " SUPERSEDED" : "");
+    if (s.live() && s.sealed) {
+      Debt& d = debt[s.tenant];
+      ++d.sealed_shards;
+      d.raw_bytes += s.raw_bytes;
+      d.stored_bytes += s.stored_bytes;
+    }
+  }
+  if (!debt.empty()) {
+    std::printf("compaction debt (sealed live shards per tenant):\n");
+    for (const auto& [tenant, d] : debt) {
+      std::printf("  %-20s %zu shard(s)  raw %.1f MB  stored %.1f MB\n",
+                  tenant.c_str(), d.sealed_shards, d.raw_bytes / 1e6,
+                  d.stored_bytes / 1e6);
+    }
   }
   return 0;
 }
@@ -766,6 +803,7 @@ int Usage() {
                "  loggrep_cli set-query <root> \"<query>\" [tenant|-] "
                "[from_ns] [to_ns]\n"
                "  loggrep_cli set-repair <root>\n"
+               "  loggrep_cli set-compact <root>\n"
                "  loggrep_cli set-stat <root>\n"
                "  loggrep_cli ingest <dir> <input.log|-> [block_mb] "
                "[threads]\n"
@@ -865,6 +903,9 @@ int main(int raw_argc, char** raw_argv) {
   }
   if (cmd == "set-repair" && argc == 3) {
     return finish(SetRepair(argv[2]));
+  }
+  if (cmd == "set-compact" && argc == 3) {
+    return finish(SetCompact(argv[2]));
   }
   if (cmd == "set-stat" && argc == 3) {
     return finish(SetStat(argv[2]));

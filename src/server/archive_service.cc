@@ -315,6 +315,8 @@ Result<std::shared_ptr<ArchiveService::Handle>> ArchiveService::GetOrOpen(
   if (env->FileExists(ArchiveSet::SetManifestPath(dir))) {
     ArchiveSetOptions set_options;
     set_options.archive = options_.archive;
+    set_options.compaction = options_.compaction;
+    set_options.event_log = options_.set_event_log;
     Result<std::unique_ptr<ArchiveSet>> set = ArchiveSet::Open(dir, set_options);
     if (!set.ok()) {
       return set.status();
@@ -455,6 +457,91 @@ ServiceResponse ArchiveService::RunOnSet(const ServiceRequest& request,
     response.explain_render = explain.Render();
   }
   return response;
+}
+
+ServiceResponse ArchiveService::Compact(const std::string& archive) {
+  ServiceResponse response;
+  Result<std::shared_ptr<Handle>> handle = GetOrOpen(archive);
+  if (!handle.ok()) {
+    response.http_status = HttpStatusForQueryError(handle.status());
+    response.body = RenderErrorJson(handle.status());
+    return response;
+  }
+  if ((*handle)->set == nullptr) {
+    const Status bad =
+        InvalidArgument("compaction targets an ArchiveSet root; '" + archive +
+                        "' is a plain archive");
+    response.http_status = HttpStatusForQueryError(bad);
+    response.body = RenderErrorJson(bad);
+    return response;
+  }
+  // Deliberately not under handle->mu: Compact serializes against other
+  // compactors itself and commits under the set's own lock, so queries keep
+  // flowing while blocks are rewritten.
+  const SetCompactionReport report = (*handle)->set->Compact();
+  response.http_status = report.ok() ? 200 : 500;
+  std::string& out = response.body;
+  out.append("{\"ok\":");
+  out.append(report.ok() ? "true" : "false");
+  if (!report.ok()) {
+    out.append(",\"error\":");
+    AppendJsonString(&out, report.fatal.ToString());
+  }
+  out.append(",\"summary\":");
+  AppendJsonString(&out, report.Summary());
+  out.append(",\"report\":{\"runs_planned\":");
+  AppendUint(&out, report.runs_planned);
+  out.append(",\"merges_committed\":");
+  AppendUint(&out, report.merges_committed);
+  out.append(",\"shards_merged\":");
+  AppendUint(&out, report.shards_merged);
+  out.append(",\"dirs_removed\":");
+  AppendUint(&out, report.dirs_removed);
+  out.append(",\"runs_aborted\":");
+  AppendUint(&out, report.runs_aborted);
+  out.append(",\"skipped_quarantined\":");
+  AppendUint(&out, report.skipped_quarantined);
+  out.append(",\"merged_ids\":[");
+  bool first = true;
+  for (uint64_t id : report.merged_ids) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    AppendUint(&out, id);
+  }
+  out.append("]}}");
+  return response;
+}
+
+ArchiveService::FederationSummary ArchiveService::federation_summary() const {
+  FederationSummary summary;
+  std::vector<std::shared_ptr<Handle>> sets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, handle] : handles_) {
+      if (handle->set != nullptr) {
+        sets.push_back(handle);
+      }
+    }
+  }
+  for (const auto& handle : sets) {
+    // janitor_status / compaction_totals take the set's own locks; no need
+    // for the handle query lock (and taking it would stall behind queries).
+    ++summary.sets_open;
+    const ArchiveSet::JanitorStatus janitor = handle->set->janitor_status();
+    summary.janitor_passes += janitor.passes;
+    summary.janitor_errors += janitor.errors;
+    if (!janitor.last_error.empty()) {
+      summary.janitor_last_error = janitor.last_error;
+    }
+    const ArchiveSet::CompactionTotals totals =
+        handle->set->compaction_totals();
+    summary.compaction_merges += totals.merges;
+    summary.compaction_shards_merged += totals.shards_merged;
+    summary.compaction_failures += totals.failures;
+  }
+  return summary;
 }
 
 size_t ArchiveService::open_archives() const {

@@ -44,6 +44,7 @@
 #define SRC_SERVER_ARCHIVE_SERVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -65,6 +66,18 @@ struct ServiceOptions {
   // parameter is a relative path below this root; "" or "." is the root
   // itself. Absolute paths and ".." components are rejected.
   std::string root;
+
+  // Compaction policy applied to every ArchiveSet the service opens (the
+  // admin POST /compact endpoint and any janitor the owner starts both use
+  // it). Defaults are the store's defaults.
+  CompactionPolicy compaction;
+
+  // Structured event sink wired into every opened ArchiveSet (janitor step
+  // failures, compaction merges — one JSON object per call). The daemon
+  // routes this into its access log so set maintenance shares the request
+  // log's transport. Called from janitor/compaction threads; must be
+  // thread-safe and must outlive the service's handles.
+  std::function<void(const std::string& json_line)> set_event_log;
 };
 
 struct ServiceRequest {
@@ -129,6 +142,26 @@ class ArchiveService {
   // response. Thread-safe; queries against the same archive serialize on
   // that archive's lock.
   ServiceResponse Run(const ServiceRequest& request);
+
+  // Admin: runs one compaction pass over the named ArchiveSet with the
+  // service's policy. 200 + report JSON on success, 400 when the target is
+  // a plain (non-federated) archive, 404/500 as usual. The pass itself runs
+  // *without* the handle's query lock — ArchiveSet::Compact is internally
+  // safe against concurrent queries, and a long merge must not stall reads.
+  ServiceResponse Compact(const std::string& archive);
+
+  // Aggregate janitor/compaction state across every open ArchiveSet handle
+  // (for /statusz and /metrics gauges).
+  struct FederationSummary {
+    size_t sets_open = 0;
+    uint64_t janitor_passes = 0;
+    uint64_t janitor_errors = 0;
+    std::string janitor_last_error;  // most recent across sets; "" if none
+    uint64_t compaction_merges = 0;
+    uint64_t compaction_shards_merged = 0;
+    uint64_t compaction_failures = 0;
+  };
+  FederationSummary federation_summary() const;
 
   // Number of archives currently held open (for /healthz and tests).
   size_t open_archives() const;

@@ -102,9 +102,19 @@ LoggrepDaemon::LoggrepDaemon(DaemonOptions options)
     options_.service.archive.metrics = metrics_;
     options_.service.archive.engine.metrics = metrics_;
   }
+  access_log_ = std::make_unique<AccessLog>(options_.access_log);
+  // Set maintenance events (janitor step failures, compaction merges) ride
+  // the access log's lock-free ring unless the caller wired its own sink.
+  // The handles emitting these die in Shutdown()/Clear(), strictly before
+  // this daemon's members — the access log outlives every emitter.
+  if (!options_.service.set_event_log) {
+    AccessLog* log = access_log_.get();
+    options_.service.set_event_log = [log](const std::string& line) {
+      log->Write(std::string(line));
+    };
+  }
   service_ = std::make_unique<ArchiveService>(options_.service);
   telemetry_ = std::make_unique<ServerTelemetry>(options_.telemetry);
-  access_log_ = std::make_unique<AccessLog>(options_.access_log);
   slow_log_ = std::make_unique<SlowQueryLog>(options_.slow_log_capacity);
   start_ns_ = Tracer::Global().NowNanos();
   // Prime the process-uptime epoch now; its first caller wins it, and that
@@ -350,6 +360,14 @@ HttpResponse LoggrepDaemon::Route(const HttpRequest& request,
     telemetry_->AppendWindowedMetrics(&body, Tracer::Global().NowNanos());
     AppendPrometheusGauge(&body, "loggrep_access_log_dropped",
                           static_cast<double>(access_log_->dropped()));
+    // The registry's set.janitor.* / set.compaction.* counters already
+    // export the maintenance totals; only the open-set gauge has no
+    // counter equivalent (re-emitting the totals as gauges here would
+    // duplicate metric names with conflicting types in one exposition).
+    const ArchiveService::FederationSummary fed =
+        service_->federation_summary();
+    AppendPrometheusGauge(&body, "loggrep_sets_open",
+                          static_cast<double>(fed.sets_open));
     AppendBuildInfoMetrics(&body);
     return TextResponse(200, std::move(body));
   }
@@ -360,6 +378,27 @@ HttpResponse LoggrepDaemon::Route(const HttpRequest& request,
       return JsonError(405, "use GET or POST");
     }
     return RunQuery(request, explain, rec);
+  }
+  if (request.path == "/compact") {
+    // Admin surface, deliberately outside the query admission gate: a
+    // compaction pass is maintenance, not a query, and must not eat a query
+    // slot (nor be shed with the queries under load).
+    if (request.method != "POST") {
+      *close_after = true;
+      return JsonError(405, "use POST");
+    }
+    std::string archive;
+    const auto archive_it = request.params.find("archive");
+    if (archive_it != request.params.end()) {
+      archive = archive_it->second;
+    }
+    rec->archive = archive;
+    metrics_->GetOrCreate("server.compaction_requests")->Increment();
+    ServiceResponse service_response = service_->Compact(archive);
+    HttpResponse response;
+    response.status = service_response.http_status;
+    response.body = std::move(service_response.body);
+    return response;
   }
   return JsonError(404, "no such endpoint: " + request.path);
 }
@@ -564,6 +603,14 @@ std::string LoggrepDaemon::RenderStatuszPage(uint64_t now_ns) const {
   info.access_log_dropped = access_log_->dropped();
   info.slow_queries_captured = slow_log_->captured();
   info.slow_threshold_ns = options_.slow_query_threshold_ns;
+  const ArchiveService::FederationSummary fed = service_->federation_summary();
+  info.sets_open = fed.sets_open;
+  info.janitor_passes = fed.janitor_passes;
+  info.janitor_errors = fed.janitor_errors;
+  info.janitor_last_error = fed.janitor_last_error;
+  info.compaction_merges = fed.compaction_merges;
+  info.compaction_shards_merged = fed.compaction_shards_merged;
+  info.compaction_failures = fed.compaction_failures;
   return RenderStatusz(*telemetry_, info, now_ns);
 }
 

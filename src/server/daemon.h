@@ -18,6 +18,9 @@
 //   POST /query?archive=<rel>[&degrade=0][&deadline_ms=N]   body = command
 //   GET  /query?archive=<rel>&q=<command>[&...]             (same, in URL)
 //   GET  /explain?archive=<rel>&q=<command>[&...]
+//   POST /compact?archive=<rel>   admin: one compaction pass over an
+//                      ArchiveSet root (400 for plain archives); returns
+//                      the merge report as JSON
 //   GET  /metrics      Prometheus exposition: registry counters/histograms,
 //                      windowed SLO gauges, build_info + uptime
 //   GET  /healthz      liveness JSON: version, uptime, open-archive /
@@ -176,9 +179,12 @@ class LoggrepDaemon {
   DaemonOptions options_;
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   MetricsRegistry* metrics_ = nullptr;
+  // Declared (and constructed) before service_: ArchiveSet handles owned by
+  // the service emit maintenance events into this log from janitor and
+  // compaction threads, so it must be destroyed after them.
+  std::unique_ptr<AccessLog> access_log_;
   std::unique_ptr<ArchiveService> service_;
   std::unique_ptr<ServerTelemetry> telemetry_;
-  std::unique_ptr<AccessLog> access_log_;
   std::unique_ptr<SlowQueryLog> slow_log_;
   uint64_t start_ns_ = 0;  // construction time (uptime + ts_ms base)
   std::unique_ptr<ThreadPool> pool_;

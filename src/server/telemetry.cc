@@ -137,7 +137,27 @@ std::string RenderStatusz(const ServerTelemetry& telemetry,
       stats.availability_burn_rate, opts.latency_slo_quantile * 100.0,
       static_cast<double>(opts.latency_slo_ns) / 1e6,
       stats.latency_burn_rate);
-  return buf;
+  std::string page(buf);
+  if (info.sets_open > 0) {
+    char fed[512];
+    std::snprintf(fed, sizeof(fed),
+                  "\n"
+                  "federation maintenance (%zu set(s) open)\n"
+                  "  janitor            %" PRIu64 " passes, %" PRIu64
+                  " errors\n"
+                  "  compaction         %" PRIu64 " merges (%" PRIu64
+                  " shards merged), %" PRIu64 " failures\n",
+                  info.sets_open, info.janitor_passes, info.janitor_errors,
+                  info.compaction_merges, info.compaction_shards_merged,
+                  info.compaction_failures);
+    page.append(fed);
+    if (!info.janitor_last_error.empty()) {
+      page.append("  janitor_last_error ");
+      page.append(info.janitor_last_error);
+      page.push_back('\n');
+    }
+  }
+  return page;
 }
 
 }  // namespace loggrep

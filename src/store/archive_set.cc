@@ -16,7 +16,12 @@ namespace loggrep {
 
 namespace {
 
-constexpr int kSetManifestVersion = 1;
+// Version 2 added compaction: a top-level `generation` counter plus
+// per-shard `superseded_by` / `line_span`. Version-1 manifests parse with
+// the pre-compaction defaults (generation 0, nothing superseded, every
+// shard kShardLineSpan wide).
+constexpr int kSetManifestVersion = 2;
+constexpr int kOldestParsableSetManifestVersion = 1;
 
 // u64 values (line bases, nanosecond timestamps) exceed the 2^53 exact-integer
 // range of the JSON parser's double representation, so the manifest stores
@@ -123,6 +128,14 @@ const char* SetKillPointName(SetKillPoint point) {
       return "append-manifest-written";
     case SetKillPoint::kRetentionManifestWritten:
       return "retention-manifest-written";
+    case SetKillPoint::kCompactStaged:
+      return "compact-staged";
+    case SetKillPoint::kCompactShardRenamed:
+      return "compact-shard-renamed";
+    case SetKillPoint::kCompactManifestWritten:
+      return "compact-manifest-written";
+    case SetKillPoint::kCompactSourcesRemoved:
+      return "compact-sources-removed";
   }
   return "unknown";
 }
@@ -138,11 +151,32 @@ std::string ArchiveSet::SetManifestPath(const std::string& root) {
 std::string ArchiveSet::SerializeSetManifest(
     uint64_t window_span_ns, uint64_t next_shard_id, uint64_t next_line_base,
     const std::vector<ShardInfo>& shards) {
+  SetManifestHeader header;
+  header.window_span_ns = window_span_ns;
+  header.next_shard_id = next_shard_id;
+  header.next_line_base = next_line_base;
+  return SerializeSetManifest(header, shards);
+}
+
+Result<std::vector<ShardInfo>> ArchiveSet::ParseSetManifest(
+    std::string_view bytes, uint64_t* window_span_ns, uint64_t* next_shard_id,
+    uint64_t* next_line_base) {
+  SetManifestHeader header;
+  Result<std::vector<ShardInfo>> shards = ParseSetManifest(bytes, &header);
+  *window_span_ns = header.window_span_ns;
+  *next_shard_id = header.next_shard_id;
+  *next_line_base = header.next_line_base;
+  return shards;
+}
+
+std::string ArchiveSet::SerializeSetManifest(
+    const SetManifestHeader& header, const std::vector<ShardInfo>& shards) {
   std::string out = "{\"version\":" + std::to_string(kSetManifestVersion);
   bool first = false;
-  AppendU64Field(&out, "window_span_ns", window_span_ns, &first);
-  AppendU64Field(&out, "next_shard_id", next_shard_id, &first);
-  AppendU64Field(&out, "next_line_base", next_line_base, &first);
+  AppendU64Field(&out, "window_span_ns", header.window_span_ns, &first);
+  AppendU64Field(&out, "next_shard_id", header.next_shard_id, &first);
+  AppendU64Field(&out, "next_line_base", header.next_line_base, &first);
+  AppendU64Field(&out, "generation", header.generation, &first);
   out.append(",\"shards\":[");
   for (size_t i = 0; i < shards.size(); ++i) {
     const ShardInfo& s = shards[i];
@@ -164,6 +198,12 @@ std::string ArchiveSet::SerializeSetManifest(
     AppendU64Field(&out, "max_ts_ns", s.max_ts_ns, &sf);
     AppendBoolField(&out, "sealed", s.sealed, &sf);
     AppendBoolField(&out, "expired", s.expired, &sf);
+    if (s.superseded()) {
+      AppendU64Field(&out, "superseded_by", s.superseded_by, &sf);
+    }
+    if (s.line_span != 0 && s.line_span != ArchiveSet::kShardLineSpan) {
+      AppendU64Field(&out, "line_span", s.line_span, &sf);
+    }
     out.append("}");
   }
   out.append("]}\n");
@@ -171,8 +211,7 @@ std::string ArchiveSet::SerializeSetManifest(
 }
 
 Result<std::vector<ShardInfo>> ArchiveSet::ParseSetManifest(
-    std::string_view bytes, uint64_t* window_span_ns, uint64_t* next_shard_id,
-    uint64_t* next_line_base) {
+    std::string_view bytes, SetManifestHeader* header) {
   Result<JsonValue> doc = ParseJson(bytes);
   if (!doc.ok()) {
     return CorruptData("set manifest: " + doc.status().message());
@@ -181,12 +220,15 @@ Result<std::vector<ShardInfo>> ArchiveSet::ParseSetManifest(
   if (!root.is_object()) {
     return CorruptData("set manifest: not a JSON object");
   }
-  if (root.Get("version").AsInt() != kSetManifestVersion) {
+  const int version = static_cast<int>(root.Get("version").AsInt());
+  if (version < kOldestParsableSetManifestVersion ||
+      version > kSetManifestVersion) {
     return CorruptData("set manifest: unsupported version");
   }
-  *window_span_ns = ReadU64Or(root, "window_span_ns", 0);
-  *next_shard_id = ReadU64Or(root, "next_shard_id", 0);
-  *next_line_base = ReadU64Or(root, "next_line_base", 0);
+  header->window_span_ns = ReadU64Or(root, "window_span_ns", 0);
+  header->next_shard_id = ReadU64Or(root, "next_shard_id", 0);
+  header->next_line_base = ReadU64Or(root, "next_line_base", 0);
+  header->generation = ReadU64Or(root, "generation", 0);
 
   std::vector<ShardInfo> shards;
   const JsonValue& arr = root.Get("shards");
@@ -218,27 +260,64 @@ Result<std::vector<ShardInfo>> ArchiveSet::ParseSetManifest(
     s.max_ts_ns = ReadU64Or(item, "max_ts_ns", 0);
     s.sealed = item.Get("sealed").AsBool();
     s.expired = item.Get("expired").AsBool();
+    s.superseded_by = ReadU64Or(item, "superseded_by", kNotSuperseded);
+    s.line_span = ReadU64Or(item, "line_span", ArchiveSet::kShardLineSpan);
+    if (s.line_span == 0) {
+      return CorruptData("set manifest: shard " + std::to_string(s.id) +
+                         " has a zero line span");
+    }
     if (s.expired && !s.sealed) {
       return CorruptData("set manifest: shard " + std::to_string(s.id) +
                          " expired but not sealed");
     }
+    if (s.superseded() && !s.sealed) {
+      return CorruptData("set manifest: shard " + std::to_string(s.id) +
+                         " superseded but not sealed");
+    }
     if (!shards.empty()) {
+      // Ids are unique but no longer monotone in manifest order: a merged
+      // shard (allocated later, so a higher id) sits immediately before its
+      // first source so line bases stay non-decreasing.
       const ShardInfo& prev = shards.back();
-      if (s.id <= prev.id) {
-        return CorruptData("set manifest: shard ids not strictly increasing");
-      }
-      if (s.line_base <= prev.line_base) {
+      if (s.line_base < prev.line_base) {
         return CorruptData(
-            "set manifest: shard line bases not strictly increasing");
+            "set manifest: shard line bases not non-decreasing");
       }
     }
     shards.push_back(std::move(s));
   }
+  uint64_t max_id = 0;
+  uint64_t max_line_base = 0;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    max_id = std::max(max_id, shards[i].id);
+    max_line_base = std::max(max_line_base, shards[i].line_base);
+    for (size_t j = i + 1; j < shards.size(); ++j) {
+      if (shards[i].id == shards[j].id) {
+        return CorruptData("set manifest: duplicate shard id " +
+                           std::to_string(shards[i].id));
+      }
+    }
+    if (shards[i].superseded()) {
+      bool found = false;
+      for (const ShardInfo& other : shards) {
+        if (other.id == shards[i].superseded_by && !other.expired &&
+            !other.superseded()) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return CorruptData("set manifest: shard " +
+                           std::to_string(shards[i].id) +
+                           " superseded by an unknown or dead shard");
+      }
+    }
+  }
   if (!shards.empty()) {
-    if (*next_shard_id <= shards.back().id) {
+    if (header->next_shard_id <= max_id) {
       return CorruptData("set manifest: next_shard_id not past the last shard");
     }
-    if (*next_line_base <= shards.back().line_base) {
+    if (header->next_line_base <= max_line_base) {
       return CorruptData(
           "set manifest: next_line_base not past the last shard");
     }
@@ -284,9 +363,8 @@ Result<std::unique_ptr<ArchiveSet>> ArchiveSet::Open(
     return Status(bytes.status().code(),
                   "open archive set " + root + ": " + bytes.status().message());
   }
-  uint64_t span = 0, next_id = 0, next_base = 0;
-  Result<std::vector<ShardInfo>> shards =
-      ParseSetManifest(*bytes, &span, &next_id, &next_base);
+  SetManifestHeader header;
+  Result<std::vector<ShardInfo>> shards = ParseSetManifest(*bytes, &header);
   if (!shards.ok()) {
     return shards.status();
   }
@@ -295,27 +373,28 @@ Result<std::unique_ptr<ArchiveSet>> ArchiveSet::Open(
       new ArchiveSet(std::move(root), std::move(options)));
   // The persisted span wins over the option (a set's partitioning is fixed
   // at Create time; reopening with a different span must not re-route).
-  set->options_.window_span_ns = span;
-  set->next_shard_id_ = next_id;
-  set->next_line_base_ = next_base;
+  set->options_.window_span_ns = header.window_span_ns;
+  set->next_shard_id_ = header.next_shard_id;
+  set->next_line_base_ = header.next_line_base;
+  set->generation_ = header.generation;
   set->shards_ = std::move(*shards);
 
   // Recovery, in order:
   //   1. stray atomic-write temps of the set manifest itself;
-  //   2. finish interrupted retention (entry expired, dir still present);
-  //   3. sweep orphan shard dirs (roll died before its manifest rewrite —
-  //      the dir holds no committed appends by protocol order);
+  //   2. finish interrupted retention and compaction GC (entry expired or
+  //      superseded, dir still present — the merged shard holding a
+  //      superseded shard's lines was committed first by protocol order);
+  //   3. sweep orphan shard dirs (a roll — or a compaction rename — that
+  //      died before its manifest rewrite: the dir holds no committed data
+  //      by protocol order) and half-built compaction staging dirs;
   //   4. mark unsealed shards' stats stale (recomputed from their archives
   //      on first open — the manifest's unsealed stats are advisory).
   SweepTempFiles(set->root_, env);
   for (size_t i = 0; i < set->shards_.size(); ++i) {
     ShardInfo& s = set->shards_[i];
     std::string dir = JoinPath(set->root_, s.dir_name);
-    if (s.expired) {
-      std::error_code ec;
-      if (std::filesystem::exists(dir, ec)) {
-        std::filesystem::remove_all(dir, ec);
-      }
+    if (!s.live()) {
+      RemoveTreeBestEffort(dir);
       continue;
     }
     if (!s.sealed) {
@@ -331,6 +410,10 @@ Result<std::unique_ptr<ArchiveSet>> ArchiveSet::Open(
         continue;
       }
       std::string name = entry.path().filename().string();
+      if (LooksLikeCompactionStagingDir(name)) {
+        RemoveTreeBestEffort(entry.path().string());
+        continue;
+      }
       if (!LooksLikeShardDir(name)) {
         continue;
       }
@@ -342,20 +425,29 @@ Result<std::unique_ptr<ArchiveSet>> ArchiveSet::Open(
         }
       }
       if (!referenced) {
-        std::error_code rm_ec;
-        std::filesystem::remove_all(entry.path(), rm_ec);
+        RemoveTreeBestEffort(entry.path().string());
       }
     }
   }
   return set;
 }
 
-Status ArchiveSet::WriteSetManifestLocked() const {
-  return WriteFileAtomic(
-      SetManifestPath(root_),
-      SerializeSetManifest(options_.window_span_ns, next_shard_id_,
-                           next_line_base_, shards_),
-      options_.archive.env);
+Status ArchiveSet::WriteSetManifestLocked() {
+  SetManifestHeader header;
+  header.window_span_ns = options_.window_span_ns;
+  header.next_shard_id = next_shard_id_;
+  header.next_line_base = next_line_base_;
+  header.generation = generation_ + 1;
+  Status wrote = WriteFileAtomic(SetManifestPath(root_),
+                                 SerializeSetManifest(header, shards_),
+                                 options_.archive.env);
+  if (wrote.ok()) {
+    // The in-memory generation tracks the persisted one exactly: a failed
+    // write leaves both untouched, so a compaction plan snapshotting the
+    // generation can detect any committed manifest movement.
+    ++generation_;
+  }
+  return wrote;
 }
 
 Status ArchiveSet::MaybeKill(SetKillPoint point) const {
@@ -439,6 +531,7 @@ Result<size_t> ArchiveSet::RollShardLocked(const std::string& tenant,
     next.window_end_ns = next.window_start_ns + options_.window_span_ns;
   }
   next.line_base = next_line_base_;
+  next.line_span = kShardLineSpan;
   shards_.push_back(next);
   next_shard_id_ = id + 1;
   next_line_base_ += kShardLineSpan;
@@ -454,8 +547,7 @@ Result<size_t> ArchiveSet::RollShardLocked(const std::string& tenant,
     if (sealed_index < shards_.size()) {
       shards_[sealed_index] = sealed_backup;
     }
-    std::error_code ec;
-    std::filesystem::remove_all(dir, ec);
+    RemoveTreeBestEffort(dir);
     return wrote;
   }
 
@@ -605,8 +697,10 @@ Result<SetQueryResult> ArchiveSet::QueryImpl(std::string_view command,
   std::vector<Visit> visits;
   for (size_t i = 0; i < shards_.size(); ++i) {
     const ShardInfo& s = shards_[i];
-    if (s.expired) {
-      continue;  // tombstone: data gone by design, not a hole to report
+    if (!s.live()) {
+      // Tombstone: expired data is gone by design; a superseded shard's
+      // lines are served by its merged successor. Neither is a hole.
+      continue;
     }
     ++result.shards_total;
     std::string reason = ShardPruneReason(s, pred);
@@ -729,6 +823,16 @@ Result<SetQueryResult> ArchiveSet::QueryImpl(std::string_view command,
       result.partial.failures.push_back(std::move(f));
     }
   }
+  // Visit order is line_base order, so hits usually gather already sorted —
+  // except when a merged shard's span interleaves with other tenants' bases.
+  // Global line numbers are unique, so sorting by them is a total order.
+  if (!std::is_sorted(result.hits.begin(), result.hits.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first < b.first;
+                      })) {
+    std::sort(result.hits.begin(), result.hits.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
   return result;
 }
 
@@ -814,8 +918,9 @@ Result<SetRetentionReport> ArchiveSet::RunRetention(uint64_t now_ns) {
   std::vector<size_t> expiring;
   for (size_t i = 0; i < shards_.size(); ++i) {
     const ShardInfo& s = shards_[i];
-    if (s.expired || !s.sealed) {
-      continue;  // the active shard never expires
+    if (!s.live() || !s.sealed) {
+      continue;  // the active shard never expires; superseded data already
+                 // expired-or-lives through its merged successor
     }
     if (s.empty() || s.max_ts_ns < cut) {
       expiring.push_back(i);
@@ -851,9 +956,7 @@ Result<SetRetentionReport> ArchiveSet::RunRetention(uint64_t now_ns) {
   for (size_t i : expiring) {
     open_.erase(shards_[i].id);
     stats_stale_.erase(shards_[i].id);
-    std::error_code ec;
-    std::filesystem::remove_all(JoinPath(root_, shards_[i].dir_name), ec);
-    if (!ec) {
+    if (RemoveTreeBestEffort(JoinPath(root_, shards_[i].dir_name))) {
       ++report.dirs_removed;
     }
   }
@@ -873,7 +976,7 @@ Status ArchiveSet::RefreshStats() {
   std::lock_guard<std::mutex> lock(mu_);
   Status first_error = OkStatus();
   for (size_t i = 0; i < shards_.size(); ++i) {
-    if (shards_[i].expired || stats_stale_.count(shards_[i].id) == 0) {
+    if (!shards_[i].live() || stats_stale_.count(shards_[i].id) == 0) {
       continue;
     }
     Result<LogArchive*> opened = OpenShardLocked(i);
@@ -904,7 +1007,7 @@ SetRepairReport ArchiveSet::RepairAll() {
   std::lock_guard<std::mutex> lock(mu_);
   SetRepairReport report;
   for (const ShardInfo& s : shards_) {
-    if (s.expired) {
+    if (!s.live()) {
       continue;
     }
     RepairReport shard_report =
@@ -927,44 +1030,400 @@ SetRepairReport ArchiveSet::RepairAll() {
 }
 
 // ---------------------------------------------------------------------------
+// Compaction
+// ---------------------------------------------------------------------------
+
+SetCompactionReport ArchiveSet::Compact() {
+  return Compact(options_.compaction);
+}
+
+SetCompactionReport ArchiveSet::Compact(const CompactionPolicy& policy) {
+  // One compactor at a time: the build phase runs outside mu_, so mu_ alone
+  // would let two callers plan — and race to commit — the same sources.
+  std::lock_guard<std::mutex> serial(compact_mu_);
+  SetCompactionReport report;
+
+  struct Planned {
+    CompactionRun run;
+    std::vector<ShardInfo> sources;  // snapshot, line_base order
+  };
+  std::vector<Planned> planned;
+  uint64_t planned_generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Shards with unrepaired quarantined blocks are excluded: their holes
+    // are not final (repair may yet reinstate the bytes), so they must not
+    // be frozen into a merged shard. Tombstoned-only quarantines are fine —
+    // those holes are accepted and carried through verbatim.
+    std::set<uint64_t> excluded;
+    for (const ShardInfo& s : shards_) {
+      if (!s.live() || !s.sealed || s.empty()) {
+        continue;
+      }
+      bool pending = false;
+      auto it = open_.find(s.id);
+      if (it != open_.end()) {
+        for (const QuarantineEntry& e : it->second->quarantine().entries) {
+          if (!e.tombstoned) {
+            pending = true;
+            break;
+          }
+        }
+      } else {
+        Result<QuarantineSet> q =
+            LoadQuarantine(JoinPath(root_, s.dir_name), options_.archive.env);
+        if (!q.ok()) {
+          pending = true;  // unreadable sidecar: treat as not-compactable
+        } else {
+          for (const QuarantineEntry& e : q->entries) {
+            if (!e.tombstoned) {
+              pending = true;
+              break;
+            }
+          }
+        }
+      }
+      if (pending) {
+        excluded.insert(s.id);
+        ++report.skipped_quarantined;
+      }
+    }
+    std::vector<CompactionRun> runs = PlanCompaction(
+        shards_, policy, storage_env()->NowNanos(), excluded);
+    report.runs_planned = runs.size();
+    planned_generation = generation_;
+    for (CompactionRun& run : runs) {
+      Planned p;
+      p.run = std::move(run);
+      for (uint64_t id : p.run.shard_ids) {
+        for (const ShardInfo& s : shards_) {
+          if (s.id == id) {
+            p.sources.push_back(s);
+            break;
+          }
+        }
+      }
+      planned.push_back(std::move(p));
+    }
+  }
+
+  for (const Planned& p : planned) {
+    const size_t committed_before = report.merges_committed;
+    Status status =
+        CompactOneRun(p.run, p.sources, planned_generation, &report);
+    if (!status.ok()) {
+      ++report.runs_aborted;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++compaction_totals_.failures;
+      }
+      if (options_.archive.metrics != nullptr) {
+        options_.archive.metrics->GetOrCreate("set.compaction.failures")
+            ->Increment();
+      }
+      report.fatal = status;
+      EmitEvent("compaction.run", status);
+      break;  // a failed (or kill-aborted) run ends the pass; retried later
+    }
+    if (report.merges_committed > committed_before) {
+      EmitEvent("compaction.merge", OkStatus());
+    }
+  }
+  return report;
+}
+
+Status ArchiveSet::CompactOneRun(const CompactionRun& run,
+                                 const std::vector<ShardInfo>& sources,
+                                 uint64_t planned_generation,
+                                 SetCompactionReport* report) {
+  // Build phase — no set lock held: queries and appends proceed against the
+  // sources while the merged shard grows in its staging dir.
+  const std::string staging = CompactionStagingDirName();
+  const std::string staging_path = JoinPath(root_, staging);
+  auto remove_staging = [&] { RemoveTreeBestEffort(staging_path); };
+  Result<MergedShardBuild> build =
+      BuildMergedShard(root_, staging, sources, options_.archive);
+  if (!build.ok()) {
+    remove_staging();
+    return build.status();
+  }
+  if (Status killed = MaybeKill(SetKillPoint::kCompactStaged); !killed.ok()) {
+    return killed;  // staging dir lingers exactly like a crash; Open sweeps it
+  }
+
+  // Commit phase — under the set lock, so it is atomic w.r.t. queries: a
+  // query sees all sources (before) or only the merged shard (after), never
+  // both, never neither.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation_ != planned_generation) {
+    // The manifest moved under the build (an append widened a ts range, a
+    // roll sealed a shard, retention expired something, …). The plan is
+    // still good iff every source is exactly as planned: present, sealed,
+    // live, same base. Any miss → a newer manifest won; abort, do not
+    // clobber.
+    for (const ShardInfo& want : sources) {
+      const ShardInfo* now = nullptr;
+      for (const ShardInfo& s : shards_) {
+        if (s.id == want.id) {
+          now = &s;
+          break;
+        }
+      }
+      if (now == nullptr || !now->live() || !now->sealed ||
+          now->line_base != want.line_base) {
+        remove_staging();
+        ++report->runs_aborted;
+        return OkStatus();  // benign: retention or a racing writer won
+      }
+    }
+  }
+
+  // Rename staging to its final shard name. Still uncommitted: a crash
+  // before the manifest rewrite leaves an unreferenced shard dir, which
+  // Open's orphan sweep removes.
+  const uint64_t id = next_shard_id_;
+  const std::string dir_name = ShardDirName(id, run.tenant);
+  StorageEnv* env = storage_env();
+  if (Status s = env->Rename(staging_path, JoinPath(root_, dir_name));
+      !s.ok()) {
+    remove_staging();
+    return Status(s.code(), "compaction: rename staging dir: " + s.message());
+  }
+  (void)env->SyncDir(root_);
+  if (Status killed = MaybeKill(SetKillPoint::kCompactShardRenamed);
+      !killed.ok()) {
+    return killed;  // orphan shard dir; Open sweeps it
+  }
+
+  ShardInfo merged;
+  merged.id = id;
+  merged.tenant = run.tenant;
+  merged.dir_name = dir_name;
+  merged.window_start_ns = UINT64_MAX;
+  merged.window_end_ns = 0;
+  merged.line_base = sources.front().line_base;
+  merged.line_span = sources.back().line_base + sources.back().line_span -
+                     sources.front().line_base;
+  merged.lines = build->lines;
+  merged.raw_bytes = build->raw_bytes;
+  merged.stored_bytes = build->stored_bytes;
+  merged.min_ts_ns = build->min_ts_ns;
+  merged.max_ts_ns = build->max_ts_ns;
+  merged.sealed = true;
+  for (const ShardInfo& src : sources) {
+    merged.window_start_ns = std::min(merged.window_start_ns, src.window_start_ns);
+    merged.window_end_ns = std::max(merged.window_end_ns, src.window_end_ns);
+  }
+
+  // THE commit point: one manifest rewrite inserts the merged entry
+  // (immediately before its first source, keeping line bases non-decreasing
+  // in manifest order) and marks every source superseded_by=<id>.
+  const std::vector<ShardInfo> shards_backup = shards_;
+  const std::map<std::string, size_t> active_backup = active_;
+  size_t insert_at = shards_.size();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].id == sources.front().id) {
+      insert_at = i;
+      break;
+    }
+  }
+  shards_.insert(shards_.begin() + insert_at, merged);
+  for (const ShardInfo& src : sources) {
+    for (ShardInfo& s : shards_) {
+      if (s.id == src.id) {
+        s.superseded_by = id;
+        break;
+      }
+    }
+  }
+  next_shard_id_ = id + 1;
+  for (auto& [tenant, index] : active_) {
+    if (index >= insert_at) {
+      ++index;  // the insertion shifted everything at and after it
+    }
+  }
+  Status wrote = WriteSetManifestLocked();
+  if (!wrote.ok()) {
+    shards_ = shards_backup;
+    active_ = active_backup;
+    next_shard_id_ = id;
+    RemoveTreeBestEffort(JoinPath(root_, dir_name));
+    return wrote;
+  }
+
+  ++report->merges_committed;
+  report->shards_merged += sources.size();
+  report->merged_ids.push_back(id);
+  ++compaction_totals_.merges;
+  compaction_totals_.shards_merged += sources.size();
+  if (options_.archive.metrics != nullptr) {
+    options_.archive.metrics->GetOrCreate("set.compaction.merges")
+        ->Increment();
+    options_.archive.metrics->GetOrCreate("set.compaction.shards_merged")
+        ->Add(sources.size());
+  }
+  if (Status killed = MaybeKill(SetKillPoint::kCompactManifestWritten);
+      !killed.ok()) {
+    return killed;  // source dirs linger; Open finishes the removal
+  }
+
+  // GC: drop handles and directories of the superseded sources. Queries
+  // already see only the merged shard (the manifest said so under this same
+  // lock), so nothing can touch these handles again.
+  for (const ShardInfo& src : sources) {
+    open_.erase(src.id);
+    stats_stale_.erase(src.id);
+    if (RemoveTreeBestEffort(JoinPath(root_, src.dir_name))) {
+      ++report->dirs_removed;
+    }
+  }
+  if (Status killed = MaybeKill(SetKillPoint::kCompactSourcesRemoved);
+      !killed.ok()) {
+    return killed;
+  }
+  return OkStatus();
+}
+
+ArchiveSet::CompactionTotals ArchiveSet::compaction_totals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return compaction_totals_;
+}
+
+// ---------------------------------------------------------------------------
 // Janitor
 // ---------------------------------------------------------------------------
 
-void ArchiveSet::StartJanitor(uint64_t interval_ns) {
-  std::lock_guard<std::mutex> lock(janitor_mu_);
-  if (janitor_running_) {
+void ArchiveSet::EmitEvent(const char* what, const Status& status) {
+  if (!options_.event_log) {
     return;
   }
-  janitor_stop_ = false;
+  std::string line = "{\"event\":";
+  AppendJsonString(&line, what);
+  line += ",\"ok\":";
+  line += status.ok() ? "true" : "false";
+  if (!status.ok()) {
+    line += ",\"error\":";
+    AppendJsonString(&line, status.ToString());
+  }
+  line += "}";
+  options_.event_log(line);
+}
+
+void ArchiveSet::JanitorPass(bool compaction) {
+  // Every step runs even when an earlier one fails (repair is most useful
+  // exactly when retention or compaction hit trouble), and every failure is
+  // counted, kept, and logged — never swallowed.
+  struct Step {
+    const char* name;
+    Status status;
+  };
+  std::vector<Step> steps;
+  {
+    Result<SetRetentionReport> retention =
+        RunRetention(storage_env()->NowNanos());
+    steps.push_back({"janitor.retention",
+                     retention.ok() ? retention->fatal : retention.status()});
+  }
+  steps.push_back({"janitor.repair", RepairAll().fatal});
+  if (compaction) {
+    // Mutual exclusion with retention is structural: both mutate shard
+    // state under mu_, and a compaction commit whose sources retention
+    // expired mid-build aborts on generation revalidation.
+    steps.push_back({"janitor.compaction", Compact().fatal});
+  }
+
+  size_t errors = 0;
+  std::string last_error;
+  for (const Step& step : steps) {
+    if (step.status.ok()) {
+      continue;
+    }
+    ++errors;
+    last_error = std::string(step.name) + ": " + step.status.ToString();
+    EmitEvent(step.name, step.status);
+    if (options_.archive.metrics != nullptr) {
+      options_.archive.metrics->GetOrCreate("set.janitor.errors")->Increment();
+    }
+  }
+  if (options_.archive.metrics != nullptr) {
+    options_.archive.metrics->GetOrCreate("set.janitor.passes")->Increment();
+  }
+  std::lock_guard<std::mutex> lock(janitor_mu_);
+  ++janitor_passes_;
+  janitor_errors_ += errors;
+  if (errors != 0) {
+    janitor_last_error_ = std::move(last_error);
+  }
+}
+
+void ArchiveSet::StartJanitor(uint64_t interval_ns) {
+  JanitorOptions options;
+  options.interval_ns = interval_ns;
+  StartJanitor(options);
+}
+
+void ArchiveSet::StartJanitor(const JanitorOptions& options) {
+  std::lock_guard<std::mutex> lock(janitor_mu_);
+  if (janitor_running_) {
+    return;  // idempotent: the first caller's cadence wins
+  }
+  JanitorOptions opts = options;
+  if (opts.interval_ns < kMinJanitorIntervalNs) {
+    opts.interval_ns = kMinJanitorIntervalNs;  // an interval of 0 must not
+                                               // become a busy spin
+  }
+  // The stop flag is shared with (and only with) the thread it stops: a
+  // StopJanitor racing a fresh StartJanitor can never leave a stale thread
+  // running against a re-armed flag.
+  auto stop = std::make_shared<bool>(false);
+  janitor_stop_ = stop;
   janitor_running_ = true;
-  janitor_ = std::thread([this, interval_ns] {
+  janitor_ = std::thread([this, opts, stop] {
     std::unique_lock<std::mutex> lock(janitor_mu_);
-    while (!janitor_stop_) {
-      janitor_cv_.wait_for(lock, std::chrono::nanoseconds(interval_ns),
-                           [this] { return janitor_stop_; });
-      if (janitor_stop_) {
-        break;
+    bool first = true;
+    while (!*stop) {
+      if (!(first && opts.run_immediately)) {
+        janitor_cv_.wait_for(lock, std::chrono::nanoseconds(opts.interval_ns),
+                             [&] { return *stop; });
+        if (*stop) {
+          break;
+        }
       }
+      first = false;
       lock.unlock();
-      (void)RunRetention(storage_env()->NowNanos());
-      (void)RepairAll();
+      JanitorPass(opts.compaction);
       lock.lock();
     }
   });
 }
 
 void ArchiveSet::StopJanitor() {
+  std::thread doomed;
   {
     std::lock_guard<std::mutex> lock(janitor_mu_);
     if (!janitor_running_) {
-      return;
+      return;  // concurrent StopJanitor calls: the first one owns the join
     }
-    janitor_stop_ = true;
+    janitor_running_ = false;
+    if (janitor_stop_ != nullptr) {
+      *janitor_stop_ = true;
+    }
+    doomed = std::move(janitor_);
   }
   janitor_cv_.notify_all();
-  janitor_.join();
+  if (doomed.joinable()) {
+    doomed.join();
+  }
+}
+
+ArchiveSet::JanitorStatus ArchiveSet::janitor_status() const {
   std::lock_guard<std::mutex> lock(janitor_mu_);
-  janitor_running_ = false;
+  JanitorStatus status;
+  status.running = janitor_running_;
+  status.passes = janitor_passes_;
+  status.errors = janitor_errors_;
+  status.last_error = janitor_last_error_;
+  return status;
 }
 
 // ---------------------------------------------------------------------------
@@ -980,7 +1439,7 @@ size_t ArchiveSet::live_shard_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
   for (const ShardInfo& s : shards_) {
-    if (!s.expired) {
+    if (s.live()) {
       ++n;
     }
   }
@@ -991,7 +1450,7 @@ size_t ArchiveSet::tenant_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> tenants;
   for (const ShardInfo& s : shards_) {
-    if (s.expired) {
+    if (!s.live()) {
       continue;
     }
     if (std::find(tenants.begin(), tenants.end(), s.tenant) == tenants.end()) {
@@ -1005,7 +1464,7 @@ uint64_t ArchiveSet::total_lines() const {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t n = 0;
   for (const ShardInfo& s : shards_) {
-    if (!s.expired) {
+    if (s.live()) {
       n += s.lines;
     }
   }
@@ -1016,7 +1475,7 @@ uint64_t ArchiveSet::total_raw_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t n = 0;
   for (const ShardInfo& s : shards_) {
-    if (!s.expired) {
+    if (s.live()) {
       n += s.raw_bytes;
     }
   }
@@ -1027,7 +1486,7 @@ uint64_t ArchiveSet::total_stored_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t n = 0;
   for (const ShardInfo& s : shards_) {
-    if (!s.expired) {
+    if (s.live()) {
       n += s.stored_bytes;
     }
   }

@@ -30,6 +30,23 @@
 //              — a crash mid-removal is finished by Open; an expired entry
 //                is never resurrected, and is kept in the manifest forever
 //                so later shards' global line bases never shift.
+//   compaction build the merged shard in a staging dir [kCompactStaged]
+//              (never shard-named: a crash leaves it
+//              sweepable, invisible to the manifest),
+//              rename it to its final shard name       [kCompactShardRenamed]
+//              (still unreferenced — a crash here
+//              leaves an orphan shard dir, swept),
+//              then ONE manifest rewrite adding the
+//              merged entry + marking every source
+//              superseded_by=<id> (THE commit point),  [kCompactManifest-
+//              then remove the source dirs              Written]
+//              — resumable by Open like retention.     [kCompactSources-
+//                                                       Removed]
+//              Every manifest rewrite bumps a persisted generation counter;
+//              a compaction commit re-validates its sources against the
+//              live manifest when the generation moved under it (retention
+//              may have expired a source mid-build), so a stale plan aborts
+//              instead of clobbering newer state.
 //
 // Global line numbering: shard `i` owns the half-open line range
 // [line_base_i, line_base_i + kShardLineSpan); bases are allocated from a
@@ -62,6 +79,7 @@
 #include <vector>
 
 #include "src/query/explain.h"
+#include "src/store/compaction.h"
 #include "src/store/log_archive.h"
 #include "src/store/shard_router.h"
 #include "src/store/verify.h"
@@ -82,6 +100,14 @@ struct ArchiveSetOptions {
   // RunRetention(now) expires sealed shards whose newest event is older
   // than now - retention_ns. 0 = keep forever.
   uint64_t retention_ns = 0;
+  // Thresholds for Compact() and the janitor's compaction step.
+  CompactionPolicy compaction;
+  // Optional sink for structured one-line JSON events from background
+  // maintenance (janitor pass errors, compaction commits). The serving
+  // layer wires this into its access log so operator-relevant failures are
+  // never silently swallowed. Called without the set lock held; must be
+  // thread-safe.
+  std::function<void(const std::string& json_line)> event_log;
 };
 
 // What one Append did — enough for a caller (or an oracle) to know exactly
@@ -107,10 +133,12 @@ struct SetShardFailure {
 };
 
 struct SetQueryResult {
-  // Global line numbers (shard line_base + shard-local line), ascending —
-  // shards are visited in id order and bases increase with id.
+  // Global line numbers (shard line_base + shard-local line), ascending.
+  // Usually free (bases are non-decreasing in visit order); when a merged
+  // shard's line span interleaves with other tenants' bases the gather
+  // re-sorts — line numbers are globally unique, so the order is total.
   QueryHits hits;
-  uint32_t shards_total = 0;    // live (non-expired) shards considered
+  uint32_t shards_total = 0;    // live (non-tombstoned) shards considered
   uint32_t shards_pruned = 0;   // rejected by tenant/time predicates
   uint32_t shards_visited = 0;  // actually queried (pruned+visited==total)
   uint32_t shards_failed = 0;   // of visited, how many failed entirely
@@ -188,6 +216,13 @@ enum class SetKillPoint {
                              // not yet in the shard
   kRetentionManifestWritten, // retention: entries marked expired, dirs not
                              // yet removed
+  kCompactStaged,            // compaction: merged shard fully built in its
+                             // staging dir, not yet renamed
+  kCompactShardRenamed,      // compaction: merged dir at its final shard
+                             // name, manifest still ignorant of it
+  kCompactManifestWritten,   // compaction: merged entry committed + sources
+                             // marked superseded, source dirs not yet gone
+  kCompactSourcesRemoved,    // compaction: source dirs removed
 };
 const char* SetKillPointName(SetKillPoint point);
 using SetCommitHook = std::function<bool(SetKillPoint)>;
@@ -202,11 +237,13 @@ class ArchiveSet {
   // hold a set manifest).
   static Result<std::unique_ptr<ArchiveSet>> Create(std::string root,
                                                     ArchiveSetOptions options = {});
-  // Opens an existing set. Recovery: finishes interrupted retention
-  // removals, sweeps orphan shard dirs (a roll that died before its
-  // manifest rewrite) and stray manifest temps, and marks unsealed shards'
-  // stats for recomputation from their own archives. Never loses a shard
-  // the manifest committed; never resurrects an expired one.
+  // Opens an existing set. Recovery: finishes interrupted retention and
+  // compaction removals (expired/superseded entries whose dirs linger),
+  // sweeps orphan shard dirs (a roll — or a compaction rename — that died
+  // before its manifest rewrite), half-built compaction staging dirs, and
+  // stray manifest temps, and marks unsealed shards' stats for
+  // recomputation from their own archives. Never loses a shard the
+  // manifest committed; never resurrects an expired or superseded one.
   static Result<std::unique_ptr<ArchiveSet>> Open(std::string root,
                                                   ArchiveSetOptions options = {});
 
@@ -246,11 +283,60 @@ class ArchiveSet {
   // reinstated blocks serve immediately.
   SetRepairReport RepairAll();
 
-  // Background janitor: every interval_ns (storage-env clock), runs
-  // retention (at the env's NowNanos) and RepairAll. Idempotent start;
-  // StopJanitor joins the thread (also called by the destructor).
-  void StartJanitor(uint64_t interval_ns);
+  // Online compaction: plans runs of adjacent sealed same-tenant shards
+  // (PlanCompaction; shards with unrepaired quarantined blocks are
+  // excluded), builds each run's merged shard in a staging dir *outside*
+  // the set lock (concurrent appends/queries proceed on the sources), then
+  // commits it under the lock with the ordered protocol documented at the
+  // top of this file. Every source line keeps its exact global line number.
+  // Concurrent Compact() calls serialize on their own mutex; a run whose
+  // sources changed under it (retention, a racing compactor) is aborted,
+  // not committed. Returns per-call counts; `fatal` carries the first
+  // build/commit failure (later runs are still attempted unless the
+  // failure was a kill-point abort).
+  SetCompactionReport Compact();  // options_.compaction thresholds
+  SetCompactionReport Compact(const CompactionPolicy& policy);
+
+  // Background janitor: every interval (storage-env clock) runs one
+  // maintenance pass — retention (at the env's NowNanos), then RepairAll,
+  // then Compact when `options.compaction` allows. Pass failures are
+  // counted ("set.janitor.errors"), kept as a last-error string
+  // (janitor_status()), and emitted through ArchiveSetOptions::event_log —
+  // never silently swallowed. Idempotent start; StopJanitor joins the
+  // thread (also called by the destructor) and is itself safe to race from
+  // multiple threads.
+  struct JanitorOptions {
+    // Clamped up to kMinJanitorIntervalNs (an interval of 0 must not turn
+    // the janitor into a busy spin).
+    uint64_t interval_ns = 1'000'000'000;
+    // Run the first pass immediately instead of after the first interval
+    // (tests and operators kicking a freshly opened set).
+    bool run_immediately = false;
+    // Include the compaction step in each pass.
+    bool compaction = true;
+  };
+  // Documented floor for JanitorOptions::interval_ns.
+  static constexpr uint64_t kMinJanitorIntervalNs = 10'000'000;  // 10 ms
+  void StartJanitor(uint64_t interval_ns);  // default options, this interval
+  void StartJanitor(const JanitorOptions& options);
   void StopJanitor();
+
+  // Observability snapshot of the background janitor.
+  struct JanitorStatus {
+    bool running = false;
+    uint64_t passes = 0;       // completed passes
+    uint64_t errors = 0;       // failed steps across all passes
+    std::string last_error;    // most recent failed step ("" = none yet)
+  };
+  JanitorStatus janitor_status() const;
+
+  // Lifetime compaction counters (this process; survives nothing).
+  struct CompactionTotals {
+    uint64_t merges = 0;         // merged shards committed
+    uint64_t shards_merged = 0;  // source shards superseded
+    uint64_t failures = 0;       // runs aborted by error or revalidation
+  };
+  CompactionTotals compaction_totals() const;
 
   // Fault-injection hook for the set-level kill points above. Not
   // thread-safe; set before driving traffic.
@@ -269,9 +355,9 @@ class ArchiveSet {
   // (the first one), but the sweep continues.
   Status RefreshStats();
 
-  // Snapshot of the manifest (includes expired tombstones).
+  // Snapshot of the manifest (includes expired + superseded tombstones).
   std::vector<ShardInfo> shards() const;
-  // Live = not expired.
+  // Live = neither expired nor superseded.
   size_t live_shard_count() const;
   size_t tenant_count() const;
   const std::string& root() const { return root_; }
@@ -284,8 +370,25 @@ class ArchiveSet {
 
   // `<root>/set_manifest.json`.
   static std::string SetManifestPath(const std::string& root);
+
+  // Top-level manifest fields beside the shard list. The generation counter
+  // increments on every successful manifest rewrite; a compaction commit
+  // uses it to detect that the manifest moved under its plan.
+  struct SetManifestHeader {
+    uint64_t window_span_ns = 0;
+    uint64_t next_shard_id = 0;
+    uint64_t next_line_base = 0;
+    uint64_t generation = 0;
+  };
   // Serialization, exposed for tests and fuzzing: hostile bytes yield a
-  // clean status, never a crash.
+  // clean status, never a crash. Writes version 2; version-1 manifests
+  // (pre-compaction) parse with generation 0, no superseded entries, and
+  // kShardLineSpan-wide shards.
+  static std::string SerializeSetManifest(const SetManifestHeader& header,
+                                          const std::vector<ShardInfo>& shards);
+  static Result<std::vector<ShardInfo>> ParseSetManifest(
+      std::string_view bytes, SetManifestHeader* header);
+  // Back-compat shims for the pre-generation call shape.
   static std::string SerializeSetManifest(uint64_t window_span_ns,
                                           uint64_t next_shard_id,
                                           uint64_t next_line_base,
@@ -303,7 +406,7 @@ class ArchiveSet {
                                    const SetQueryPredicate& pred,
                                    size_t num_threads, SetExplain* explain);
 
-  Status WriteSetManifestLocked() const;
+  Status WriteSetManifestLocked();
   // Opens (and caches) the archive of shard `index` in shards_. For an
   // unsealed shard opened for the first time since Open, refreshes the
   // advisory stats from the archive itself.
@@ -312,6 +415,16 @@ class ArchiveSet {
   Result<size_t> RollShardLocked(const std::string& tenant, uint64_t ts_ns);
   // Runs the hook at `point`; non-null return aborts the caller.
   Status MaybeKill(SetKillPoint point) const;
+  // One planned merge: build outside the lock, commit under it. Updates
+  // `report` and the lifetime totals.
+  Status CompactOneRun(const CompactionRun& run,
+                       const std::vector<ShardInfo>& sources,
+                       uint64_t planned_generation,
+                       SetCompactionReport* report);
+  // One background maintenance pass (retention + repair [+ compaction]).
+  void JanitorPass(bool compaction);
+  // Emits a structured maintenance event through options_.event_log.
+  void EmitEvent(const char* what, const Status& status);
 
   std::string root_;
   ArchiveSetOptions options_;
@@ -320,7 +433,12 @@ class ArchiveSet {
   mutable std::mutex mu_;
   uint64_t next_shard_id_ = 0;
   uint64_t next_line_base_ = 0;
-  std::vector<ShardInfo> shards_;  // manifest order == id order
+  uint64_t generation_ = 0;  // bumped by every manifest rewrite
+  // Manifest order == line_base order. Ids are strictly increasing between
+  // rolled shards; a merged shard (allocated later, so a higher id) sits
+  // immediately before its first source, which keeps line bases
+  // non-decreasing.
+  std::vector<ShardInfo> shards_;
   // tenant -> index into shards_ of the active (unsealed) shard.
   std::map<std::string, size_t> active_;
   // shard id -> open archive handle (lazy; sealed shards open on first
@@ -330,12 +448,22 @@ class ArchiveSet {
   // opened and consulted (set by Open after a crash or plain restart).
   std::map<uint64_t, bool> stats_stale_;
 
-  // Janitor thread.
+  // Serializes concurrent Compact() calls (the build phase runs outside
+  // mu_, so mu_ alone would let two compactors plan the same sources).
+  std::mutex compact_mu_;
+  CompactionTotals compaction_totals_;  // guarded by mu_
+
+  // Janitor thread. The stop flag is owned per-thread (shared with the
+  // thread it stops) so a Stop racing a Start can never confuse a stale
+  // janitor into outliving its stop request.
   std::thread janitor_;
-  std::mutex janitor_mu_;
+  mutable std::mutex janitor_mu_;
   std::condition_variable janitor_cv_;
-  bool janitor_stop_ = false;
+  std::shared_ptr<bool> janitor_stop_;  // guarded by janitor_mu_
   bool janitor_running_ = false;
+  uint64_t janitor_passes_ = 0;      // guarded by janitor_mu_
+  uint64_t janitor_errors_ = 0;      // guarded by janitor_mu_
+  std::string janitor_last_error_;   // guarded by janitor_mu_
 };
 
 }  // namespace loggrep

@@ -169,4 +169,16 @@ std::vector<std::string> SweepTempFiles(const std::string& dir,
   return removed;
 }
 
+bool RemoveTreeBestEffort(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove_all(path, ec);
+  if (ec) {
+    // remove_all can report an error yet still have finished the job (e.g. a
+    // racing remover); "gone" is the contract, so check that directly.
+    std::error_code exists_ec;
+    return !std::filesystem::exists(path, exists_ec) && !exists_ec;
+  }
+  return true;
+}
+
 }  // namespace loggrep

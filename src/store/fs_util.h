@@ -80,6 +80,13 @@ bool TempFileIsLive(const std::string& temp_path);
 std::vector<std::string> SweepTempFiles(const std::string& dir,
                                         StorageEnv* env = nullptr);
 
+// Recursively deletes `path` (file or directory tree), swallowing errors.
+// Returns true when the tree is gone afterwards — either removed here or
+// never present. Used by the garbage-collection paths (superseded shard
+// dirs, abandoned compaction staging dirs, orphan shard dirs), where a
+// failed removal must not fail the caller: the next Open retries the sweep.
+bool RemoveTreeBestEffort(const std::string& path);
+
 }  // namespace loggrep
 
 #endif  // SRC_STORE_FS_UTIL_H_

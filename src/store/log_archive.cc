@@ -190,8 +190,12 @@ BoxKey LogArchive::KeyForBlock(uint32_t seq) const {
   return BoxKey::ForSequence(cache_namespace_, seq);
 }
 
+std::string LogArchive::BlockFileName(uint32_t seq) {
+  return "block-" + std::to_string(seq) + ".lgc";
+}
+
 std::string LogArchive::BlockPath(uint32_t seq) const {
-  return dir_ + "/block-" + std::to_string(seq) + ".lgc";
+  return dir_ + "/" + BlockFileName(seq);
 }
 
 std::string LogArchive::ManifestPath() const { return dir_ + "/archive.manifest"; }
@@ -556,6 +560,47 @@ Status LogArchive::CommitCompressedBlock(std::string_view box_bytes,
   // process death.
   LOGGREP_RETURN_IF_ERROR(
       RetryStorage("commit.sync_dir", [&] { return env->SyncDir(dir_); }));
+  return OkStatus();
+}
+
+Status LogArchive::CommitTombstonedBlock(BlockInfo block,
+                                         QuarantineEntry entry) {
+  block.seq = blocks_.empty() ? 0 : blocks_.back().seq + 1;
+  const uint64_t next_line =
+      blocks_.empty()
+          ? 0
+          : blocks_.back().first_line + blocks_.back().line_count;
+  if (block.first_line < next_line) {
+    block.first_line = next_line;
+  }
+  entry.seq = block.seq;
+  entry.tombstoned = true;
+
+  // Sidecar first: Open treats a manifest entry with no block file as
+  // corruption *unless* the quarantine explains it, and ReloadQuarantine
+  // filters entries whose seq the manifest doesn't know — so sidecar-then-
+  // manifest is safe on either side of a crash.
+  const QuarantineSet saved_quarantine = quarantine_;
+  quarantine_.Add(std::move(entry));
+  if (Status s = RetryStorage("commit.write_quarantine",
+                              [&] {
+                                return SaveQuarantine(dir_, quarantine_,
+                                                      storage_env());
+                              });
+      !s.ok()) {
+    quarantine_ = saved_quarantine;
+    return s;
+  }
+
+  blocks_.push_back(std::move(block));
+  if (Status s = RetryStorage("commit.write_manifest",
+                              [&] { return WriteManifest(); });
+      !s.ok()) {
+    blocks_.pop_back();
+    quarantine_ = saved_quarantine;
+    (void)SaveQuarantine(dir_, quarantine_, storage_env());  // best effort
+    return s;
+  }
   return OkStatus();
 }
 

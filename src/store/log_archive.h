@@ -163,6 +163,18 @@ class LogArchive {
   Status CommitCompressedBlock(std::string_view box_bytes, BlockInfo block,
                                const CommitHook& hook = nullptr);
 
+  // Commits a block that has no bytes on purpose: a tombstoned hole carried
+  // over from another archive (shard compaction copies a source shard's
+  // blocks verbatim; a source block whose file was already given up on —
+  // quarantined + tombstoned — must keep occupying its global line range in
+  // the merged shard so later line numbers never shift). Assigns seq like
+  // CommitCompressedBlock and honors a pre-set sparse `block.first_line`,
+  // records `entry` (forced tombstoned, seq remapped) in quarantine.json,
+  // then persists the manifest. The sidecar lands before the manifest so a
+  // torn write can never leave the manifest naming an unexplained hole.
+  // Not thread-safe — callers serialize commits.
+  Status CommitTombstonedBlock(BlockInfo block, QuarantineEntry entry);
+
   // Runs a query command over all (non-pruned) blocks. Warm blocks are
   // served from the shared BoxCache: no file read, no metadata parse, and
   // only the capsules the cache lacks are decompressed.
@@ -202,6 +214,9 @@ class LogArchive {
   // The storage backend in effect (never null).
   StorageEnv* storage_env() const { return EnvOrDefault(options_.env); }
   const std::string& dir() const { return dir_; }
+  // "block-<seq>.lgc" — the on-disk name of one block (exposed so the shard
+  // compactor can read source blocks verbatim without an archive detour).
+  static std::string BlockFileName(uint32_t seq);
   uint64_t total_lines() const;
   uint64_t total_raw_bytes() const;
   uint64_t total_stored_bytes() const;

@@ -14,10 +14,16 @@
 
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace loggrep {
+
+// Sentinel for ShardInfo::superseded_by: the shard has not been compacted
+// away. (0 is a valid shard id, so the sentinel is all-ones.)
+inline constexpr uint64_t kNotSuperseded = UINT64_MAX;
 
 // One shard's routing-relevant identity, as recorded in set_manifest.json.
 // (ArchiveSet keeps richer state; the router only sees what pruning needs.)
@@ -28,9 +34,11 @@ struct ShardInfo {
   uint64_t window_start_ns = 0;
   uint64_t window_end_ns = UINT64_MAX;  // exclusive; UINT64_MAX = unbounded
   // Global line-number base: shard-local line L is global line
-  // line_base + L. Bases are allocated once, strictly increase with id, and
-  // are never reused — so global line numbers stay stable after retention
-  // removes interior shards.
+  // line_base + L. Bases are allocated once and never reused — so global
+  // line numbers stay stable after retention removes interior shards.
+  // Freshly rolled shards get strictly increasing bases; a merged shard
+  // inherits its first source's base (the merge preserves every source
+  // line's global number), so bases are non-decreasing in manifest order.
   uint64_t line_base = 0;
   // Stats. For sealed shards these are final and exact; for the active
   // shard they are advisory (refreshed on append, recomputed from the
@@ -48,8 +56,21 @@ struct ShardInfo {
   bool sealed = false;   // no further appends; stats and ts range are final
   bool expired = false;  // retention tombstone: data removed, entry kept
                          // forever so line bases of later shards never shift
+  // Compaction tombstone: this shard's blocks now live (at the same global
+  // line numbers) inside merged shard `superseded_by`. Like `expired`, the
+  // entry is kept forever so later line bases never shift; unlike `expired`
+  // the data is still queryable — through the merged shard.
+  uint64_t superseded_by = kNotSuperseded;
+  // Width of the global line-number span this shard owns. Freshly rolled
+  // shards own kShardLineSpan; a merged shard owns the union of its
+  // sources' spans (last source's base + span - first source's base).
+  uint64_t line_span = 0;
 
   bool empty() const { return lines == 0; }
+  bool superseded() const { return superseded_by != kNotSuperseded; }
+  // A shard a query may visit: not a retention tombstone, not compacted
+  // away. Everything that enumerates "real" shards filters on this.
+  bool live() const { return !expired && !superseded(); }
 };
 
 // Optional shard-level predicates a federated query carries. Absent fields
@@ -112,6 +133,52 @@ RollReason DecideRoll(const ShardInfo* active, uint64_t ts_ns,
 // crash).
 std::string ShardPruneReason(const ShardInfo& shard,
                              const SetQueryPredicate& pred);
+
+// ---------------------------------------------------------------------------
+// Compaction planning (pure; ArchiveSet::Compact executes the plan).
+
+// Thresholds deciding which sealed shards are worth merging. Defaults suit
+// the janitor; tests and the CLI tighten them.
+struct CompactionPolicy {
+  // A run shorter than this is left alone (merging one shard is a no-op and
+  // merging pairs too eagerly churns I/O for little fan-out win).
+  size_t min_run_shards = 2;
+  // At most this many sources per merged shard, so a single merge stays a
+  // bounded amount of I/O and a bounded crash-recovery window.
+  size_t max_run_shards = 8;
+  // Size threshold: only shards with raw_bytes below this are candidates —
+  // already-large (typically already-merged) shards are left alone.
+  // 0 = no size threshold.
+  uint64_t max_source_raw_bytes = 0;
+  // Byte cap on one merged shard's raw input. 0 = uncapped.
+  uint64_t max_run_raw_bytes = 0;
+  // Age threshold: a shard is a candidate only once its newest event is at
+  // least this old relative to `now_ns` (recently sealed shards may still
+  // be hot). 0 = no age gate.
+  uint64_t min_idle_ns = 0;
+};
+
+// One planned merge: adjacent candidate shards of a single tenant, in
+// line_base order (== manifest order).
+struct CompactionRun {
+  std::string tenant;
+  std::vector<uint64_t> shard_ids;
+};
+
+// Selects runs of adjacent sealed same-tenant shards worth merging.
+// A candidate is sealed, live (neither expired nor superseded), non-empty,
+// not in `excluded_ids` (ArchiveSet passes shards with unrepaired
+// quarantined blocks — their holes are not final, so their bytes must not
+// be frozen into a merged shard), and passes the policy's size/age gates.
+// Adjacency is within a tenant's live shards in manifest order: shards of
+// *other* tenants interleaved between two candidates do not break a run,
+// but a non-candidate shard of the same tenant does. Runs are disjoint and
+// returned in manifest order; each honors max_run_shards/max_run_raw_bytes
+// and contains at least min_run_shards shards.
+std::vector<CompactionRun> PlanCompaction(const std::vector<ShardInfo>& shards,
+                                          const CompactionPolicy& policy,
+                                          uint64_t now_ns,
+                                          const std::set<uint64_t>& excluded_ids);
 
 }  // namespace loggrep
 
